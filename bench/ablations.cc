@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Ablations over TPS's design choices (beyond the paper's figures):
+ *
+ *  1. promotion threshold (Sec. III-B1's conservative..aggressive dial):
+ *     L1 misses vs committed-memory bloat;
+ *  2. alias-PTE mode (Sec. III-A1): pointer aliases' extra walk access
+ *     vs full-copy aliases' PTE-update fan-out;
+ *  3. TPS TLB capacity: how small the any-size L1 TLB can be;
+ *  4. paging-structure caches: walk references per walk with and
+ *     without them.
+ */
+
+#include <iostream>
+
+#include "fig_common.hh"
+
+using namespace tps;
+using namespace tps::bench;
+
+namespace {
+
+void
+thresholdSweep(const FigOptions &opts, const std::string &wl)
+{
+    std::printf("-- promotion threshold sweep (%s) --\n", wl.c_str());
+    Table table({"threshold", "L1 miss rate", "walk refs",
+                 "committed bytes", "pages"});
+    for (double threshold : {1.0, 0.75, 0.5, 0.25}) {
+        core::RunOptions run = makeRun(opts, wl, core::Design::Tps);
+        run.tpsThreshold = threshold;
+        CensusRun res = runWithCensus(run);
+        table.addRow({fmtPercent(100.0 * threshold),
+                      fmtPercent(percent(res.stats.l1TlbMisses,
+                                         res.stats.accesses)),
+                      fmtCount(res.stats.walkMemRefs),
+                      fmtSize(res.mappedBytes),
+                      fmtCount(res.pageSizes.total())});
+    }
+    table.print(std::cout);
+    std::printf("\n");
+}
+
+void
+aliasModes(const FigOptions &opts, const std::string &wl)
+{
+    std::printf("-- alias-PTE mode (%s) --\n", wl.c_str());
+    Table table({"mode", "walk refs", "alias extra refs",
+                 "PTE writes", "alias writes"});
+    for (auto mode : {vm::AliasMode::Pointer, vm::AliasMode::FullCopy}) {
+        core::RunOptions run = makeRun(opts, wl, core::Design::Tps);
+        run.aliasMode = mode;
+        CensusRun res = runWithCensus(run);
+        table.addRow(
+            {mode == vm::AliasMode::Pointer ? "pointer" : "full-copy",
+             fmtCount(res.stats.walkMemRefs),
+             fmtCount(res.stats.walker.aliasExtra),
+             fmtCount(res.stats.osWork.pteCycles /
+                      os::oscost::kPteWrite),
+             fmtCount(res.stats.osWork.promotions)});
+    }
+    table.print(std::cout);
+    std::printf("\n");
+}
+
+void
+tpsTlbCapacity(const FigOptions &opts, const std::string &wl)
+{
+    std::printf("-- TPS TLB capacity (%s) --\n", wl.c_str());
+    Table table({"entries", "L1 miss rate", "walks"});
+    for (unsigned entries : {8u, 16u, 32u, 64u}) {
+        os::PhysMemory pm(opts.physBytes);
+        sim::EngineConfig ecfg;
+        ecfg.mmu.tlb = core::designTlbConfig(core::Design::Tps);
+        ecfg.mmu.tlb.tpsTlbEntries = entries;
+        auto workload = workloads::makeWorkload(wl, opts.scale);
+        ecfg.cycle.instsPerAccess = workload->info().instsPerAccess;
+        sim::Engine engine(pm, core::makePolicy(core::Design::Tps),
+                           ecfg);
+        engine.addWorkload(*workload);
+        sim::SimStats stats = engine.run();
+        table.addRow({fmtCount(entries),
+                      fmtPercent(percent(stats.l1TlbMisses,
+                                         stats.accesses)),
+                      fmtCount(stats.tlbMisses)});
+    }
+    table.print(std::cout);
+    std::printf("\n");
+}
+
+void
+tpsTlbOrganization(const FigOptions &opts, const std::string &wl)
+{
+    std::printf("-- TPS TLB organization (%s) --\n", wl.c_str());
+    Table table({"organization", "L1 miss rate", "walks"});
+    struct Org
+    {
+        const char *name;
+        bool skewed;
+        unsigned entries;
+    };
+    for (Org org : {Org{"fully-assoc 32", false, 32u},
+                    Org{"skewed 32x4", true, 32u},
+                    Org{"skewed 64x4", true, 64u}}) {
+        os::PhysMemory pm(opts.physBytes);
+        sim::EngineConfig ecfg;
+        ecfg.mmu.tlb = core::designTlbConfig(core::Design::Tps);
+        ecfg.mmu.tlb.tpsTlbEntries = org.entries;
+        ecfg.mmu.tlb.tpsTlbSkewed = org.skewed;
+        auto workload = workloads::makeWorkload(wl, opts.scale);
+        ecfg.cycle.instsPerAccess = workload->info().instsPerAccess;
+        sim::Engine engine(pm, core::makePolicy(core::Design::Tps),
+                           ecfg);
+        engine.addWorkload(*workload);
+        sim::SimStats stats = engine.run();
+        table.addRow({org.name,
+                      fmtPercent(percent(stats.l1TlbMisses,
+                                         stats.accesses)),
+                      fmtCount(stats.tlbMisses)});
+    }
+    table.print(std::cout);
+    std::printf("\n");
+}
+
+void
+mmuCacheEffect(const FigOptions &opts, const std::string &wl)
+{
+    std::printf("-- paging-structure caches (%s, base-4K paging) --\n",
+                wl.c_str());
+    Table table({"MMU caches", "walks", "walk refs", "refs per walk"});
+    for (bool disabled : {false, true}) {
+        core::RunOptions run = makeRun(opts, wl, core::Design::Base4k);
+        run.noMmuCache = disabled;
+        sim::SimStats stats = core::runExperiment(run);
+        table.addRow({disabled ? "off" : "on", fmtCount(stats.tlbMisses),
+                      fmtCount(stats.walkMemRefs),
+                      fmtDouble(ratio(stats.walkMemRefs,
+                                      stats.tlbMisses),
+                                2)});
+    }
+    table.print(std::cout);
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    FigOptions opts = parseArgs(argc, argv);
+    printHeader("Ablations",
+                "TPS design-choice sweeps (threshold, alias mode, TLB "
+                "capacity, MMU caches)",
+                "design-space context beyond the published figures");
+
+    std::string wl =
+        opts.benchmarks.empty() ? "xsbench" : opts.benchmarks[0];
+    std::string sparse_wl =
+        opts.benchmarks.size() > 1 ? opts.benchmarks[1] : "gcc";
+
+    thresholdSweep(opts, sparse_wl);
+    aliasModes(opts, wl);
+    tpsTlbCapacity(opts, wl);
+    tpsTlbOrganization(opts, sparse_wl);
+    mmuCacheEffect(opts, "gups");
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Figure 11: percent of page-walk memory references eliminated by TPS,
+ * TPS with eager paging, CoLT, and RMM relative to the
+ * reservation-based-THP baseline.  RMM (itself eager) and eager TPS
+ * have near-identical best-case reduction; demand TPS gives most of it
+ * back without eager paging's allocation-latency cost.
+ */
+
+#include "fig_common.hh"
+
+using namespace tps;
+using namespace tps::bench;
+
+int
+main(int argc, char **argv)
+{
+    FigOptions opts = parseArgs(argc, argv);
+    printHeader("Figure 11",
+                "% of page-walk memory references eliminated "
+                "(baseline: reservation-based THP)",
+                "TPS ~98% mean; RMM and eager TPS near-identical best "
+                "case; TPS beats RMM on gcc (range-TLB capacity)");
+
+    Table table({"benchmark", "thp walk refs", "tps", "tps-eager",
+                 "colt", "rmm"});
+    Summary tps_sum, eager_sum, colt_sum, rmm_sum;
+    for (const auto &wl : benchList(opts)) {
+        auto refs = [&](core::Design d) {
+            return core::runExperiment(makeRun(opts, wl, d)).walkMemRefs;
+        };
+        uint64_t thp = refs(core::Design::Thp);
+        uint64_t tps = refs(core::Design::Tps);
+        uint64_t eager = refs(core::Design::TpsEager);
+        uint64_t colt = refs(core::Design::Colt);
+        uint64_t rmm = refs(core::Design::Rmm);
+
+        double e_tps = elimPercent(thp, tps);
+        double e_eager = elimPercent(thp, eager);
+        double e_colt = elimPercent(thp, colt);
+        double e_rmm = elimPercent(thp, rmm);
+        tps_sum.add(e_tps);
+        eager_sum.add(e_eager);
+        colt_sum.add(e_colt);
+        rmm_sum.add(e_rmm);
+        table.addRow({wl, fmtCount(thp), fmtPercent(e_tps),
+                      fmtPercent(e_eager), fmtPercent(e_colt),
+                      fmtPercent(e_rmm)});
+    }
+    table.addRow({"mean", "", fmtPercent(tps_sum.mean()),
+                  fmtPercent(eager_sum.mean()),
+                  fmtPercent(colt_sum.mean()),
+                  fmtPercent(rmm_sum.mean())});
+    printTable(opts, table);
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Figure 18: how many pages of each size every benchmark actually uses
+ * under TPS at the end of its run.  The paper's observation: every
+ * workload uses nearly all available sizes, with higher counts at the
+ * smaller sizes (the conservative promotion policy), and the small
+ * total count is what lets TPS eliminate nearly all TLB misses.
+ */
+
+#include <set>
+
+#include "fig_common.hh"
+
+using namespace tps;
+using namespace tps::bench;
+
+int
+main(int argc, char **argv)
+{
+    FigOptions opts = parseArgs(argc, argv);
+    printHeader("Figure 18",
+                "per-benchmark page-size counts under TPS",
+                "all workloads use many sizes; small total page counts "
+                "are what give TPS its reach");
+
+    // Columns: one per page size that appears anywhere.
+    std::vector<CensusRun> runs;
+    std::set<uint64_t> sizes;
+    const auto &list = benchList(opts);
+    for (const auto &wl : list) {
+        runs.push_back(runWithCensus(makeRun(opts, wl,
+                                             core::Design::Tps)));
+        for (const auto &[pb, count] : runs.back().pageSizes.buckets())
+            if (count > 0)
+                sizes.insert(pb);
+    }
+
+    std::vector<std::string> headers{"benchmark"};
+    for (uint64_t pb : sizes)
+        headers.push_back(fmtSize(1ull << pb));
+    headers.push_back("total pages");
+    Table table(std::move(headers));
+
+    for (size_t i = 0; i < list.size(); ++i) {
+        std::vector<std::string> row{list[i]};
+        for (uint64_t pb : sizes) {
+            uint64_t count = runs[i].pageSizes.at(pb);
+            row.push_back(count == 0 ? "." : fmtCount(count));
+        }
+        row.push_back(fmtCount(runs[i].pageSizes.total()));
+        table.addRow(std::move(row));
+    }
+    printTable(opts, table);
+    return 0;
+}

@@ -1,0 +1,208 @@
+#include "fig_common.hh"
+
+#include <cstdio>
+#include <set>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "sim/perf_model.hh"
+#include "util/logging.hh"
+#include "workloads/registry.hh"
+
+namespace tps::bench {
+
+FigOptions
+parseArgs(int argc, char **argv)
+{
+    FigOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strncmp(arg, "--scale=", 8) == 0) {
+            opts.scale = std::atof(arg + 8);
+            if (opts.scale <= 0)
+                tps_fatal("bad --scale value '%s'", arg + 8);
+        } else if (std::strncmp(arg, "--phys-gb=", 10) == 0) {
+            opts.physBytes =
+                static_cast<uint64_t>(std::atoi(arg + 10)) << 30;
+            if (opts.physBytes == 0)
+                tps_fatal("bad --phys-gb value '%s'", arg + 10);
+        } else if (std::strcmp(arg, "--csv") == 0) {
+            opts.csv = true;
+        } else if (std::strncmp(arg, "--benchmarks=", 13) == 0) {
+            std::string list = arg + 13;
+            size_t pos = 0;
+            while (pos != std::string::npos) {
+                size_t comma = list.find(',', pos);
+                std::string name =
+                    list.substr(pos, comma == std::string::npos
+                                         ? std::string::npos
+                                         : comma - pos);
+                if (!name.empty())
+                    opts.benchmarks.push_back(name);
+                pos = comma == std::string::npos ? comma : comma + 1;
+            }
+        } else if (std::strcmp(arg, "--help") == 0) {
+            std::printf(
+                "options: --scale=<f> --phys-gb=<n> --csv "
+                "--benchmarks=a,b,c\n");
+            std::exit(0);
+        } else {
+            tps_fatal("unknown option '%s' (try --help)", arg);
+        }
+    }
+    return opts;
+}
+
+const std::vector<std::string> &
+benchList(const FigOptions &opts)
+{
+    if (!opts.benchmarks.empty())
+        return opts.benchmarks;
+    return workloads::evaluationSuite();
+}
+
+void
+printHeader(const std::string &fig_id, const std::string &title,
+            const std::string &paper_note)
+{
+    std::printf("== %s: %s ==\n", fig_id.c_str(), title.c_str());
+    std::printf("paper: %s\n\n", paper_note.c_str());
+    std::fflush(stdout);
+}
+
+void
+printTable(const FigOptions &opts, const Table &table)
+{
+    if (opts.csv)
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+    std::cout << std::endl;
+}
+
+core::RunOptions
+makeRun(const FigOptions &opts, const std::string &wl,
+        core::Design design)
+{
+    core::RunOptions run;
+    run.workload = wl;
+    run.design = design;
+    run.scale = opts.scale;
+    run.physBytes = opts.physBytes;
+    return run;
+}
+
+core::RunOptions
+makeSmtRun(const FigOptions &opts, const std::string &wl,
+           core::Design design)
+{
+    core::RunOptions run = makeRun(opts, wl, design);
+    run.smt = true;
+    // Two full workload instances need twice the physical memory.
+    run.physBytes = opts.physBytes * 2;
+    return run;
+}
+
+double
+elimPercent(uint64_t baseline, uint64_t with)
+{
+    double e = percentEliminated(baseline, with);
+    return e < 0.0 ? 0.0 : e;
+}
+
+CensusRun
+runWithCensus(const core::RunOptions &opts)
+{
+    os::PhysMemory pm(opts.physBytes);
+    std::optional<os::Fragmenter> fragmenter;
+    if (opts.fragmented) {
+        fragmenter.emplace(pm, opts.fragmenter);
+        fragmenter->run();
+    }
+
+    sim::EngineConfig ecfg;
+    ecfg.mmu.tlb = core::designTlbConfig(opts.design);
+    ecfg.mmu.walker.virtualized = opts.virtualized;
+    ecfg.mmu.walker.fiveLevel = opts.fiveLevel;
+    ecfg.addressSpace.aliasMode = opts.aliasMode;
+    ecfg.addressSpace.encoding = opts.encoding;
+    ecfg.timing = opts.timing;
+    ecfg.maxAccesses = opts.maxAccesses;
+
+    auto workload = workloads::makeWorkload(opts.workload, opts.scale);
+    ecfg.cycle.instsPerAccess = workload->info().instsPerAccess;
+
+    sim::Engine engine(
+        pm, core::makePolicy(opts.design, opts.tpsThreshold), ecfg);
+    engine.addWorkload(*workload);
+
+    CensusRun out;
+    out.stats = engine.run();
+    out.pageSizes = engine.addressSpace().pageSizeCensus();
+    out.mappedBytes = engine.addressSpace().mappedBytes();
+    out.touchedPages = engine.addressSpace().touchedBasePages();
+    std::set<uint64_t> chunks;
+    engine.addressSpace().pageTable().forEachLeaf(
+        [&](vm::Vaddr base, const vm::LeafInfo &leaf) {
+            uint64_t first = base >> vm::kPageBits2M;
+            uint64_t last = (base + (1ull << leaf.pageBits) - 1) >>
+                            vm::kPageBits2M;
+            for (uint64_t c = first; c <= last; ++c)
+                chunks.insert(c);
+        });
+    out.chunks2m = chunks.size();
+    return out;
+}
+
+SpeedupRow
+computeSpeedups(const FigOptions &opts, const std::string &wl, bool smt)
+{
+    auto base_opts = [&](core::Design d) {
+        return smt ? makeSmtRun(opts, wl, d) : makeRun(opts, wl, d);
+    };
+
+    // THP baseline: real timing plus the two perfect-TLB reference
+    // points and the THP-disabled calibration point.
+    sim::SimStats thp = core::runExperiment(base_opts(core::Design::Thp));
+    core::RunOptions perfect = base_opts(core::Design::Thp);
+    perfect.timing = sim::TlbTimingMode::PerfectL2;
+    uint64_t c_perfect_l2 = core::runExperiment(perfect).cycles;
+    perfect.timing = sim::TlbTimingMode::PerfectL1;
+    uint64_t c_perfect_l1 = core::runExperiment(perfect).cycles;
+    sim::SimStats off =
+        core::runExperiment(base_opts(core::Design::Base4k));
+
+    double savable = sim::savablePwcFraction(
+        sim::CounterPoint{off.cycles, off.walkCycles},
+        sim::CounterPoint{thp.cycles, thp.walkCycles});
+
+    auto estimate = [&](core::Design d, sim::SpeedupResult *full) {
+        sim::SimStats s = core::runExperiment(base_opts(d));
+        sim::SpeedupInputs in;
+        in.baselineCycles = thp.cycles;
+        in.perfectL2Cycles = c_perfect_l2;
+        in.perfectL1Cycles = c_perfect_l1;
+        in.baselinePwCycles = thp.walkCycles;
+        in.savableFraction = savable;
+        in.l1MissElimination =
+            elimPercent(thp.l1TlbMisses, s.l1TlbMisses) / 100.0;
+        in.walkRefElimination =
+            elimPercent(thp.walkMemRefs, s.walkMemRefs) / 100.0;
+        sim::SpeedupResult res = sim::estimateSpeedup(in);
+        if (full)
+            *full = res;
+        return res.speedup;
+    };
+
+    SpeedupRow row;
+    sim::SpeedupResult tps_full;
+    row.tps = estimate(core::Design::Tps, &tps_full);
+    row.rmm = estimate(core::Design::Rmm, nullptr);
+    row.colt = estimate(core::Design::Colt, nullptr);
+    row.idealSpeedup = tps_full.idealSpeedup;
+    row.tpsFracOfIdeal = tps_full.fractionOfIdeal();
+    return row;
+}
+
+} // namespace tps::bench

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Shared plumbing for the figure-regeneration benches: command-line
+ * options, run helpers, and output formatting.  Every bench prints the
+ * same series the paper plots plus a `paper:` reference line so
+ * EXPERIMENTS.md can record measured-vs-published side by side.
+ */
+
+#ifndef TPS_BENCH_FIG_COMMON_HH
+#define TPS_BENCH_FIG_COMMON_HH
+
+#include <string>
+#include <vector>
+
+#include "core/tps_system.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+namespace tps::bench {
+
+/** Options shared by all figure benches. */
+struct FigOptions
+{
+    double scale = 1.0;        //!< workload scale factor
+    uint64_t physBytes = 8ull << 30;
+    bool csv = false;          //!< emit CSV instead of aligned text
+    std::vector<std::string> benchmarks;  //!< default: evaluation suite
+};
+
+/**
+ * Parse common flags: --scale=<f>, --phys-gb=<n>, --csv,
+ * --benchmarks=a,b,c.  Unknown flags are fatal.
+ */
+FigOptions parseArgs(int argc, char **argv);
+
+/** The benchmark list a bench should iterate. */
+const std::vector<std::string> &benchList(const FigOptions &opts);
+
+/** Print the figure banner (id, title, what the paper reported). */
+void printHeader(const std::string &fig_id, const std::string &title,
+                 const std::string &paper_note);
+
+/** Print @p table per the options (aligned text or CSV). */
+void printTable(const FigOptions &opts, const Table &table);
+
+/** Build RunOptions for one (workload, design) cell. */
+core::RunOptions makeRun(const FigOptions &opts, const std::string &wl,
+                         core::Design design);
+
+/** Same with an SMT competitor (doubled physical memory). */
+core::RunOptions makeSmtRun(const FigOptions &opts,
+                            const std::string &wl, core::Design design);
+
+/** Elimination percent clamped at zero (the paper reports >= 0). */
+double elimPercent(uint64_t baseline, uint64_t with);
+
+/** A run that also captures end-of-run address-space state. */
+struct CensusRun
+{
+    sim::SimStats stats;
+    Histogram pageSizes;       //!< log2(size) -> mapped page count
+    uint64_t mappedBytes = 0;  //!< committed bytes incl. bloat
+    uint64_t touchedPages = 0; //!< demand-touched base pages
+    uint64_t chunks2m = 0;     //!< distinct 2 MB chunks with a mapping
+};
+
+/** Like core::runExperiment but keeps the page-table census. */
+CensusRun runWithCensus(const core::RunOptions &opts);
+
+/** One benchmark's Fig. 13/14 speedup estimates. */
+struct SpeedupRow
+{
+    double tps = 1.0;
+    double rmm = 1.0;
+    double colt = 1.0;
+    double idealSpeedup = 1.0;    //!< eliminate all translation time
+    double tpsFracOfIdeal = 1.0;  //!< share of ideal savings TPS gets
+};
+
+/**
+ * Run the paper's Sec. IV-B estimation pipeline for one benchmark:
+ * measure the THP baseline (real, perfect-L2, perfect-L1 timing and
+ * the THP-off calibration point), measure each design's miss/walk
+ * eliminations, and apply the analytic model.
+ *
+ * @param smt  Run every configuration with a competing SMT thread
+ *             (Figure 14) instead of alone (Figure 13).
+ */
+SpeedupRow computeSpeedups(const FigOptions &opts,
+                           const std::string &wl, bool smt);
+
+} // namespace tps::bench
+
+#endif // TPS_BENCH_FIG_COMMON_HH

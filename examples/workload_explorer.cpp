@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Workload explorer: run any benchmark under any design and print the
+ * full statistics breakdown -- the interactive front door to the
+ * simulation engine.
+ *
+ *   ./workload_explorer [workload] [design] [scale]
+ *   ./workload_explorer gups tps 0.25
+ *   ./workload_explorer --list
+ *   ./workload_explorer --record gups.trace gups 0.25
+ *   ./workload_explorer --replay gups.trace tps
+ *
+ * Designs: base4k thp tps tps-eager rmm colt
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/tps_system.hh"
+#include "sim/engine.hh"
+#include "sim/trace.hh"
+#include "util/table.hh"
+#include "workloads/registry.hh"
+
+using namespace tps;
+
+namespace {
+
+core::Design
+parseDesign(const std::string &name)
+{
+    for (core::Design d :
+         {core::Design::Base4k, core::Design::Thp, core::Design::Tps,
+          core::Design::TpsEager, core::Design::Rmm,
+          core::Design::Colt}) {
+        if (name == core::designName(d))
+            return d;
+    }
+    tps_fatal("unknown design '%s' (try base4k/thp/tps/tps-eager/"
+              "rmm/colt)",
+              name.c_str());
+}
+
+} // namespace
+
+void
+printStats(const sim::SimStats &s);
+
+int
+main(int argc, char **argv)
+{
+    if (argc > 2 && std::strcmp(argv[1], "--record") == 0) {
+        // Capture a workload's event stream to a trace file (the
+        // PIN-tool side of the paper's methodology).
+        const char *path = argv[2];
+        std::string wl = argc > 3 ? argv[3] : "gups";
+        double scale = argc > 4 ? std::atof(argv[4]) : 0.25;
+        auto workload = workloads::makeWorkload(wl, scale);
+        uint64_t n = sim::recordTrace(*workload, path);
+        std::printf("recorded %llu accesses of %s (scale %.2f) to %s\n",
+                    static_cast<unsigned long long>(n), wl.c_str(),
+                    scale, path);
+        return 0;
+    }
+    if (argc > 2 && std::strcmp(argv[1], "--replay") == 0) {
+        // Replay a trace under any design.
+        const char *path = argv[2];
+        core::Design design =
+            parseDesign(argc > 3 ? argv[3] : "tps");
+        sim::TraceWorkload replay(path);
+        os::PhysMemory pm(8ull << 30);
+        sim::EngineConfig ecfg;
+        ecfg.mmu.tlb = core::designTlbConfig(design);
+        ecfg.cycle.instsPerAccess = replay.info().instsPerAccess;
+        sim::Engine engine(pm, core::makePolicy(design), ecfg);
+        engine.addWorkload(replay);
+        std::printf("replaying %s (%s footprint) under %s...\n\n",
+                    path, fmtSize(replay.info().footprintBytes).c_str(),
+                    core::designName(design));
+        printStats(engine.run());
+        return 0;
+    }
+    if (argc > 1 && std::strcmp(argv[1], "--list") == 0) {
+        std::printf("workloads:\n");
+        for (const auto &name : workloads::profilingSuite()) {
+            auto w = workloads::makeWorkload(name, 1.0);
+            std::printf("  %-10s %-8s footprint  %s\n", name.c_str(),
+                        fmtSize(w->info().footprintBytes).c_str(),
+                        w->info().description.c_str());
+        }
+        return 0;
+    }
+
+    core::RunOptions opts;
+    opts.workload = argc > 1 ? argv[1] : "gups";
+    opts.design = parseDesign(argc > 2 ? argv[2] : "tps");
+    opts.scale = argc > 3 ? std::atof(argv[3]) : 0.25;
+
+    std::printf("running %s under %s (scale %.2f, %s physical)...\n\n",
+                opts.workload.c_str(), core::designName(opts.design),
+                opts.scale, fmtSize(opts.physBytes).c_str());
+    printStats(core::runExperiment(opts));
+    return 0;
+}
+
+void
+printStats(const sim::SimStats &s)
+{
+    std::printf("init phase : %llu accesses, %llu faults, %llu cycles\n",
+                static_cast<unsigned long long>(s.warmup.accesses),
+                static_cast<unsigned long long>(s.warmup.faults),
+                static_cast<unsigned long long>(s.warmup.cycles));
+    std::printf("measured   : %llu accesses, %llu instructions, "
+                "%llu cycles\n\n",
+                static_cast<unsigned long long>(s.accesses),
+                static_cast<unsigned long long>(s.instructions),
+                static_cast<unsigned long long>(s.cycles));
+
+    std::printf("L1 TLB misses    : %12llu  (%.2f%% of accesses, "
+                "MPKI %.2f)\n",
+                static_cast<unsigned long long>(s.l1TlbMisses),
+                percent(s.l1TlbMisses, s.accesses), s.mpki());
+    std::printf("  L2 TLB hits    : %12llu\n",
+                static_cast<unsigned long long>(s.l2TlbHits));
+    std::printf("  full misses    : %12llu  -> page walks\n",
+                static_cast<unsigned long long>(s.tlbMisses));
+    std::printf("walk memory refs : %12llu  (%.2f per walk)\n",
+                static_cast<unsigned long long>(s.walkMemRefs),
+                ratio(s.walkMemRefs, s.tlbMisses));
+    std::printf("walker cycles    : %12llu  (%.2f%% of time)\n",
+                static_cast<unsigned long long>(s.walkCycles),
+                100.0 * s.walkCycleFraction());
+    std::printf("A/D PTE writes   : %12llu\n",
+                static_cast<unsigned long long>(s.mmu.adPteWrites));
+    std::printf("cache: %llu accesses, %.1f%% L1D hits, "
+                "%.1f%% LLC hits\n",
+                static_cast<unsigned long long>(s.memsys.accesses),
+                percent(s.memsys.l1Hits, s.memsys.accesses),
+                percent(s.memsys.llcHits, s.memsys.accesses));
+    std::printf("OS work: %llu cycles total (steady-state share "
+                "%.3f%%), %llu promotions\n",
+                static_cast<unsigned long long>(s.osWork.totalCycles()),
+                100.0 * s.systemTimeFraction(),
+                static_cast<unsigned long long>(s.osWork.promotions));
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Tailored-size arithmetic: greedy aligned power-of-two decomposition
+ * of arbitrary regions and TLB-entry/waste comparisons between page-size
+ * vocabularies (the paper's 256 MB motivating example in Sec. I).
+ */
+
+#ifndef TPS_CORE_TPS_MATH_HH
+#define TPS_CORE_TPS_MATH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bitops.hh"
+#include "vm/addr.hh"
+
+namespace tps::core {
+
+/** One block of a decomposition: (start, log2 size). */
+struct Block
+{
+    vm::Vaddr start;
+    unsigned pageBits;
+
+    bool
+    operator==(const Block &o) const
+    {
+        return start == o.start && pageBits == o.pageBits;
+    }
+};
+
+/**
+ * Greedy aligned power-of-two decomposition of [start, start+length):
+ * at each step take the largest power of two that divides the current
+ * address and fits in the remainder, capped at 2^@p max_page_bits.
+ * This is TPS's conservative exact-span policy (e.g. an aligned 28 KB
+ * request becomes 16 KB + 8 KB + 4 KB).
+ */
+inline std::vector<Block>
+decompose(vm::Vaddr start, uint64_t length, unsigned max_page_bits)
+{
+    std::vector<Block> blocks;
+    while (length > 0) {
+        uint64_t block = largestAlignedPow2(start, length);
+        unsigned bits = log2Floor(block);
+        if (bits > max_page_bits) {
+            bits = max_page_bits;
+            block = 1ull << bits;
+        }
+        blocks.push_back({start, bits});
+        start += block;
+        length -= block;
+    }
+    return blocks;
+}
+
+/**
+ * TLB entries needed to map @p length bytes using only pages of
+ * 2^@p page_bits (the conventional-size cost in the paper's tradeoff).
+ */
+constexpr uint64_t
+entriesAtSize(uint64_t length, unsigned page_bits)
+{
+    return (length + (1ull << page_bits) - 1) >> page_bits;
+}
+
+/**
+ * Internal fragmentation (wasted bytes) when @p length is mapped with
+ * the aggressive single-page policy: one page of the smallest
+ * power-of-two size >= length.
+ */
+constexpr uint64_t
+roundUpWaste(uint64_t length)
+{
+    uint64_t bits = log2Ceil(length);
+    return (1ull << bits) - length;
+}
+
+} // namespace tps::core
+
+#endif // TPS_CORE_TPS_MATH_HH

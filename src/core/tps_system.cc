@@ -1,0 +1,152 @@
+#include "core/tps_system.hh"
+
+#include "os/policy_rmm.hh"
+#include "util/logging.hh"
+
+namespace tps::core {
+
+const char *
+designName(Design d)
+{
+    switch (d) {
+      case Design::Base4k:
+        return "base4k";
+      case Design::Thp:
+        return "thp";
+      case Design::Tps:
+        return "tps";
+      case Design::TpsEager:
+        return "tps-eager";
+      case Design::Rmm:
+        return "rmm";
+      case Design::Colt:
+        return "colt";
+    }
+    return "?";
+}
+
+std::unique_ptr<os::PagingPolicy>
+makePolicy(Design d, double tps_threshold)
+{
+    switch (d) {
+      case Design::Base4k:
+        return std::make_unique<os::Base4kPolicy>();
+      case Design::Thp:
+        return std::make_unique<os::ThpPolicy>();
+      case Design::Tps: {
+        os::TpsPolicyConfig cfg;
+        cfg.threshold = tps_threshold;
+        return std::make_unique<os::TpsPolicy>(cfg);
+      }
+      case Design::TpsEager: {
+        os::TpsPolicyConfig cfg;
+        cfg.threshold = tps_threshold;
+        cfg.eager = true;
+        return std::make_unique<os::TpsPolicy>(cfg);
+      }
+      case Design::Rmm:
+        return std::make_unique<os::RmmPolicy>();
+      case Design::Colt:
+        return std::make_unique<os::ColtPolicy>();
+    }
+    tps_panic("unhandled design");
+}
+
+tlb::TlbHierarchyConfig
+designTlbConfig(Design d)
+{
+    tlb::TlbHierarchyConfig cfg;
+    switch (d) {
+      case Design::Tps:
+      case Design::TpsEager:
+        cfg.design = tlb::TlbDesign::Tps;
+        break;
+      case Design::Rmm:
+        cfg.design = tlb::TlbDesign::Rmm;
+        break;
+      case Design::Colt:
+        cfg.design = tlb::TlbDesign::Colt;
+        break;
+      default:
+        cfg.design = tlb::TlbDesign::Baseline;
+        break;
+    }
+    return cfg;
+}
+
+sim::SimStats
+runExperiment(const RunOptions &opts)
+{
+    os::PhysMemory pm(opts.physBytes);
+
+    std::optional<os::Fragmenter> fragmenter;
+    if (opts.fragmented) {
+        fragmenter.emplace(pm, opts.fragmenter);
+        fragmenter->run();
+    }
+
+    sim::EngineConfig ecfg;
+    ecfg.mmu.tlb = designTlbConfig(opts.design);
+    ecfg.mmu.walker.virtualized = opts.virtualized;
+    ecfg.mmu.walker.fiveLevel = opts.fiveLevel;
+    if (opts.noMmuCache)
+        ecfg.mmu.mmuCache = vm::MmuCacheConfig{0, 0, 0};
+    ecfg.mmu.tlb.tpsTlbSkewed = opts.tpsTlbSkewed;
+    ecfg.addressSpace.aliasMode = opts.aliasMode;
+    ecfg.addressSpace.encoding = opts.encoding;
+    ecfg.timing = opts.timing;
+    ecfg.maxAccesses = opts.maxAccesses;
+
+    auto primary = workloads::makeWorkload(opts.workload, opts.scale);
+    ecfg.cycle.instsPerAccess = primary->info().instsPerAccess;
+
+    sim::Engine engine(pm, makePolicy(opts.design, opts.tpsThreshold),
+                       ecfg);
+    engine.addWorkload(*primary);
+
+    std::unique_ptr<workloads::Workload> competitor;
+    if (opts.smt) {
+        competitor =
+            workloads::makeWorkload(opts.workload, opts.scale, 1000);
+        engine.addWorkload(*competitor);
+    }
+    return engine.run();
+}
+
+TpsSystem::TpsSystem(const Config &cfg)
+    : cfg_(cfg), phys_(std::make_unique<os::PhysMemory>(cfg.physBytes))
+{
+    sim::EngineConfig ecfg;
+    ecfg.mmu.tlb = designTlbConfig(cfg.design);
+    ecfg.addressSpace.aliasMode = cfg.aliasMode;
+    ecfg.addressSpace.encoding = cfg.encoding;
+    engine_ = std::make_unique<sim::Engine>(
+        *phys_, makePolicy(cfg.design, cfg.tpsThreshold), ecfg);
+}
+
+vm::Vaddr
+TpsSystem::mmap(uint64_t bytes)
+{
+    return engine_->mmap(bytes);
+}
+
+void
+TpsSystem::munmap(vm::Vaddr start)
+{
+    engine_->munmap(start);
+}
+
+vm::Paddr
+TpsSystem::access(vm::Vaddr va, bool write)
+{
+    return engine_->mmu().access(va, write).pa;
+}
+
+void
+TpsSystem::touchRange(vm::Vaddr start, uint64_t bytes, bool write)
+{
+    for (uint64_t off = 0; off < bytes; off += vm::kBasePageBytes)
+        access(start + off, write);
+}
+
+} // namespace tps::core

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Public facade: one object that assembles physical memory, a paging
+ * policy, the TLB/walker hardware and the simulation engine for any of
+ * the paper's designs -- plus the experiment runner used by the figure
+ * benches and examples.
+ */
+
+#ifndef TPS_CORE_TPS_SYSTEM_HH
+#define TPS_CORE_TPS_SYSTEM_HH
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "os/fragmenter.hh"
+#include "os/phys_memory.hh"
+#include "os/policy_common.hh"
+#include "sim/engine.hh"
+#include "workloads/registry.hh"
+
+namespace tps::core {
+
+/** The designs every figure compares. */
+enum class Design
+{
+    Base4k,    //!< 4 KB demand paging (THP disabled)
+    Thp,       //!< reservation-based THP (the paper's baseline)
+    Tps,       //!< Tailored Page Sizes
+    TpsEager,  //!< TPS with eager paging
+    Rmm,       //!< Redundant Memory Mappings
+    Colt,      //!< Coalesced TLBs
+};
+
+/** Printable name of a design. */
+const char *designName(Design d);
+
+/** Build the paging policy for @p d. */
+std::unique_ptr<os::PagingPolicy>
+makePolicy(Design d, double tps_threshold = 1.0);
+
+/** Build the TLB-hierarchy geometry for @p d (Table I defaults). */
+tlb::TlbHierarchyConfig designTlbConfig(Design d);
+
+/** Everything one experiment run needs. */
+struct RunOptions
+{
+    std::string workload;          //!< registry name
+    Design design = Design::Thp;
+    double scale = 1.0;            //!< workload scale factor
+    uint64_t physBytes = 8ull << 30;
+    double tpsThreshold = 1.0;
+    bool smt = false;              //!< add a competing thread
+    bool virtualized = false;      //!< two-dimensional page walks
+    bool fiveLevel = false;
+    bool noMmuCache = false;       //!< disable paging-structure caches
+    bool tpsTlbSkewed = false;     //!< skewed-associative TPS TLB
+    bool fragmented = false;       //!< pre-age physical memory
+    os::FragmenterConfig fragmenter;
+    sim::TlbTimingMode timing = sim::TlbTimingMode::Real;
+    vm::AliasMode aliasMode = vm::AliasMode::Pointer;
+    vm::SizeEncoding encoding = vm::SizeEncoding::Napot;
+    uint64_t maxAccesses = ~0ull;
+};
+
+/**
+ * Run one experiment configuration end to end.  Deterministic: the same
+ * options always produce the same statistics.
+ */
+sim::SimStats runExperiment(const RunOptions &opts);
+
+/**
+ * An assembled system for direct API use (the examples): mmap memory,
+ * touch it, inspect the page table and TLBs.
+ */
+class TpsSystem
+{
+  public:
+    /** Assembly knobs for direct use. */
+    struct Config
+    {
+        Design design = Design::Tps;
+        uint64_t physBytes = 1ull << 30;
+        double tpsThreshold = 1.0;
+        vm::AliasMode aliasMode = vm::AliasMode::Pointer;
+        vm::SizeEncoding encoding = vm::SizeEncoding::Napot;
+    };
+
+    explicit TpsSystem(const Config &cfg);
+
+    /** Map @p bytes of anonymous memory. */
+    vm::Vaddr mmap(uint64_t bytes);
+
+    /** Unmap a region returned by mmap. */
+    void munmap(vm::Vaddr start);
+
+    /**
+     * Perform one memory access (translating through the TLBs and
+     * walker, faulting and promoting as the policy dictates).
+     * @return the physical address.
+     */
+    vm::Paddr access(vm::Vaddr va, bool write = false);
+
+    /** Touch every base page of [start, start+bytes). */
+    void touchRange(vm::Vaddr start, uint64_t bytes, bool write = true);
+
+    os::PhysMemory &phys() { return *phys_; }
+    os::AddressSpace &addressSpace() { return engine_->addressSpace(); }
+    sim::Mmu &mmu() { return engine_->mmu(); }
+    sim::Engine &engine() { return *engine_; }
+
+  private:
+    Config cfg_;
+    std::unique_ptr<os::PhysMemory> phys_;
+    std::unique_ptr<sim::Engine> engine_;
+};
+
+} // namespace tps::core
+
+#endif // TPS_CORE_TPS_SYSTEM_HH

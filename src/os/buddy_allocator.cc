@@ -1,0 +1,211 @@
+#include "os/buddy_allocator.hh"
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace tps::os {
+
+BuddyAllocator::BuddyAllocator(uint64_t total_frames)
+    : totalFrames_(total_frames), freeFrames_(total_frames),
+      freeLists_(kMaxOrder + 1)
+{
+    tps_assert(total_frames > 0);
+    // Seed the free lists with the maximal aligned blocks covering
+    // [0, total_frames), largest-first.
+    Pfn pfn = 0;
+    uint64_t remaining = total_frames;
+    while (remaining > 0) {
+        uint64_t block = largestAlignedPow2(pfn, remaining);
+        unsigned order = log2Floor(block);
+        if (order > kMaxOrder) {
+            order = kMaxOrder;
+            block = 1ull << order;
+        }
+        freeLists_[order].insert(pfn);
+        pfn += block;
+        remaining -= block;
+    }
+}
+
+std::optional<Pfn>
+BuddyAllocator::alloc(unsigned order)
+{
+    tps_assert(order <= kMaxOrder);
+    ++stats_.allocs;
+    unsigned o = order;
+    while (o <= kMaxOrder && freeLists_[o].empty())
+        ++o;
+    if (o > kMaxOrder) {
+        ++stats_.failedAllocs;
+        return std::nullopt;
+    }
+    Pfn pfn = *freeLists_[o].begin();
+    freeLists_[o].erase(freeLists_[o].begin());
+    // Split down to the requested order, returning upper halves.
+    while (o > order) {
+        --o;
+        ++stats_.splits;
+        freeLists_[o].insert(pfn + (1ull << o));
+    }
+    freeFrames_ -= 1ull << order;
+    return pfn;
+}
+
+bool
+BuddyAllocator::removeFree(Pfn pfn, unsigned order)
+{
+    auto it = freeLists_[order].find(pfn);
+    if (it == freeLists_[order].end())
+        return false;
+    freeLists_[order].erase(it);
+    return true;
+}
+
+bool
+BuddyAllocator::isFree(Pfn pfn, unsigned order) const
+{
+    // The block is free iff it is covered by exactly one free block of
+    // order >= `order`, or tiled by free sub-blocks.  Walk up first:
+    // any enclosing free block covers it.
+    for (unsigned o = order; o <= kMaxOrder; ++o) {
+        Pfn base = alignDown(pfn, 1ull << o);
+        if (freeLists_[o].count(base))
+            return o >= order || base == pfn;
+    }
+    if (order == 0)
+        return false;
+    // Not covered by one block; both halves must themselves be free.
+    Pfn half = 1ull << (order - 1);
+    return isFree(pfn, order - 1) && isFree(pfn + half, order - 1);
+}
+
+bool
+BuddyAllocator::allocSpecific(Pfn pfn, unsigned order)
+{
+    tps_assert(order <= kMaxOrder);
+    tps_assert(isAligned(pfn, 1ull << order));
+    if (!isFree(pfn, order))
+        return false;
+    ++stats_.allocs;
+
+    // Find the enclosing free block and split it until the target block
+    // is isolated.
+    for (unsigned o = order; o <= kMaxOrder; ++o) {
+        Pfn base = alignDown(pfn, 1ull << o);
+        if (!removeFree(base, o))
+            continue;
+        // Split: keep descending toward pfn, freeing the other half.
+        while (o > order) {
+            --o;
+            ++stats_.splits;
+            Pfn lower = base;
+            Pfn upper = base + (1ull << o);
+            if (pfn < upper) {
+                freeLists_[o].insert(upper);
+                base = lower;
+            } else {
+                freeLists_[o].insert(lower);
+                base = upper;
+            }
+        }
+        tps_assert(base == pfn);
+        freeFrames_ -= 1ull << order;
+        return true;
+    }
+
+    // The block is tiled by smaller free blocks: claim each half
+    // recursively (this cannot fail given the isFree check above).
+    Pfn half = 1ull << (order - 1);
+    bool ok_lo = allocSpecific(pfn, order - 1);
+    bool ok_hi = allocSpecific(pfn + half, order - 1);
+    tps_assert(ok_lo && ok_hi);
+    // The two recursive calls each counted an alloc; net one.
+    --stats_.allocs;
+    return true;
+}
+
+void
+BuddyAllocator::insertAndMerge(Pfn pfn, unsigned order)
+{
+    while (order < kMaxOrder) {
+        Pfn buddy = pfn ^ (1ull << order);
+        if (!removeFree(buddy, order))
+            break;
+        ++stats_.merges;
+        pfn = pfn < buddy ? pfn : buddy;
+        ++order;
+    }
+    freeLists_[order].insert(pfn);
+}
+
+void
+BuddyAllocator::free(Pfn pfn, unsigned order)
+{
+    tps_assert(order <= kMaxOrder);
+    tps_assert(isAligned(pfn, 1ull << order));
+    tps_assert(pfn + (1ull << order) <= totalFrames_);
+    ++stats_.frees;
+    freeFrames_ += 1ull << order;
+    insertAndMerge(pfn, order);
+}
+
+std::optional<unsigned>
+BuddyAllocator::largestAvailable(unsigned max_order) const
+{
+    unsigned cap = max_order < kMaxOrder ? max_order : kMaxOrder;
+    // A free block of any order o can satisfy requests up to min(o, cap)
+    // (larger blocks split down), so the answer is the largest free
+    // order anywhere, clamped to the cap.
+    for (int o = static_cast<int>(kMaxOrder); o >= 0; --o) {
+        if (!freeLists_[o].empty()) {
+            return static_cast<unsigned>(o) < cap
+                       ? static_cast<unsigned>(o)
+                       : cap;
+        }
+    }
+    return std::nullopt;
+}
+
+std::vector<uint64_t>
+BuddyAllocator::freeListCounts() const
+{
+    std::vector<uint64_t> counts(kMaxOrder + 1);
+    for (unsigned o = 0; o <= kMaxOrder; ++o)
+        counts[o] = freeLists_[o].size();
+    return counts;
+}
+
+double
+BuddyAllocator::coverageAt(unsigned order) const
+{
+    if (freeFrames_ == 0)
+        return 0.0;
+    uint64_t usable = 0;
+    for (unsigned o = order; o <= kMaxOrder; ++o)
+        usable += freeLists_[o].size() << o;
+    return static_cast<double>(usable) /
+           static_cast<double>(freeFrames_);
+}
+
+double
+BuddyAllocator::fragmentationIndex() const
+{
+    if (freeFrames_ == 0)
+        return 0.0;
+    for (int o = kMaxOrder; o >= 0; --o) {
+        if (!freeLists_[o].empty()) {
+            return 1.0 - static_cast<double>(1ull << o) /
+                             static_cast<double>(freeFrames_);
+        }
+    }
+    return 0.0;
+}
+
+const std::set<Pfn> &
+BuddyAllocator::freeList(unsigned order) const
+{
+    tps_assert(order <= kMaxOrder);
+    return freeLists_[order];
+}
+
+} // namespace tps::os

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Binary buddy allocator over physical frames (Sec. II-B).
+ *
+ * Free memory is kept in per-order free lists of naturally aligned
+ * power-of-two blocks; allocation splits larger blocks, freeing merges
+ * buddy pairs back up.  Beyond the classic interface the allocator
+ * supports:
+ *
+ *  - targeted allocation of a *specific* block (compaction and page
+ *    merging need to carve particular frames out of the free lists);
+ *  - `/proc/buddyinfo`-style free-list snapshots;
+ *  - the free-contiguity coverage analysis behind the paper's Fig. 15
+ *    (what fraction of free memory could be used if only a single page
+ *    size existed).
+ *
+ * Ordered free lists make allocation deterministic (lowest address
+ * first), which the reproducibility of every figure depends on.
+ */
+
+#ifndef TPS_OS_BUDDY_ALLOCATOR_HH
+#define TPS_OS_BUDDY_ALLOCATOR_HH
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "vm/addr.hh"
+
+namespace tps::os {
+
+using vm::Pfn;
+
+/** Allocator operation counters (feeds the Fig. 17 system-time model). */
+struct BuddyStats
+{
+    uint64_t allocs = 0;
+    uint64_t frees = 0;
+    uint64_t splits = 0;
+    uint64_t merges = 0;
+    uint64_t failedAllocs = 0;
+};
+
+/** The buddy allocator. */
+class BuddyAllocator
+{
+  public:
+    /** Largest supported block order (2^18 frames = 1 GB). */
+    static constexpr unsigned kMaxOrder = 18;
+
+    /**
+     * @param total_frames  Physical frames managed; the initial state is
+     *                      one big free region [0, total_frames).
+     */
+    explicit BuddyAllocator(uint64_t total_frames);
+
+    /**
+     * Allocate a naturally aligned block of 2^@p order frames.
+     * @return first frame of the block, or nullopt if no block of this
+     *         or any larger order is free.
+     */
+    std::optional<Pfn> alloc(unsigned order);
+
+    /**
+     * Allocate the specific block [@p pfn, @p pfn + 2^@p order), which
+     * must currently be entirely free.
+     * @return true on success; false if any frame in it is in use.
+     */
+    bool allocSpecific(Pfn pfn, unsigned order);
+
+    /** Free a block previously returned by alloc()/allocSpecific(). */
+    void free(Pfn pfn, unsigned order);
+
+    /**
+     * Largest order for which a free block is currently available
+     * without exceeding @p max_order.
+     * @return the order, or nullopt if nothing at all is free.
+     */
+    std::optional<unsigned> largestAvailable(unsigned max_order) const;
+
+    /** True iff the whole block [@p pfn, +2^@p order) is free. */
+    bool isFree(Pfn pfn, unsigned order) const;
+
+    uint64_t totalFrames() const { return totalFrames_; }
+    uint64_t freeFrames() const { return freeFrames_; }
+    uint64_t usedFrames() const { return totalFrames_ - freeFrames_; }
+
+    /** Free-block count per order (the /proc/buddyinfo view). */
+    std::vector<uint64_t> freeListCounts() const;
+
+    /**
+     * Fraction (0..1) of currently free memory usable if *only* pages of
+     * 2^@p order frames existed (Fig. 15's per-size coverage): each free
+     * block of order o >= order contributes its full size; smaller free
+     * blocks contribute nothing.
+     */
+    double coverageAt(unsigned order) const;
+
+    /**
+     * External-fragmentation index in [0,1]: 1 - (largest free block /
+     * total free).  0 means all free memory is one block.
+     */
+    double fragmentationIndex() const;
+
+    const BuddyStats &stats() const { return stats_; }
+    void clearStats() { stats_ = BuddyStats{}; }
+
+    /** Ordered set of free blocks at @p order (tests / analyses). */
+    const std::set<Pfn> &freeList(unsigned order) const;
+
+  private:
+    /** Remove a specific block from its free list; false if absent. */
+    bool removeFree(Pfn pfn, unsigned order);
+
+    /** Insert a block, merging with its buddy as far as possible. */
+    void insertAndMerge(Pfn pfn, unsigned order);
+
+    uint64_t totalFrames_;
+    uint64_t freeFrames_;
+    std::vector<std::set<Pfn>> freeLists_;  //!< index = order
+    BuddyStats stats_;
+};
+
+} // namespace tps::os
+
+#endif // TPS_OS_BUDDY_ALLOCATOR_HH

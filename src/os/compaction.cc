@@ -1,0 +1,136 @@
+#include "os/compaction.hh"
+
+#include <algorithm>
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace tps::os {
+
+uint64_t
+CompactionDaemon::compact(std::vector<MovableBlock> &movable,
+                          const std::function<void(Pfn, Pfn, unsigned)>
+                              &relocate,
+                          uint64_t max_moves)
+{
+    // Work highest-address blocks first: vacating the top of memory
+    // coalesces free space fastest.
+    std::sort(movable.begin(), movable.end(),
+              [](const MovableBlock &a, const MovableBlock &b) {
+                  return a.pfn > b.pfn;
+              });
+    uint64_t moves = 0;
+    for (auto &block : movable) {
+        if (moves >= max_moves)
+            break;
+        auto dest = buddy_.alloc(block.order);
+        if (!dest)
+            continue;
+        if (*dest >= block.pfn) {
+            // No lower slot available; undo.
+            buddy_.free(*dest, block.order);
+            continue;
+        }
+        relocate(block.pfn, *dest, block.order);
+        buddy_.free(block.pfn, block.order);
+        block.pfn = *dest;
+        ++moves;
+        ++stats_.migratedBlocks;
+        stats_.migratedFrames += 1ull << block.order;
+    }
+    return moves;
+}
+
+uint64_t
+mergeReservationPass(AddressSpace &as, uint64_t max_merges)
+{
+    // Candidate pairs: adjacent reservations of equal order, combined
+    // region naturally aligned, each fully mapped as a single page.
+    struct Pair
+    {
+        vm::Vaddr aBase;
+        vm::Vaddr bBase;
+        unsigned order;
+    };
+    auto fully_mapped_as_one = [](const Reservation &r) {
+        const auto &m = r.mappedRegions();
+        return m.size() == 1 && m.begin()->first == r.vaBase() &&
+               m.begin()->second == r.order() + vm::kBasePageBits;
+    };
+
+    std::vector<Pair> pairs;
+    const auto &table = as.reservations().all();
+    for (auto it = table.begin(); it != table.end(); ++it) {
+        auto next = std::next(it);
+        if (next == table.end())
+            break;
+        const Reservation &a = it->second;
+        const Reservation &b = next->second;
+        if (a.order() != b.order())
+            continue;
+        if (a.order() + 1 > BuddyAllocator::kMaxOrder)
+            continue;
+        if (b.vaBase() != a.vaEnd())
+            continue;
+        if (!isAligned(a.vaBase(), 2 * a.bytes()))
+            continue;
+        if (!fully_mapped_as_one(a) || !fully_mapped_as_one(b))
+            continue;
+        pairs.push_back({a.vaBase(), b.vaBase(), a.order()});
+        ++it;   // do not reuse b as the next pair's a
+        if (it == table.end())
+            break;
+    }
+
+    OsWork &work = as.osWork();
+    uint64_t merges = 0;
+    for (const Pair &p : pairs) {
+        if (merges >= max_merges)
+            break;
+        Reservation *a = as.reservations().find(p.aBase);
+        Reservation *b = as.reservations().find(p.bBase);
+        tps_assert(a && b);
+        unsigned order = p.order;
+        uint64_t half_pages = 1ull << order;
+        unsigned merged_bits = order + 1 + vm::kBasePageBits;
+
+        work.allocCycles += oscost::kBuddyOp;
+        auto dest = as.phys().reserve(order + 1);
+        if (!dest)
+            continue;   // not enough contiguity for this merge
+
+        const Vma *vma = as.findVma(p.aBase);
+        tps_assert(vma != nullptr);
+
+        // Migrate: unmap both halves (with shootdowns -- the frames are
+        // moving), then map the combined tailored page.
+        as.pageTable().unmap(a->vaBase());
+        as.pageTable().unmap(b->vaBase());
+        as.shootdown(a->vaBase());
+        as.shootdown(b->vaBase());
+        work.zeroCycles += 0;   // copies, not zeroing
+        work.allocCycles += oscost::kCopyPerBasePage * 2 * half_pages;
+        as.pageTable().map(p.aBase, *dest, merged_bits, vma->writable,
+                           true);
+        work.pteCycles +=
+            oscost::kPteWrite * (1u << vm::spanBits(merged_bits));
+
+        // Accounting: the old blocks were fully committed; the new block
+        // becomes fully committed.
+        as.phys().freeReservationBlock(a->pfnBase(), order, half_pages);
+        as.phys().freeReservationBlock(b->pfnBase(), order, half_pages);
+        as.phys().commitReserved(2 * half_pages);
+
+        vm::Vaddr base = p.aBase;
+        as.reservations().remove(p.aBase);
+        as.reservations().remove(p.bBase);
+        Reservation &merged =
+            as.reservations().create(base, order + 1, *dest);
+        merged.recordMapped(base, merged_bits);
+        work.allocCycles += oscost::kReservationOp;
+        ++merges;
+    }
+    return merges;
+}
+
+} // namespace tps::os

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Memory compaction daemon and the TPS page-merge optimization
+ * (paper Secs. II-B and III-B3).
+ *
+ * The daemon migrates movable used blocks toward low addresses so that
+ * free space coalesces into large contiguous blocks (the buddy allocator
+ * merges the vacated buddies automatically).  The merge pass implements
+ * the paper's proposed compaction-daemon extension: adjacent,
+ * equal-sized, fully mapped reservations whose combined virtual region
+ * is naturally aligned are migrated into one aligned physical block and
+ * remapped as a single tailored page -- halving the TLB entries needed.
+ */
+
+#ifndef TPS_OS_COMPACTION_HH
+#define TPS_OS_COMPACTION_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "os/address_space.hh"
+#include "os/buddy_allocator.hh"
+
+namespace tps::os {
+
+/** A movable physical block (owner can relocate it on request). */
+struct MovableBlock
+{
+    Pfn pfn;
+    unsigned order;
+};
+
+/** Compaction results. */
+struct CompactionStats
+{
+    uint64_t migratedBlocks = 0;
+    uint64_t migratedFrames = 0;
+    uint64_t mergedPages = 0;
+};
+
+/** The compaction daemon. */
+class CompactionDaemon
+{
+  public:
+    explicit CompactionDaemon(BuddyAllocator &buddy) : buddy_(buddy) {}
+
+    /**
+     * Migrate movable blocks downward to defragment free space.
+     *
+     * @param movable   Blocks the caller owns; updated in place with
+     *                  their new locations.
+     * @param relocate  Callback invoked per move (old pfn, new pfn,
+     *                  order) so the owner can fix its own references.
+     * @param max_moves Bound on migrations.
+     * @return number of blocks migrated.
+     */
+    uint64_t compact(std::vector<MovableBlock> &movable,
+                     const std::function<void(Pfn, Pfn, unsigned)>
+                         &relocate,
+                     uint64_t max_moves);
+
+    const CompactionStats &stats() const { return stats_; }
+
+  private:
+    BuddyAllocator &buddy_;
+    CompactionStats stats_;
+};
+
+/**
+ * TPS page-merge pass (Sec. III-B3): merge adjacent equal-size fully
+ * mapped reservations of @p as into single larger tailored pages by
+ * migrating their frames into freshly allocated aligned blocks.
+ *
+ * @param as          Address space to optimize (TPS policy expected).
+ * @param max_merges  Bound on merges performed.
+ * @return number of merges performed.
+ */
+uint64_t mergeReservationPass(AddressSpace &as, uint64_t max_merges);
+
+} // namespace tps::os
+
+#endif // TPS_OS_COMPACTION_HH

@@ -1,0 +1,250 @@
+#include "os/cow.hh"
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace tps::os {
+
+void
+FrameRefcount::splitAt(Pfn pfn)
+{
+    auto it = ranges_.upper_bound(pfn);
+    if (it == ranges_.begin())
+        return;
+    --it;
+    auto [start, payload] = *it;
+    auto [len, count] = payload;
+    if (pfn <= start || pfn >= start + len)
+        return;
+    it->second.first = pfn - start;
+    ranges_[pfn] = {start + len - pfn, count};
+}
+
+void
+FrameRefcount::share(Pfn start, uint64_t count)
+{
+    // Carve the affected sub-intervals and bump each; untracked gaps
+    // become fresh intervals at a sharer count of 2.
+    splitAt(start);
+    splitAt(start + count);
+    Pfn pos = start;
+    while (pos < start + count) {
+        auto it = ranges_.lower_bound(pos);
+        Pfn gap_end = start + count;
+        if (it != ranges_.end() && it->first < start + count)
+            gap_end = it->first;
+        if (pos < gap_end) {
+            ranges_[pos] = {gap_end - pos, 2};
+            pos = gap_end;
+            continue;
+        }
+        // pos sits on an existing interval (already split to borders).
+        tps_assert(it != ranges_.end() && it->first == pos);
+        ++it->second.second;
+        pos += it->second.first;
+    }
+}
+
+uint32_t
+FrameRefcount::release(Pfn pfn)
+{
+    splitAt(pfn);
+    splitAt(pfn + 1);
+    auto it = ranges_.find(pfn);
+    if (it == ranges_.end()) {
+        // pfn may sit inside an interval starting earlier.
+        it = ranges_.upper_bound(pfn);
+        if (it == ranges_.begin())
+            return 0;
+        --it;
+        if (pfn >= it->first + it->second.first)
+            return 0;
+    }
+    tps_assert(it->first == pfn && it->second.first == 1);
+    uint32_t remaining = --it->second.second;
+    if (remaining <= 1) {
+        // One referencer left: the frame is no longer copy-on-write.
+        ranges_.erase(it);
+    }
+    return remaining;
+}
+
+uint32_t
+FrameRefcount::countOf(Pfn pfn) const
+{
+    auto it = ranges_.upper_bound(pfn);
+    if (it == ranges_.begin())
+        return 0;
+    --it;
+    if (pfn < it->first + it->second.first)
+        return it->second.second;
+    return 0;
+}
+
+/**
+ * Paging policy for CoW children: never demand-maps (the clone put
+ * every translation in place), and on munmap returns only frames the
+ * child exclusively owns (its private copies) to the allocator.
+ */
+class CowChildPolicy : public PagingPolicy
+{
+  public:
+    explicit CowChildPolicy(CowManager &mgr) : mgr_(mgr) {}
+
+    const char *name() const override { return "cow-child"; }
+
+    void onMmap(AddressSpace &, const Vma &) override {}
+
+    bool
+    onFault(AddressSpace &, vm::Vaddr, bool) override
+    {
+        // Every child page was installed by clone(); a miss here means
+        // an access outside the cloned image.
+        return false;
+    }
+
+    void
+    onMunmap(AddressSpace &as, const Vma &vma) override
+    {
+        std::vector<std::pair<vm::Vaddr, vm::LeafInfo>> leaves;
+        as.pageTable().forEachLeafInRange(
+            vma.start, vma.end(),
+            [&](vm::Vaddr base, const vm::LeafInfo &leaf) {
+                leaves.emplace_back(base, leaf);
+            });
+        if (leaves.size() > 256)
+            as.shootdownAll();
+        for (const auto &[base, leaf] : leaves) {
+            as.pageTable().unmap(base);
+            if (leaves.size() <= 256)
+                as.shootdown(base);
+            uint64_t frames =
+                1ull << (leaf.pageBits - vm::kBasePageBits);
+            for (uint64_t i = 0; i < frames; ++i) {
+                if (mgr_.refs_.countOf(leaf.pfn + i) > 0) {
+                    // Still shared: drop this space's reference only.
+                    mgr_.refs_.release(leaf.pfn + i);
+                } else {
+                    // Private copy owned by this child.
+                    as.phys().freeApp(leaf.pfn + i, 0);
+                }
+            }
+        }
+    }
+
+  private:
+    CowManager &mgr_;
+};
+
+CowManager::CowManager(PhysMemory &pm, CowCopyMode mode)
+    : pm_(pm), mode_(mode)
+{
+}
+
+std::unique_ptr<PagingPolicy>
+CowManager::makeChildPolicy()
+{
+    return std::make_unique<CowChildPolicy>(*this);
+}
+
+void
+CowManager::clone(AddressSpace &parent, AddressSpace &child)
+{
+    tps_assert(child.vmas().empty());
+
+    for (const auto &[start, vma] : parent.vmas())
+        child.insertVma(vma);
+
+    std::vector<std::pair<vm::Vaddr, vm::LeafInfo>> leaves;
+    parent.pageTable().forEachLeaf(
+        [&](vm::Vaddr base, const vm::LeafInfo &leaf) {
+            leaves.emplace_back(base, leaf);
+        });
+    for (const auto &[base, leaf] : leaves) {
+        child.pageTable().map(base, leaf.pfn, leaf.pageBits, false,
+                              leaf.user);
+        parent.pageTable().setWritable(base, false);
+        refs_.share(leaf.pfn,
+                    1ull << (leaf.pageBits - vm::kBasePageBits));
+        ++stats_.clonedPages;
+    }
+    // The parent's cached translations still say "writable".
+    parent.shootdownAll();
+
+    auto handler = [this](AddressSpace &as, vm::Vaddr va, bool write) {
+        return onWriteFault(as, va, write);
+    };
+    parent.setCowHandler(handler);
+    child.setCowHandler(handler);
+}
+
+bool
+CowManager::copyPage(AddressSpace &as, vm::Vaddr base,
+                     const vm::LeafInfo &leaf)
+{
+    unsigned order = leaf.pageBits - vm::kBasePageBits;
+    auto fresh = as.phys().allocApp(order);
+    if (!fresh)
+        tps_fatal("out of memory for a copy-on-write copy");
+    uint64_t frames = 1ull << order;
+
+    as.pageTable().unmap(base);
+    as.pageTable().map(base, *fresh, leaf.pageBits, true, leaf.user);
+    as.shootdown(base);
+
+    for (uint64_t i = 0; i < frames; ++i)
+        refs_.release(leaf.pfn + i);
+
+    OsWork &work = as.osWork();
+    work.allocCycles +=
+        oscost::kBuddyOp + oscost::kCopyPerBasePage * frames;
+    work.pteCycles +=
+        oscost::kPteWrite * (1u << vm::spanBits(leaf.pageBits));
+    ++stats_.copies;
+    stats_.copiedBytes += 1ull << leaf.pageBits;
+    return true;
+}
+
+bool
+CowManager::onWriteFault(AddressSpace &as, vm::Vaddr va, bool write)
+{
+    if (!write)
+        return false;
+    auto res = as.pageTable().lookup(va);
+    if (!res || res->leaf.writable)
+        return false;
+    ++stats_.writeFaults;
+
+    // Large shared pages: the paper's two strategies.
+    if (res->leaf.pageBits > vm::kBasePageBits &&
+        mode_ == CowCopyMode::CopySmallest) {
+        as.pageTable().demote(res->pageBase, vm::kBasePageBits);
+        as.shootdown(res->pageBase);
+        as.osWork().pteCycles +=
+            oscost::kPteWrite *
+            (1ull << (res->leaf.pageBits - vm::kBasePageBits));
+        ++stats_.demotions;
+        res = as.pageTable().lookup(va);
+        tps_assert(res.has_value());
+    }
+
+    const vm::LeafInfo leaf = res->leaf;
+    vm::Vaddr base = res->pageBase;
+    uint64_t frames = 1ull << (leaf.pageBits - vm::kBasePageBits);
+
+    // Sole referencer across the whole page: take ownership in place.
+    bool shared = false;
+    for (uint64_t i = 0; i < frames; ++i)
+        shared |= refs_.countOf(leaf.pfn + i) > 1;
+    if (!shared) {
+        for (uint64_t i = 0; i < frames; ++i)
+            refs_.release(leaf.pfn + i);
+        as.pageTable().setWritable(base, true);
+        as.shootdown(base);
+        ++stats_.ownershipTransfers;
+        return true;
+    }
+    return copyPage(as, base, leaf);
+}
+
+} // namespace tps::os

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Copy-on-write across address spaces (paper Sec. III-C3).
+ *
+ * clone() maps every page of a parent address space into a child
+ * read-only (and write-protects the parent's copies), sharing the
+ * physical frames under an interval refcount.  A write to a shared page
+ * raises a write-protection fault, which the manager resolves with one
+ * of the paper's two strategies for large pages:
+ *
+ *  - CopySmallest: demote the large page and copy only the written
+ *    base page, keeping the rest shared (saves copy time and memory at
+ *    the cost of TLB pressure);
+ *  - CopyWholePage: copy the entire large page (expensive once, but
+ *    the tailored mapping survives).
+ *
+ * When the faulting space is the frame's last referencer, ownership
+ * transfers without any copy.
+ *
+ * Lifecycle contract: child address spaces must be torn down before
+ * the parent (shared frames belong to the parent's allocations), and a
+ * child must use the policy returned by makeChildPolicy().
+ */
+
+#ifndef TPS_OS_COW_HH
+#define TPS_OS_COW_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "os/address_space.hh"
+#include "os/phys_memory.hh"
+
+namespace tps::os {
+
+/** How a CoW fault on a large page is resolved (Sec. III-C3). */
+enum class CowCopyMode
+{
+    CopySmallest,   //!< demote, copy only the written base page
+    CopyWholePage,  //!< copy the whole (possibly tailored) page
+};
+
+/** Interval refcounts over physical frames shared between spaces. */
+class FrameRefcount
+{
+  public:
+    /**
+     * Mark [start, start+count) as shared by one more space (a new
+     * range starts at a count of 2: parent + first child).
+     */
+    void share(Pfn start, uint64_t count);
+
+    /**
+     * One space stops referencing @p pfn.
+     * @return the number of spaces still referencing it (0 if the
+     *         frame was not tracked).
+     */
+    uint32_t release(Pfn pfn);
+
+    /** Spaces referencing @p pfn (0 = not a shared frame). */
+    uint32_t countOf(Pfn pfn) const;
+
+    /** Number of tracked intervals (tests). */
+    size_t intervals() const { return ranges_.size(); }
+
+  private:
+    /** Split the interval containing @p pfn so it starts there. */
+    void splitAt(Pfn pfn);
+
+    //! start -> (frame count, sharer count); disjoint intervals.
+    std::map<Pfn, std::pair<uint64_t, uint32_t>> ranges_;
+};
+
+/** Statistics for the CoW machinery. */
+struct CowStats
+{
+    uint64_t clonedPages = 0;
+    uint64_t writeFaults = 0;
+    uint64_t copies = 0;
+    uint64_t copiedBytes = 0;
+    uint64_t ownershipTransfers = 0;
+    uint64_t demotions = 0;
+};
+
+/** The manager. */
+class CowManager
+{
+  public:
+    /**
+     * @param pm    Physical memory (source of copy frames).
+     * @param mode  Large-page resolution strategy.
+     */
+    CowManager(PhysMemory &pm, CowCopyMode mode = CowCopyMode::CopySmallest);
+
+    /**
+     * Share every mapping of @p parent into @p child (which must be
+     * empty and built with makeChildPolicy()).  Both spaces'  pages
+     * become read-only; the first write in either triggers resolution.
+     */
+    void clone(AddressSpace &parent, AddressSpace &child);
+
+    /**
+     * The paging policy a child address space must use: it never maps
+     * on its own and returns shared frames to the refcount (not the
+     * allocator) on teardown.
+     */
+    std::unique_ptr<PagingPolicy> makeChildPolicy();
+
+    const CowStats &stats() const { return stats_; }
+    FrameRefcount &refcounts() { return refs_; }
+
+  private:
+    friend class CowChildPolicy;
+
+    /** Resolve a write fault; registered as the spaces' CoW handler. */
+    bool onWriteFault(AddressSpace &as, vm::Vaddr va, bool write);
+
+    /** Copy [*] the page at @p base into fresh frames, mapped writable. */
+    bool copyPage(AddressSpace &as, vm::Vaddr base,
+                  const vm::LeafInfo &leaf);
+
+    PhysMemory &pm_;
+    CowCopyMode mode_;
+    FrameRefcount refs_;
+    CowStats stats_;
+};
+
+} // namespace tps::os
+
+#endif // TPS_OS_COW_HH

@@ -1,0 +1,97 @@
+#include "os/phys_memory.hh"
+
+#include "util/logging.hh"
+
+namespace tps::os {
+
+PhysMemory::PhysMemory(uint64_t bytes)
+    : buddy_(bytes >> vm::kBasePageBits)
+{
+}
+
+vm::Pfn
+PhysMemory::allocTableFrame()
+{
+    auto pfn = buddy_.alloc(0);
+    if (!pfn)
+        tps_fatal("out of physical memory allocating a page-table frame");
+    ++stats_.tableFrames;
+    return *pfn;
+}
+
+void
+PhysMemory::freeTableFrame(vm::Pfn pfn)
+{
+    buddy_.free(pfn, 0);
+    tps_assert(stats_.tableFrames > 0);
+    --stats_.tableFrames;
+}
+
+std::optional<Pfn>
+PhysMemory::allocApp(unsigned order)
+{
+    auto pfn = buddy_.alloc(order);
+    if (pfn)
+        stats_.appFrames += 1ull << order;
+    return pfn;
+}
+
+void
+PhysMemory::freeApp(Pfn pfn, unsigned order)
+{
+    buddy_.free(pfn, order);
+    tps_assert(stats_.appFrames >= (1ull << order));
+    stats_.appFrames -= 1ull << order;
+}
+
+std::optional<Pfn>
+PhysMemory::reserve(unsigned order)
+{
+    auto pfn = buddy_.alloc(order);
+    if (pfn)
+        stats_.reservedFrames += 1ull << order;
+    return pfn;
+}
+
+void
+PhysMemory::commitReserved(uint64_t count)
+{
+    tps_assert(stats_.reservedFrames >= count);
+    stats_.reservedFrames -= count;
+    stats_.appFrames += count;
+}
+
+void
+PhysMemory::unreserve(Pfn pfn, unsigned order)
+{
+    buddy_.free(pfn, order);
+    tps_assert(stats_.reservedFrames >= (1ull << order));
+    stats_.reservedFrames -= 1ull << order;
+}
+
+void
+PhysMemory::freeReservationBlock(Pfn pfn, unsigned order,
+                                 uint64_t committed_pages)
+{
+    uint64_t total = 1ull << order;
+    tps_assert(committed_pages <= total);
+    tps_assert(stats_.appFrames >= committed_pages);
+    tps_assert(stats_.reservedFrames >= total - committed_pages);
+    buddy_.free(pfn, order);
+    stats_.appFrames -= committed_pages;
+    stats_.reservedFrames -= total - committed_pages;
+}
+
+uint64_t
+PhysMemory::totalBytes() const
+{
+    return buddy_.totalFrames() << vm::kBasePageBits;
+}
+
+uint64_t
+PhysMemory::freeBytes() const
+{
+    return buddy_.freeFrames() << vm::kBasePageBits;
+}
+
+} // namespace tps::os

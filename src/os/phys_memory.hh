@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Physical-memory manager: wraps the buddy allocator and implements the
+ * page-table frame provider, with usage accounting by purpose.
+ */
+
+#ifndef TPS_OS_PHYS_MEMORY_HH
+#define TPS_OS_PHYS_MEMORY_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "os/buddy_allocator.hh"
+#include "vm/page_table.hh"
+
+namespace tps::os {
+
+/** Frame usage broken down by purpose. */
+struct PhysMemoryStats
+{
+    uint64_t tableFrames = 0;     //!< live page-table frames
+    uint64_t appFrames = 0;       //!< frames mapped into address spaces
+    uint64_t reservedFrames = 0;  //!< frames parked in reservations
+};
+
+/** The physical-memory manager. */
+class PhysMemory : public vm::FrameProvider
+{
+  public:
+    /** @param bytes  Physical capacity; rounded down to whole frames. */
+    explicit PhysMemory(uint64_t bytes);
+
+    /** The underlying buddy allocator. */
+    BuddyAllocator &buddy() { return buddy_; }
+    const BuddyAllocator &buddy() const { return buddy_; }
+
+    // FrameProvider (page-table frames; allocation failure is fatal
+    // because the simulation cannot proceed without table memory).
+    vm::Pfn allocTableFrame() override;
+    void freeTableFrame(vm::Pfn pfn) override;
+
+    /** Allocate 2^@p order application frames. */
+    std::optional<Pfn> allocApp(unsigned order);
+
+    /** Free application frames. */
+    void freeApp(Pfn pfn, unsigned order);
+
+    /** Move 2^@p order frames from free to reserved (reservation). */
+    std::optional<Pfn> reserve(unsigned order);
+
+    /** Hand @p count reserved base frames over to app usage. */
+    void commitReserved(uint64_t count);
+
+    /** Return 2^@p order reserved frames to the free lists. */
+    void unreserve(Pfn pfn, unsigned order);
+
+    /**
+     * Free a whole reservation block of which @p committed_pages frames
+     * had been committed to app use (the rest were still reserved).
+     */
+    void freeReservationBlock(Pfn pfn, unsigned order,
+                              uint64_t committed_pages);
+
+    uint64_t totalBytes() const;
+    uint64_t freeBytes() const;
+    const PhysMemoryStats &stats() const { return stats_; }
+
+  private:
+    BuddyAllocator buddy_;
+    PhysMemoryStats stats_;
+};
+
+} // namespace tps::os
+
+#endif // TPS_OS_PHYS_MEMORY_HH

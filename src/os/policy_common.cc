@@ -1,0 +1,315 @@
+#include "os/policy_common.hh"
+
+#include <cmath>
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace tps::os {
+
+ReservationPolicyBase::ReservationPolicyBase(ReservationPolicyConfig cfg)
+    : cfg_(std::move(cfg))
+{
+    tps_assert(cfg_.capPageBits >= vm::kBasePageBits);
+    tps_assert(cfg_.capPageBits - vm::kBasePageBits <=
+               BuddyAllocator::kMaxOrder);
+    tps_assert(cfg_.threshold > 0.0 && cfg_.threshold <= 1.0);
+    for (unsigned pb : cfg_.promotionSizes)
+        tps_assert(pb > vm::kBasePageBits && pb <= cfg_.capPageBits);
+}
+
+unsigned
+ReservationPolicyBase::vaAlignBits(uint64_t length) const
+{
+    unsigned want = log2Ceil(length);
+    return want > cfg_.vaAlignCap ? cfg_.vaAlignCap : want;
+}
+
+unsigned
+ReservationPolicyBase::naturalBlockBits(const Vma &vma, vm::Vaddr va,
+                                        unsigned cap)
+{
+    for (unsigned pb = cap; pb > vm::kBasePageBits; --pb) {
+        vm::Vaddr base = alignDown(va, 1ull << pb);
+        if (base >= vma.start && base + (1ull << pb) <= vma.end())
+            return pb;
+    }
+    return vm::kBasePageBits;
+}
+
+void
+ReservationPolicyBase::onMmap(AddressSpace &as, const Vma &vma)
+{
+    if (!cfg_.eager)
+        return;
+    // Eager paging: back and map the whole region right now, using the
+    // natural aligned-block decomposition.
+    vm::Vaddr va = vma.start;
+    while (va < vma.end()) {
+        unsigned bits = naturalBlockBits(vma, va, cfg_.capPageBits);
+        if (bits >= cfg_.minReservationPageBits) {
+            Reservation *resv = ensureReservation(as, vma, va);
+            if (resv) {
+                // The degraded reservation may be smaller than `bits`.
+                unsigned got = resv->order() + vm::kBasePageBits;
+                mapWhole(as, vma, *resv, resv->vaBase(), got);
+                va = resv->vaEnd();
+                continue;
+            }
+        }
+        demandBasePage(as, vma, va, vma.writable);
+        va += vm::kBasePageBytes;
+    }
+}
+
+Reservation *
+ReservationPolicyBase::ensureReservation(AddressSpace &as, const Vma &vma,
+                                         vm::Vaddr va)
+{
+    unsigned want_bits = naturalBlockBits(vma, va, cfg_.capPageBits);
+    OsWork &work = as.osWork();
+    for (unsigned bits = want_bits; bits >= cfg_.minReservationPageBits;
+         --bits) {
+        unsigned order = bits - vm::kBasePageBits;
+        vm::Vaddr base = alignDown(va, 1ull << bits);
+        work.allocCycles += oscost::kBuddyOp;
+        auto pfn = as.phys().reserve(order);
+        if (!pfn)
+            continue;
+        if (bits < want_bits)
+            ++work.reservationsMissed;
+        work.allocCycles += oscost::kReservationOp;
+        ++work.reservationsCreated;
+        return &as.reservations().create(base, order, *pfn);
+    }
+    return nullptr;
+}
+
+bool
+ReservationPolicyBase::demandBasePage(AddressSpace &as, const Vma &vma,
+                                      vm::Vaddr va, bool write)
+{
+    (void)write;
+    OsWork &work = as.osWork();
+    work.allocCycles += oscost::kBuddyOp;
+    auto pfn = as.phys().allocApp(0);
+    if (!pfn) {
+        tps_fatal("out of physical memory backing va %#llx "
+                  "(no OOM killer is modeled; raise physBytes)",
+                  static_cast<unsigned long long>(va));
+    }
+    vm::Vaddr base = alignDown(va, vm::kBasePageBytes);
+    as.pageTable().map(base, *pfn, vm::kBasePageBits, vma.writable, true);
+    work.pteCycles += oscost::kPteWrite;
+    work.zeroCycles += oscost::kZeroPerBasePage;
+    return true;
+}
+
+void
+ReservationPolicyBase::commitBasePage(AddressSpace &as, const Vma &vma,
+                                      Reservation &resv, vm::Vaddr va)
+{
+    vm::Vaddr base = alignDown(va, vm::kBasePageBytes);
+    as.pageTable().map(base, resv.pfnFor(base), vm::kBasePageBits,
+                       vma.writable, true);
+    resv.recordMapped(base, vm::kBasePageBits);
+    as.phys().commitReserved(1);
+    OsWork &work = as.osWork();
+    work.pteCycles += oscost::kPteWrite;
+    work.zeroCycles += oscost::kZeroPerBasePage;
+}
+
+void
+ReservationPolicyBase::mapWhole(AddressSpace &as, const Vma &vma,
+                                Reservation &resv, vm::Vaddr base,
+                                unsigned bits)
+{
+    uint64_t pages = 1ull << (bits - vm::kBasePageBits);
+    auto removed = resv.eraseMappedWithin(base, bits);
+    uint64_t mapped_pages = 0;
+    for (const auto &[b, pb] : removed) {
+        (void)b;
+        mapped_pages += 1ull << (pb - vm::kBasePageBits);
+    }
+    uint64_t newly = pages - mapped_pages;
+    as.pageTable().map(base, resv.pfnFor(base), bits, vma.writable, true);
+    resv.recordMapped(base, bits);
+    OsWork &work = as.osWork();
+    unsigned slots = 1u << vm::spanBits(bits);
+    work.pteCycles += oscost::kPteWrite * slots;
+    work.zeroCycles += oscost::kZeroPerBasePage * newly;
+    as.phys().commitReserved(newly);
+}
+
+void
+ReservationPolicyBase::tryPromote(AddressSpace &as, const Vma &vma,
+                                  Reservation &resv, vm::Vaddr va)
+{
+    unsigned block_bits = resv.order() + vm::kBasePageBits;
+    OsWork &work = as.osWork();
+    for (unsigned target : cfg_.promotionSizes) {
+        if (target > block_bits)
+            break;
+        vm::Vaddr region = alignDown(va, 1ull << target);
+        auto cur = resv.mappedSizeAt(region);
+        if (cur && *cur >= target)
+            continue;   // already at or beyond this rung
+        uint64_t pages = 1ull << (target - vm::kBasePageBits);
+        auto needed = static_cast<uint64_t>(
+            std::ceil(cfg_.threshold * static_cast<double>(pages)));
+        if (needed == 0)
+            needed = 1;
+        if (resv.touchedIn(region, target) < needed)
+            break;
+
+        // Promote: fold the constituent mappings into one page.
+        auto removed = resv.eraseMappedWithin(region, target);
+        uint64_t mapped_pages = 0;
+        for (const auto &[b, pb] : removed) {
+            (void)b;
+            mapped_pages += 1ull << (pb - vm::kBasePageBits);
+        }
+        tps_assert(mapped_pages <= pages);
+        uint64_t newly = pages - mapped_pages;
+        as.pageTable().map(region, resv.pfnFor(region), target,
+                           vma.writable, true);
+        resv.recordMapped(region, target);
+        as.phys().commitReserved(newly);
+        unsigned slots = 1u << vm::spanBits(target);
+        work.pteCycles += oscost::kPteWrite * slots;
+        work.zeroCycles += oscost::kZeroPerBasePage * newly;
+        ++work.promotions;
+        // Per Sec. III-C2, no shootdown is required: stale smaller-page
+        // TLB entries still translate their portion correctly.
+    }
+}
+
+bool
+ReservationPolicyBase::onFault(AddressSpace &as, vm::Vaddr va, bool write)
+{
+    const Vma *vma = as.findVma(va);
+    tps_assert(vma != nullptr);
+
+    Reservation *resv = as.reservations().find(va);
+    if (!resv) {
+        unsigned bits = naturalBlockBits(*vma, va, cfg_.capPageBits);
+        if (bits >= cfg_.minReservationPageBits)
+            resv = ensureReservation(as, *vma, va);
+        if (!resv)
+            return demandBasePage(as, *vma, va, write);
+    }
+
+    resv->touch(va);
+    commitBasePage(as, *vma, *resv, va);
+    if (!cfg_.promotionSizes.empty())
+        tryPromote(as, *vma, *resv, va);
+    return true;
+}
+
+void
+ReservationPolicyBase::onMunmap(AddressSpace &as, const Vma &vma)
+{
+    OsWork &work = as.osWork();
+
+    // Unmap every leaf in the region; frames inside reservations are
+    // released with their block below.
+    std::vector<std::pair<vm::Vaddr, vm::LeafInfo>> leaves;
+    as.pageTable().forEachLeafInRange(
+        vma.start, vma.end(),
+        [&](vm::Vaddr base, const vm::LeafInfo &leaf) {
+            leaves.emplace_back(base, leaf);
+        });
+    // Bulk unmaps flush once instead of issuing per-page INVLPGs.
+    bool bulk = leaves.size() > 256;
+    if (bulk)
+        as.shootdownAll();
+    for (const auto &[base, leaf] : leaves) {
+        as.pageTable().unmap(base);
+        if (!bulk)
+            as.shootdown(base);
+        work.pteCycles +=
+            oscost::kPteWrite * (1u << vm::spanBits(leaf.pageBits));
+        if (!as.reservations().find(base)) {
+            as.phys().freeApp(leaf.pfn,
+                              leaf.pageBits - vm::kBasePageBits);
+            work.allocCycles += oscost::kBuddyOp;
+        }
+    }
+
+    // Release reservations overlapping the VMA.
+    std::vector<vm::Vaddr> to_remove;
+    for (auto &[base, resv] : as.reservations().all()) {
+        if (base >= vma.start && base < vma.end())
+            to_remove.push_back(base);
+    }
+    for (vm::Vaddr base : to_remove) {
+        Reservation *resv = as.reservations().find(base);
+        as.phys().freeReservationBlock(
+            resv->pfnBase(), resv->order(),
+            resv->mappedBytes() >> vm::kBasePageBits);
+        work.allocCycles += oscost::kBuddyOp + oscost::kReservationOp;
+        as.reservations().remove(base);
+    }
+}
+
+Base4kPolicy::Base4kPolicy()
+    : ReservationPolicyBase([] {
+          ReservationPolicyConfig cfg;
+          cfg.name = "base4k";
+          cfg.capPageBits = vm::kBasePageBits;
+          cfg.minReservationPageBits = vm::kBasePageBits + 1;  // never
+          cfg.vaAlignCap = vm::kBasePageBits;
+          return cfg;
+      }())
+{
+}
+
+ThpPolicy::ThpPolicy(double threshold)
+    : ReservationPolicyBase([&] {
+          ReservationPolicyConfig cfg;
+          cfg.name = "thp";
+          cfg.capPageBits = vm::kPageBits2M;
+          cfg.minReservationPageBits = vm::kPageBits2M;
+          cfg.promotionSizes = {vm::kPageBits2M};
+          cfg.threshold = threshold;
+          cfg.vaAlignCap = vm::kPageBits2M;
+          return cfg;
+      }())
+{
+}
+
+TpsPolicy::TpsPolicy(TpsPolicyConfig tps_cfg)
+    : ReservationPolicyBase([&] {
+          ReservationPolicyConfig cfg;
+          cfg.name = tps_cfg.eager ? "tps-eager" : "tps";
+          cfg.capPageBits = tps_cfg.maxPageBits;
+          cfg.minReservationPageBits = vm::kBasePageBits + 1;
+          for (unsigned pb = vm::kBasePageBits + 1;
+               pb <= tps_cfg.maxPageBits; ++pb)
+              cfg.promotionSizes.push_back(pb);
+          cfg.threshold = tps_cfg.threshold;
+          cfg.eager = tps_cfg.eager;
+          cfg.vaAlignCap = tps_cfg.maxPageBits;
+          return cfg;
+      }())
+{
+}
+
+// CoLT is a hardware proposal layered on the stock OS: the paper's
+// comparison runs it with the same reservation-based THP policy as the
+// baseline, so the coalesced TLB handles whatever stays 4 KB while the
+// split large-page TLBs serve the promoted 2 MB pages.
+ColtPolicy::ColtPolicy()
+    : ReservationPolicyBase([] {
+          ReservationPolicyConfig cfg;
+          cfg.name = "colt";
+          cfg.capPageBits = vm::kPageBits2M;
+          cfg.minReservationPageBits = vm::kPageBits2M;
+          cfg.promotionSizes = {vm::kPageBits2M};
+          cfg.vaAlignCap = vm::kPageBits2M;
+          return cfg;
+      }())
+{
+}
+
+} // namespace tps::os

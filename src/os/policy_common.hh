@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Shared machinery for reservation-based paging policies.
+ *
+ * Base-4K demand paging, reservation-based THP, CoLT's
+ * contiguity-seeking allocation and TPS itself are all instances of one
+ * scheme -- reserve a naturally aligned block, commit base pages on
+ * demand, promote mappings when utilization crosses a threshold -- that
+ * differ only in which block sizes may be reserved and which page sizes
+ * may be promoted to.  ReservationPolicyBase implements the scheme once;
+ * the concrete policies are thin configurations of it (paper
+ * Sec. III-B1).
+ */
+
+#ifndef TPS_OS_POLICY_COMMON_HH
+#define TPS_OS_POLICY_COMMON_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "os/address_space.hh"
+#include "os/policy.hh"
+#include "os/vma.hh"
+
+namespace tps::os {
+
+/** Knobs selecting a concrete reservation policy. */
+struct ReservationPolicyConfig
+{
+    std::string name = "reservation";
+    /** Largest reservation block (log2 bytes). */
+    unsigned capPageBits = vm::kPageBits2M;
+    /** Blocks smaller than this are plain 4 KB demand allocations. */
+    unsigned minReservationPageBits = vm::kPageBits2M;
+    /** Promotion targets, ascending log2 sizes; empty = never promote. */
+    std::vector<unsigned> promotionSizes;
+    /** Utilization fraction required to promote (1.0 = paper default). */
+    double threshold = 1.0;
+    /** Map whole reservations at mmap time (eager paging). */
+    bool eager = false;
+    /** Cap on mmap VA alignment (log2). */
+    unsigned vaAlignCap = vm::kPageBits2M;
+};
+
+/**
+ * The configurable reservation/promotion policy.
+ */
+class ReservationPolicyBase : public PagingPolicy
+{
+  public:
+    explicit ReservationPolicyBase(ReservationPolicyConfig cfg);
+
+    const char *name() const override { return cfg_.name.c_str(); }
+    void onMmap(AddressSpace &as, const Vma &vma) override;
+    void onMunmap(AddressSpace &as, const Vma &vma) override;
+    bool onFault(AddressSpace &as, vm::Vaddr va, bool write) override;
+    unsigned vaAlignBits(uint64_t length) const override;
+
+    const ReservationPolicyConfig &config() const { return cfg_; }
+
+  protected:
+    /**
+     * Largest block (log2 bytes) that is naturally aligned at @p va,
+     * lies fully inside @p vma, and does not exceed @p cap.
+     */
+    static unsigned naturalBlockBits(const Vma &vma, vm::Vaddr va,
+                                     unsigned cap);
+
+    /**
+     * Create the reservation backing @p va, degrading the block size
+     * under fragmentation.  @return it, or nullptr if even a minimal
+     * reservation is impossible (caller falls back to demand 4 KB).
+     */
+    Reservation *ensureReservation(AddressSpace &as, const Vma &vma,
+                                   vm::Vaddr va);
+
+    /** Map one base page of @p resv at @p va and charge for it. */
+    void commitBasePage(AddressSpace &as, const Vma &vma,
+                        Reservation &resv, vm::Vaddr va);
+
+    /** Run the promotion ladder after a commit at @p va. */
+    void tryPromote(AddressSpace &as, const Vma &vma, Reservation &resv,
+                    vm::Vaddr va);
+
+    /** Map [base, base+2^bits) of @p resv as a single page. */
+    void mapWhole(AddressSpace &as, const Vma &vma, Reservation &resv,
+                  vm::Vaddr base, unsigned bits);
+
+    /** Plain 4 KB demand allocation outside any reservation. */
+    bool demandBasePage(AddressSpace &as, const Vma &vma, vm::Vaddr va,
+                        bool write);
+
+    ReservationPolicyConfig cfg_;
+};
+
+/** Demand 4 KB paging (the "THP disabled" configuration). */
+class Base4kPolicy : public ReservationPolicyBase
+{
+  public:
+    Base4kPolicy();
+};
+
+/**
+ * Reservation-based Transparent Huge Pages: 2 MB reservations promoted
+ * only at full utilization -- the paper's baseline.
+ */
+class ThpPolicy : public ReservationPolicyBase
+{
+  public:
+    /** @param threshold  Promotion utilization (1.0 in the paper). */
+    explicit ThpPolicy(double threshold = 1.0);
+};
+
+/** Configuration for the TPS policy. */
+struct TpsPolicyConfig
+{
+    /** Largest tailored page/reservation (log2 bytes; <= 1 GB blocks). */
+    unsigned maxPageBits = vm::kPageBits1G;
+    /** Promotion utilization threshold (Sec. III-B1; 1.0 = no bloat). */
+    double threshold = 1.0;
+    /** Eager paging: map whole reservations at mmap (Sec. III-B1). */
+    bool eager = false;
+};
+
+/** Tailored Page Sizes: every power of two from 8 KB up. */
+class TpsPolicy : public ReservationPolicyBase
+{
+  public:
+    explicit TpsPolicy(TpsPolicyConfig cfg = TpsPolicyConfig{});
+};
+
+/**
+ * CoLT's OS side: contiguity comes from natural aligned-block
+ * reservations, but mappings stay 4 KB (coalescing happens in the TLB).
+ */
+class ColtPolicy : public ReservationPolicyBase
+{
+  public:
+    ColtPolicy();
+};
+
+} // namespace tps::os
+
+#endif // TPS_OS_POLICY_COMMON_HH

@@ -1,0 +1,158 @@
+#include "os/reservation.hh"
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace tps::os {
+
+BitCounter::BitCounter(uint64_t n)
+    : n_(n), tree_(n + 1, 0), bits_(n, false)
+{
+}
+
+void
+BitCounter::set(uint64_t i)
+{
+    tps_assert(i < n_);
+    if (bits_[i])
+        return;
+    bits_[i] = true;
+    ++total_;
+    for (uint64_t x = i + 1; x <= n_; x += x & (~x + 1))
+        ++tree_[x];
+}
+
+bool
+BitCounter::test(uint64_t i) const
+{
+    tps_assert(i < n_);
+    return bits_[i];
+}
+
+uint64_t
+BitCounter::prefix(uint64_t n) const
+{
+    uint64_t sum = 0;
+    for (uint64_t x = n; x > 0; x -= x & (~x + 1))
+        sum += tree_[x];
+    return sum;
+}
+
+uint64_t
+BitCounter::countRange(uint64_t first, uint64_t count) const
+{
+    tps_assert(first + count <= n_);
+    return prefix(first + count) - prefix(first);
+}
+
+Reservation::Reservation(Vaddr va_base, unsigned order, Pfn pfn_base)
+    : vaBase_(va_base), order_(order), pfnBase_(pfn_base),
+      touched_(1ull << order)
+{
+    tps_assert(isAligned(va_base, bytes()));
+    tps_assert(isAligned(pfn_base, pages()));
+}
+
+void
+Reservation::touch(Vaddr va)
+{
+    tps_assert(covers(va));
+    touched_.set(pageIndex(va));
+}
+
+bool
+Reservation::isTouched(Vaddr va) const
+{
+    tps_assert(covers(va));
+    return touched_.test(pageIndex(va));
+}
+
+uint64_t
+Reservation::touchedIn(Vaddr base, unsigned page_bits) const
+{
+    tps_assert(covers(base));
+    tps_assert(isAligned(base, 1ull << page_bits));
+    uint64_t count = 1ull << (page_bits - vm::kBasePageBits);
+    tps_assert(pageIndex(base) + count <= pages());
+    return touched_.countRange(pageIndex(base), count);
+}
+
+std::optional<unsigned>
+Reservation::mappedSizeAt(Vaddr va) const
+{
+    auto it = mapped_.upper_bound(va);
+    if (it == mapped_.begin())
+        return std::nullopt;
+    --it;
+    if (va < it->first + (1ull << it->second))
+        return it->second;
+    return std::nullopt;
+}
+
+void
+Reservation::recordMapped(Vaddr base, unsigned page_bits)
+{
+    tps_assert(isAligned(base, 1ull << page_bits));
+    tps_assert(covers(base));
+    mapped_[base] = page_bits;
+    mappedBytes_ += 1ull << page_bits;
+}
+
+std::vector<std::pair<Vaddr, unsigned>>
+Reservation::eraseMappedWithin(Vaddr base, unsigned page_bits)
+{
+    Vaddr end = base + (1ull << page_bits);
+    std::vector<std::pair<Vaddr, unsigned>> removed;
+    auto it = mapped_.lower_bound(base);
+    while (it != mapped_.end() && it->first < end) {
+        tps_assert(it->first + (1ull << it->second) <= end);
+        removed.emplace_back(it->first, it->second);
+        mappedBytes_ -= 1ull << it->second;
+        it = mapped_.erase(it);
+    }
+    return removed;
+}
+
+Reservation &
+ReservationTable::create(Vaddr va_base, unsigned order, Pfn pfn_base)
+{
+    // Overlap check against neighbours.
+    auto next = table_.lower_bound(va_base);
+    if (next != table_.end())
+        tps_assert(va_base + ((1ull << order) << vm::kBasePageBits) <=
+                   next->second.vaBase());
+    if (next != table_.begin()) {
+        auto prev = std::prev(next);
+        tps_assert(prev->second.vaEnd() <= va_base);
+    }
+    auto [it, inserted] = table_.emplace(
+        va_base, Reservation(va_base, order, pfn_base));
+    tps_assert(inserted);
+    return it->second;
+}
+
+Reservation *
+ReservationTable::find(Vaddr va)
+{
+    auto it = table_.upper_bound(va);
+    if (it == table_.begin())
+        return nullptr;
+    --it;
+    return it->second.covers(va) ? &it->second : nullptr;
+}
+
+const Reservation *
+ReservationTable::find(Vaddr va) const
+{
+    return const_cast<ReservationTable *>(this)->find(va);
+}
+
+void
+ReservationTable::remove(Vaddr va_base)
+{
+    auto it = table_.find(va_base);
+    tps_assert(it != table_.end());
+    table_.erase(it);
+}
+
+} // namespace tps::os

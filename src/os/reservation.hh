@@ -1,0 +1,167 @@
+/**
+ * @file
+ * The paging reservation table (paper Sec. III-B1).
+ *
+ * When a large mapping request arrives, the OS removes an appropriately
+ * sized block from the buddy free lists and parks it here: the frames are
+ * neither free nor in use.  Demand faults inside the reserved virtual
+ * range commit individual base pages out of the block, and the policy
+ * *promotes* mappings up the power-of-two ladder as utilization crosses
+ * its threshold.  A Fenwick tree over the touched bitmap makes
+ * utilization queries O(log n) so sub-100% thresholds stay cheap.
+ */
+
+#ifndef TPS_OS_RESERVATION_HH
+#define TPS_OS_RESERVATION_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "vm/addr.hh"
+
+namespace tps::os {
+
+using vm::Pfn;
+using vm::Vaddr;
+
+/** Fenwick (binary indexed) tree counting set bits over page indices. */
+class BitCounter
+{
+  public:
+    /** @param n  Number of bits tracked. */
+    explicit BitCounter(uint64_t n);
+
+    /** Set bit @p i (idempotent). */
+    void set(uint64_t i);
+
+    /** True iff bit @p i is set. */
+    bool test(uint64_t i) const;
+
+    /** Number of set bits in [first, first+count). */
+    uint64_t countRange(uint64_t first, uint64_t count) const;
+
+    /** Total set bits. */
+    uint64_t count() const { return total_; }
+
+    uint64_t size() const { return n_; }
+
+  private:
+    uint64_t prefix(uint64_t n) const;  //!< set bits in [0, n)
+
+    uint64_t n_;
+    uint64_t total_ = 0;
+    std::vector<uint64_t> tree_;
+    std::vector<bool> bits_;
+};
+
+/** One reserved physical block bound to a virtual range. */
+class Reservation
+{
+  public:
+    /**
+     * @param va_base  First VA covered; aligned to the block size.
+     * @param order    log2 of the block size in base pages.
+     * @param pfn_base First reserved frame; aligned to the block size.
+     */
+    Reservation(Vaddr va_base, unsigned order, Pfn pfn_base);
+
+    Vaddr vaBase() const { return vaBase_; }
+    unsigned order() const { return order_; }
+    Pfn pfnBase() const { return pfnBase_; }
+    uint64_t pages() const { return 1ull << order_; }
+    uint64_t bytes() const { return pages() << vm::kBasePageBits; }
+    Vaddr vaEnd() const { return vaBase_ + bytes(); }
+
+    /** True iff @p va falls inside the reserved range. */
+    bool covers(Vaddr va) const { return va >= vaBase_ && va < vaEnd(); }
+
+    /** The reserved frame backing @p va. */
+    Pfn
+    pfnFor(Vaddr va) const
+    {
+        return pfnBase_ + ((va - vaBase_) >> vm::kBasePageBits);
+    }
+
+    /** Base-page index of @p va within the reservation. */
+    uint64_t
+    pageIndex(Vaddr va) const
+    {
+        return (va - vaBase_) >> vm::kBasePageBits;
+    }
+
+    /** Mark the base page containing @p va as touched (demanded). */
+    void touch(Vaddr va);
+
+    /** True iff the base page containing @p va was touched. */
+    bool isTouched(Vaddr va) const;
+
+    /** Touched base pages within the 2^@p page_bits region at @p base. */
+    uint64_t touchedIn(Vaddr base, unsigned page_bits) const;
+
+    /** Total touched base pages. */
+    uint64_t touchedPages() const { return touched_.count(); }
+
+    /**
+     * Current mapping granularity at @p va: log2 page size of the
+     * installed mapping containing it, or nullopt if unmapped.
+     */
+    std::optional<unsigned> mappedSizeAt(Vaddr va) const;
+
+    /** Record that [@p base, +2^@p page_bits) is now mapped as one page. */
+    void recordMapped(Vaddr base, unsigned page_bits);
+
+    /**
+     * Remove mapping records wholly inside [@p base, +2^@p page_bits).
+     * @return the bases/sizes removed (for TLB shootdowns).
+     */
+    std::vector<std::pair<Vaddr, unsigned>>
+    eraseMappedWithin(Vaddr base, unsigned page_bits);
+
+    /** Bytes currently mapped (committed), including promotion bloat. */
+    uint64_t mappedBytes() const { return mappedBytes_; }
+
+    /** Mapped regions: base -> log2 size (inspection/census). */
+    const std::map<Vaddr, unsigned> &mappedRegions() const
+    {
+        return mapped_;
+    }
+
+  private:
+    Vaddr vaBase_;
+    unsigned order_;
+    Pfn pfnBase_;
+    BitCounter touched_;
+    std::map<Vaddr, unsigned> mapped_;
+    uint64_t mappedBytes_ = 0;
+};
+
+/** All reservations of one address space, keyed by VA. */
+class ReservationTable
+{
+  public:
+    /** Create a reservation; ranges must not overlap existing ones. */
+    Reservation &create(Vaddr va_base, unsigned order, Pfn pfn_base);
+
+    /** The reservation covering @p va, or nullptr. */
+    Reservation *find(Vaddr va);
+    const Reservation *find(Vaddr va) const;
+
+    /** Remove the reservation based at @p va_base. */
+    void remove(Vaddr va_base);
+
+    /** Number of live reservations. */
+    size_t size() const { return table_.size(); }
+
+    /** Iteration (census, teardown). */
+    const std::map<Vaddr, Reservation> &all() const { return table_; }
+    std::map<Vaddr, Reservation> &all() { return table_; }
+
+  private:
+    std::map<Vaddr, Reservation> table_;
+};
+
+} // namespace tps::os
+
+#endif // TPS_OS_RESERVATION_HH

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Virtual memory area descriptor: one mmap'd region of the process
+ * address space.
+ */
+
+#ifndef TPS_OS_VMA_HH
+#define TPS_OS_VMA_HH
+
+#include <cstdint>
+
+#include "vm/addr.hh"
+
+namespace tps::os {
+
+/** One mapped virtual region. */
+struct Vma
+{
+    vm::Vaddr start = 0;
+    uint64_t length = 0;      //!< bytes, multiple of the base page size
+    bool writable = true;
+
+    vm::Vaddr end() const { return start + length; }
+
+    bool
+    contains(vm::Vaddr va) const
+    {
+        return va >= start && va < end();
+    }
+};
+
+} // namespace tps::os
+
+#endif // TPS_OS_VMA_HH

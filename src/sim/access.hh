@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Event types exchanged between workloads and the simulation engine.
+ *
+ * Workloads observe exactly what the paper's PIN tool observed: memory
+ * management requests (mmap/munmap) and the stream of data accesses.
+ * The dependsOnPrev flag marks serialized (pointer-chasing) accesses so
+ * the bounded-window timing model knows which latencies cannot overlap.
+ */
+
+#ifndef TPS_SIM_ACCESS_HH
+#define TPS_SIM_ACCESS_HH
+
+#include <cstdint>
+
+#include "vm/addr.hh"
+
+namespace tps::sim {
+
+/** One data memory access. */
+struct MemAccess
+{
+    vm::Vaddr va = 0;
+    bool write = false;
+    /** True if this access's address depends on the previous access's
+     *  data (linked-structure traversal); serializes in the core. */
+    bool dependsOnPrev = false;
+};
+
+/** Allocation interface handed to workloads (the mmap syscalls). */
+class AllocApi
+{
+  public:
+    virtual ~AllocApi() = default;
+
+    /** Map @p bytes of anonymous memory; returns the start VA. */
+    virtual vm::Vaddr mmap(uint64_t bytes) = 0;
+
+    /** Unmap the region previously returned by mmap. */
+    virtual void munmap(vm::Vaddr start) = 0;
+};
+
+} // namespace tps::sim
+
+#endif // TPS_SIM_ACCESS_HH

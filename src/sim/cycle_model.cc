@@ -1,0 +1,61 @@
+#include "sim/cycle_model.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace tps::sim {
+
+CycleModel::CycleModel(const CycleModelConfig &cfg)
+    : cfg_(cfg)
+{
+    tps_assert(cfg_.width > 0 && cfg_.maxInflight > 0);
+    tps_assert(cfg_.instsPerAccess > 0);
+    robWindowOps_ =
+        std::max(1u, cfg_.robSize / (cfg_.instsPerAccess + 1));
+    inflightRing_.assign(cfg_.maxInflight, 0);
+    robRing_.assign(robWindowOps_, 0);
+}
+
+void
+CycleModel::onAccess(unsigned translation_cycles, unsigned mem_cycles,
+                     bool depends_on_prev)
+{
+    instructions_ += cfg_.instsPerAccess + 1;   // the access + filler ops
+
+    // Nominal issue time set by the front end.
+    uint64_t issue = instructions_ / cfg_.width;
+
+    // Structural limits: MSHRs and the ROB window.
+    issue = std::max(issue,
+                     inflightRing_[accessCount_ % cfg_.maxInflight]);
+    issue = std::max(issue, robRing_[accessCount_ % robWindowOps_]);
+    if (depends_on_prev)
+        issue = std::max(issue, prevCompletion_);
+
+    uint64_t completion = issue + translation_cycles + mem_cycles;
+    inflightRing_[accessCount_ % cfg_.maxInflight] = completion;
+    robRing_[accessCount_ % robWindowOps_] = completion;
+    prevCompletion_ = completion;
+    lastCompletion_ = std::max(lastCompletion_, completion);
+    ++accessCount_;
+}
+
+uint64_t
+CycleModel::cycles() const
+{
+    return std::max(lastCompletion_, instructions_ / cfg_.width);
+}
+
+void
+CycleModel::reset()
+{
+    instructions_ = 0;
+    accessCount_ = 0;
+    prevCompletion_ = 0;
+    lastCompletion_ = 0;
+    std::fill(inflightRing_.begin(), inflightRing_.end(), 0);
+    std::fill(robRing_.begin(), robRing_.end(), 0);
+}
+
+} // namespace tps::sim

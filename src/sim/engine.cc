@@ -1,0 +1,195 @@
+#include "sim/engine.hh"
+
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace tps::sim {
+
+double
+SimStats::mpki() const
+{
+    return instructions == 0
+               ? 0.0
+               : 1000.0 * static_cast<double>(l1TlbMisses) /
+                     static_cast<double>(instructions);
+}
+
+double
+SimStats::walkCycleFraction() const
+{
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(walkCycles) /
+                             static_cast<double>(cycles);
+}
+
+uint64_t
+SimStats::measuredOsCycles() const
+{
+    uint64_t total = osWork.totalCycles();
+    return total > warmup.osCycles ? total - warmup.osCycles : 0;
+}
+
+double
+SimStats::systemTimeFraction() const
+{
+    uint64_t sys = measuredOsCycles();
+    uint64_t total = cycles + sys;
+    return total == 0 ? 0.0
+                      : static_cast<double>(sys) /
+                            static_cast<double>(total);
+}
+
+double
+SimStats::fullRunSystemTimeFraction() const
+{
+    uint64_t sys = osWork.totalCycles();
+    uint64_t total = cycles + warmup.cycles + sys;
+    return total == 0 ? 0.0
+                      : static_cast<double>(sys) /
+                            static_cast<double>(total);
+}
+
+Engine::Engine(os::PhysMemory &pm,
+               std::unique_ptr<os::PagingPolicy> policy, EngineConfig cfg)
+    : cfg_(cfg), memsys_(cfg.memsys),
+      as_(std::make_unique<os::AddressSpace>(pm, std::move(policy),
+                                             cfg.addressSpace)),
+      cycle_(cfg.cycle)
+{
+    mmu_ = std::make_unique<Mmu>(*as_, &memsys_, cfg_.mmu);
+}
+
+void
+Engine::addWorkload(workloads::Workload &w)
+{
+    workloads_.push_back(&w);
+}
+
+vm::Vaddr
+Engine::mmap(uint64_t bytes)
+{
+    ++mmapCalls_;
+    return as_->mmap(bytes, true);
+}
+
+void
+Engine::munmap(vm::Vaddr start)
+{
+    ++munmapCalls_;
+    as_->munmap(start);
+}
+
+SimStats
+Engine::run()
+{
+    tps_assert(!workloads_.empty());
+    for (auto *w : workloads_)
+        w->setup(*this);
+
+    SimStats stats;
+    unsigned n = static_cast<unsigned>(workloads_.size());
+    std::vector<bool> done(n, false);
+    uint64_t primary_accesses = 0;
+    unsigned primary_ipa = workloads_[0]->info().instsPerAccess;
+
+    // The primary thread's first warmupAccesses() accesses are the
+    // program initializing its memory; statistics reset afterwards so
+    // the figures report steady-state behaviour.
+    uint64_t warmup_target = workloads_[0]->warmupAccesses();
+    bool in_warmup = warmup_target > 0;
+
+    bool running = true;
+    while (running) {
+        for (unsigned t = 0; t < n; ++t) {
+            if (done[t])
+                continue;
+            MemAccess acc;
+            if (!workloads_[t]->next(acc)) {
+                done[t] = true;
+                if (t == 0)
+                    running = false;
+                continue;
+            }
+            MmuAccessResult res = mmu_->access(acc.va, acc.write);
+            unsigned mem_cycles = memsys_.access(res.pa);
+
+            unsigned translation = res.translationCycles;
+            switch (cfg_.timing) {
+              case TlbTimingMode::Real:
+                break;
+              case TlbTimingMode::PerfectL1:
+                translation = 0;
+                break;
+              case TlbTimingMode::PerfectL2:
+                translation = res.level == tlb::TlbHitLevel::L1
+                                  ? 0
+                                  : cfg_.mmu.stlbHitPenalty;
+                break;
+            }
+            cycle_.onAccess(translation, mem_cycles, acc.dependsOnPrev);
+
+            if (t == 0) {
+                ++primary_accesses;
+                if (res.level != tlb::TlbHitLevel::L1) {
+                    ++stats.l1TlbMisses;
+                    if (res.level == tlb::TlbHitLevel::L2) {
+                        ++stats.l2TlbHits;
+                        stats.stlbPenaltyCycles += translation;
+                    } else {
+                        ++stats.tlbMisses;
+                        stats.walkCycles += translation;
+                    }
+                }
+                if (res.faulted)
+                    ++stats.faults;
+
+                if (in_warmup && primary_accesses >= warmup_target) {
+                    in_warmup = false;
+                    stats.warmup.accesses = primary_accesses;
+                    stats.warmup.cycles = cycle_.cycles();
+                    stats.warmup.osCycles = as_->osWork().totalCycles();
+                    stats.warmup.faults = stats.faults;
+                    primary_accesses = 0;
+                    stats.l1TlbMisses = 0;
+                    stats.l2TlbHits = 0;
+                    stats.tlbMisses = 0;
+                    stats.stlbPenaltyCycles = 0;
+                    stats.walkCycles = 0;
+                    stats.faults = 0;
+                    mmu_->clearStats();
+                    memsys_.clearStats();
+                    cycle_.reset();
+                } else if (!in_warmup &&
+                           primary_accesses >= cfg_.maxAccesses) {
+                    running = false;
+                    done[0] = true;
+                }
+            }
+        }
+    }
+
+    stats.accesses = primary_accesses;
+    stats.instructions = primary_accesses * (primary_ipa + 1);
+    stats.cycles = cycle_.cycles();
+    stats.mmu = mmu_->stats();
+    stats.walker = mmu_->walker().stats();
+    stats.memsys = memsys_.stats();
+    stats.osWork = as_->osWork();
+    stats.mmapCalls = mmapCalls_;
+    stats.munmapCalls = munmapCalls_;
+
+    // Primary-thread walk references: in single-thread runs this is the
+    // MMU total; under SMT we approximate by scaling with the primary's
+    // share of walks (per-thread attribution of shared-walker refs).
+    if (workloads_.size() == 1) {
+        stats.walkMemRefs = stats.mmu.walkMemRefs;
+    } else {
+        double share =
+            ratio(stats.tlbMisses, stats.mmu.walks);
+        stats.walkMemRefs = static_cast<uint64_t>(
+            share * static_cast<double>(stats.mmu.walkMemRefs));
+    }
+    return stats;
+}
+
+} // namespace tps::sim

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Simulation engine: drives one or more workloads (round-robin, for the
+ * SMT studies) through the OS + MMU + cache + timing models and collects
+ * all statistics every figure consumes.
+ */
+
+#ifndef TPS_SIM_ENGINE_HH
+#define TPS_SIM_ENGINE_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "os/address_space.hh"
+#include "os/phys_memory.hh"
+#include "sim/access.hh"
+#include "sim/cycle_model.hh"
+#include "sim/memsys.hh"
+#include "sim/mmu.hh"
+#include "workloads/workload.hh"
+
+namespace tps::sim {
+
+/** How TLB latency enters the timing model. */
+enum class TlbTimingMode
+{
+    Real,       //!< simulated penalties as they occur
+    PerfectL1,  //!< translation is always free (perfect L1 TLB)
+    PerfectL2,  //!< L1 misses always hit the L2 TLB (no walks)
+};
+
+/** Engine configuration. */
+struct EngineConfig
+{
+    MmuConfig mmu;
+    MemSysConfig memsys;
+    CycleModelConfig cycle;
+    os::AddressSpace::Config addressSpace;
+    TlbTimingMode timing = TlbTimingMode::Real;
+    uint64_t maxAccesses = ~0ull;   //!< cap on primary-thread accesses
+};
+
+/** Warmup (initialization-phase) accounting. */
+struct WarmupStats
+{
+    uint64_t accesses = 0;   //!< init accesses before stats were cleared
+    uint64_t cycles = 0;     //!< cycles spent in the init phase
+    uint64_t osCycles = 0;   //!< OS work charged during init
+    uint64_t faults = 0;
+};
+
+/** Everything a run produces (measured phase, post-warmup). */
+struct SimStats
+{
+    WarmupStats warmup;
+
+    // Primary-thread (thread 0) figures.
+    uint64_t accesses = 0;
+    uint64_t instructions = 0;
+    uint64_t cycles = 0;             //!< total execution cycles
+    uint64_t l1TlbMisses = 0;        //!< paper: L1 DTLB misses
+    uint64_t l2TlbHits = 0;
+    uint64_t tlbMisses = 0;          //!< full misses (walks)
+    uint64_t walkMemRefs = 0;        //!< page-walk memory references
+    uint64_t walkCycles = 0;         //!< PWC: walker-active cycles
+    uint64_t stlbPenaltyCycles = 0;  //!< L1-miss/L2-hit active cycles
+    uint64_t faults = 0;
+
+    // Whole-machine sub-module stats.
+    MmuStats mmu;
+    vm::WalkerStats walker;
+    MemSysStats memsys;
+    os::OsWork osWork;
+    uint64_t mmapCalls = 0;
+    uint64_t munmapCalls = 0;
+
+    /** L1 DTLB misses per thousand instructions. */
+    double mpki() const;
+
+    /** Fraction of execution time the page walker was active. */
+    double walkCycleFraction() const;
+
+    /** OS cycles charged during the measured phase only. */
+    uint64_t measuredOsCycles() const;
+
+    /** Fraction of measured time spent in OS (system) work. */
+    double systemTimeFraction() const;
+
+    /**
+     * Fraction of the *whole run* (init + measured) spent in OS work,
+     * the view a real whole-program run reports.
+     */
+    double fullRunSystemTimeFraction() const;
+};
+
+/** The engine. */
+class Engine : public AllocApi
+{
+  public:
+    /**
+     * @param pm      Physical memory (possibly pre-fragmented).
+     * @param policy  Paging policy for the (shared) address space.
+     * @param cfg     All hardware/timing knobs.
+     */
+    Engine(os::PhysMemory &pm, std::unique_ptr<os::PagingPolicy> policy,
+           EngineConfig cfg = EngineConfig{});
+
+    /**
+     * Attach a workload.  The first is the primary (measured) thread;
+     * additional ones model SMT contention and share every hardware
+     * structure.  Threads share one address space with disjoint VMAs
+     * (an ASID-free model of competitive TLB sharing).
+     */
+    void addWorkload(workloads::Workload &w);
+
+    /** Run to primary-thread completion; returns the statistics. */
+    SimStats run();
+
+    os::AddressSpace &addressSpace() { return *as_; }
+    Mmu &mmu() { return *mmu_; }
+    MemSys &memsys() { return memsys_; }
+
+    // AllocApi (workload syscalls).
+    vm::Vaddr mmap(uint64_t bytes) override;
+    void munmap(vm::Vaddr start) override;
+
+  private:
+    EngineConfig cfg_;
+    MemSys memsys_;
+    std::unique_ptr<os::AddressSpace> as_;
+    std::unique_ptr<Mmu> mmu_;
+    CycleModel cycle_;
+    std::vector<workloads::Workload *> workloads_;
+    uint64_t mmapCalls_ = 0;
+    uint64_t munmapCalls_ = 0;
+};
+
+} // namespace tps::sim
+
+#endif // TPS_SIM_ENGINE_HH

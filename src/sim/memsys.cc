@@ -1,0 +1,70 @@
+#include "sim/memsys.hh"
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace tps::sim {
+
+void
+MemSys::Level::init(uint64_t bytes, unsigned w, unsigned line)
+{
+    ways = w;
+    uint64_t lines = bytes / line;
+    tps_assert(lines % ways == 0);
+    sets = static_cast<unsigned>(lines / ways);
+    tps_assert(isPowerOfTwo(sets));
+    tags.assign(lines, 0);
+    lastUse.assign(lines, 0);
+    valid.assign(lines, false);
+}
+
+bool
+MemSys::Level::lookupFill(uint64_t line_addr, uint64_t tick)
+{
+    unsigned set = static_cast<unsigned>(line_addr & (sets - 1));
+    uint64_t tag = line_addr >> log2Floor(sets);
+    unsigned base = set * ways;
+    unsigned victim = base;
+    for (unsigned w = 0; w < ways; ++w) {
+        unsigned i = base + w;
+        if (valid[i] && tags[i] == tag) {
+            lastUse[i] = tick;
+            return true;
+        }
+        if (!valid[i])
+            victim = i;
+        else if (valid[victim] && lastUse[i] < lastUse[victim])
+            victim = i;
+    }
+    valid[victim] = true;
+    tags[victim] = tag;
+    lastUse[victim] = tick;
+    return false;
+}
+
+MemSys::MemSys(const MemSysConfig &cfg)
+    : cfg_(cfg)
+{
+    l1_.init(cfg_.l1Bytes, cfg_.l1Ways, cfg_.lineBytes);
+    llc_.init(cfg_.llcBytes, cfg_.llcWays, cfg_.lineBytes);
+}
+
+unsigned
+MemSys::access(vm::Paddr pa)
+{
+    ++stats_.accesses;
+    ++tick_;
+    uint64_t line = pa / cfg_.lineBytes;
+    if (l1_.lookupFill(line, tick_)) {
+        ++stats_.l1Hits;
+        return cfg_.l1LatencyCycles;
+    }
+    if (llc_.lookupFill(line, tick_)) {
+        ++stats_.llcHits;
+        return cfg_.llcLatencyCycles;
+    }
+    ++stats_.dramAccesses;
+    return cfg_.dramLatencyCycles;
+}
+
+} // namespace tps::sim

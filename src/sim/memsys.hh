@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Data-cache latency model (Table I geometry): L1D + LLC + DRAM.
+ *
+ * Both demand accesses and page-walk references flow through it, so
+ * walks naturally benefit from PTE caching in the data hierarchy (as in
+ * real processors and as the paper's related work notes).  The model
+ * tracks cache-line residency only (no data), with set-associative LRU
+ * arrays, and returns the access latency in cycles.
+ */
+
+#ifndef TPS_SIM_MEMSYS_HH
+#define TPS_SIM_MEMSYS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "vm/addr.hh"
+
+namespace tps::sim {
+
+/** Cache/DRAM latency knobs (defaults follow Table I). */
+struct MemSysConfig
+{
+    unsigned lineBytes = 64;
+    uint64_t l1Bytes = 32 * 1024;
+    unsigned l1Ways = 8;
+    unsigned l1LatencyCycles = 4;
+    uint64_t llcBytes = 2 * 1024 * 1024;
+    unsigned llcWays = 16;
+    unsigned llcLatencyCycles = 10;
+    unsigned dramLatencyCycles = 200;
+};
+
+/** Per-level hit statistics. */
+struct MemSysStats
+{
+    uint64_t accesses = 0;
+    uint64_t l1Hits = 0;
+    uint64_t llcHits = 0;
+    uint64_t dramAccesses = 0;
+};
+
+/** The two-level cache + DRAM latency model. */
+class MemSys
+{
+  public:
+    explicit MemSys(const MemSysConfig &cfg = MemSysConfig{});
+
+    /** Access @p pa; returns the latency in cycles. */
+    unsigned access(vm::Paddr pa);
+
+    const MemSysStats &stats() const { return stats_; }
+    void clearStats() { stats_ = MemSysStats{}; }
+    const MemSysConfig &config() const { return cfg_; }
+
+  private:
+    /** One set-associative tag array. */
+    struct Level
+    {
+        unsigned sets = 0;
+        unsigned ways = 0;
+        std::vector<uint64_t> tags;    //!< sets x ways
+        std::vector<uint64_t> lastUse; //!< LRU stamps
+        std::vector<bool> valid;
+
+        void init(uint64_t bytes, unsigned w, unsigned line);
+        bool lookupFill(uint64_t line_addr, uint64_t tick);
+    };
+
+    MemSysConfig cfg_;
+    Level l1_;
+    Level llc_;
+    uint64_t tick_ = 0;
+    MemSysStats stats_;
+};
+
+} // namespace tps::sim
+
+#endif // TPS_SIM_MEMSYS_HH

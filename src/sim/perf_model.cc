@@ -1,0 +1,61 @@
+#include "sim/perf_model.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace tps::sim {
+
+double
+savablePwcFraction(const CounterPoint &thp_disabled,
+                   const CounterPoint &thp_enabled)
+{
+    if (thp_disabled.pwCycles <= thp_enabled.pwCycles)
+        return 0.0;
+    double d_tc = static_cast<double>(thp_disabled.totalCycles) -
+                  static_cast<double>(thp_enabled.totalCycles);
+    double d_pwc = static_cast<double>(thp_disabled.pwCycles) -
+                   static_cast<double>(thp_enabled.pwCycles);
+    double s = d_tc / d_pwc;
+    return std::clamp(s, 0.0, 1.0);
+}
+
+double
+SpeedupResult::fractionOfIdeal() const
+{
+    double ideal_savings = idealSpeedup - 1.0;
+    if (ideal_savings <= 0.0)
+        return 1.0;
+    return (speedup - 1.0) / ideal_savings;
+}
+
+SpeedupResult
+estimateSpeedup(const SpeedupInputs &in)
+{
+    tps_assert(in.baselineCycles > 0);
+    SpeedupResult out;
+    double t = static_cast<double>(in.baselineCycles);
+
+    out.tPw = static_cast<double>(in.baselinePwCycles) *
+              std::clamp(in.savableFraction, 0.0, 1.0);
+    double l1_delta = static_cast<double>(in.perfectL2Cycles) -
+                      static_cast<double>(in.perfectL1Cycles);
+    out.tL1dtlbm = std::max(0.0, l1_delta);
+
+    // The decomposition cannot exceed the total.
+    if (out.tPw + out.tL1dtlbm > 0.95 * t) {
+        double scale = 0.95 * t / (out.tPw + out.tL1dtlbm);
+        out.tPw *= scale;
+        out.tL1dtlbm *= scale;
+    }
+    out.tIdeal = t - out.tPw - out.tL1dtlbm;
+
+    double l1_keep = 1.0 - std::clamp(in.l1MissElimination, 0.0, 1.0);
+    double pw_keep = 1.0 - std::clamp(in.walkRefElimination, 0.0, 1.0);
+    out.newTime = out.tIdeal + out.tL1dtlbm * l1_keep + out.tPw * pw_keep;
+    out.speedup = t / out.newTime;
+    out.idealSpeedup = t / out.tIdeal;
+    return out;
+}
+
+} // namespace tps::sim

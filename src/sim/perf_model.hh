@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The paper's analytic performance model (Sec. IV-B):
+ *
+ *     T = T_IDEAL + T_L1DTLBM + T_PW
+ *
+ * where T_L1DTLBM is execution time lost to L1 TLB misses that hit the
+ * L2 TLB and T_PW is time lost to page walks.  Because a walker can be
+ * active while the out-of-order window still makes progress, raw
+ * walker-active cycles (PWC) over-state T_PW; the paper calibrates the
+ * *savable* fraction of PWC from two measured configurations (THP
+ * disabled vs enabled -- Fig. 12) and scales.  Speedup for a design is
+ * then estimated by shrinking T_L1DTLBM and T_PW by that design's
+ * simulated miss/walk-reference elimination ratios (Figs. 13/14).
+ */
+
+#ifndef TPS_SIM_PERF_MODEL_HH
+#define TPS_SIM_PERF_MODEL_HH
+
+#include <cstdint>
+
+namespace tps::sim {
+
+/** One measured configuration: total cycles and page-walker cycles. */
+struct CounterPoint
+{
+    uint64_t totalCycles = 0;
+    uint64_t pwCycles = 0;
+};
+
+/**
+ * Fig. 12: the fraction of page-walker-cycle savings that translates
+ * into total-execution-time savings, calibrated from the THP-disabled
+ * and THP-enabled measurements.  Clamped to [0, 1].
+ */
+double savablePwcFraction(const CounterPoint &thp_disabled,
+                          const CounterPoint &thp_enabled);
+
+/** Inputs to the speedup estimate for one benchmark + design. */
+struct SpeedupInputs
+{
+    uint64_t baselineCycles = 0;   //!< T: THP baseline, real TLBs
+    uint64_t perfectL2Cycles = 0;  //!< TC with a perfect L2 TLB
+    uint64_t perfectL1Cycles = 0;  //!< TC with a perfect L1 TLB
+    uint64_t baselinePwCycles = 0; //!< PWC of the THP baseline
+    double savableFraction = 1.0;  //!< from savablePwcFraction()
+    double l1MissElimination = 0;  //!< [0,1], from simulation (Fig. 10)
+    double walkRefElimination = 0; //!< [0,1], from simulation (Fig. 11)
+};
+
+/** Decomposition and estimate. */
+struct SpeedupResult
+{
+    double tIdeal = 0;
+    double tL1dtlbm = 0;
+    double tPw = 0;
+    double newTime = 0;
+    double speedup = 1.0;          //!< T / T'
+    double idealSpeedup = 1.0;     //!< T / T_IDEAL (eliminate everything)
+
+    /** Fraction of the maximal ideal savings this design realizes. */
+    double fractionOfIdeal() const;
+};
+
+/** Apply the model. */
+SpeedupResult estimateSpeedup(const SpeedupInputs &in);
+
+} // namespace tps::sim
+
+#endif // TPS_SIM_PERF_MODEL_HH

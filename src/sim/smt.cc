@@ -1,0 +1,16 @@
+#include "sim/smt.hh"
+
+namespace tps::sim {
+
+SimStats
+runSmt(os::PhysMemory &pm, std::unique_ptr<os::PagingPolicy> policy,
+       workloads::Workload &primary, workloads::Workload &competitor,
+       EngineConfig cfg)
+{
+    Engine engine(pm, std::move(policy), cfg);
+    engine.addWorkload(primary);
+    engine.addWorkload(competitor);
+    return engine.run();
+}
+
+} // namespace tps::sim

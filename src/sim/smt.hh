@@ -1,0 +1,39 @@
+/**
+ * @file
+ * SMT run helper: the paper's "native (SMT)" configuration runs the
+ * measured benchmark alongside a competing hardware thread that shares
+ * the core's TLBs, MMU caches, walker and data caches.  The engine
+ * already supports multiple round-robin workloads on shared hardware;
+ * this helper packages the two-thread setup used by Figs. 2 and 14.
+ */
+
+#ifndef TPS_SIM_SMT_HH
+#define TPS_SIM_SMT_HH
+
+#include <memory>
+
+#include "sim/engine.hh"
+
+namespace tps::sim {
+
+/**
+ * Run @p primary with @p competitor as the second SMT thread.
+ *
+ * The returned statistics are attributed to the primary thread (the
+ * paper measures the benchmark while the competitor merely interferes).
+ *
+ * @param pm          Physical memory.
+ * @param policy      Paging policy for the shared address space.
+ * @param primary     Measured workload (thread 0).
+ * @param competitor  Interfering workload (thread 1).
+ * @param cfg         Engine configuration.
+ */
+SimStats runSmt(os::PhysMemory &pm,
+                std::unique_ptr<os::PagingPolicy> policy,
+                workloads::Workload &primary,
+                workloads::Workload &competitor,
+                EngineConfig cfg = EngineConfig{});
+
+} // namespace tps::sim
+
+#endif // TPS_SIM_SMT_HH

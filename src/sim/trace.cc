@@ -1,0 +1,240 @@
+#include "sim/trace.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace tps::sim {
+
+namespace {
+
+constexpr char kMagic[8] = {'T', 'P', 'S', 'T', 'R', 'A', 'C', 'E'};
+constexpr uint32_t kVersion = 1;
+
+struct Header
+{
+    char magic[8];
+    uint32_t version;
+    uint64_t warmupAccesses;
+    uint32_t instsPerAccess;
+} __attribute__((packed));
+
+void
+put(std::FILE *f, const void *p, size_t n)
+{
+    if (std::fwrite(p, 1, n, f) != n)
+        tps_fatal("trace write failed");
+}
+
+bool
+get(std::FILE *f, void *p, size_t n)
+{
+    return std::fread(p, 1, n, f) == n;
+}
+
+/** AllocApi that records events and hands out decodable addresses. */
+class RecordingAlloc : public AllocApi
+{
+  public:
+    explicit RecordingAlloc(std::FILE *f) : file_(f) {}
+
+    vm::Vaddr
+    mmap(uint64_t bytes) override
+    {
+        uint32_t id = nextId_++;
+        // Region slots 64 GB apart: any offset decodes unambiguously.
+        vm::Vaddr base = (1ull << 44) + (static_cast<vm::Vaddr>(id)
+                                         << 36);
+        regions_[base] = {id, bytes};
+        char tag = 'M';
+        put(file_, &tag, 1);
+        put(file_, &id, sizeof(id));
+        put(file_, &bytes, sizeof(bytes));
+        return base;
+    }
+
+    void
+    munmap(vm::Vaddr start) override
+    {
+        auto it = regions_.find(start);
+        tps_assert(it != regions_.end());
+        char tag = 'U';
+        put(file_, &tag, 1);
+        put(file_, &it->second.first, sizeof(uint32_t));
+        regions_.erase(it);
+    }
+
+    /** Write one access record, translating the VA to region+offset. */
+    void
+    access(const MemAccess &acc)
+    {
+        auto it = regions_.upper_bound(acc.va);
+        tps_assert(it != regions_.begin());
+        --it;
+        tps_assert(acc.va < it->first + it->second.second);
+        char tag = 'A';
+        uint64_t offset = acc.va - it->first;
+        uint8_t flags = (acc.write ? 1 : 0) |
+                        (acc.dependsOnPrev ? 2 : 0);
+        put(file_, &tag, 1);
+        put(file_, &it->second.first, sizeof(uint32_t));
+        put(file_, &offset, sizeof(offset));
+        put(file_, &flags, 1);
+    }
+
+  private:
+    std::FILE *file_;
+    uint32_t nextId_ = 0;
+    //! base -> (region id, bytes)
+    std::map<vm::Vaddr, std::pair<uint32_t, uint64_t>> regions_;
+};
+
+} // namespace
+
+uint64_t
+recordTrace(workloads::Workload &workload, const std::string &path,
+            uint64_t max_accesses)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        tps_fatal("cannot open trace file '%s' for writing",
+                  path.c_str());
+
+    // Placeholder header; finalized after the run because the init
+    // sweep (and so warmupAccesses) only exists after setup().
+    Header header{};
+    std::memcpy(header.magic, kMagic, sizeof(kMagic));
+    header.version = kVersion;
+    header.instsPerAccess = workload.info().instsPerAccess;
+    put(f, &header, sizeof(header));
+
+    RecordingAlloc alloc(f);
+    workload.setup(alloc);
+    MemAccess acc;
+    uint64_t written = 0;
+    while (written < max_accesses && workload.next(acc)) {
+        alloc.access(acc);
+        ++written;
+    }
+    header.warmupAccesses =
+        std::min(workload.warmupAccesses(), written);
+    std::fseek(f, 0, SEEK_SET);
+    put(f, &header, sizeof(header));
+    std::fclose(f);
+    return written;
+}
+
+TraceWorkload::TraceWorkload(const std::string &path)
+    : path_(path)
+{
+    file_ = std::fopen(path.c_str(), "rb");
+    if (!file_)
+        tps_fatal("cannot open trace file '%s'", path.c_str());
+
+    Header header{};
+    if (!get(file_, &header, sizeof(header)) ||
+        std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0)
+        tps_fatal("'%s' is not a tps trace file", path.c_str());
+    if (header.version != kVersion)
+        tps_fatal("trace '%s' has unsupported version %u",
+                  path.c_str(), header.version);
+    warmup_ = header.warmupAccesses;
+
+    // Pre-scan for accurate metadata (counts and footprint).
+    uint64_t accesses = 0;
+    uint64_t footprint = 0;
+    char tag;
+    while (get(file_, &tag, 1)) {
+        uint32_t id;
+        switch (tag) {
+          case 'M': {
+            uint64_t bytes;
+            get(file_, &id, sizeof(id));
+            get(file_, &bytes, sizeof(bytes));
+            footprint += bytes;
+            break;
+          }
+          case 'U':
+            get(file_, &id, sizeof(id));
+            break;
+          case 'A': {
+            uint64_t offset;
+            uint8_t flags;
+            get(file_, &id, sizeof(id));
+            get(file_, &offset, sizeof(offset));
+            get(file_, &flags, 1);
+            ++accesses;
+            break;
+          }
+          default:
+            tps_fatal("corrupt trace '%s' (tag %#x)", path.c_str(),
+                      tag);
+        }
+    }
+    info_.name = "trace:" + path;
+    info_.description = "replay of a recorded access trace";
+    info_.footprintBytes = footprint;
+    info_.defaultAccesses = accesses;
+    info_.instsPerAccess = header.instsPerAccess;
+}
+
+TraceWorkload::~TraceWorkload()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+void
+TraceWorkload::setup(AllocApi &api)
+{
+    api_ = &api;
+    regions_.clear();
+    std::fseek(file_, sizeof(Header), SEEK_SET);
+}
+
+bool
+TraceWorkload::readRecord(MemAccess &out)
+{
+    char tag;
+    while (get(file_, &tag, 1)) {
+        uint32_t id;
+        switch (tag) {
+          case 'M': {
+            uint64_t bytes;
+            get(file_, &id, sizeof(id));
+            get(file_, &bytes, sizeof(bytes));
+            regions_[id] = api_->mmap(bytes);
+            break;
+          }
+          case 'U':
+            get(file_, &id, sizeof(id));
+            api_->munmap(regions_.at(id));
+            regions_.erase(id);
+            break;
+          case 'A': {
+            uint64_t offset;
+            uint8_t flags;
+            get(file_, &id, sizeof(id));
+            get(file_, &offset, sizeof(offset));
+            get(file_, &flags, 1);
+            out.va = regions_.at(id) + offset;
+            out.write = flags & 1;
+            out.dependsOnPrev = flags & 2;
+            return true;
+          }
+          default:
+            tps_fatal("corrupt trace '%s' (tag %#x)", path_.c_str(),
+                      tag);
+        }
+    }
+    return false;
+}
+
+bool
+TraceWorkload::next(MemAccess &out)
+{
+    return readRecord(out);
+}
+
+} // namespace tps::sim

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Access-trace capture and replay.
+ *
+ * The paper's methodology traces memory-management syscalls and memory
+ * accesses with a PIN tool and replays them through the VM simulator.
+ * This module provides that surface: recordTrace() runs any workload
+ * and writes its event stream to a compact binary file; TraceWorkload
+ * replays such a file as a first-class workload.
+ *
+ * Addresses are stored *region-relative* (region id + offset), so a
+ * replay reproduces the stream faithfully no matter where the replaying
+ * policy places the regions (policies differ in VA alignment).
+ *
+ * File layout (little-endian):
+ *   magic "TPSTRACE" | u32 version | u64 warmupAccesses |
+ *   u32 instsPerAccess | records...
+ * Records (tag byte first):
+ *   'M' u32 regionId u64 bytes          -- mmap
+ *   'U' u32 regionId                    -- munmap
+ *   'A' u32 regionId u64 offset u8 flags -- access
+ *     flags: bit0 = write, bit1 = dependsOnPrev
+ */
+
+#ifndef TPS_SIM_TRACE_HH
+#define TPS_SIM_TRACE_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace tps::sim {
+
+/**
+ * Run @p workload standalone (no simulation) and write its event
+ * stream to @p path.
+ *
+ * @param max_accesses  Cap on recorded accesses (inclusive of the
+ *                      workload's init sweep).
+ * @return the number of access records written.
+ */
+uint64_t recordTrace(workloads::Workload &workload,
+                     const std::string &path,
+                     uint64_t max_accesses = ~0ull);
+
+/** A workload that replays a trace file. */
+class TraceWorkload : public workloads::Workload
+{
+  public:
+    /** @param path  Trace file written by recordTrace(). */
+    explicit TraceWorkload(const std::string &path);
+    ~TraceWorkload() override;
+
+    const workloads::WorkloadInfo &info() const override
+    {
+        return info_;
+    }
+    uint64_t warmupAccesses() const override { return warmup_; }
+
+    void setup(AllocApi &api) override;
+    bool next(MemAccess &out) override;
+
+  private:
+    /** Read one record; false at end of file. */
+    bool readRecord(MemAccess &out);
+
+    workloads::WorkloadInfo info_;
+    uint64_t warmup_ = 0;
+    std::string path_;
+    std::FILE *file_ = nullptr;
+    AllocApi *api_ = nullptr;
+    std::map<uint32_t, vm::Vaddr> regions_;
+};
+
+} // namespace tps::sim
+
+#endif // TPS_SIM_TRACE_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Interface for any-page-size L1 TLB structures.  The paper's primary
+ * design is a 32-entry fully associative TLB (Sec. III-A2); it also
+ * notes that skewed-associative designs (Seznec; Papadopoulou et al.)
+ * are possible.  Both are provided behind this interface so the
+ * hierarchy (and the ablation bench) can swap them.
+ */
+
+#ifndef TPS_TLB_ANY_SIZE_TLB_HH
+#define TPS_TLB_ANY_SIZE_TLB_HH
+
+#include "tlb/tlb_entry.hh"
+
+namespace tps::tlb {
+
+/** An L1 TLB able to hold entries of every page size. */
+class AnySizeTlb
+{
+  public:
+    virtual ~AnySizeTlb() = default;
+
+    /** Look up @p va; stats updated, replacement state touched. */
+    virtual TlbEntry *lookup(Vaddr va) = 0;
+
+    /** Probe without disturbing state. */
+    virtual const TlbEntry *probe(Vaddr va) const = 0;
+
+    /** Mutable probe without stats (A/D updates after a fill). */
+    virtual TlbEntry *findMutable(Vaddr va) = 0;
+
+    /** Install @p entry. @return true if a valid entry was evicted. */
+    virtual bool fill(const TlbEntry &entry) = 0;
+
+    /** Invalidate any entry whose page contains @p va. */
+    virtual void invalidate(Vaddr va) = 0;
+
+    /** Invalidate everything. */
+    virtual void flush() = 0;
+
+    virtual const TlbStats &stats() const = 0;
+    virtual void clearStats() = 0;
+    virtual unsigned capacity() const = 0;
+    virtual unsigned occupancy() const = 0;
+};
+
+} // namespace tps::tlb
+
+#endif // TPS_TLB_ANY_SIZE_TLB_HH

@@ -1,0 +1,104 @@
+#include "tlb/fully_assoc_tlb.hh"
+
+#include "util/logging.hh"
+
+namespace tps::tlb {
+
+FullyAssocTlb::FullyAssocTlb(std::string name, unsigned entries)
+    : name_(std::move(name))
+{
+    tps_assert(entries > 0);
+    entries_.resize(entries);
+}
+
+TlbEntry *
+FullyAssocTlb::lookup(Vaddr va)
+{
+    ++stats_.lookups;
+    ++tick_;
+    Vpn vpn = vm::vpnOf(va);
+    for (auto &e : entries_) {
+        if (e.matches(vpn)) {
+            e.lastUse = tick_;
+            ++stats_.hits;
+            return &e;
+        }
+    }
+    ++stats_.misses;
+    return nullptr;
+}
+
+const TlbEntry *
+FullyAssocTlb::probe(Vaddr va) const
+{
+    Vpn vpn = vm::vpnOf(va);
+    for (const auto &e : entries_)
+        if (e.matches(vpn))
+            return &e;
+    return nullptr;
+}
+
+bool
+FullyAssocTlb::fill(const TlbEntry &entry)
+{
+    tps_assert(entry.valid);
+    ++tick_;
+
+    // Refill over a duplicate (same page) if present.
+    for (auto &e : entries_) {
+        if (e.valid && e.vpnTag == entry.vpnTag &&
+            e.pageBits == entry.pageBits) {
+            e = entry;
+            e.lastUse = tick_;
+            return false;
+        }
+    }
+
+    TlbEntry *victim = &entries_[0];
+    for (auto &e : entries_) {
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (e.lastUse < victim->lastUse)
+            victim = &e;
+    }
+    bool evicted = victim->valid;
+    if (evicted)
+        ++stats_.evictions;
+    *victim = entry;
+    victim->lastUse = tick_;
+    ++stats_.fills;
+    return evicted;
+}
+
+void
+FullyAssocTlb::invalidate(Vaddr va)
+{
+    Vpn vpn = vm::vpnOf(va);
+    for (auto &e : entries_) {
+        if (e.matches(vpn)) {
+            e.valid = false;
+            ++stats_.invalidations;
+        }
+    }
+}
+
+void
+FullyAssocTlb::flush()
+{
+    for (auto &e : entries_)
+        e.valid = false;
+    ++stats_.invalidations;
+}
+
+unsigned
+FullyAssocTlb::occupancy() const
+{
+    unsigned n = 0;
+    for (const auto &e : entries_)
+        n += e.valid ? 1 : 0;
+    return n;
+}
+
+} // namespace tps::tlb

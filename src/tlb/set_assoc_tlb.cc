@@ -1,0 +1,163 @@
+#include "tlb/set_assoc_tlb.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace tps::tlb {
+
+SetAssocTlb::SetAssocTlb(std::string name, unsigned entries, unsigned ways,
+                         std::vector<unsigned> page_bits_list)
+    : name_(std::move(name)), ways_(ways),
+      pageBitsList_(std::move(page_bits_list)),
+      livePerSize_(vm::kMaxPageBits + 1, 0)
+{
+    tps_assert(ways_ > 0 && entries > 0);
+    tps_assert(entries % ways_ == 0);
+    sets_ = entries / ways_;
+    tps_assert(isPowerOfTwo(sets_));
+    tps_assert(!pageBitsList_.empty());
+    std::sort(pageBitsList_.begin(), pageBitsList_.end());
+    entries_.resize(entries);
+}
+
+bool
+SetAssocTlb::supports(unsigned page_bits) const
+{
+    return std::find(pageBitsList_.begin(), pageBitsList_.end(),
+                     page_bits) != pageBitsList_.end();
+}
+
+unsigned
+SetAssocTlb::setIndex(Vaddr va, unsigned page_bits) const
+{
+    return static_cast<unsigned>((va >> page_bits) & (sets_ - 1));
+}
+
+TlbEntry *
+SetAssocTlb::findInSet(unsigned set, Vpn vpn, unsigned page_bits)
+{
+    TlbEntry *base = &entries_[set * ways_];
+    for (unsigned w = 0; w < ways_; ++w) {
+        TlbEntry &e = base[w];
+        if (e.valid && e.pageBits == page_bits && e.matches(vpn))
+            return &e;
+    }
+    return nullptr;
+}
+
+TlbEntry *
+SetAssocTlb::lookup(Vaddr va)
+{
+    ++stats_.lookups;
+    ++tick_;
+    Vpn vpn = vm::vpnOf(va);
+    for (unsigned pb : pageBitsList_) {
+        if (livePerSize_[pb] == 0)
+            continue;
+        TlbEntry *e = findInSet(setIndex(va, pb), vpn, pb);
+        if (e) {
+            e->lastUse = tick_;
+            ++stats_.hits;
+            return e;
+        }
+    }
+    ++stats_.misses;
+    return nullptr;
+}
+
+const TlbEntry *
+SetAssocTlb::probe(Vaddr va) const
+{
+    Vpn vpn = vm::vpnOf(va);
+    for (unsigned pb : pageBitsList_) {
+        if (livePerSize_[pb] == 0)
+            continue;
+        unsigned set = setIndex(va, pb);
+        const TlbEntry *base = &entries_[set * ways_];
+        for (unsigned w = 0; w < ways_; ++w) {
+            const TlbEntry &e = base[w];
+            if (e.valid && e.pageBits == pb && e.matches(vpn))
+                return &e;
+        }
+    }
+    return nullptr;
+}
+
+bool
+SetAssocTlb::fill(const TlbEntry &entry)
+{
+    tps_assert(entry.valid);
+    tps_assert(supports(entry.pageBits));
+    ++tick_;
+    unsigned set = setIndex(entry.pageBase(), entry.pageBits);
+    TlbEntry *base = &entries_[set * ways_];
+
+    // Refill over a duplicate if present.
+    for (unsigned w = 0; w < ways_; ++w) {
+        TlbEntry &e = base[w];
+        if (e.valid && e.pageBits == entry.pageBits &&
+            e.vpnTag == entry.vpnTag) {
+            e = entry;
+            e.lastUse = tick_;
+            return false;
+        }
+    }
+
+    TlbEntry *victim = &base[0];
+    for (unsigned w = 0; w < ways_; ++w) {
+        TlbEntry &e = base[w];
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (e.lastUse < victim->lastUse)
+            victim = &e;
+    }
+    bool evicted = victim->valid;
+    if (evicted) {
+        --livePerSize_[victim->pageBits];
+        ++stats_.evictions;
+    }
+    *victim = entry;
+    victim->lastUse = tick_;
+    ++livePerSize_[entry.pageBits];
+    ++stats_.fills;
+    return evicted;
+}
+
+void
+SetAssocTlb::invalidate(Vaddr va)
+{
+    Vpn vpn = vm::vpnOf(va);
+    for (unsigned pb : pageBitsList_) {
+        if (livePerSize_[pb] == 0)
+            continue;
+        TlbEntry *e = findInSet(setIndex(va, pb), vpn, pb);
+        if (e) {
+            e->valid = false;
+            --livePerSize_[pb];
+            ++stats_.invalidations;
+        }
+    }
+}
+
+void
+SetAssocTlb::flush()
+{
+    for (auto &e : entries_)
+        e.valid = false;
+    std::fill(livePerSize_.begin(), livePerSize_.end(), 0);
+    ++stats_.invalidations;
+}
+
+unsigned
+SetAssocTlb::occupancy() const
+{
+    unsigned n = 0;
+    for (const auto &e : entries_)
+        n += e.valid ? 1 : 0;
+    return n;
+}
+
+} // namespace tps::tlb

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Set-associative, LRU TLB.
+ *
+ * Supports a *set* of page sizes in one physical structure by probing one
+ * set per live page size (multi-probe, in the spirit of size-prediction /
+ * skewed-associative designs the paper cites as alternatives).  With a
+ * single supported size this degenerates to the conventional
+ * index-by-VPN-low-bits design.  Per-size live-entry counters keep the
+ * probe count at the number of sizes actually resident, not the number
+ * supported.
+ */
+
+#ifndef TPS_TLB_SET_ASSOC_TLB_HH
+#define TPS_TLB_SET_ASSOC_TLB_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tlb/tlb_entry.hh"
+
+namespace tps::tlb {
+
+/** A set-associative TLB. */
+class SetAssocTlb
+{
+  public:
+    /**
+     * @param name    Human-readable name for stat dumps.
+     * @param entries Total entry count (sets * ways).
+     * @param ways    Associativity; must divide entries.
+     * @param page_bits_list  Page sizes (log2) this structure may hold.
+     */
+    SetAssocTlb(std::string name, unsigned entries, unsigned ways,
+                std::vector<unsigned> page_bits_list);
+
+    /**
+     * Look up @p va.
+     * @return matching entry or nullptr; stats updated, LRU touched.
+     */
+    TlbEntry *lookup(Vaddr va);
+
+    /** Probe without disturbing LRU or stats (for tests/inspection). */
+    const TlbEntry *probe(Vaddr va) const;
+
+    /** Mutable probe without stats (for A/D updates after a fill). */
+    TlbEntry *
+    findMutable(Vaddr va)
+    {
+        return const_cast<TlbEntry *>(
+            static_cast<const SetAssocTlb *>(this)->probe(va));
+    }
+
+    /**
+     * Install @p entry (its pageBits must be supported).
+     * @return true if an existing valid entry was evicted.
+     */
+    bool fill(const TlbEntry &entry);
+
+    /** Invalidate any entry mapping @p va. */
+    void invalidate(Vaddr va);
+
+    /** Invalidate everything. */
+    void flush();
+
+    /** True iff this structure can hold a page of 2^@p page_bits. */
+    bool supports(unsigned page_bits) const;
+
+    const TlbStats &stats() const { return stats_; }
+    void clearStats() { stats_ = TlbStats{}; }
+    const std::string &name() const { return name_; }
+    unsigned sets() const { return sets_; }
+    unsigned ways() const { return ways_; }
+
+    /** Number of valid entries currently resident. */
+    unsigned occupancy() const;
+
+  private:
+    unsigned setIndex(Vaddr va, unsigned page_bits) const;
+    TlbEntry *findInSet(unsigned set, Vpn vpn, unsigned page_bits);
+
+    std::string name_;
+    unsigned sets_;
+    unsigned ways_;
+    std::vector<unsigned> pageBitsList_;
+    std::vector<TlbEntry> entries_;   //!< sets_ x ways_, row-major
+    std::vector<uint64_t> livePerSize_; //!< indexed by page_bits
+    uint64_t tick_ = 0;
+    TlbStats stats_;
+};
+
+} // namespace tps::tlb
+
+#endif // TPS_TLB_SET_ASSOC_TLB_HH

@@ -1,0 +1,168 @@
+#include "tlb/skewed_assoc_tlb.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace tps::tlb {
+
+namespace {
+
+/** Cheap strong mix (splitmix64 finalizer). */
+constexpr uint64_t
+mix(uint64_t x)
+{
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+SkewedAssocTlb::SkewedAssocTlb(std::string name, unsigned entries,
+                               unsigned ways)
+    : name_(std::move(name)), ways_(ways),
+      livePerSize_(vm::kMaxPageBits + 1, 0)
+{
+    tps_assert(ways_ > 0 && entries > 0 && entries % ways_ == 0);
+    sets_ = entries / ways_;
+    tps_assert(isPowerOfTwo(sets_));
+    entries_.resize(entries);
+}
+
+unsigned
+SkewedAssocTlb::indexOf(unsigned way, Vaddr va,
+                        unsigned page_bits) const
+{
+    uint64_t key = (va >> page_bits) * (vm::kMaxPageBits + 1) +
+                   page_bits;
+    return static_cast<unsigned>(
+        mix(key + way * 0x9e3779b97f4a7c15ull) & (sets_ - 1));
+}
+
+TlbEntry *
+SkewedAssocTlb::lookup(Vaddr va)
+{
+    ++stats_.lookups;
+    ++tick_;
+    Vpn vpn = vm::vpnOf(va);
+    for (unsigned pb = vm::kBasePageBits; pb <= vm::kMaxPageBits;
+         ++pb) {
+        if (livePerSize_[pb] == 0)
+            continue;
+        for (unsigned w = 0; w < ways_; ++w) {
+            TlbEntry &e = slot(w, indexOf(w, va, pb));
+            if (e.valid && e.pageBits == pb && e.matches(vpn)) {
+                e.lastUse = tick_;
+                ++stats_.hits;
+                return &e;
+            }
+        }
+    }
+    ++stats_.misses;
+    return nullptr;
+}
+
+const TlbEntry *
+SkewedAssocTlb::probe(Vaddr va) const
+{
+    Vpn vpn = vm::vpnOf(va);
+    for (unsigned pb = vm::kBasePageBits; pb <= vm::kMaxPageBits;
+         ++pb) {
+        if (livePerSize_[pb] == 0)
+            continue;
+        for (unsigned w = 0; w < ways_; ++w) {
+            const TlbEntry &e = slot(w, indexOf(w, va, pb));
+            if (e.valid && e.pageBits == pb && e.matches(vpn))
+                return &e;
+        }
+    }
+    return nullptr;
+}
+
+TlbEntry *
+SkewedAssocTlb::findMutable(Vaddr va)
+{
+    return const_cast<TlbEntry *>(
+        static_cast<const SkewedAssocTlb *>(this)->probe(va));
+}
+
+bool
+SkewedAssocTlb::fill(const TlbEntry &entry)
+{
+    tps_assert(entry.valid);
+    ++tick_;
+    Vaddr base = entry.pageBase();
+
+    // Refill over a duplicate if resident.
+    for (unsigned w = 0; w < ways_; ++w) {
+        TlbEntry &e = slot(w, indexOf(w, base, entry.pageBits));
+        if (e.valid && e.pageBits == entry.pageBits &&
+            e.vpnTag == entry.vpnTag) {
+            e = entry;
+            e.lastUse = tick_;
+            return false;
+        }
+    }
+
+    // One candidate slot per way; prefer an invalid one, else LRU.
+    TlbEntry *victim = nullptr;
+    for (unsigned w = 0; w < ways_; ++w) {
+        TlbEntry &e = slot(w, indexOf(w, base, entry.pageBits));
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (!victim || e.lastUse < victim->lastUse)
+            victim = &e;
+    }
+    bool evicted = victim->valid;
+    if (evicted) {
+        --livePerSize_[victim->pageBits];
+        ++stats_.evictions;
+    }
+    *victim = entry;
+    victim->lastUse = tick_;
+    ++livePerSize_[entry.pageBits];
+    ++stats_.fills;
+    return evicted;
+}
+
+void
+SkewedAssocTlb::invalidate(Vaddr va)
+{
+    for (unsigned pb = vm::kBasePageBits; pb <= vm::kMaxPageBits;
+         ++pb) {
+        if (livePerSize_[pb] == 0)
+            continue;
+        Vpn vpn = vm::vpnOf(va);
+        for (unsigned w = 0; w < ways_; ++w) {
+            TlbEntry &e = slot(w, indexOf(w, va, pb));
+            if (e.valid && e.pageBits == pb && e.matches(vpn)) {
+                e.valid = false;
+                --livePerSize_[pb];
+                ++stats_.invalidations;
+            }
+        }
+    }
+}
+
+void
+SkewedAssocTlb::flush()
+{
+    for (auto &e : entries_)
+        e.valid = false;
+    std::fill(livePerSize_.begin(), livePerSize_.end(), 0);
+    ++stats_.invalidations;
+}
+
+unsigned
+SkewedAssocTlb::occupancy() const
+{
+    unsigned n = 0;
+    for (const auto &e : entries_)
+        n += e.valid ? 1 : 0;
+    return n;
+}
+
+} // namespace tps::tlb

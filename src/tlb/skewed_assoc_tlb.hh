@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Skewed-associative any-page-size TLB (Seznec, "Concurrent support of
+ * multiple page sizes on a skewed associative TLB"; cited by the paper
+ * as an alternative to the fully associative TPS TLB).
+ *
+ * Each way has its own index hash mixing the page-size-normalized VPN
+ * and the page size, so entries of different sizes coexist without CAM
+ * hardware.  A lookup probes one slot per (way, live page size) pair;
+ * live-size counters keep the probe count proportional to the sizes
+ * actually resident.  Replacement picks an invalid candidate slot if
+ * one exists, else the least recently used among the candidates.
+ */
+
+#ifndef TPS_TLB_SKEWED_ASSOC_TLB_HH
+#define TPS_TLB_SKEWED_ASSOC_TLB_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tlb/any_size_tlb.hh"
+
+namespace tps::tlb {
+
+/** The skewed-associative TLB. */
+class SkewedAssocTlb : public AnySizeTlb
+{
+  public:
+    /**
+     * @param name     Name for stat dumps.
+     * @param entries  Total entries (sets-per-way x ways).
+     * @param ways     Number of skewed ways.
+     */
+    SkewedAssocTlb(std::string name, unsigned entries, unsigned ways);
+
+    TlbEntry *lookup(Vaddr va) override;
+    const TlbEntry *probe(Vaddr va) const override;
+    TlbEntry *findMutable(Vaddr va) override;
+    bool fill(const TlbEntry &entry) override;
+    void invalidate(Vaddr va) override;
+    void flush() override;
+
+    const TlbStats &stats() const override { return stats_; }
+    void clearStats() override { stats_ = TlbStats{}; }
+    unsigned capacity() const override
+    {
+        return static_cast<unsigned>(entries_.size());
+    }
+    unsigned occupancy() const override;
+
+    const std::string &name() const { return name_; }
+    unsigned ways() const { return ways_; }
+
+  private:
+    /** Way-specific index hash for a page of 2^@p page_bits at @p va. */
+    unsigned indexOf(unsigned way, Vaddr va, unsigned page_bits) const;
+
+    /** Slot reference for (way, index). */
+    TlbEntry &slot(unsigned way, unsigned idx)
+    {
+        return entries_[way * sets_ + idx];
+    }
+    const TlbEntry &slot(unsigned way, unsigned idx) const
+    {
+        return entries_[way * sets_ + idx];
+    }
+
+    std::string name_;
+    unsigned ways_;
+    unsigned sets_;   //!< sets per way
+    std::vector<TlbEntry> entries_;
+    std::vector<uint64_t> livePerSize_;
+    uint64_t tick_ = 0;
+    TlbStats stats_;
+};
+
+} // namespace tps::tlb
+
+#endif // TPS_TLB_SKEWED_ASSOC_TLB_HH

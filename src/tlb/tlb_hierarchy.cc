@@ -1,0 +1,275 @@
+#include "tlb/tlb_hierarchy.hh"
+
+#include "util/logging.hh"
+
+namespace tps::tlb {
+
+namespace {
+
+/** Every page size TPS can produce, for the multi-size STLB. */
+std::vector<unsigned>
+allPageSizes()
+{
+    std::vector<unsigned> sizes;
+    for (unsigned pb = vm::kBasePageBits; pb <= vm::kMaxPageBits; ++pb)
+        sizes.push_back(pb);
+    return sizes;
+}
+
+} // namespace
+
+TlbHierarchy::TlbHierarchy(const TlbHierarchyConfig &cfg)
+    : cfg_(cfg)
+{
+    if (cfg_.design == TlbDesign::Colt) {
+        coltL1_ = std::make_unique<ColtTlb>(cfg_.l1SmallEntries,
+                                            cfg_.coltWays);
+    } else {
+        l1Small_ = std::make_unique<SetAssocTlb>(
+            "L1D-4K", cfg_.l1SmallEntries, cfg_.l1SmallWays,
+            std::vector<unsigned>{vm::kPageBits4K});
+    }
+
+    if (cfg_.design == TlbDesign::Tps) {
+        // The TPS TLB replaces the 2 MB and 1 GB split L1s; the
+        // skewed-associative variant is the paper's cited alternative.
+        if (cfg_.tpsTlbSkewed) {
+            tpsL1_ = std::make_unique<SkewedAssocTlb>(
+                "L1D-TPS-skew", cfg_.tpsTlbEntries,
+                cfg_.tpsTlbSkewWays);
+        } else {
+            tpsL1_ = std::make_unique<FullyAssocTlb>(
+                "L1D-TPS", cfg_.tpsTlbEntries);
+        }
+    } else {
+        l1Large_ = std::make_unique<FullyAssocTlb>("L1D-2M",
+                                                   cfg_.l1LargeEntries);
+        l1Huge_ = std::make_unique<FullyAssocTlb>("L1D-1G",
+                                                  cfg_.l1HugeEntries);
+    }
+
+    std::vector<unsigned> stlb_sizes =
+        cfg_.design == TlbDesign::Tps
+            ? allPageSizes()
+            : std::vector<unsigned>{vm::kPageBits4K, vm::kPageBits2M};
+    stlb_ = std::make_unique<SetAssocTlb>("STLB", cfg_.stlbEntries,
+                                          cfg_.stlbWays, stlb_sizes);
+    stlbHuge_ = std::make_unique<FullyAssocTlb>("STLB-1G",
+                                                cfg_.stlbHugeEntries);
+
+    if (cfg_.design == TlbDesign::Rmm)
+        rangeTlb_ = std::make_unique<RangeTlb>(cfg_.rangeTlbEntries);
+}
+
+TlbLookupResult
+TlbHierarchy::lookupL1(Vaddr va)
+{
+    TlbLookupResult res;
+    if (coltL1_) {
+        if (ColtEntry *ce = coltL1_->lookup(va)) {
+            res.level = TlbHitLevel::L1;
+            res.fromColt = true;
+            res.paddr = ColtTlb::translate(va, *ce);
+            return res;
+        }
+    }
+    if (l1Small_) {
+        if (TlbEntry *e = l1Small_->lookup(va)) {
+            res.level = TlbHitLevel::L1;
+            res.entry = e;
+            res.paddr = e->translate(va);
+            return res;
+        }
+    }
+    if (tpsL1_) {
+        if (TlbEntry *e = tpsL1_->lookup(va)) {
+            res.level = TlbHitLevel::L1;
+            res.entry = e;
+            res.paddr = e->translate(va);
+            return res;
+        }
+    }
+    if (l1Large_) {
+        if (TlbEntry *e = l1Large_->lookup(va)) {
+            res.level = TlbHitLevel::L1;
+            res.entry = e;
+            res.paddr = e->translate(va);
+            return res;
+        }
+    }
+    if (l1Huge_) {
+        if (TlbEntry *e = l1Huge_->lookup(va)) {
+            res.level = TlbHitLevel::L1;
+            res.entry = e;
+            res.paddr = e->translate(va);
+            return res;
+        }
+    }
+    res.level = TlbHitLevel::Miss;
+    return res;
+}
+
+TlbEntry *
+TlbHierarchy::installL1(const TlbEntry &entry)
+{
+    Vaddr base = entry.pageBase();
+    if (cfg_.design == TlbDesign::Colt &&
+        entry.pageBits == vm::kBasePageBits) {
+        // Uncoalesced single-page fill; the MMU fills coalesced runs
+        // directly through coltTlb().
+        ColtEntry ce;
+        ce.valid = true;
+        ce.startVpn = entry.vpnTag;
+        ce.length = 1;
+        ce.startPfn = entry.pfn;
+        ce.writable = entry.writable;
+        ce.user = entry.user;
+        coltL1_->fill(ce);
+        return nullptr;
+    }
+    if (entry.pageBits == vm::kBasePageBits && l1Small_) {
+        l1Small_->fill(entry);
+        return l1Small_->findMutable(base);
+    }
+    if (tpsL1_) {
+        tpsL1_->fill(entry);
+        return tpsL1_->findMutable(base);
+    }
+    if (entry.pageBits == vm::kPageBits2M) {
+        l1Large_->fill(entry);
+        return l1Large_->findMutable(base);
+    }
+    if (entry.pageBits == vm::kPageBits1G && l1Huge_) {
+        l1Huge_->fill(entry);
+        return l1Huge_->findMutable(base);
+    }
+    // No L1 structure supports this page size (e.g. tailored pages on a
+    // design without the TPS TLB): the translation lives only in the
+    // L2 structures, exactly as hardware without the support would
+    // behave.
+    return nullptr;
+}
+
+TlbLookupResult
+TlbHierarchy::lookup(Vaddr va)
+{
+    ++stats_.accesses;
+    TlbLookupResult res = lookupL1(va);
+    if (res.level == TlbHitLevel::L1) {
+        ++stats_.l1Hits;
+        return res;
+    }
+    ++stats_.l1Misses;
+
+    // L2: STLB (and, for RMM, the range TLB in parallel).
+    TlbEntry *stlb_hit = nullptr;
+    if (stlb_)
+        stlb_hit = stlb_->lookup(va);
+    if (!stlb_hit && stlbHuge_)
+        stlb_hit = stlbHuge_->lookup(va);
+    RangeEntry *range_hit = rangeTlb_ ? rangeTlb_->lookup(va) : nullptr;
+
+    if (stlb_hit) {
+        ++stats_.l2Hits;
+        res.level = TlbHitLevel::L2;
+        res.entry = installL1(*stlb_hit);
+        res.paddr = stlb_hit->translate(va);
+        return res;
+    }
+    if (range_hit) {
+        ++stats_.l2Hits;
+        ++stats_.rangeHits;
+        res.level = TlbHitLevel::L2;
+        res.fromRange = true;
+        TlbEntry constructed = RangeTlb::makeBasePageEntry(va, *range_hit);
+        // The range path has no PTE address; A/D charging is handled by
+        // the range-table software path, so mark both bits set.
+        constructed.dirty = true;
+        res.entry = installL1(constructed);
+        res.paddr = constructed.translate(va);
+        return res;
+    }
+
+    ++stats_.misses;
+    res.level = TlbHitLevel::Miss;
+    return res;
+}
+
+TlbEntry *
+TlbHierarchy::fill(Vaddr va, const TlbEntry &entry)
+{
+    tps_assert(entry.valid);
+    // Inclusive-ish: install in the STLB as well as L1.
+    if (entry.pageBits == vm::kPageBits1G)
+        stlbHuge_->fill(entry);
+    else if (stlb_->supports(entry.pageBits))
+        stlb_->fill(entry);
+    (void)va;
+    return installL1(entry);
+}
+
+void
+TlbHierarchy::shootdown(Vaddr va)
+{
+    if (l1Small_)
+        l1Small_->invalidate(va);
+    if (coltL1_)
+        coltL1_->invalidate(va);
+    if (tpsL1_)
+        tpsL1_->invalidate(va);
+    if (l1Large_)
+        l1Large_->invalidate(va);
+    if (l1Huge_)
+        l1Huge_->invalidate(va);
+    if (stlb_)
+        stlb_->invalidate(va);
+    if (stlbHuge_)
+        stlbHuge_->invalidate(va);
+    if (rangeTlb_)
+        rangeTlb_->invalidate(va);
+}
+
+void
+TlbHierarchy::flushAll()
+{
+    if (l1Small_)
+        l1Small_->flush();
+    if (coltL1_)
+        coltL1_->flush();
+    if (tpsL1_)
+        tpsL1_->flush();
+    if (l1Large_)
+        l1Large_->flush();
+    if (l1Huge_)
+        l1Huge_->flush();
+    if (stlb_)
+        stlb_->flush();
+    if (stlbHuge_)
+        stlbHuge_->flush();
+    if (rangeTlb_)
+        rangeTlb_->flush();
+}
+
+void
+TlbHierarchy::clearStats()
+{
+    stats_ = TlbHierarchyStats{};
+    if (l1Small_)
+        l1Small_->clearStats();
+    if (coltL1_)
+        coltL1_->clearStats();
+    if (tpsL1_)
+        tpsL1_->clearStats();
+    if (l1Large_)
+        l1Large_->clearStats();
+    if (l1Huge_)
+        l1Huge_->clearStats();
+    if (stlb_)
+        stlb_->clearStats();
+    if (stlbHuge_)
+        stlbHuge_->clearStats();
+    if (rangeTlb_)
+        rangeTlb_->clearStats();
+}
+
+} // namespace tps::tlb

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Two-level TLB hierarchy composing the structures of Table I and the
+ * paper's four designs:
+ *
+ *  - Baseline (Skylake-like): split L1 (64-entry 4-way 4 KB SA, 32-entry
+ *    FA 2 MB, 4-entry FA 1 GB) + 1536-entry 12-way 4K/2M STLB + 16-entry
+ *    FA 1 GB STLB.
+ *  - TPS: the 2 MB and 1 GB L1s are *replaced* by one 32-entry fully
+ *    associative any-page-size TPS TLB (Sec. III-A2); the 4 KB L1 stays.
+ *  - RMM: baseline L1/L2 plus a 32-entry range TLB probed in parallel
+ *    with the STLB on L1 misses.
+ *  - CoLT: the 4 KB L1 becomes a coalesced TLB (up to 8 contiguous
+ *    translations per entry); everything else is baseline.
+ *
+ * The hierarchy performs lookups and fills; page walks, CoLT coalescing
+ * probes and RMM range-table fills are driven by the MMU (sim/mmu.hh),
+ * which owns page-table access.
+ */
+
+#ifndef TPS_TLB_TLB_HIERARCHY_HH
+#define TPS_TLB_TLB_HIERARCHY_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "tlb/colt_tlb.hh"
+#include "tlb/fully_assoc_tlb.hh"
+#include "tlb/skewed_assoc_tlb.hh"
+#include "tlb/range_tlb.hh"
+#include "tlb/set_assoc_tlb.hh"
+#include "tlb/tlb_entry.hh"
+
+namespace tps::tlb {
+
+/** Which of the paper's designs the hierarchy implements. */
+enum class TlbDesign
+{
+    Baseline,  //!< conventional split-size Skylake-like TLBs
+    Tps,       //!< 4 KB SA L1 + any-size TPS L1 TLB
+    Rmm,       //!< baseline + L2-level range TLB
+    Colt,      //!< coalesced 4 KB L1
+};
+
+/** Geometry knobs (defaults follow Table I / Sec. III-A2). */
+struct TlbHierarchyConfig
+{
+    TlbDesign design = TlbDesign::Baseline;
+    unsigned l1SmallEntries = 64;
+    unsigned l1SmallWays = 4;
+    unsigned l1LargeEntries = 32;   //!< 2 MB FA L1 (baseline/RMM/CoLT)
+    unsigned l1HugeEntries = 4;     //!< 1 GB FA L1 (baseline/RMM/CoLT)
+    unsigned tpsTlbEntries = 32;    //!< any-size TPS L1 TLB
+    bool tpsTlbSkewed = false;      //!< skewed-associative TPS TLB
+                                    //!< instead of fully associative
+    unsigned tpsTlbSkewWays = 4;
+    unsigned stlbEntries = 1536;
+    unsigned stlbWays = 12;
+    unsigned stlbHugeEntries = 16;
+    unsigned rangeTlbEntries = 32;
+    unsigned coltWays = 4;
+};
+
+/** Where a lookup was satisfied. */
+enum class TlbHitLevel
+{
+    L1,
+    L2,
+    Miss,
+};
+
+/** Result of a hierarchy lookup. */
+struct TlbLookupResult
+{
+    TlbHitLevel level = TlbHitLevel::Miss;
+    TlbEntry *entry = nullptr;  //!< L1-resident entry after a hit/fill
+    bool fromRange = false;     //!< L2 hit supplied by the range TLB
+    bool fromColt = false;      //!< L1 hit supplied by the coalesced TLB
+    Paddr paddr = 0;            //!< translation (valid on hit)
+};
+
+/** Hierarchy-level counters (the paper's figure inputs). */
+struct TlbHierarchyStats
+{
+    uint64_t accesses = 0;
+    uint64_t l1Hits = 0;
+    uint64_t l1Misses = 0;   //!< the paper's "L1 DTLB misses"
+    uint64_t l2Hits = 0;     //!< STLB or range-TLB hits
+    uint64_t rangeHits = 0;  //!< subset of l2Hits from the range TLB
+    uint64_t misses = 0;     //!< full misses -> page walks
+};
+
+/** The composed hierarchy. */
+class TlbHierarchy
+{
+  public:
+    explicit TlbHierarchy(const TlbHierarchyConfig &cfg);
+
+    /**
+     * Look up @p va through L1 then L2 (and the range TLB for RMM).
+     * On an L2 hit the translation is installed into the appropriate L1
+     * structure and the returned entry points at that L1 copy.  On a
+     * full miss the caller (MMU) must walk and call fill().
+     */
+    TlbLookupResult lookup(Vaddr va);
+
+    /**
+     * Install a walked translation into L1 and the STLB.
+     * @return pointer to the L1-resident copy.
+     */
+    TlbEntry *fill(Vaddr va, const TlbEntry &entry);
+
+    /** Invalidate the page containing @p va everywhere (INVLPG). */
+    void shootdown(Vaddr va);
+
+    /** Flush every structure (full TLB flush / context switch). */
+    void flushAll();
+
+    const TlbHierarchyStats &stats() const { return stats_; }
+    void clearStats();
+
+    TlbDesign design() const { return cfg_.design; }
+    const TlbHierarchyConfig &config() const { return cfg_; }
+
+    /** Accessors for design-specific structures (may be null). */
+    RangeTlb *rangeTlb() { return rangeTlb_.get(); }
+    ColtTlb *coltTlb() { return coltL1_.get(); }
+    AnySizeTlb *tpsTlb() { return tpsL1_.get(); }
+    SetAssocTlb *l1Small() { return l1Small_.get(); }
+    SetAssocTlb *stlb() { return stlb_.get(); }
+    FullyAssocTlb *l1Large() { return l1Large_.get(); }
+    FullyAssocTlb *l1Huge() { return l1Huge_.get(); }
+    FullyAssocTlb *stlbHuge() { return stlbHuge_.get(); }
+
+  private:
+    /** Probe only the L1 structures. */
+    TlbLookupResult lookupL1(Vaddr va);
+
+    /** Route @p entry to the right L1 structure and return its copy. */
+    TlbEntry *installL1(const TlbEntry &entry);
+
+    TlbHierarchyConfig cfg_;
+    std::unique_ptr<SetAssocTlb> l1Small_;
+    std::unique_ptr<FullyAssocTlb> l1Large_;
+    std::unique_ptr<FullyAssocTlb> l1Huge_;
+    std::unique_ptr<AnySizeTlb> tpsL1_;
+    std::unique_ptr<ColtTlb> coltL1_;
+    std::unique_ptr<SetAssocTlb> stlb_;
+    std::unique_ptr<FullyAssocTlb> stlbHuge_;
+    std::unique_ptr<RangeTlb> rangeTlb_;
+    TlbHierarchyStats stats_;
+};
+
+} // namespace tps::tlb
+
+#endif // TPS_TLB_TLB_HIERARCHY_HH

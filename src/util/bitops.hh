@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Bit-manipulation helpers used throughout the library: power-of-two
+ * predicates, alignment, log2, bit-field extraction and mask builders.
+ */
+
+#ifndef TPS_UTIL_BITOPS_HH
+#define TPS_UTIL_BITOPS_HH
+
+#include <bit>
+#include <cstdint>
+
+namespace tps {
+
+/** True iff @p v is a (nonzero) power of two. */
+constexpr bool
+isPowerOfTwo(uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** floor(log2(v)); @p v must be nonzero. */
+constexpr unsigned
+log2Floor(uint64_t v)
+{
+    return 63u - static_cast<unsigned>(std::countl_zero(v));
+}
+
+/** ceil(log2(v)); @p v must be nonzero. */
+constexpr unsigned
+log2Ceil(uint64_t v)
+{
+    return v <= 1 ? 0 : log2Floor(v - 1) + 1;
+}
+
+/** Round @p v down to a multiple of power-of-two @p align. */
+constexpr uint64_t
+alignDown(uint64_t v, uint64_t align)
+{
+    return v & ~(align - 1);
+}
+
+/** Round @p v up to a multiple of power-of-two @p align. */
+constexpr uint64_t
+alignUp(uint64_t v, uint64_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+/** True iff @p v is a multiple of power-of-two @p align. */
+constexpr bool
+isAligned(uint64_t v, uint64_t align)
+{
+    return (v & (align - 1)) == 0;
+}
+
+/** Extract bits [hi:lo] (inclusive) of @p v, right-justified. */
+constexpr uint64_t
+bits(uint64_t v, unsigned hi, unsigned lo)
+{
+    return (v >> lo) &
+           ((hi - lo >= 63) ? ~0ull : ((1ull << (hi - lo + 1)) - 1));
+}
+
+/** A mask with bits [hi:lo] (inclusive) set. */
+constexpr uint64_t
+mask(unsigned hi, unsigned lo)
+{
+    return ((hi - lo >= 63) ? ~0ull : ((1ull << (hi - lo + 1)) - 1)) << lo;
+}
+
+/** A mask with the low @p n bits set (n <= 64). */
+constexpr uint64_t
+lowMask(unsigned n)
+{
+    return n >= 64 ? ~0ull : (1ull << n) - 1;
+}
+
+/** Number of trailing one bits of @p v (the TPS NAPOT priority encoder). */
+constexpr unsigned
+countTrailingOnes(uint64_t v)
+{
+    return static_cast<unsigned>(std::countr_one(v));
+}
+
+/**
+ * Largest power of two that both divides @p addr (alignment) and is
+ * <= @p len.  Used for greedy power-of-two decomposition of ranges.
+ * @p addr == 0 is treated as maximally aligned.
+ */
+constexpr uint64_t
+largestAlignedPow2(uint64_t addr, uint64_t len)
+{
+    uint64_t align_limit = addr == 0 ? ~0ull >> 1 : (addr & ~(addr - 1));
+    uint64_t len_limit = 1ull << log2Floor(len);
+    return align_limit < len_limit ? align_limit : len_limit;
+}
+
+} // namespace tps
+
+#endif // TPS_UTIL_BITOPS_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Fatal/panic/warn helpers in the gem5 spirit.
+ *
+ * panic() flags an internal library bug (invariant violation) and aborts;
+ * fatal() flags a user error (bad configuration, impossible request) and
+ * exits with status 1; warn()/inform() report conditions without stopping.
+ */
+
+#ifndef TPS_UTIL_LOGGING_HH
+#define TPS_UTIL_LOGGING_HH
+
+#include <cstdarg>
+#include <cstdint>
+
+namespace tps {
+
+/** Print a formatted internal-bug message with location and abort(). */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+/** Print a formatted user-error message with location and exit(1). */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+/** Print a formatted warning to stderr. */
+void warnImpl(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a formatted status message to stderr. */
+void informImpl(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+#define tps_panic(...) ::tps::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define tps_fatal(...) ::tps::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define tps_warn(...) ::tps::warnImpl(__VA_ARGS__)
+#define tps_inform(...) ::tps::informImpl(__VA_ARGS__)
+
+/** Assert an invariant that indicates a library bug when violated. */
+#define tps_assert(cond, ...)                                               \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::tps::panicImpl(__FILE__, __LINE__, "assertion failed: %s",    \
+                             #cond);                                        \
+        }                                                                   \
+    } while (0)
+
+} // namespace tps
+
+#endif // TPS_UTIL_LOGGING_HH

@@ -1,0 +1,74 @@
+#include "util/rng.hh"
+
+#include <cmath>
+
+namespace tps {
+
+namespace {
+
+/**
+ * Generalized harmonic number H(n, theta) = sum_{i=1..n} 1/i^theta,
+ * computed exactly up to a cap and extended with the Euler-Maclaurin
+ * integral approximation beyond it so construction stays O(1)-ish for
+ * billion-element universes.
+ */
+constexpr uint64_t kExactZetaCap = 1u << 20;
+
+} // namespace
+
+double
+ZipfSampler::zeta(uint64_t n, double theta)
+{
+    uint64_t exact = n < kExactZetaCap ? n : kExactZetaCap;
+    double sum = 0.0;
+    for (uint64_t i = 1; i <= exact; ++i)
+        sum += std::pow(1.0 / static_cast<double>(i), theta);
+    if (n > exact) {
+        // Integral tail: int_{exact}^{n} x^-theta dx.
+        double a = static_cast<double>(exact);
+        double b = static_cast<double>(n);
+        if (theta == 1.0) {
+            sum += std::log(b / a);
+        } else {
+            sum += (std::pow(b, 1.0 - theta) - std::pow(a, 1.0 - theta)) /
+                   (1.0 - theta);
+        }
+    }
+    return sum;
+}
+
+ZipfSampler::ZipfSampler(uint64_t n, double theta)
+    : n_(n), theta_(theta)
+{
+    tps_assert(n_ > 0);
+    if (theta_ <= 0.0) {
+        // Degenerate to uniform; sample() special-cases this.
+        alpha_ = zetan_ = eta_ = zeta2_ = 0.0;
+        return;
+    }
+    alpha_ = 1.0 / (1.0 - theta_);
+    zetan_ = zeta(n_, theta_);
+    zeta2_ = zeta(2, theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2_ / zetan_);
+}
+
+uint64_t
+ZipfSampler::sample(Pcg32 &rng) const
+{
+    if (theta_ <= 0.0)
+        return rng.below64(n_);
+    // Standard YCSB/Gray et al. quick Zipf sampling.
+    double u = rng.uniform();
+    double uz = u * zetan_;
+    if (uz < 1.0)
+        return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_))
+        return 1;
+    double v = static_cast<double>(n_) *
+               std::pow(eta_ * u - eta_ + 1.0, alpha_);
+    uint64_t r = static_cast<uint64_t>(v);
+    return r >= n_ ? n_ - 1 : r;
+}
+
+} // namespace tps

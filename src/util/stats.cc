@@ -1,0 +1,76 @@
+#include "util/stats.hh"
+
+#include <cmath>
+
+namespace tps {
+
+void
+Summary::add(double v)
+{
+    if (count_ == 0) {
+        min_ = max_ = v;
+    } else {
+        if (v < min_)
+            min_ = v;
+        if (v > max_)
+            max_ = v;
+    }
+    ++count_;
+    sum_ += v;
+    if (v > 0.0)
+        logSum_ += std::log(v);
+    else
+        allPositive_ = false;
+}
+
+double
+Summary::geomean() const
+{
+    if (count_ == 0 || !allPositive_)
+        return 0.0;
+    return std::exp(logSum_ / static_cast<double>(count_));
+}
+
+void
+Histogram::add(uint64_t key, uint64_t n)
+{
+    buckets_[key] += n;
+    total_ += n;
+}
+
+uint64_t
+Histogram::at(uint64_t key) const
+{
+    auto it = buckets_.find(key);
+    return it == buckets_.end() ? 0 : it->second;
+}
+
+void
+Histogram::clear()
+{
+    buckets_.clear();
+    total_ = 0;
+}
+
+double
+ratio(uint64_t a, uint64_t b)
+{
+    return b == 0 ? 0.0 : static_cast<double>(a) / static_cast<double>(b);
+}
+
+double
+percent(uint64_t a, uint64_t b)
+{
+    return 100.0 * ratio(a, b);
+}
+
+double
+percentEliminated(uint64_t baseline, uint64_t with)
+{
+    if (baseline == 0)
+        return 0.0;
+    double delta = static_cast<double>(baseline) - static_cast<double>(with);
+    return 100.0 * delta / static_cast<double>(baseline);
+}
+
+} // namespace tps

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Lightweight statistics accumulators: scalar counters with ratio helpers,
+ * running mean/min/max summaries, and integer histograms keyed by bucket.
+ */
+
+#ifndef TPS_UTIL_STATS_HH
+#define TPS_UTIL_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tps {
+
+/** Running summary of a stream of doubles (count/mean/min/max/sum). */
+class Summary
+{
+  public:
+    /** Fold one sample into the summary. */
+    void add(double v);
+
+    uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+    /** Geometric mean; all samples must have been positive. */
+    double geomean() const;
+
+  private:
+    uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double logSum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    bool allPositive_ = true;
+};
+
+/** Sparse integer histogram (bucket key -> count). */
+class Histogram
+{
+  public:
+    /** Add @p n occurrences of bucket @p key. */
+    void add(uint64_t key, uint64_t n = 1);
+
+    /** Count in bucket @p key (0 if absent). */
+    uint64_t at(uint64_t key) const;
+
+    /** Total count across all buckets. */
+    uint64_t total() const { return total_; }
+
+    /** Buckets in ascending key order. */
+    const std::map<uint64_t, uint64_t> &buckets() const { return buckets_; }
+
+    /** Remove all contents. */
+    void clear();
+
+  private:
+    std::map<uint64_t, uint64_t> buckets_;
+    uint64_t total_ = 0;
+};
+
+/** Safe ratio a/b returning 0 when b == 0. */
+double ratio(uint64_t a, uint64_t b);
+
+/** Safe percentage 100*a/b returning 0 when b == 0. */
+double percent(uint64_t a, uint64_t b);
+
+/**
+ * Percentage of events eliminated going from @p baseline to @p with:
+ * 100 * (baseline - with) / baseline, clamped so a regression reports a
+ * negative elimination rather than wrapping.
+ */
+double percentEliminated(uint64_t baseline, uint64_t with);
+
+} // namespace tps
+
+#endif // TPS_UTIL_STATS_HH

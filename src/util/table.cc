@@ -1,0 +1,122 @@
+#include "util/table.hh"
+
+#include <cstdio>
+#include <iomanip>
+
+#include "util/logging.hh"
+
+namespace tps {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    tps_assert(!headers_.empty());
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    tps_assert(cells.size() == headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            os << (c == 0 ? "" : "  ");
+            // Left-align the first column (names), right-align numbers.
+            if (c == 0)
+                os << std::left << std::setw(static_cast<int>(widths[c]))
+                   << row[c];
+            else
+                os << std::right << std::setw(static_cast<int>(widths[c]))
+                   << row[c];
+        }
+        os << "\n";
+    };
+
+    emit_row(headers_);
+    size_t total = 0;
+    for (size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c == 0 ? 0 : 2);
+    os << std::string(total, '-') << "\n";
+    for (const auto &row : rows_)
+        emit_row(row);
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c)
+            os << (c == 0 ? "" : ",") << row[c];
+        os << "\n";
+    };
+    emit(headers_);
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+std::string
+fmtDouble(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+std::string
+fmtPercent(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.1f%%", v);
+    return buf;
+}
+
+std::string
+fmtSize(uint64_t bytes)
+{
+    static const char *suffix[] = {"B", "KB", "MB", "GB", "TB"};
+    int s = 0;
+    uint64_t v = bytes;
+    while (v >= 1024 && (v % 1024) == 0 && s < 4) {
+        v /= 1024;
+        ++s;
+    }
+    char buf[64];
+    if (v >= 1024) {
+        // Not a clean multiple; print one decimal of the next unit up.
+        std::snprintf(buf, sizeof(buf), "%.1f%s",
+                      static_cast<double>(v) / 1024.0, suffix[s + 1]);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%llu%s",
+                      static_cast<unsigned long long>(v), suffix[s]);
+    }
+    return buf;
+}
+
+std::string
+fmtCount(uint64_t v)
+{
+    std::string digits = std::to_string(v);
+    std::string out;
+    int c = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (c && c % 3 == 0)
+            out.push_back(',');
+        out.push_back(*it);
+        ++c;
+    }
+    return std::string(out.rbegin(), out.rend());
+}
+
+} // namespace tps

@@ -1,0 +1,76 @@
+#include "vm/ad_bitvector.hh"
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace tps::vm {
+
+AdBitVector::AdBitVector(unsigned page_bits, unsigned max_bits)
+    : pageBits_(page_bits)
+{
+    tps_assert(page_bits > kBasePageBits);
+    tps_assert(max_bits >= 1 && isPowerOfTwo(max_bits));
+    // One bit per constituent base page, bounded by max_bits (and by
+    // what the alias PTEs can store).
+    unsigned constituent = 1u << (page_bits - kBasePageBits);
+    bits_ = constituent < max_bits ? constituent : max_bits;
+    unsigned avail = availableAliasBits(page_bits);
+    if (avail > 0 && bits_ > avail)
+        bits_ = 1u << log2Floor(avail);
+    granuleBits_ = pageBits_ - log2Floor(bits_);
+}
+
+unsigned
+AdBitVector::bitIndex(uint64_t offset) const
+{
+    tps_assert(offset < (1ull << pageBits_));
+    return static_cast<unsigned>(offset >> granuleBits_);
+}
+
+bool
+AdBitVector::markAccessed(uint64_t offset)
+{
+    uint64_t bit = 1ull << bitIndex(offset);
+    if (accessed_ & bit)
+        return false;   // sticky: no PTE store needed
+    accessed_ |= bit;
+    return true;
+}
+
+bool
+AdBitVector::markDirty(uint64_t offset)
+{
+    uint64_t bit = 1ull << bitIndex(offset);
+    bool store = (dirty_ & bit) == 0 || (accessed_ & bit) == 0;
+    dirty_ |= bit;
+    accessed_ |= bit;
+    return store;
+}
+
+uint64_t
+AdBitVector::dirtyBytes() const
+{
+    return static_cast<uint64_t>(std::popcount(dirty_))
+           << granuleBits_;
+}
+
+unsigned
+AdBitVector::availableAliasBits(unsigned page_bits)
+{
+    // Alias PTEs at the leaf level: 2^span - 1 of them, each donating
+    // its PFN payload bits above the NAPOT size code.
+    unsigned span = spanBits(page_bits);
+    if (span == 0) {
+        // Conventional-boundary sizes (2 MB/1 GB) have no aliases at
+        // their own level; fall back to the in-PTE reserved bits.
+        return 10;
+    }
+    unsigned aliases = (1u << span) - 1;
+    unsigned k = page_bits - kBasePageBits;
+    unsigned payload =
+        Pte::kPfnBits > k ? Pte::kPfnBits - k : 0;
+    unsigned total = aliases * payload;
+    return total > 512 ? 512 : total;
+}
+
+} // namespace tps::vm

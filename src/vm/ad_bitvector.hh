@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Fine-grained Accessed/Dirty tracking for tailored pages
+ * (paper Sec. III-C1).
+ *
+ * A tailored page's alias PTEs have unused PFN bits; collected into a
+ * bit vector they can record which *constituent conventional pages*
+ * were referenced/modified, so swapping and write-back keep base-page
+ * granularity despite the large mapping.  Tracking is bounded (16 bits
+ * by default): each bit covers pageBytes / bits, so the granularity is
+ * a function of page size exactly as the paper describes.  Updates are
+ * sticky -- once a bit is set, no further PTE store is needed for that
+ * granule -- mirroring the hardware's suppressed-update behaviour.
+ */
+
+#ifndef TPS_VM_AD_BITVECTOR_HH
+#define TPS_VM_AD_BITVECTOR_HH
+
+#include <cstdint>
+
+#include "vm/addr.hh"
+#include "vm/page_table.hh"
+
+namespace tps::vm {
+
+/** Per-tailored-page A/D bit vector. */
+class AdBitVector
+{
+  public:
+    /** Default bound on tracked bits (the paper's 16-bit example). */
+    static constexpr unsigned kDefaultBits = 16;
+
+    /**
+     * @param page_bits  log2 size of the tailored page tracked.
+     * @param max_bits   Bound on vector length (power of two).
+     */
+    explicit AdBitVector(unsigned page_bits,
+                         unsigned max_bits = kDefaultBits);
+
+    /** Number of bits actually tracked. */
+    unsigned bits() const { return bits_; }
+
+    /** log2 bytes covered by one bit. */
+    unsigned granuleBits() const { return granuleBits_; }
+
+    /**
+     * Record a read at @p offset within the page.
+     * @return true if this update required a PTE store (bit was clear).
+     */
+    bool markAccessed(uint64_t offset);
+
+    /** Record a write at @p offset (sets both A and D granule bits). */
+    bool markDirty(uint64_t offset);
+
+    /** Accessed-granule mask. */
+    uint64_t accessedMask() const { return accessed_; }
+
+    /** Dirty-granule mask. */
+    uint64_t dirtyMask() const { return dirty_; }
+
+    /** Bytes that must be written back (dirty granules). */
+    uint64_t dirtyBytes() const;
+
+    /**
+     * Storage capacity check: bits available in the page's alias PTEs
+     * for metadata.  Pointer-mode aliases donate their unused PFN
+     * payload bits; the true PTE stores nothing extra.
+     */
+    static unsigned availableAliasBits(unsigned page_bits);
+
+  private:
+    unsigned bitIndex(uint64_t offset) const;
+
+    unsigned pageBits_;
+    unsigned bits_;
+    unsigned granuleBits_;
+    uint64_t accessed_ = 0;
+    uint64_t dirty_ = 0;
+};
+
+} // namespace tps::vm
+
+#endif // TPS_VM_AD_BITVECTOR_HH

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Address types and paging geometry constants for the x86-64-style
+ * virtual-memory substrate.
+ *
+ * The library models a 48-bit canonical virtual address space translated
+ * by a 4-level radix page table (9 index bits per level, 512 entries per
+ * node) onto a physical address space of up to 52 bits.  The base page is
+ * 4 KB.  Tailored Page Sizes extends the leaf vocabulary to any power of
+ * two >= 4 KB; size is expressed throughout as log2(bytes).
+ */
+
+#ifndef TPS_VM_ADDR_HH
+#define TPS_VM_ADDR_HH
+
+#include <cstdint>
+
+#include "util/bitops.hh"
+
+namespace tps::vm {
+
+/** A virtual byte address. */
+using Vaddr = uint64_t;
+/** A physical byte address. */
+using Paddr = uint64_t;
+/** A physical frame number (physical address >> kBasePageBits). */
+using Pfn = uint64_t;
+/** A virtual page number (virtual address >> kBasePageBits). */
+using Vpn = uint64_t;
+
+/** log2 of the base (smallest) page size: 4 KB. */
+constexpr unsigned kBasePageBits = 12;
+/** The base page size in bytes. */
+constexpr uint64_t kBasePageBytes = 1ull << kBasePageBits;
+
+/** Radix-tree index bits per level (512-entry nodes). */
+constexpr unsigned kIndexBits = 9;
+/** Entries per page-table node. */
+constexpr unsigned kPtesPerNode = 1u << kIndexBits;
+
+/** Number of page-table levels (PML4=4, PDPT=3, PD=2, PT=1). */
+constexpr unsigned kLevels = 4;
+
+/** Virtual-address bits covered by translation (48-bit canonical). */
+constexpr unsigned kVaBits = kBasePageBits + kLevels * kIndexBits;
+
+/** log2 page size of a conventional leaf at @p level (1->4K,2->2M,3->1G). */
+constexpr unsigned
+levelPageBits(unsigned level)
+{
+    return kBasePageBits + (level - 1) * kIndexBits;
+}
+
+/** Conventional x86-64 page sizes, as log2(bytes). */
+constexpr unsigned kPageBits4K = levelPageBits(1);   // 12
+constexpr unsigned kPageBits2M = levelPageBits(2);   // 21
+constexpr unsigned kPageBits1G = levelPageBits(3);   // 30
+
+/** Largest tailored page size supported, as log2(bytes): 256 GB. */
+constexpr unsigned kMaxPageBits = 38;
+
+/** The 9-bit page-table index of @p va at @p level (1..4). */
+constexpr unsigned
+vaIndex(Vaddr va, unsigned level)
+{
+    return static_cast<unsigned>(
+        (va >> (kBasePageBits + (level - 1) * kIndexBits)) &
+        (kPtesPerNode - 1));
+}
+
+/** Virtual page number of @p va for a page of 2^@p page_bits bytes. */
+constexpr Vpn
+vpnOf(Vaddr va, unsigned page_bits = kBasePageBits)
+{
+    return va >> page_bits;
+}
+
+/** Byte offset of @p va within a page of 2^@p page_bits bytes. */
+constexpr uint64_t
+pageOffset(Vaddr va, unsigned page_bits)
+{
+    return va & lowMask(page_bits);
+}
+
+/** The page-table level at which a 2^@p page_bits page's leaf lives. */
+constexpr unsigned
+leafLevel(unsigned page_bits)
+{
+    return 1 + (page_bits - kBasePageBits) / kIndexBits;
+}
+
+/**
+ * Number of low index bits at the leaf level that are actually page
+ * offset for a 2^@p page_bits page (0 for conventional sizes).  A
+ * tailored page spans 2^spanBits consecutive PTE slots at its leaf level;
+ * all but one of them are alias PTEs.
+ */
+constexpr unsigned
+spanBits(unsigned page_bits)
+{
+    return (page_bits - kBasePageBits) % kIndexBits;
+}
+
+/** True iff 2^@p page_bits is a conventional x86-64 size (4K/2M/1G). */
+constexpr bool
+isConventional(unsigned page_bits)
+{
+    return page_bits <= kPageBits1G && spanBits(page_bits) == 0;
+}
+
+} // namespace tps::vm
+
+#endif // TPS_VM_ADDR_HH

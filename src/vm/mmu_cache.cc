@@ -1,0 +1,96 @@
+#include "vm/mmu_cache.hh"
+
+#include "util/logging.hh"
+
+namespace tps::vm {
+
+MmuCache::MmuCache(const MmuCacheConfig &cfg)
+{
+    levels_[4].entries.resize(cfg.pml4Entries);
+    levels_[3].entries.resize(cfg.pdpteEntries);
+    levels_[2].entries.resize(cfg.pdeEntries);
+}
+
+uint64_t
+MmuCache::prefixOf(Vaddr va, unsigned level)
+{
+    // Index bits of levels kLevels..level, i.e. va[47 : 12+9*(level-1)].
+    return va >> (kBasePageBits + (level - 1) * kIndexBits);
+}
+
+unsigned
+MmuCache::lookup(Vaddr va, uint64_t generation, PageTableNode *&node)
+{
+    ++stats_.lookups;
+    ++tick_;
+    // Probe deepest first: a PDE-cache hit saves the most accesses.
+    for (unsigned level = 2; level <= kLevels; ++level) {
+        uint64_t prefix = prefixOf(va, level);
+        for (auto &e : levels_[level].entries) {
+            if (e.valid && e.prefix == prefix &&
+                e.generation == generation) {
+                e.lastUse = tick_;
+                node = e.node;
+                ++stats_.hits[level];
+                return level;
+            }
+        }
+    }
+    return 0;
+}
+
+void
+MmuCache::fill(Vaddr va, unsigned level, uint64_t generation,
+               PageTableNode *node)
+{
+    tps_assert(level >= 2 && level <= kLevels);
+    tps_assert(node != nullptr);
+    ++tick_;
+    uint64_t prefix = prefixOf(va, level);
+    auto &entries = levels_[level].entries;
+    if (entries.empty())
+        return;
+    Entry *victim = &entries[0];
+    for (auto &e : entries) {
+        if (e.valid && e.prefix == prefix && e.generation == generation) {
+            e.node = node;
+            e.lastUse = tick_;
+            return;
+        }
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (e.lastUse < victim->lastUse)
+            victim = &e;
+    }
+    victim->valid = true;
+    victim->prefix = prefix;
+    victim->generation = generation;
+    victim->node = node;
+    victim->lastUse = tick_;
+    ++stats_.fills;
+}
+
+void
+MmuCache::invalidateAll()
+{
+    for (unsigned level = 2; level <= kLevels; ++level)
+        for (auto &e : levels_[level].entries)
+            e.valid = false;
+    ++stats_.invalidations;
+}
+
+void
+MmuCache::invalidate(Vaddr va)
+{
+    for (unsigned level = 2; level <= kLevels; ++level) {
+        uint64_t prefix = prefixOf(va, level);
+        for (auto &e : levels_[level].entries)
+            if (e.valid && e.prefix == prefix)
+                e.valid = false;
+    }
+    ++stats_.invalidations;
+}
+
+} // namespace tps::vm

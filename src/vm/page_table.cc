@@ -1,0 +1,337 @@
+#include "vm/page_table.hh"
+
+#include "util/logging.hh"
+
+namespace tps::vm {
+
+PageTable::PageTable(FrameProvider &provider, SizeEncoding enc,
+                     AliasMode alias)
+    : provider_(provider), enc_(enc), alias_(alias),
+      root_(std::make_unique<PageTableNode>())
+{
+    root_->framePfn = provider_.allocTableFrame();
+    ++stats_.nodesAllocated;
+}
+
+PageTable::~PageTable()
+{
+    // Return every table frame, including the root's.
+    for (auto &child : root_->children)
+        freeSubtree(std::move(child));
+    provider_.freeTableFrame(root_->framePfn);
+}
+
+void
+PageTable::freeSubtree(std::unique_ptr<PageTableNode> node)
+{
+    if (!node)
+        return;
+    for (auto &child : node->children)
+        freeSubtree(std::move(child));
+    provider_.freeTableFrame(node->framePfn);
+    ++stats_.nodesFreed;
+    --liveNodes_;
+    ++generation_;
+}
+
+PageTableNode *
+PageTable::ensureNode(Vaddr va, unsigned level)
+{
+    tps_assert(level >= 1 && level <= kLevels);
+    PageTableNode *node = root_.get();
+    for (unsigned l = kLevels; l > level; --l) {
+        unsigned idx = vaIndex(va, l);
+        Pte &pte = node->ptes[idx];
+        if (pte.present() && (pte.pageSize() || pte.tailored())) {
+            tps_panic("mapping inside an existing level-%u leaf "
+                      "(va=%#llx); demote it first",
+                      l, static_cast<unsigned long long>(va));
+        }
+        if (!node->children[idx]) {
+            auto child = std::make_unique<PageTableNode>();
+            child->framePfn = provider_.allocTableFrame();
+            ++stats_.nodesAllocated;
+            ++liveNodes_;
+            Pte dir;
+            dir.setPresent(true);
+            dir.setWritable(true);
+            dir.setUser(true);
+            dir.setRawPfn(child->framePfn);
+            pte = dir;
+            ++stats_.pteWrites;
+            node->children[idx] = std::move(child);
+        }
+        node = node->children[idx].get();
+    }
+    return node;
+}
+
+PageTableNode *
+PageTable::findNode(Vaddr va, unsigned level) const
+{
+    PageTableNode *node = root_.get();
+    for (unsigned l = kLevels; l > level; --l) {
+        unsigned idx = vaIndex(va, l);
+        if (!node->children[idx])
+            return nullptr;
+        node = node->children[idx].get();
+    }
+    return node;
+}
+
+void
+PageTable::writeLeaf(PageTableNode *node, unsigned idx, unsigned span,
+                     const Pte &true_pte)
+{
+    unsigned slots = 1u << span;
+    tps_assert((idx & (slots - 1)) == 0);
+    for (unsigned s = 0; s < slots; ++s) {
+        Pte slot_pte;
+        if (s == 0) {
+            slot_pte = true_pte;
+        } else if (alias_ == AliasMode::FullCopy) {
+            slot_pte = true_pte;
+            slot_pte.setAlias(true);
+            ++stats_.aliasWrites;
+        } else {
+            // Pointer-mode alias: present, tailored, size code only.
+            slot_pte.setPresent(true);
+            slot_pte.setTailored(true);
+            slot_pte.setAlias(true);
+            if (true_pte.pageSize())
+                slot_pte.setPageSize(true);
+            if (enc_ == SizeEncoding::Napot) {
+                // Size code (k-1 trailing ones, then a zero) with no PFN
+                // payload; k is the full log2-span over base pages.
+                unsigned k = countTrailingOnes(true_pte.rawPfn()) + 1;
+                slot_pte.setRawPfn(lowMask(k - 1));
+            } else {
+                slot_pte.setSizeField(span);
+            }
+            ++stats_.aliasWrites;
+        }
+        node->ptes[idx + s] = slot_pte;
+        ++stats_.pteWrites;
+    }
+}
+
+void
+PageTable::map(Vaddr va, Pfn pfn, unsigned page_bits, bool writable,
+               bool user)
+{
+    tps_assert(page_bits >= kBasePageBits && page_bits <= kMaxPageBits);
+    tps_assert(isAligned(va, 1ull << page_bits));
+    tps_assert(isAligned(pfn, 1ull << (page_bits - kBasePageBits)));
+
+    unsigned level = leafLevel(page_bits);
+    unsigned span = spanBits(page_bits);
+    PageTableNode *node = ensureNode(va, level);
+    unsigned idx = vaIndex(va, level);
+
+    // Promotion over finer-grained mappings: drop any child subtrees in
+    // the covered slots before overwriting them with leaf entries.
+    unsigned slots = 1u << span;
+    for (unsigned s = 0; s < slots; ++s) {
+        if (node->children[idx + s])
+            freeSubtree(std::move(node->children[idx + s]));
+    }
+
+    Pte leaf = makeLeafPte(pfn, page_bits, level, writable, user, enc_);
+    writeLeaf(node, idx, span, leaf);
+    ++stats_.mapOps;
+}
+
+std::optional<PageTable::LeafRef>
+PageTable::findLeaf(Vaddr va) const
+{
+    PageTableNode *node = root_.get();
+    for (unsigned l = kLevels; l >= 1; --l) {
+        unsigned idx = vaIndex(va, l);
+        const Pte &pte = node->ptes[idx];
+        if (!pte.present())
+            return std::nullopt;
+        bool is_leaf = (l == 1) || pte.pageSize();
+        if (is_leaf) {
+            unsigned span = 0;
+            if (pte.tailored()) {
+                LeafInfo info = decodeLeafPte(pte, l, enc_);
+                span = spanBits(info.pageBits);
+            }
+            unsigned true_idx = idx & ~lowMask(span);
+            return LeafRef{node, l, true_idx, span};
+        }
+        tps_assert(node->children[idx]);
+        node = node->children[idx].get();
+    }
+    return std::nullopt;
+}
+
+std::optional<LeafInfo>
+PageTable::unmap(Vaddr va)
+{
+    auto leaf = findLeaf(va);
+    if (!leaf)
+        return std::nullopt;
+    LeafInfo info =
+        decodeLeafPte(leaf->node->ptes[leaf->trueIdx], leaf->level, enc_);
+    unsigned slots = 1u << leaf->span;
+    for (unsigned s = 0; s < slots; ++s) {
+        tps_assert(!leaf->node->children[leaf->trueIdx + s]);
+        leaf->node->ptes[leaf->trueIdx + s] = Pte();
+        ++stats_.pteWrites;
+    }
+    ++stats_.unmapOps;
+    return info;
+}
+
+std::optional<LookupResult>
+PageTable::lookup(Vaddr va) const
+{
+    auto leaf = findLeaf(va);
+    if (!leaf)
+        return std::nullopt;
+    LookupResult res;
+    res.leaf =
+        decodeLeafPte(leaf->node->ptes[leaf->trueIdx], leaf->level, enc_);
+    res.pageBase = alignDown(va, 1ull << res.leaf.pageBits);
+    return res;
+}
+
+void
+PageTable::setLeafBit(Vaddr va, uint64_t bit)
+{
+    auto leaf = findLeaf(va);
+    if (!leaf)
+        return;
+    Pte &true_pte = leaf->node->ptes[leaf->trueIdx];
+    if ((true_pte.raw() & bit) == bit)
+        return;   // sticky; already set
+    true_pte = Pte(true_pte.raw() | bit);
+    ++stats_.pteWrites;
+    if (alias_ == AliasMode::FullCopy) {
+        unsigned slots = 1u << leaf->span;
+        for (unsigned s = 1; s < slots; ++s) {
+            Pte &a = leaf->node->ptes[leaf->trueIdx + s];
+            a = Pte(a.raw() | bit);
+            ++stats_.pteWrites;
+            ++stats_.aliasWrites;
+        }
+    }
+}
+
+bool
+PageTable::setWritable(Vaddr va, bool writable)
+{
+    auto leaf = findLeaf(va);
+    if (!leaf)
+        return false;
+    auto apply = [&](Pte &pte) {
+        uint64_t raw = pte.raw();
+        if (writable)
+            raw |= Pte::kWritable;
+        else
+            raw &= ~Pte::kWritable;
+        if (raw != pte.raw()) {
+            pte = Pte(raw);
+            ++stats_.pteWrites;
+        }
+    };
+    apply(leaf->node->ptes[leaf->trueIdx]);
+    if (alias_ == AliasMode::FullCopy) {
+        unsigned slots = 1u << leaf->span;
+        for (unsigned s = 1; s < slots; ++s)
+            apply(leaf->node->ptes[leaf->trueIdx + s]);
+    }
+    return true;
+}
+
+bool
+PageTable::demote(Vaddr va, unsigned target_bits)
+{
+    tps_assert(target_bits >= kBasePageBits);
+    auto res = lookup(va);
+    if (!res || res->leaf.pageBits <= target_bits)
+        return false;
+
+    LeafInfo big = res->leaf;
+    Vaddr base = res->pageBase;
+    auto removed = unmap(base);
+    tps_assert(removed.has_value());
+
+    uint64_t pieces = 1ull << (big.pageBits - target_bits);
+    uint64_t frames_per_piece =
+        1ull << (target_bits - kBasePageBits);
+    for (uint64_t i = 0; i < pieces; ++i) {
+        Vaddr piece_va = base + (i << target_bits);
+        Pfn piece_pfn = big.pfn + i * frames_per_piece;
+        map(piece_va, piece_pfn, target_bits, big.writable, big.user);
+        if (big.accessed)
+            setAccessed(piece_va);
+        if (big.dirty)
+            setDirty(piece_va);
+    }
+    return true;
+}
+
+void
+PageTable::setAccessed(Vaddr va)
+{
+    setLeafBit(va, Pte::kAccessed);
+}
+
+void
+PageTable::setDirty(Vaddr va)
+{
+    setLeafBit(va, Pte::kDirty | Pte::kAccessed);
+}
+
+uint64_t
+PageTable::tableBytes() const
+{
+    return liveNodes_ * kBasePageBytes;
+}
+
+void
+PageTable::visitNode(const PageTableNode *node, unsigned level,
+                     Vaddr prefix, Vaddr start, Vaddr end,
+                     const LeafVisitor &visit) const
+{
+    uint64_t entry_span = 1ull << (kBasePageBits + (level - 1) * kIndexBits);
+    for (unsigned idx = 0; idx < kPtesPerNode; ++idx) {
+        Vaddr base = prefix + idx * entry_span;
+        if (base >= end || base + entry_span <= start)
+            continue;
+        const Pte &pte = node->ptes[idx];
+        if (!pte.present())
+            continue;
+        bool is_leaf = (level == 1) || pte.pageSize();
+        if (is_leaf) {
+            if (pte.alias())
+                continue;   // only report the true PTE
+            LeafInfo info = decodeLeafPte(pte, level, enc_);
+            if (base >= start)
+                visit(base, info);
+            // Skip the alias slots this page covers.
+            unsigned span = pte.tailored() ? spanBits(info.pageBits) : 0;
+            idx += (1u << span) - 1;
+        } else {
+            visitNode(node->children[idx].get(), level - 1, base, start,
+                      end, visit);
+        }
+    }
+}
+
+void
+PageTable::forEachLeaf(const LeafVisitor &visit) const
+{
+    visitNode(root_.get(), kLevels, 0, 0, ~0ull, visit);
+}
+
+void
+PageTable::forEachLeafInRange(Vaddr start, Vaddr end,
+                              const LeafVisitor &visit) const
+{
+    visitNode(root_.get(), kLevels, 0, start, end, visit);
+}
+
+} // namespace tps::vm

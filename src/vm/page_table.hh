@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Four-level radix page table with TPS tailored-leaf support.
+ *
+ * A tailored page of size 2^(12+k) has its leaf at level
+ * 1 + k/9 and spans 2^(k mod 9) consecutive PTE slots in one node of that
+ * level (natural alignment keeps the span inside a single node).  Exactly
+ * one slot -- the one whose low span-index bits are zero -- holds the
+ * "true" PTE; the others are alias PTEs (paper Fig. 6).  Two alias styles
+ * are modeled:
+ *
+ *  - Pointer mode: aliases carry only the T bit and size code; the walker
+ *    re-reads the true PTE at the zeroed index, one extra memory access.
+ *  - FullCopy mode: aliases replicate the whole PTE; walks need no extra
+ *    access but every PTE update fans out to all copies.
+ *
+ * The table tracks every PTE write so OS-overhead experiments can charge
+ * for alias maintenance.
+ */
+
+#ifndef TPS_VM_PAGE_TABLE_HH
+#define TPS_VM_PAGE_TABLE_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "vm/addr.hh"
+#include "vm/pte.hh"
+
+namespace tps::vm {
+
+/** Provider of physical frames for page-table nodes. */
+class FrameProvider
+{
+  public:
+    virtual ~FrameProvider() = default;
+
+    /** Allocate one base-page frame for a page-table node. */
+    virtual Pfn allocTableFrame() = 0;
+
+    /** Return a page-table frame. */
+    virtual void freeTableFrame(Pfn pfn) = 0;
+};
+
+/**
+ * Frame provider that hands out synthetic, monotonically increasing
+ * frames from a reserved high region; used by unit tests and by callers
+ * that do not model physical memory.
+ */
+class SyntheticFrameProvider : public FrameProvider
+{
+  public:
+    /** Construct handing out frames starting at @p base_pfn. */
+    explicit SyntheticFrameProvider(Pfn base_pfn = 1ull << 36)
+        : next_(base_pfn)
+    {}
+
+    Pfn allocTableFrame() override { ++live_; return next_++; }
+    void freeTableFrame(Pfn) override { --live_; }
+
+    /** Number of frames currently outstanding. */
+    uint64_t live() const { return live_; }
+
+  private:
+    Pfn next_;
+    uint64_t live_ = 0;
+};
+
+/** How alias PTEs are maintained. */
+enum class AliasMode
+{
+    Pointer,   //!< aliases hold only size info; walker re-reads true PTE
+    FullCopy,  //!< aliases are complete copies; updates fan out
+};
+
+/** One 512-entry page-table node plus child bookkeeping. */
+struct PageTableNode
+{
+    std::array<Pte, kPtesPerNode> ptes{};
+    std::array<std::unique_ptr<PageTableNode>, kPtesPerNode> children{};
+    Pfn framePfn = 0;   //!< frame backing this node (for walk addresses)
+
+    /** Physical address of the PTE slot @p idx within this node. */
+    Paddr
+    entryPaddr(unsigned idx) const
+    {
+        return (framePfn << kBasePageBits) + idx * sizeof(uint64_t);
+    }
+};
+
+/** Counters describing page-table maintenance work. */
+struct PageTableStats
+{
+    uint64_t pteWrites = 0;       //!< individual PTE slot writes
+    uint64_t aliasWrites = 0;     //!< subset of pteWrites that hit aliases
+    uint64_t nodesAllocated = 0;
+    uint64_t nodesFreed = 0;
+    uint64_t mapOps = 0;
+    uint64_t unmapOps = 0;
+};
+
+/** Outcome of a functional (stat-free) lookup. */
+struct LookupResult
+{
+    LeafInfo leaf;
+    Vaddr pageBase = 0;   //!< VA of the first byte of the containing page
+};
+
+/**
+ * The page table proper.  All mapping operations take naturally aligned
+ * (va, pfn, page_bits) triples; the OS layer is responsible for choosing
+ * them (that is the TPS policy's job).
+ */
+class PageTable
+{
+  public:
+    /**
+     * @param provider  Source of frames for table nodes.
+     * @param enc       Tailored-size encoding used in leaf PTEs.
+     * @param alias     Alias-PTE maintenance mode.
+     */
+    PageTable(FrameProvider &provider,
+              SizeEncoding enc = SizeEncoding::Napot,
+              AliasMode alias = AliasMode::Pointer);
+    ~PageTable();
+
+    PageTable(const PageTable &) = delete;
+    PageTable &operator=(const PageTable &) = delete;
+
+    /**
+     * Install a mapping for the 2^@p page_bits page containing @p va.
+     *
+     * @pre va and pfn are naturally aligned to the page size, and the
+     *      region is not currently mapped at a *larger* size.
+     * Overwrites any existing smaller-size mappings inside the region
+     * (this is exactly how page promotion is realized).
+     */
+    void map(Vaddr va, Pfn pfn, unsigned page_bits, bool writable,
+             bool user);
+
+    /**
+     * Remove the mapping of the page containing @p va.
+     * @return the leaf info of the removed mapping, or nullopt.
+     */
+    std::optional<LeafInfo> unmap(Vaddr va);
+
+    /** Functional translate of @p va (no stats, no A/D updates). */
+    std::optional<LookupResult> lookup(Vaddr va) const;
+
+    /** Set the Accessed bit of the page containing @p va. */
+    void setAccessed(Vaddr va);
+
+    /** Set the Dirty bit of the page containing @p va. */
+    void setDirty(Vaddr va);
+
+    /**
+     * Set or clear the Writable bit of the page containing @p va
+     * (copy-on-write arming/disarming).
+     * @return false if the page is not mapped.
+     */
+    bool setWritable(Vaddr va, bool writable);
+
+    /**
+     * Demote (split) the page containing @p va into constituent pages
+     * of 2^@p target_bits bytes (paper Sec. III-C1: the OS may split
+     * large pages when swap or I/O pressure makes coarse A/D tracking
+     * costly).  Physical contiguity is preserved: constituent page i
+     * gets frame pfn + i * 2^(target_bits-12).  Permissions and A/D
+     * state are inherited by every constituent page.
+     *
+     * @return true on success; false if unmapped or already at or
+     *         below the target size.
+     */
+    bool demote(Vaddr va, unsigned target_bits);
+
+    /** Root node of the radix tree (level kLevels). */
+    const PageTableNode &root() const { return *root_; }
+    PageTableNode &root() { return *root_; }
+
+    AliasMode aliasMode() const { return alias_; }
+    SizeEncoding encoding() const { return enc_; }
+    const PageTableStats &stats() const { return stats_; }
+
+    /**
+     * Structural generation number; bumped whenever a node is freed so
+     * MMU-cache entries referencing freed subtrees self-invalidate.
+     */
+    uint64_t generation() const { return generation_; }
+
+    /** Bytes of physical memory consumed by table nodes. */
+    uint64_t tableBytes() const;
+
+    /** Visitor over true (non-alias) leaves: (page base VA, leaf). */
+    using LeafVisitor =
+        std::function<void(Vaddr base, const LeafInfo &leaf)>;
+
+    /** Visit every mapped page, ascending VA order. */
+    void forEachLeaf(const LeafVisitor &visit) const;
+
+    /** Visit mapped pages whose base falls in [start, end). */
+    void forEachLeafInRange(Vaddr start, Vaddr end,
+                            const LeafVisitor &visit) const;
+
+  private:
+    /** Walk to (and create) the node holding level-@p level entries. */
+    PageTableNode *ensureNode(Vaddr va, unsigned level);
+
+    /** Walk to the node holding level-@p level entries, or nullptr. */
+    PageTableNode *findNode(Vaddr va, unsigned level) const;
+
+    /** Recursively free a subtree hanging off @p node. */
+    void freeSubtree(std::unique_ptr<PageTableNode> node);
+
+    /** Write the true + alias PTE slots of a tailored/conventional leaf. */
+    void writeLeaf(PageTableNode *node, unsigned idx, unsigned span,
+                   const Pte &true_pte);
+
+    /** Find the leaf node/index for @p va, or nullptr. */
+    struct LeafRef
+    {
+        PageTableNode *node;
+        unsigned level;
+        unsigned trueIdx;
+        unsigned span;   //!< span bits of the mapping
+    };
+    std::optional<LeafRef> findLeaf(Vaddr va) const;
+
+    /** Apply @p bit to the true PTE (and aliases in FullCopy mode). */
+    void setLeafBit(Vaddr va, uint64_t bit);
+
+    /** Recursive worker for the leaf visitors. */
+    void visitNode(const PageTableNode *node, unsigned level,
+                   Vaddr prefix, Vaddr start, Vaddr end,
+                   const LeafVisitor &visit) const;
+
+    FrameProvider &provider_;
+    SizeEncoding enc_;
+    AliasMode alias_;
+    std::unique_ptr<PageTableNode> root_;
+    PageTableStats stats_;
+    uint64_t liveNodes_ = 1;
+    uint64_t generation_ = 0;
+};
+
+} // namespace tps::vm
+
+#endif // TPS_VM_PAGE_TABLE_HH

@@ -1,0 +1,265 @@
+/**
+ * @file
+ * The 64-bit page-table entry, including the two TPS size encodings.
+ *
+ * Layout (x86-64-like):
+ *
+ *   bit  0      P   present
+ *   bit  1      W   writable
+ *   bit  2      U   user-accessible
+ *   bit  5      A   accessed
+ *   bit  6      D   dirty
+ *   bit  7      PS  leaf at an upper level (2M/1G conventional, or the
+ *                   level-2/3 anchor of a tailored page)
+ *   bit  9      T   *TPS*: tailored page (paper Fig. 5)
+ *   bit 10      AL  *TPS*: alias PTE (pointer mode; cleared on true PTEs)
+ *   bit 11      V   *TPS*: fine-grained A/D bit-vector tracking enabled
+ *   bits 12..51 PFN frame number; for tailored pages the low "excess" bits
+ *                   carry the NAPOT size code (see below)
+ *   bits 52..55     explicit 4-bit size field (the alternative encoding)
+ *   bit 63      NX  no-execute
+ *
+ * NAPOT encoding (one reserved bit, paper Sec. III-A1): a tailored page of
+ * size 2^(12+k) has a true PFN whose low k bits are zero (natural
+ * alignment), so those bits are repurposed: bits [k-2:0] are set to one and
+ * bit [k-1] to zero.  A priority encoder -- count-trailing-ones -- recovers
+ * k = trailing_ones + 1.  The explicit 4-bit field encodes the *within
+ * level* span (1..8 extra offset bits) directly and is cross-checked
+ * against NAPOT decode by the test suite.
+ */
+
+#ifndef TPS_VM_PTE_HH
+#define TPS_VM_PTE_HH
+
+#include <cstdint>
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+#include "vm/addr.hh"
+
+namespace tps::vm {
+
+/** Access permissions requested by a memory reference. */
+struct AccessPerms
+{
+    bool write = false;
+    bool user = true;
+    bool execute = false;
+};
+
+/** A 64-bit page-table entry word with typed accessors. */
+class Pte
+{
+  public:
+    static constexpr uint64_t kPresent = 1ull << 0;
+    static constexpr uint64_t kWritable = 1ull << 1;
+    static constexpr uint64_t kUser = 1ull << 2;
+    static constexpr uint64_t kAccessed = 1ull << 5;
+    static constexpr uint64_t kDirty = 1ull << 6;
+    static constexpr uint64_t kPageSize = 1ull << 7;
+    static constexpr uint64_t kTailored = 1ull << 9;
+    static constexpr uint64_t kAlias = 1ull << 10;
+    static constexpr uint64_t kAdVector = 1ull << 11;
+    static constexpr uint64_t kNoExecute = 1ull << 63;
+
+    static constexpr unsigned kPfnShift = 12;
+    static constexpr unsigned kPfnBits = 40;
+    static constexpr uint64_t kPfnMask = lowMask(kPfnBits) << kPfnShift;
+
+    static constexpr unsigned kSizeFieldShift = 52;
+    static constexpr uint64_t kSizeFieldMask = 0xFull << kSizeFieldShift;
+
+    constexpr Pte() = default;
+    constexpr explicit Pte(uint64_t raw) : raw_(raw) {}
+
+    uint64_t raw() const { return raw_; }
+
+    bool present() const { return raw_ & kPresent; }
+    bool writable() const { return raw_ & kWritable; }
+    bool user() const { return raw_ & kUser; }
+    bool accessed() const { return raw_ & kAccessed; }
+    bool dirty() const { return raw_ & kDirty; }
+    bool pageSize() const { return raw_ & kPageSize; }
+    bool tailored() const { return raw_ & kTailored; }
+    bool alias() const { return raw_ & kAlias; }
+    bool adVector() const { return raw_ & kAdVector; }
+    bool noExecute() const { return raw_ & kNoExecute; }
+
+    void setPresent(bool v) { setBit(kPresent, v); }
+    void setWritable(bool v) { setBit(kWritable, v); }
+    void setUser(bool v) { setBit(kUser, v); }
+    void setAccessed(bool v) { setBit(kAccessed, v); }
+    void setDirty(bool v) { setBit(kDirty, v); }
+    void setPageSize(bool v) { setBit(kPageSize, v); }
+    void setTailored(bool v) { setBit(kTailored, v); }
+    void setAlias(bool v) { setBit(kAlias, v); }
+    void setAdVector(bool v) { setBit(kAdVector, v); }
+    void setNoExecute(bool v) { setBit(kNoExecute, v); }
+
+    /** Raw PFN field including any embedded NAPOT size code. */
+    Pfn rawPfn() const { return (raw_ & kPfnMask) >> kPfnShift; }
+
+    /** Store @p pfn into the PFN field verbatim. */
+    void
+    setRawPfn(Pfn pfn)
+    {
+        raw_ = (raw_ & ~kPfnMask) | ((pfn << kPfnShift) & kPfnMask);
+    }
+
+    /** The explicit 4-bit span field (alternative encoding). */
+    unsigned
+    sizeField() const
+    {
+        return static_cast<unsigned>((raw_ & kSizeFieldMask) >>
+                                     kSizeFieldShift);
+    }
+
+    /** Set the explicit 4-bit span field. */
+    void
+    setSizeField(unsigned span)
+    {
+        tps_assert(span < 16);
+        raw_ = (raw_ & ~kSizeFieldMask) |
+               (static_cast<uint64_t>(span) << kSizeFieldShift);
+    }
+
+    bool operator==(const Pte &o) const { return raw_ == o.raw_; }
+
+  private:
+    void
+    setBit(uint64_t bit, bool v)
+    {
+        if (v)
+            raw_ |= bit;
+        else
+            raw_ &= ~bit;
+    }
+
+    uint64_t raw_ = 0;
+};
+
+/**
+ * Encode the NAPOT size code for a tailored leaf.
+ *
+ * @param pfn        True (naturally aligned) frame number of the page.
+ * @param page_bits  log2 of the page size in bytes; must exceed
+ *                   kBasePageBits (conventional 4 KB pages use T=0).
+ * @return the PFN field value with the low k bits replaced by the code.
+ */
+constexpr Pfn
+napotEncode(Pfn pfn, unsigned page_bits)
+{
+    unsigned k = page_bits - kBasePageBits;
+    // True PFN must be aligned: low k bits zero.
+    return (pfn & ~lowMask(k)) | lowMask(k == 0 ? 0 : k - 1);
+}
+
+/**
+ * Decode a NAPOT-coded PFN field.
+ *
+ * @param raw_pfn  PFN field of a PTE with the T bit set.
+ * @param[out] page_bits  log2 page size recovered by the priority encoder.
+ * @return the true frame number (low k bits cleared).
+ */
+constexpr Pfn
+napotDecode(Pfn raw_pfn, unsigned &page_bits)
+{
+    unsigned k = countTrailingOnes(raw_pfn) + 1;
+    page_bits = kBasePageBits + k;
+    return raw_pfn & ~lowMask(k);
+}
+
+/** Decoded view of a leaf PTE, independent of encoding mode. */
+struct LeafInfo
+{
+    Pfn pfn = 0;               //!< true frame number (4 KB units)
+    unsigned pageBits = kBasePageBits; //!< log2 page size
+    bool writable = false;
+    bool user = false;
+    bool noExecute = false;
+    bool accessed = false;
+    bool dirty = false;
+};
+
+/** How tailored sizes are represented in leaf PTEs. */
+enum class SizeEncoding
+{
+    Napot,      //!< one reserved bit + trailing-ones code in the PFN
+    SizeField,  //!< explicit 4-bit size field in reserved high bits
+};
+
+/**
+ * Build the true leaf PTE for a page.
+ *
+ * @param pfn        Naturally aligned frame number.
+ * @param page_bits  log2 page size.
+ * @param level      Page-table level the leaf lives at (1..3).
+ * @param writable   Writable permission.
+ * @param user       User permission.
+ * @param enc        Tailored-size encoding mode.
+ */
+inline Pte
+makeLeafPte(Pfn pfn, unsigned page_bits, unsigned level, bool writable,
+            bool user, SizeEncoding enc = SizeEncoding::Napot)
+{
+    tps_assert(level >= 1 && level <= 3);
+    tps_assert(leafLevel(page_bits) == level);
+    tps_assert(isAligned(pfn, 1ull << (page_bits - kBasePageBits)));
+
+    Pte pte;
+    pte.setPresent(true);
+    pte.setWritable(writable);
+    pte.setUser(user);
+    if (level > 1)
+        pte.setPageSize(true);
+    if (isConventional(page_bits)) {
+        pte.setRawPfn(pfn);
+        return pte;
+    }
+    pte.setTailored(true);
+    if (enc == SizeEncoding::Napot) {
+        pte.setRawPfn(napotEncode(pfn, page_bits));
+    } else {
+        pte.setRawPfn(pfn);
+        pte.setSizeField(spanBits(page_bits) == 0
+                             ? kIndexBits
+                             : spanBits(page_bits));
+    }
+    return pte;
+}
+
+/**
+ * Decode a leaf PTE found at @p level into a LeafInfo.
+ *
+ * Works for conventional and tailored leaves in either encoding.  For a
+ * tailored leaf the size-field encoding only carries the within-level span,
+ * so the level is required to reconstruct the absolute page size.
+ */
+inline LeafInfo
+decodeLeafPte(const Pte &pte, unsigned level,
+              SizeEncoding enc = SizeEncoding::Napot)
+{
+    LeafInfo info;
+    info.writable = pte.writable();
+    info.user = pte.user();
+    info.noExecute = pte.noExecute();
+    info.accessed = pte.accessed();
+    info.dirty = pte.dirty();
+    if (!pte.tailored()) {
+        info.pageBits = levelPageBits(level);
+        info.pfn = pte.rawPfn();
+        return info;
+    }
+    if (enc == SizeEncoding::Napot) {
+        info.pfn = napotDecode(pte.rawPfn(), info.pageBits);
+    } else {
+        unsigned span = pte.sizeField();
+        info.pageBits = levelPageBits(level) + span;
+        info.pfn = pte.rawPfn();
+    }
+    return info;
+}
+
+} // namespace tps::vm
+
+#endif // TPS_VM_PTE_HH

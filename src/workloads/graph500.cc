@@ -1,0 +1,188 @@
+#include "workloads/graph500.hh"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <tuple>
+
+#include "util/logging.hh"
+
+namespace tps::workloads {
+
+namespace {
+
+/** Memoized host-side graphs, keyed by (scale, edgeFactor, seed). */
+std::map<std::tuple<unsigned, unsigned, uint64_t>,
+         std::shared_ptr<const Graph500::Csr>> graph_cache;
+std::mutex graph_cache_mutex;
+
+/** One deterministic R-MAT edge (Graph500 reference quadrants). */
+std::pair<uint32_t, uint32_t>
+rmatEdge(Pcg32 &gen, unsigned scale)
+{
+    constexpr double a = 0.57, b = 0.19, c = 0.19;
+    uint64_t src = 0, dst = 0;
+    for (unsigned bit = 0; bit < scale; ++bit) {
+        double u = gen.uniform();
+        unsigned sbit, dbit;
+        if (u < a) {
+            sbit = 0; dbit = 0;
+        } else if (u < a + b) {
+            sbit = 0; dbit = 1;
+        } else if (u < a + b + c) {
+            sbit = 1; dbit = 0;
+        } else {
+            sbit = 1; dbit = 1;
+        }
+        src = (src << 1) | sbit;
+        dst = (dst << 1) | dbit;
+    }
+    return {static_cast<uint32_t>(src), static_cast<uint32_t>(dst)};
+}
+
+std::shared_ptr<const Graph500::Csr>
+buildCsr(unsigned scale, unsigned edge_factor, uint64_t seed)
+{
+    uint64_t n = 1ull << scale;
+    uint64_t m = n * edge_factor;
+
+    // Two passes over the same deterministic edge stream avoid
+    // materializing the edge list: pass 1 counts degrees, pass 2
+    // scatters into the CSR (each undirected edge appears both ways).
+    auto csr = std::make_shared<Graph500::Csr>();
+    {
+        Pcg32 gen(seed, 0x6006);
+        std::vector<uint32_t> degree(n, 0);
+        for (uint64_t e = 0; e < m; ++e) {
+            auto [s, d] = rmatEdge(gen, scale);
+            ++degree[s];
+            ++degree[d];
+        }
+        csr->xadj.assign(n + 1, 0);
+        for (uint64_t v = 0; v < n; ++v)
+            csr->xadj[v + 1] = csr->xadj[v] + degree[v];
+    }
+    csr->adj.resize(csr->xadj.back());
+    {
+        Pcg32 gen(seed, 0x6006);
+        std::vector<uint64_t> cursor(csr->xadj.begin(),
+                                     csr->xadj.end() - 1);
+        for (uint64_t e = 0; e < m; ++e) {
+            auto [s, d] = rmatEdge(gen, scale);
+            csr->adj[cursor[s]++] = d;
+            csr->adj[cursor[d]++] = s;
+        }
+    }
+    return csr;
+}
+
+} // namespace
+
+Graph500::Graph500(Graph500Config cfg)
+    : WorkloadBase(
+          WorkloadInfo{
+              "graph500",
+              "BFS over a Kronecker (R-MAT) graph in CSR form",
+              // 8-byte adjacency + xadj + pred arrays.
+              ((1ull << cfg.scale) * cfg.edgeFactor * 2) * 8 +
+                  (1ull << cfg.scale) * 16,
+              cfg.accesses + cfg.warmupTraversal,
+              4,
+          },
+          cfg.seed),
+      cfg_(cfg)
+{
+}
+
+void
+Graph500::buildGraph()
+{
+    n_ = 1ull << cfg_.scale;
+    auto key = std::make_tuple(cfg_.scale, cfg_.edgeFactor, cfg_.seed);
+    std::lock_guard<std::mutex> lock(graph_cache_mutex);
+    auto it = graph_cache.find(key);
+    if (it == graph_cache.end()) {
+        it = graph_cache
+                 .emplace(key, buildCsr(cfg_.scale, cfg_.edgeFactor,
+                                        cfg_.seed))
+                 .first;
+    }
+    csr_ = it->second;
+    visited_.assign(n_, false);
+}
+
+void
+Graph500::setup(sim::AllocApi &api)
+{
+    buildGraph();
+    xadjBase_ = api.mmap((n_ + 1) * 8);
+    adjBase_ = api.mmap(csr_->adj.size() * 8);
+    visitedBase_ = api.mmap(n_ * 8);
+    registerInit(xadjBase_, (n_ + 1) * 8);
+    registerInit(adjBase_, csr_->adj.size() * 8);
+    registerInit(visitedBase_, n_ * 8);
+    startBfs();
+}
+
+void
+Graph500::startBfs()
+{
+    std::fill(visited_.begin(), visited_.end(), false);
+    uint32_t root = static_cast<uint32_t>(rng_.below64(n_));
+    visited_[root] = true;
+    frontier_.assign(1, root);
+    nextFrontier_.clear();
+    frontierPos_ = 0;
+}
+
+bool
+Graph500::step()
+{
+    if (frontierPos_ >= frontier_.size()) {
+        if (nextFrontier_.empty()) {
+            startBfs();
+            return true;
+        }
+        frontier_.swap(nextFrontier_);
+        nextFrontier_.clear();
+        frontierPos_ = 0;
+    }
+    uint32_t u = frontier_[frontierPos_++];
+
+    // Read xadj[u]: the offsets bounding u's adjacency.
+    pending_.push_back({xadjBase_ + u * 8ull, false, true});
+    uint64_t begin = csr_->xadj[u];
+    uint64_t end = csr_->xadj[u + 1];
+    for (uint64_t off = begin; off < end; ++off) {
+        uint32_t v = csr_->adj[off];
+        // Sequential scan of the adjacency list...
+        pending_.push_back({adjBase_ + off * 8ull, false, false});
+        // ...then the data-dependent visit check (random vertex).
+        pending_.push_back({visitedBase_ + v * 8ull, false, true});
+        if (!visited_[v]) {
+            visited_[v] = true;
+            nextFrontier_.push_back(v);
+            pending_.push_back({visitedBase_ + v * 8ull, true, true});
+        }
+    }
+    return true;
+}
+
+bool
+Graph500::next(sim::MemAccess &out)
+{
+    if (emitInit(out))
+        return true;
+    if (emitted_ >= info_.defaultAccesses)
+        return false;
+    while (pendingPos_ >= pending_.size()) {
+        pending_.clear();
+        pendingPos_ = 0;
+        step();
+    }
+    out = pending_[pendingPos_++];
+    ++emitted_;
+    return true;
+}
+
+} // namespace tps::workloads

@@ -1,0 +1,53 @@
+#include "workloads/gups.hh"
+
+namespace tps::workloads {
+
+Gups::Gups(GupsConfig cfg)
+    : WorkloadBase(
+          WorkloadInfo{
+              "gups",
+              "random read-modify-write updates over one huge table",
+              cfg.tableBytes,
+              cfg.updates * 2,
+              2,   // tight update loop: few filler instructions
+          },
+          cfg.seed),
+      cfg_(cfg)
+{
+}
+
+void
+Gups::setup(sim::AllocApi &api)
+{
+    table_ = api.mmap(cfg_.tableBytes);
+    registerInit(table_, cfg_.tableBytes);
+}
+
+bool
+Gups::next(sim::MemAccess &out)
+{
+    if (emitInit(out))
+        return true;
+    if (havePending_) {
+        // The write half of the read-modify-write.
+        out.va = pendingWrite_;
+        out.write = true;
+        out.dependsOnPrev = true;   // XOR of the value just read
+        havePending_ = false;
+        ++emitted_;
+        return true;
+    }
+    if (emitted_ >= info_.defaultAccesses)
+        return false;
+    uint64_t words = cfg_.tableBytes / 8;
+    vm::Vaddr va = table_ + rng_.below64(words) * 8;
+    out.va = va;
+    out.write = false;
+    out.dependsOnPrev = false;   // indices are generated, not loaded
+    pendingWrite_ = va;
+    havePending_ = true;
+    ++emitted_;
+    return true;
+}
+
+} // namespace tps::workloads

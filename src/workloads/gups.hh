@@ -1,0 +1,44 @@
+/**
+ * @file
+ * GUPS (Giga-Updates Per Second / HPCC RandomAccess) workload: random
+ * read-modify-write updates over one huge table.  The canonical
+ * TLB-hostile pattern -- no spatial locality at all -- where only page
+ * sizes large enough to cover the table help (the paper's running
+ * example for why CoLT's small coalescing factor cannot help and why
+ * TPS under heavy fragmentation loses its benefit).
+ */
+
+#ifndef TPS_WORKLOADS_GUPS_HH
+#define TPS_WORKLOADS_GUPS_HH
+
+#include "workloads/workload.hh"
+
+namespace tps::workloads {
+
+/** GUPS configuration. */
+struct GupsConfig
+{
+    uint64_t tableBytes = 4ull << 30;
+    uint64_t updates = 750000;   //!< each update = 1 read + 1 write
+    uint64_t seed = 42;
+};
+
+/** The GUPS generator. */
+class Gups : public WorkloadBase
+{
+  public:
+    explicit Gups(GupsConfig cfg = GupsConfig{});
+
+    void setup(sim::AllocApi &api) override;
+    bool next(sim::MemAccess &out) override;
+
+  private:
+    GupsConfig cfg_;
+    vm::Vaddr table_ = 0;
+    vm::Vaddr pendingWrite_ = 0;  //!< write half of the current update
+    bool havePending_ = false;
+};
+
+} // namespace tps::workloads
+
+#endif // TPS_WORKLOADS_GUPS_HH

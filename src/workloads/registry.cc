@@ -1,0 +1,127 @@
+#include "workloads/registry.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+#include "workloads/dbx1000.hh"
+#include "workloads/graph500.hh"
+#include "workloads/gups.hh"
+#include "workloads/spec_like.hh"
+#include "workloads/xsbench.hh"
+
+namespace tps::workloads {
+
+namespace {
+
+uint64_t
+scaled(uint64_t v, double scale)
+{
+    auto s = static_cast<uint64_t>(static_cast<double>(v) * scale);
+    return s == 0 ? 1 : s;
+}
+
+std::unique_ptr<Workload>
+makeSpecLike(SpecLikeConfig cfg, double scale, uint64_t seed_offset)
+{
+    cfg.footprintBytes = scaled(cfg.footprintBytes, scale) & ~4095ull;
+    if (cfg.footprintBytes < (1ull << 20))
+        cfg.footprintBytes = 1ull << 20;
+    // PointerChase requires a power-of-two arena for its LCG period.
+    if (cfg.pattern == AccessPattern::PointerChase)
+        cfg.footprintBytes = 1ull << log2Floor(cfg.footprintBytes);
+    cfg.accesses = scaled(cfg.accesses, scale);
+    cfg.seed += seed_offset;
+    return std::make_unique<SpecLike>(std::move(cfg));
+}
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string &name, double scale, uint64_t seed_offset)
+{
+    if (name == "gups") {
+        GupsConfig cfg;
+        cfg.tableBytes = scaled(cfg.tableBytes, scale) & ~4095ull;
+        cfg.updates = scaled(cfg.updates, scale);
+        cfg.seed += seed_offset;
+        return std::make_unique<Gups>(cfg);
+    }
+    if (name == "graph500") {
+        Graph500Config cfg;
+        if (scale < 1.0) {
+            int drop = static_cast<int>(
+                std::round(-std::log2(scale)));
+            cfg.scale = cfg.scale > static_cast<unsigned>(drop) + 10
+                            ? cfg.scale - static_cast<unsigned>(drop)
+                            : 10;
+        } else if (scale > 1.0) {
+            cfg.scale += static_cast<unsigned>(
+                std::round(std::log2(scale)));
+        }
+        cfg.accesses = scaled(cfg.accesses, scale);
+        cfg.warmupTraversal = scaled(cfg.warmupTraversal, scale);
+        cfg.seed += seed_offset;
+        return std::make_unique<Graph500>(cfg);
+    }
+    if (name == "xsbench") {
+        XsBenchConfig cfg;
+        cfg.gridPoints = scaled(cfg.gridPoints, scale);
+        cfg.lookups = scaled(cfg.lookups, scale);
+        cfg.seed += seed_offset;
+        return std::make_unique<XsBench>(cfg);
+    }
+    if (name == "dbx1000") {
+        Dbx1000Config cfg;
+        cfg.rows = 1ull << log2Floor(scaled(cfg.rows, scale));
+        cfg.txns = scaled(cfg.txns, scale);
+        cfg.seed += seed_offset;
+        return std::make_unique<Dbx1000>(cfg);
+    }
+    if (name == "mcf")
+        return makeSpecLike(mcfLike(), scale, seed_offset);
+    if (name == "omnetpp")
+        return makeSpecLike(omnetppLike(), scale, seed_offset);
+    if (name == "xalancbmk")
+        return makeSpecLike(xalancbmkLike(), scale, seed_offset);
+    if (name == "gcc")
+        return makeSpecLike(gccLike(), scale, seed_offset);
+    if (name == "cactuBSSN")
+        return makeSpecLike(cactuLike(), scale, seed_offset);
+    if (name == "fotonik3d")
+        return makeSpecLike(fotonik3dLike(), scale, seed_offset);
+    if (name == "roms")
+        return makeSpecLike(romsLike(), scale, seed_offset);
+    if (name == "povray")
+        return makeSpecLike(povrayLike(), scale, seed_offset);
+    if (name == "leela")
+        return makeSpecLike(leelaLike(), scale, seed_offset);
+    if (name == "nab")
+        return makeSpecLike(nabLike(), scale, seed_offset);
+    tps_fatal("unknown workload '%s'", name.c_str());
+}
+
+const std::vector<std::string> &
+evaluationSuite()
+{
+    static const std::vector<std::string> suite = {
+        "mcf",       "omnetpp", "xalancbmk", "gcc",
+        "cactuBSSN", "fotonik3d", "roms",
+        "gups",      "graph500", "xsbench",  "dbx1000",
+    };
+    return suite;
+}
+
+const std::vector<std::string> &
+profilingSuite()
+{
+    static const std::vector<std::string> suite = [] {
+        std::vector<std::string> s = evaluationSuite();
+        s.push_back("povray");
+        s.push_back("leela");
+        s.push_back("nab");
+        return s;
+    }();
+    return suite;
+}
+
+} // namespace tps::workloads

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Workload registry: construct any benchmark by name with an optional
+ * footprint/length scale, and the named suites the figures iterate.
+ */
+
+#ifndef TPS_WORKLOADS_REGISTRY_HH
+#define TPS_WORKLOADS_REGISTRY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace tps::workloads {
+
+/**
+ * Construct the workload named @p name.
+ *
+ * @param name         One of the suite names below.
+ * @param scale        Multiplier on footprint and access count (1.0 =
+ *                     defaults; smaller = faster runs for tests).
+ * @param seed_offset  Added to the generator seed (use a nonzero value
+ *                     for SMT competitor instances so streams differ).
+ * @return the workload; fatal error on an unknown name.
+ */
+std::unique_ptr<Workload> makeWorkload(const std::string &name,
+                                       double scale = 1.0,
+                                       uint64_t seed_offset = 0);
+
+/** The paper's evaluated suite (TLB-intensive SPEC-like + big data). */
+const std::vector<std::string> &evaluationSuite();
+
+/** The Fig. 8 profiling sweep: evaluation suite + low-MPKI fillers. */
+const std::vector<std::string> &profilingSuite();
+
+} // namespace tps::workloads
+
+#endif // TPS_WORKLOADS_REGISTRY_HH

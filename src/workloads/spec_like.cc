@@ -1,0 +1,503 @@
+#include "workloads/spec_like.hh"
+
+#include <cmath>
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace tps::workloads {
+
+SpecLike::SpecLike(SpecLikeConfig cfg)
+    : WorkloadBase(
+          WorkloadInfo{
+              cfg.name,
+              cfg.description,
+              cfg.footprintBytes,
+              cfg.accesses,
+              cfg.instsPerAccess,
+          },
+          cfg.seed),
+      cfg_(std::move(cfg))
+{
+}
+
+void
+SpecLike::setup(sim::AllocApi &api)
+{
+    api_ = &api;
+    switch (cfg_.pattern) {
+      case AccessPattern::Stencil: {
+        // `stencilArrays` grid functions of equal size; each a
+        // near-cubic grid of doubles with 2 MB (512x512 doubles)
+        // planes so the sweep front spans many large pages.
+        uint64_t per_array = cfg_.footprintBytes / cfg_.stencilArrays;
+        uint64_t cells = per_array / 8;
+        // Prefer 2 MB (512x512-double) planes; shrink the plane for
+        // scaled-down runs so the grid keeps at least 8 planes.
+        nx_ = 512;
+        while (nx_ > 16 && cells / (nx_ * nx_) < 8)
+            nx_ /= 2;
+        ny_ = nx_;
+        nz_ = cells / (nx_ * ny_);
+        tps_assert(nz_ >= 8);
+        base_ = api.mmap(cfg_.footprintBytes);
+        registerInit(base_, cfg_.footprintBytes);
+        stencilCell_ = rng_.below64(nx_ * ny_ * nz_);
+        break;
+      }
+      case AccessPattern::ClusteredPool: {
+        // A dense event heap plus a large, sparsely populated message
+        // pool: live objects sit in dense runs separated by untouched
+        // gaps, so only ~poolDensity of the pool is ever faulted in.
+        heapElems_ = (cfg_.footprintBytes / 8) / cfg_.nodeBytes;
+        base_ = api.mmap(cfg_.footprintBytes);
+        uint64_t heap_bytes = heapElems_ * cfg_.nodeBytes;
+        registerInit(base_, heap_bytes);
+
+        vm::Vaddr pool = base_ + cfg_.footprintBytes / 8;
+        vm::Vaddr pool_end = base_ + cfg_.footprintBytes;
+        vm::Vaddr pos = pool;
+        double gap_scale = (1.0 - cfg_.poolDensity) / cfg_.poolDensity;
+        while (pos < pool_end) {
+            // Slabs are power-of-two sized and naturally aligned (as a
+            // slab allocator would place them), so each run is exactly
+            // one tailored page under TPS.
+            unsigned min_bits = log2Ceil(cfg_.runMinBytes);
+            unsigned max_bits = log2Ceil(cfg_.runMaxBytes);
+            unsigned bits =
+                min_bits + rng_.below(max_bits - min_bits + 1);
+            uint64_t run = 1ull << bits;
+            pos = alignUp(pos, run);
+            if (pos + run > pool_end)
+                break;
+            runs_.emplace_back(pos, run);
+            registerInit(pos, run);
+            uint64_t gap = alignUp(
+                static_cast<uint64_t>(
+                    gap_scale * static_cast<double>(run) *
+                    (0.5 + rng_.uniform())),
+                4096);
+            pos += run + gap;
+        }
+        runZipf_ = std::make_unique<ZipfSampler>(runs_.size(),
+                                                 cfg_.poolZipfTheta);
+        break;
+      }
+      case AccessPattern::MixedAlloc: {
+        // Region 0 is the long-lived main arena (symbol tables, type
+        // and IR caches -- most read traffic lands here); the rest are
+        // per-function obstack regions churned in emitMixedAlloc().
+        uint64_t arena = cfg_.footprintBytes / 2;
+        regions_.push_back(api.mmap(arena));
+        regionSizes_.push_back(arena);
+        regionUsed_.push_back(arena);
+        registerInit(regions_[0], arena);
+        break;
+      }
+      case AccessPattern::Stream: {
+        base_ = api.mmap(cfg_.footprintBytes);
+        registerInit(base_, cfg_.footprintBytes);
+        // Positions are lane-relative; stagger them by seed so SMT
+        // competitor instances sweep different parts of their lanes.
+        streamPos_.assign(cfg_.streams, 0);
+        uint64_t lane = cfg_.footprintBytes / cfg_.streams;
+        for (unsigned s = 0; s < cfg_.streams; ++s)
+            streamPos_[s] = alignDown(rng_.below64(lane - 8), 8);
+        break;
+      }
+      default:
+        base_ = api.mmap(cfg_.footprintBytes);
+        registerInit(base_, cfg_.footprintBytes);
+        break;
+    }
+    if (cfg_.pattern == AccessPattern::PointerChase) {
+        uint64_t slots = cfg_.footprintBytes / 64;
+        chaseState_ = rng_.next64() & (slots - 1);
+    }
+}
+
+void
+SpecLike::emitPointerChase()
+{
+    // Full-period LCG over cache-line-granularity slots: a dependent
+    // random walk touching the whole arena, like mcf's arc traversal.
+    uint64_t slots = cfg_.footprintBytes / 64;
+    tps_assert(isPowerOfTwo(slots));
+    for (int i = 0; i < 16; ++i) {
+        chaseState_ = (chaseState_ * 2862933555777941757ull + 3037000493ull)
+                      & (slots - 1);
+        pending_.push_back({base_ + chaseState_ * 64, false, true});
+        // Occasional sequential neighbour touch (arc data).
+        if ((chaseState_ & 7) == 0)
+            pending_.push_back({base_ + chaseState_ * 64 + 8,
+                                true, false});
+    }
+}
+
+void
+SpecLike::emitStream()
+{
+    uint64_t lane = cfg_.footprintBytes / cfg_.streams;
+    for (unsigned s = 0; s < cfg_.streams; ++s) {
+        uint64_t lane_base = s * lane;
+        uint64_t pos = streamPos_[s];
+        pending_.push_back({base_ + lane_base + pos, s % 3 == 1, false});
+        pos += cfg_.strideBytes;
+        if (pos + 8 > lane) {
+            // End of the column sweep: advance to the next column
+            // (column-major traversal of a lane-wide matrix).
+            pos = (pos % cfg_.strideBytes) + 8;
+        }
+        streamPos_[s] = pos;
+    }
+}
+
+void
+SpecLike::emitStencil()
+{
+    // One BSSN-like point update per batch: a 7-point stencil on the
+    // primary grid function plus centre reads of the coupled grid
+    // functions (cactuBSSN touches ~20 fields per point), so the sweep
+    // front keeps several large pages live per array simultaneously.
+    uint64_t per_array = cfg_.footprintBytes / cfg_.stencilArrays;
+    uint64_t cells = nx_ * ny_ * nz_;
+    uint64_t c = stencilCell_;
+    stencilCell_ = (stencilCell_ + 1) % cells;
+    vm::Vaddr in = base_ + stencilArray_ * per_array;
+    auto at = [&](uint64_t cell) { return in + cell * 8; };
+    uint64_t plane = nx_ * ny_;
+    pending_.push_back({at(c), false, false});
+    pending_.push_back({at((c + 1) % cells), false, false});
+    pending_.push_back({at((c + cells - 1) % cells), false, false});
+    pending_.push_back({at((c + nx_) % cells), false, false});
+    pending_.push_back({at((c + cells - nx_) % cells), false, false});
+    pending_.push_back({at((c + plane) % cells), false, false});
+    pending_.push_back({at((c + cells - plane) % cells), false, false});
+    // Coupled-field reads: every other grid function at c +- plane or
+    // c +- 2 planes, so the sweep front keeps ~2 large pages per field
+    // live simultaneously.
+    for (unsigned a = 1; a < cfg_.stencilArrays; ++a) {
+        vm::Vaddr field =
+            base_ + ((stencilArray_ + a) % cfg_.stencilArrays) *
+                        per_array;
+        uint64_t cell;
+        switch (a & 3) {
+          case 0:
+            cell = (c + plane) % cells;
+            break;
+          case 1:
+            cell = (c + cells - plane) % cells;
+            break;
+          case 2:
+            cell = (c + 2 * plane) % cells;
+            break;
+          default:
+            cell = (c + cells - 2 * plane) % cells;
+            break;
+        }
+        pending_.push_back({field + cell * 8, false, false});
+    }
+    // Result write into the next grid function.
+    vm::Vaddr out = base_ +
+                    ((stencilArray_ + 1) % cfg_.stencilArrays) *
+                        per_array;
+    pending_.push_back({out + c * 8, true, true});
+}
+
+void
+SpecLike::emitTreeWalk()
+{
+    // Root-to-leaf descent of a complete fanout-ary tree.
+    uint64_t nodes = cfg_.footprintBytes / cfg_.nodeBytes;
+    uint64_t node = 0;
+    while (true) {
+        pending_.push_back({base_ + node * cfg_.nodeBytes, false, true});
+        uint64_t child =
+            node * cfg_.fanout + 1 + rng_.below(cfg_.fanout);
+        if (child >= nodes)
+            break;
+        node = child;
+    }
+    // Leaf payload write (attribute update).
+    pending_.push_back(
+        {base_ + node * cfg_.nodeBytes + 16, true, true});
+}
+
+void
+SpecLike::emitClusteredPool()
+{
+    // Pop-min + push: a sift-down path through the dense event heap,
+    // then message-object reads in a zipf-hot clustered run.
+    uint64_t node = 1;
+    while (node < heapElems_) {
+        pending_.push_back(
+            {base_ + node * cfg_.nodeBytes, false, true});
+        node = node * 2 + rng_.below(2);
+    }
+    uint64_t run_idx = runZipf_->sample(rng_);
+    auto [run_base, run_bytes] = runs_[run_idx];
+    uint64_t objs = run_bytes / cfg_.nodeBytes;
+    uint64_t obj = rng_.below64(objs);
+    vm::Vaddr msg = run_base + obj * cfg_.nodeBytes;
+    pending_.push_back({msg, false, true});
+    pending_.push_back({msg + 24, true, false});
+}
+
+void
+SpecLike::emitMixedAlloc()
+{
+    // Compiler-like phases: obstack/arena regions are allocated, then
+    // filled by a bump pointer (dense growing prefix -- exactly what
+    // lets TPS promote incrementally), read back with recency-skewed
+    // reuse, and retired when the live set exceeds the target.
+    if (regions_.size() < cfg_.liveRegions || rng_.chance(0.02)) {
+        uint64_t span = cfg_.allocChunkMax - cfg_.allocChunkMin;
+        uint64_t size = cfg_.allocChunkMin +
+                        alignDown(rng_.below64(span + 1), 4096);
+        if (size < cfg_.allocChunkMin)
+            size = cfg_.allocChunkMin;
+        vm::Vaddr r = api_->mmap(size);
+        regions_.push_back(r);
+        regionSizes_.push_back(size);
+        regionUsed_.push_back(0);
+        if (regions_.size() > cfg_.liveRegions) {
+            api_->munmap(regions_.front());
+            regions_.erase(regions_.begin());
+            regionSizes_.erase(regionSizes_.begin());
+            regionUsed_.erase(regionUsed_.begin());
+        }
+    }
+
+    // Bump-allocate into the newest region: sequential writes extend
+    // its used prefix.
+    {
+        size_t newest = regions_.size() - 1;
+        uint64_t grow = 2048 + rng_.below64(14 << 10);
+        uint64_t used = regionUsed_[newest];
+        uint64_t limit = regionSizes_[newest];
+        for (uint64_t off = used;
+             off < used + grow && off < limit; off += 512)
+            pending_.push_back({regions_[newest] + off, true, false});
+        regionUsed_[newest] =
+            used + grow < limit ? used + grow : limit;
+    }
+
+    // Reads: mostly the main arena (the compiler consulting its
+    // long-lived tables), the rest recency-skewed over the obstacks.
+    // Reads dominate writes heavily, as in a real compilation.
+    for (int i = 0; i < 64; ++i) {
+        size_t idx;
+        if (rng_.chance(0.7)) {
+            idx = 0;
+        } else if (rng_.chance(0.8) && tailRegion_ < regions_.size()) {
+            // Function-at-a-time: obstack reads strongly reuse the
+            // region currently being compiled.
+            idx = tailRegion_;
+        } else {
+            size_t n = regions_.size();
+            idx = n - 1 -
+                  static_cast<size_t>(
+                      std::pow(rng_.uniform(), 6.0) *
+                      static_cast<double>(n - 1));
+            tailRegion_ = idx;
+        }
+        if (regionUsed_[idx] < 8)
+            continue;
+        uint64_t off = alignDown(rng_.below64(regionUsed_[idx]), 8);
+        pending_.push_back({regions_[idx] + off, false, i % 4 == 0});
+    }
+}
+
+void
+SpecLike::emitHotPool()
+{
+    uint64_t hot_bytes = static_cast<uint64_t>(
+        cfg_.hotFraction * static_cast<double>(cfg_.footprintBytes));
+    if (hot_bytes < 4096)
+        hot_bytes = 4096;
+    for (int i = 0; i < 16; ++i) {
+        bool hot = rng_.chance(cfg_.hotProbability);
+        uint64_t span = hot ? hot_bytes : cfg_.footprintBytes;
+        uint64_t off = alignDown(rng_.below64(span), 8);
+        pending_.push_back({base_ + off, i % 5 == 0, false});
+    }
+}
+
+void
+SpecLike::emitBatch()
+{
+    switch (cfg_.pattern) {
+      case AccessPattern::PointerChase:
+        emitPointerChase();
+        break;
+      case AccessPattern::Stream:
+        emitStream();
+        break;
+      case AccessPattern::Stencil:
+        emitStencil();
+        break;
+      case AccessPattern::TreeWalk:
+        emitTreeWalk();
+        break;
+      case AccessPattern::ClusteredPool:
+        emitClusteredPool();
+        break;
+      case AccessPattern::MixedAlloc:
+        emitMixedAlloc();
+        break;
+      case AccessPattern::HotPool:
+        emitHotPool();
+        break;
+    }
+}
+
+bool
+SpecLike::next(sim::MemAccess &out)
+{
+    if (emitInit(out))
+        return true;
+    if (emitted_ >= info_.defaultAccesses)
+        return false;
+    while (pendingPos_ >= pending_.size()) {
+        pending_.clear();
+        pendingPos_ = 0;
+        emitBatch();
+    }
+    out = pending_[pendingPos_++];
+    ++emitted_;
+    return true;
+}
+
+namespace {
+
+SpecLikeConfig
+makeConfig(const char *name, const char *desc, AccessPattern pattern,
+           uint64_t footprint, uint64_t accesses, unsigned ipa,
+           uint64_t seed)
+{
+    SpecLikeConfig cfg;
+    cfg.name = name;
+    cfg.description = desc;
+    cfg.pattern = pattern;
+    cfg.footprintBytes = footprint;
+    cfg.accesses = accesses;
+    cfg.instsPerAccess = ipa;
+    cfg.seed = seed;
+    return cfg;
+}
+
+} // namespace
+
+SpecLikeConfig
+mcfLike(uint64_t seed)
+{
+    return makeConfig("mcf", "network-simplex pointer chasing",
+                      AccessPattern::PointerChase, 4ull << 30,
+                      1500000, 3, seed);
+}
+
+SpecLikeConfig
+omnetppLike(uint64_t seed)
+{
+    auto cfg = makeConfig("omnetpp",
+                          "event-queue sift + clustered message pool",
+                          AccessPattern::ClusteredPool, 768ull << 20,
+                          1500000, 4, seed);
+    cfg.nodeBytes = 64;
+    cfg.poolDensity = 0.25;
+    // Event queues are strongly skewed toward the short-lived hot
+    // messages at the head: most pool traffic hits a few dozen slabs.
+    cfg.poolZipfTheta = 1.2;
+    cfg.runMinBytes = 128ull << 10;
+    cfg.runMaxBytes = 512ull << 10;
+    return cfg;
+}
+
+SpecLikeConfig
+xalancbmkLike(uint64_t seed)
+{
+    auto cfg = makeConfig("xalancbmk", "DOM-tree descents",
+                          AccessPattern::TreeWalk, 512ull << 20,
+                          1500000, 4, seed);
+    cfg.nodeBytes = 128;
+    cfg.fanout = 4;
+    return cfg;
+}
+
+SpecLikeConfig
+gccLike(uint64_t seed)
+{
+    auto cfg = makeConfig("gcc", "phase-allocating compiler churn",
+                          AccessPattern::MixedAlloc, 640ull << 20,
+                          1500000, 4, seed);
+    cfg.liveRegions = 160;
+    return cfg;
+}
+
+SpecLikeConfig
+cactuLike(uint64_t seed)
+{
+    auto cfg = makeConfig("cactuBSSN",
+                          "7-point stencil over many grid functions",
+                          AccessPattern::Stencil, 2ull << 30, 1600000,
+                          5, seed);
+    cfg.stencilArrays = 32;
+    return cfg;
+}
+
+SpecLikeConfig
+fotonik3dLike(uint64_t seed)
+{
+    auto cfg = makeConfig("fotonik3d", "many strided field sweeps",
+                          AccessPattern::Stream, 4ull << 30, 1500000,
+                          5, seed);
+    cfg.streams = 12;
+    cfg.strideBytes = (1ull << 20) + 520;
+    return cfg;
+}
+
+SpecLikeConfig
+romsLike(uint64_t seed)
+{
+    auto cfg = makeConfig("roms", "column-major ocean-grid sweeps",
+                          AccessPattern::Stream, 4ull << 30, 1500000,
+                          5, seed);
+    cfg.streams = 8;
+    cfg.strideBytes = (2ull << 20) + 4104;
+    return cfg;
+}
+
+SpecLikeConfig
+povrayLike(uint64_t seed)
+{
+    auto cfg = makeConfig("povray", "small hot scene-graph pool",
+                          AccessPattern::HotPool, 12ull << 20, 900000,
+                          6, seed);
+    cfg.hotFraction = 0.05;
+    cfg.hotProbability = 0.97;
+    return cfg;
+}
+
+SpecLikeConfig
+leelaLike(uint64_t seed)
+{
+    auto cfg = makeConfig("leela", "MCTS node pool with strong reuse",
+                          AccessPattern::HotPool, 24ull << 20, 900000,
+                          6, seed);
+    cfg.hotFraction = 0.1;
+    cfg.hotProbability = 0.9;
+    return cfg;
+}
+
+SpecLikeConfig
+nabLike(uint64_t seed)
+{
+    auto cfg = makeConfig("nab", "sequential molecular-array sweeps",
+                          AccessPattern::Stream, 64ull << 20, 900000, 6,
+                          seed);
+    cfg.streams = 2;
+    cfg.strideBytes = 8;
+    return cfg;
+}
+
+} // namespace tps::workloads

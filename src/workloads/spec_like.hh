@@ -1,0 +1,133 @@
+/**
+ * @file
+ * SPEC CPU2017-like synthetic generators.
+ *
+ * SPEC17 is proprietary, so (per DESIGN.md's substitution table) each
+ * TLB-relevant benchmark is replaced by a generator reproducing its
+ * allocation footprint and access-locality *shape* -- the two properties
+ * that determine TLB behaviour.  One parameterized engine implements
+ * the archetypal patterns; named factory functions configure it per
+ * benchmark.  The low-MPKI generators exist so the Fig. 8 profiling
+ * sweep has both sides of the paper's MPKI > 5 selection cut.
+ */
+
+#ifndef TPS_WORKLOADS_SPEC_LIKE_HH
+#define TPS_WORKLOADS_SPEC_LIKE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace tps::workloads {
+
+/** Archetypal access shapes. */
+enum class AccessPattern
+{
+    PointerChase,  //!< dependent random walk (mcf: network simplex)
+    Stream,        //!< concurrent strided sequential streams
+    Stencil,       //!< 3-D nearest-neighbour sweeps over many grid
+                   //!< functions (cactuBSSN)
+    TreeWalk,      //!< root-to-leaf descents of a wide tree (xalancbmk)
+    ClusteredPool, //!< priority-queue sift + skewed reads over a
+                   //!< sparsely-populated, run-clustered object pool
+                   //!< (omnetpp) -- THP cannot promote the partially
+                   //!< used 2 MB chunks, TPS tailors each run
+    MixedAlloc,    //!< phase-allocating compiler-like churn (gcc)
+    HotPool,       //!< skewed reuse in a small pool (low-MPKI fillers)
+};
+
+/** Full configuration of one synthetic generator. */
+struct SpecLikeConfig
+{
+    std::string name;
+    std::string description;
+    AccessPattern pattern = AccessPattern::Stream;
+    uint64_t footprintBytes = 64ull << 20;
+    uint64_t accesses = 1200000;
+    unsigned instsPerAccess = 3;
+    uint64_t seed = 1;
+
+    // Pattern-specific knobs.
+    unsigned streams = 4;        //!< Stream: concurrent streams
+    uint64_t strideBytes = 8;    //!< Stream: per-access stride
+    unsigned nodeBytes = 128;    //!< TreeWalk node / pool element
+    unsigned fanout = 4;         //!< TreeWalk arity
+    double hotFraction = 0.05;   //!< HotPool: hot-set size fraction
+    double hotProbability = 0.9; //!< HotPool: P(access hot set)
+    uint64_t allocChunkMin = 64ull << 10;   //!< MixedAlloc region sizes
+    uint64_t allocChunkMax = 4ull << 20;
+    unsigned liveRegions = 96;   //!< MixedAlloc live-region target
+    unsigned stencilArrays = 16; //!< Stencil: distinct grid functions
+    uint64_t runMinBytes = 16ull << 10;  //!< ClusteredPool run sizes
+    uint64_t runMaxBytes = 128ull << 10;
+    double poolDensity = 0.25;   //!< ClusteredPool: touched fraction
+    double poolZipfTheta = 0.8;  //!< ClusteredPool: run-reuse skew
+};
+
+/** The parameterized generator. */
+class SpecLike : public WorkloadBase
+{
+  public:
+    explicit SpecLike(SpecLikeConfig cfg);
+
+    void setup(sim::AllocApi &api) override;
+    bool next(sim::MemAccess &out) override;
+
+  private:
+    void emitBatch();
+
+    // Pattern workers, each appending to pending_.
+    void emitPointerChase();
+    void emitStream();
+    void emitStencil();
+    void emitTreeWalk();
+    void emitClusteredPool();
+    void emitMixedAlloc();
+    void emitHotPool();
+
+    SpecLikeConfig cfg_;
+    sim::AllocApi *api_ = nullptr;
+
+    vm::Vaddr base_ = 0;          //!< main arena (most patterns)
+    uint64_t chaseState_ = 1;     //!< PointerChase LCG state
+    std::vector<uint64_t> streamPos_;
+    uint64_t stencilCell_ = 0;
+    unsigned stencilArray_ = 0;
+    uint64_t nx_ = 0, ny_ = 0, nz_ = 0;
+    uint64_t heapElems_ = 0;
+    std::vector<vm::Vaddr> regions_;      //!< MixedAlloc live regions
+    std::vector<uint64_t> regionSizes_;
+    std::vector<uint64_t> regionUsed_;    //!< bump-pointer watermarks
+    size_t tailRegion_ = 0;               //!< obstack being compiled
+    //! ClusteredPool: touched runs (base, bytes) and their sampler.
+    std::vector<std::pair<vm::Vaddr, uint64_t>> runs_;
+    std::unique_ptr<ZipfSampler> runZipf_;
+
+    std::vector<sim::MemAccess> pending_;
+    size_t pendingPos_ = 0;
+};
+
+/** @name Named benchmark factories (TLB-intensive set, Fig. 8 cut) */
+///@{
+SpecLikeConfig mcfLike(uint64_t seed = 101);
+SpecLikeConfig omnetppLike(uint64_t seed = 102);
+SpecLikeConfig xalancbmkLike(uint64_t seed = 103);
+SpecLikeConfig gccLike(uint64_t seed = 104);
+SpecLikeConfig cactuLike(uint64_t seed = 105);
+SpecLikeConfig fotonik3dLike(uint64_t seed = 106);
+SpecLikeConfig romsLike(uint64_t seed = 107);
+///@}
+
+/** @name Low-MPKI fillers (below the paper's selection cut) */
+///@{
+SpecLikeConfig povrayLike(uint64_t seed = 108);
+SpecLikeConfig leelaLike(uint64_t seed = 109);
+SpecLikeConfig nabLike(uint64_t seed = 110);
+///@}
+
+} // namespace tps::workloads
+
+#endif // TPS_WORKLOADS_SPEC_LIKE_HH

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Workload interface: a generator that performs mmap/munmap requests
+ * through the simulated OS and emits the stream of memory accesses the
+ * engine translates -- exactly the two event kinds the paper's PIN tool
+ * traced from real benchmarks.
+ */
+
+#ifndef TPS_WORKLOADS_WORKLOAD_HH
+#define TPS_WORKLOADS_WORKLOAD_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/access.hh"
+#include "util/rng.hh"
+
+namespace tps::workloads {
+
+/** Static description of a workload. */
+struct WorkloadInfo
+{
+    std::string name;
+    std::string description;
+    uint64_t footprintBytes = 0;   //!< approximate virtual footprint
+    uint64_t defaultAccesses = 0;  //!< accesses emitted per run
+    unsigned instsPerAccess = 3;   //!< non-memory instructions between
+                                   //!< accesses (for MPKI / timing)
+};
+
+/** The generator interface. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Static metadata. */
+    virtual const WorkloadInfo &info() const = 0;
+
+    /** Perform the allocation phase (mmap calls) through @p api. */
+    virtual void setup(sim::AllocApi &api) = 0;
+
+    /**
+     * Produce the next access.
+     * @return false when the run is complete.
+     */
+    virtual bool next(sim::MemAccess &out) = 0;
+
+    /**
+     * Number of leading accesses that belong to the initialization
+     * phase (the program writing its data structures before the
+     * measured kernel).  The engine clears statistics after these so
+     * figures report steady-state behaviour, as a full-run trace would.
+     */
+    virtual uint64_t warmupAccesses() const { return 0; }
+};
+
+/**
+ * Convenience base holding the info block, a seeded RNG, and the
+ * initialization-sweep machinery: setup() registers each arena with
+ * registerInit(), and next() first drains one sequential write per
+ * base page across all registered arenas (the program "initializing
+ * its memory"), which demand-faults everything in and lets the paging
+ * policy perform its promotions before measurement starts.
+ */
+class WorkloadBase : public Workload
+{
+  public:
+    const WorkloadInfo &info() const override { return info_; }
+
+    uint64_t
+    warmupAccesses() const override
+    {
+        uint64_t pages = 0;
+        for (const auto &[base, bytes] : initRegions_)
+            pages += (bytes + 4095) / 4096;
+        return pages;
+    }
+
+  protected:
+    WorkloadBase(WorkloadInfo info, uint64_t seed)
+        : info_(std::move(info)), rng_(seed, 0x9e3779b9)
+    {}
+
+    /** Declare [base, base+bytes) for the initialization sweep. */
+    void
+    registerInit(vm::Vaddr base, uint64_t bytes)
+    {
+        initRegions_.emplace_back(base, bytes);
+    }
+
+    /** Emit the next init access; false once the sweep is complete. */
+    bool
+    emitInit(sim::MemAccess &out)
+    {
+        while (initRegion_ < initRegions_.size()) {
+            auto [base, bytes] = initRegions_[initRegion_];
+            if (initOffset_ < bytes) {
+                out.va = base + initOffset_;
+                out.write = true;
+                out.dependsOnPrev = false;
+                initOffset_ += 4096;
+                return true;
+            }
+            ++initRegion_;
+            initOffset_ = 0;
+        }
+        return false;
+    }
+
+    WorkloadInfo info_;
+    Pcg32 rng_;
+    uint64_t emitted_ = 0;   //!< pattern accesses produced so far
+
+  private:
+    std::vector<std::pair<vm::Vaddr, uint64_t>> initRegions_;
+    size_t initRegion_ = 0;
+    uint64_t initOffset_ = 0;
+};
+
+} // namespace tps::workloads
+
+#endif // TPS_WORKLOADS_WORKLOAD_HH

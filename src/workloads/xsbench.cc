@@ -1,0 +1,95 @@
+#include "workloads/xsbench.hh"
+
+#include "util/bitops.hh"
+
+namespace tps::workloads {
+
+namespace {
+
+/** Nuclides participating in one material lookup (XSBench averages). */
+constexpr unsigned kNuclidesPerLookup = 34;
+
+} // namespace
+
+XsBench::XsBench(XsBenchConfig cfg)
+    : WorkloadBase(
+          WorkloadInfo{
+              "xsbench",
+              "Monte Carlo cross-section lookup kernel",
+              // egrid + index grid + nuclide grid, see setup().
+              cfg.isotopes * cfg.gridPoints * (8 + 8 + 48),
+              // ~log2(points) search accesses + gathers per lookup
+              cfg.lookups * (27 + 2 * kNuclidesPerLookup + 1),
+              5,
+          },
+          cfg.seed),
+      cfg_(cfg)
+{
+    unionizedPoints_ = cfg_.isotopes * cfg_.gridPoints;
+}
+
+void
+XsBench::setup(sim::AllocApi &api)
+{
+    egridBase_ = api.mmap(unionizedPoints_ * 8);
+    indexBase_ = api.mmap(unionizedPoints_ * 8);
+    nuclideBase_ = api.mmap(cfg_.isotopes * cfg_.gridPoints * 48);
+    resultBase_ = api.mmap(64 << 10);
+    registerInit(egridBase_, unionizedPoints_ * 8);
+    registerInit(indexBase_, unionizedPoints_ * 8);
+    registerInit(nuclideBase_, cfg_.isotopes * cfg_.gridPoints * 48);
+    registerInit(resultBase_, 64 << 10);
+}
+
+void
+XsBench::emitLookup()
+{
+    // Binary search over the sorted unionized grid: lg(n) dependent
+    // probes converging on a random energy.
+    uint64_t lo = 0;
+    uint64_t hi = unionizedPoints_;
+    uint64_t target = rng_.below64(unionizedPoints_);
+    while (hi - lo > 1) {
+        uint64_t mid = lo + (hi - lo) / 2;
+        pending_.push_back({egridBase_ + mid * 8, false, true});
+        if (mid <= target)
+            lo = mid;
+        else
+            hi = mid;
+    }
+
+    // One index-grid read, then a gather per participating nuclide.
+    pending_.push_back({indexBase_ + lo * 8, false, true});
+    for (unsigned i = 0; i < kNuclidesPerLookup; ++i) {
+        uint64_t iso = rng_.below64(cfg_.isotopes);
+        // The grid point is correlated with the searched energy.
+        uint64_t gp = (lo / cfg_.isotopes) % cfg_.gridPoints;
+        vm::Vaddr row =
+            nuclideBase_ + (iso * cfg_.gridPoints + gp) * 48;
+        pending_.push_back({row, false, true});
+        pending_.push_back({row + 40, false, false});
+    }
+
+    // Accumulate the macroscopic XS into the verification buffer.
+    pending_.push_back(
+        {resultBase_ + (lookupCount_++ % 8192) * 8, true, true});
+}
+
+bool
+XsBench::next(sim::MemAccess &out)
+{
+    if (emitInit(out))
+        return true;
+    if (emitted_ >= info_.defaultAccesses)
+        return false;
+    while (pendingPos_ >= pending_.size()) {
+        pending_.clear();
+        pendingPos_ = 0;
+        emitLookup();
+    }
+    out = pending_[pendingPos_++];
+    ++emitted_;
+    return true;
+}
+
+} // namespace tps::workloads

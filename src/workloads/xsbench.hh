@@ -1,0 +1,57 @@
+/**
+ * @file
+ * XSBench-style workload: the Monte Carlo neutron-transport macroscopic
+ * cross-section lookup kernel.  Each lookup binary-searches the
+ * unionized energy grid (dependent accesses), then gathers one
+ * cross-section row per nuclide of a randomly chosen material from the
+ * huge nuclide grid -- large footprint with modest locality, matching
+ * the paper's observation that XSBench retains TPS benefit even under
+ * fragmentation (unlike GUPS).
+ */
+
+#ifndef TPS_WORKLOADS_XSBENCH_HH
+#define TPS_WORKLOADS_XSBENCH_HH
+
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace tps::workloads {
+
+/** XSBench configuration (shapes follow the reference "small" input). */
+struct XsBenchConfig
+{
+    uint64_t isotopes = 355;
+    uint64_t gridPoints = 150000;  //!< per isotope (the "large" input)
+    uint64_t lookups = 25000;
+    uint64_t seed = 11;
+};
+
+/** The lookup-kernel generator. */
+class XsBench : public WorkloadBase
+{
+  public:
+    explicit XsBench(XsBenchConfig cfg = XsBenchConfig{});
+
+    void setup(sim::AllocApi &api) override;
+    bool next(sim::MemAccess &out) override;
+
+  private:
+    void emitLookup();
+
+    XsBenchConfig cfg_;
+    uint64_t unionizedPoints_ = 0;
+
+    vm::Vaddr egridBase_ = 0;    //!< unionized energy grid (doubles)
+    vm::Vaddr indexBase_ = 0;    //!< index grid (int per isotope/point)
+    vm::Vaddr nuclideBase_ = 0;  //!< nuclide grid (6 doubles per point)
+    vm::Vaddr resultBase_ = 0;   //!< verification accumulator buffer
+    uint64_t lookupCount_ = 0;
+
+    std::vector<sim::MemAccess> pending_;
+    size_t pendingPos_ = 0;
+};
+
+} // namespace tps::workloads
+
+#endif // TPS_WORKLOADS_XSBENCH_HH

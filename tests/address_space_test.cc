@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Address-space tests: mmap/munmap bookkeeping, VA alignment, fault
+ * routing, shootdown listeners, census and teardown accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "os/address_space.hh"
+#include "os/policy_common.hh"
+
+namespace tps::os {
+namespace {
+
+std::unique_ptr<AddressSpace>
+makeAs(PhysMemory &pm, std::unique_ptr<PagingPolicy> policy = nullptr)
+{
+    if (!policy)
+        policy = std::make_unique<Base4kPolicy>();
+    return std::make_unique<AddressSpace>(pm, std::move(policy));
+}
+
+TEST(AddressSpace, MmapCreatesVma)
+{
+    PhysMemory pm(256ull << 20);
+    auto as = makeAs(pm);
+    vm::Vaddr va = as->mmap(64 << 10);
+    const Vma *vma = as->findVma(va);
+    ASSERT_NE(vma, nullptr);
+    EXPECT_EQ(vma->start, va);
+    EXPECT_EQ(vma->length, 64u << 10);
+    EXPECT_TRUE(vma->writable);
+    EXPECT_EQ(as->findVma(va + (64 << 10)), nullptr);
+}
+
+TEST(AddressSpace, MmapRoundsToPages)
+{
+    PhysMemory pm(256ull << 20);
+    auto as = makeAs(pm);
+    vm::Vaddr va = as->mmap(100);
+    EXPECT_EQ(as->findVma(va)->length, vm::kBasePageBytes);
+}
+
+TEST(AddressSpace, VmasDoNotOverlap)
+{
+    PhysMemory pm(256ull << 20);
+    auto as = makeAs(pm);
+    vm::Vaddr a = as->mmap(1 << 20);
+    vm::Vaddr b = as->mmap(1 << 20);
+    EXPECT_GE(b, a + (1 << 20));
+}
+
+TEST(AddressSpace, TpsPolicyAlignsToRegionSize)
+{
+    PhysMemory pm(512ull << 20);
+    AddressSpace as(pm, std::make_unique<TpsPolicy>());
+    vm::Vaddr va = as.mmap(128ull << 20);
+    EXPECT_TRUE(isAligned(va, 128ull << 20));
+}
+
+TEST(AddressSpace, FaultOutsideVmaFails)
+{
+    PhysMemory pm(256ull << 20);
+    auto as = makeAs(pm);
+    EXPECT_FALSE(as->handleFault(0xdead000, false));
+}
+
+TEST(AddressSpace, FaultInsideVmaMaps)
+{
+    PhysMemory pm(256ull << 20);
+    auto as = makeAs(pm);
+    vm::Vaddr va = as->mmap(1 << 20);
+    EXPECT_TRUE(as->handleFault(va + 0x3000, true));
+    auto res = as->pageTable().lookup(va + 0x3000);
+    ASSERT_TRUE(res.has_value());
+    EXPECT_EQ(res->leaf.pageBits, 12u);
+    EXPECT_EQ(as->osWork().faults, 1u);
+    EXPECT_EQ(as->touchedBasePages(), 1u);
+}
+
+TEST(AddressSpace, WriteFaultToReadOnlyVmaFails)
+{
+    PhysMemory pm(256ull << 20);
+    auto as = makeAs(pm);
+    vm::Vaddr va = as->mmap(1 << 20);
+    // mmap() in this API is always writable=true, so exercise via the
+    // readonly flag directly.
+    (void)va;
+    AddressSpace as2(pm, std::make_unique<Base4kPolicy>());
+    vm::Vaddr ro = as2.mmap(1 << 20, false);
+    EXPECT_FALSE(as2.handleFault(ro, true));
+    EXPECT_TRUE(as2.handleFault(ro, false));
+}
+
+TEST(AddressSpace, MunmapFreesFrames)
+{
+    PhysMemory pm(256ull << 20);
+    auto as = makeAs(pm);
+    uint64_t free_before = pm.freeBytes();
+    vm::Vaddr va = as->mmap(1 << 20);
+    for (int i = 0; i < 16; ++i)
+        as->handleFault(va + i * 0x1000ull, true);
+    EXPECT_LT(pm.freeBytes(), free_before);
+    as->munmap(va);
+    // All app frames returned (page-table nodes may remain cached).
+    EXPECT_EQ(pm.stats().appFrames, 0u);
+    EXPECT_FALSE(as->pageTable().lookup(va).has_value());
+}
+
+TEST(AddressSpace, DestructorTearsDownEverything)
+{
+    PhysMemory pm(256ull << 20);
+    {
+        auto as = makeAs(pm);
+        vm::Vaddr va = as->mmap(1 << 20);
+        for (int i = 0; i < 8; ++i)
+            as->handleFault(va + i * 0x1000ull, true);
+    }
+    EXPECT_EQ(pm.stats().appFrames, 0u);
+    EXPECT_EQ(pm.stats().tableFrames, 0u);
+    EXPECT_EQ(pm.stats().reservedFrames, 0u);
+    EXPECT_EQ(pm.freeBytes(), pm.totalBytes());
+}
+
+TEST(AddressSpace, ShootdownListenerFires)
+{
+    PhysMemory pm(256ull << 20);
+    auto as = makeAs(pm);
+    std::vector<vm::Vaddr> seen;
+    as->setShootdownListener([&](vm::Vaddr va) { seen.push_back(va); });
+    as->shootdown(0x1234000);
+    ASSERT_EQ(seen.size(), 1u);
+    EXPECT_EQ(seen[0], 0x1234000u);
+    EXPECT_GT(as->osWork().shootdownCycles, 0u);
+}
+
+TEST(AddressSpace, FlushListenerFires)
+{
+    PhysMemory pm(256ull << 20);
+    auto as = makeAs(pm);
+    int flushes = 0;
+    as->setFlushListener([&] { ++flushes; });
+    as->shootdownAll();
+    EXPECT_EQ(flushes, 1);
+}
+
+TEST(AddressSpace, PageSizeCensus)
+{
+    PhysMemory pm(512ull << 20);
+    AddressSpace as(pm, std::make_unique<TpsPolicy>());
+    vm::Vaddr va = as.mmap(1 << 20);
+    // Touch every page: with a 100% threshold the whole region
+    // promotes to a single 1 MB tailored page.
+    for (uint64_t off = 0; off < (1 << 20); off += 0x1000)
+        as.handleFault(va + off, true);
+    Histogram census = as.pageSizeCensus();
+    EXPECT_EQ(census.at(20), 1u);
+    EXPECT_EQ(census.total(), 1u);
+    EXPECT_EQ(as.mappedBytes(), 1u << 20);
+}
+
+TEST(AddressSpace, MultipleVmasIndependent)
+{
+    PhysMemory pm(256ull << 20);
+    auto as = makeAs(pm);
+    vm::Vaddr a = as->mmap(64 << 10);
+    vm::Vaddr b = as->mmap(64 << 10);
+    as->handleFault(a, true);
+    as->handleFault(b, true);
+    as->munmap(a);
+    EXPECT_FALSE(as->pageTable().lookup(a).has_value());
+    EXPECT_TRUE(as->pageTable().lookup(b).has_value());
+}
+
+} // namespace
+} // namespace tps::os

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Compaction-daemon, page-merge, and fragmenter tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "os/compaction.hh"
+#include "os/fragmenter.hh"
+#include "os/policy_common.hh"
+
+namespace tps::os {
+namespace {
+
+TEST(Compaction, MigratesBlocksDownward)
+{
+    BuddyAllocator buddy(1 << 12);
+    // Scatter allocations, then free the low ones so movable blocks sit
+    // high with free space below.
+    std::vector<MovableBlock> movable;
+    std::vector<Pfn> low;
+    for (int i = 0; i < 32; ++i) {
+        auto pfn = buddy.alloc(4);
+        ASSERT_TRUE(pfn);
+        if (i < 16)
+            low.push_back(*pfn);
+        else
+            movable.push_back({*pfn, 4});
+    }
+    for (Pfn pfn : low)
+        buddy.free(pfn, 4);
+
+    double frag_before = buddy.fragmentationIndex();
+    CompactionDaemon daemon(buddy);
+    std::vector<std::pair<Pfn, Pfn>> moves;
+    uint64_t moved = daemon.compact(
+        movable,
+        [&](Pfn from, Pfn to, unsigned) { moves.emplace_back(from, to); },
+        1000);
+    EXPECT_GT(moved, 0u);
+    EXPECT_EQ(moves.size(), moved);
+    for (auto [from, to] : moves)
+        EXPECT_LT(to, from);
+    EXPECT_LE(buddy.fragmentationIndex(), frag_before);
+    // Frame count conserved: only the 16 movable blocks remain held.
+    EXPECT_EQ(buddy.freeFrames(), (1u << 12) - 16 * 16);
+}
+
+TEST(Compaction, NoMovesWhenAlreadyCompact)
+{
+    BuddyAllocator buddy(1 << 10);
+    std::vector<MovableBlock> movable;
+    for (int i = 0; i < 4; ++i)
+        movable.push_back({*buddy.alloc(2), 2});
+    CompactionDaemon daemon(buddy);
+    uint64_t moved =
+        daemon.compact(movable, [](Pfn, Pfn, unsigned) {}, 1000);
+    EXPECT_EQ(moved, 0u);
+}
+
+TEST(Compaction, RespectsMoveBudget)
+{
+    BuddyAllocator buddy(1 << 12);
+    std::vector<MovableBlock> movable;
+    std::vector<Pfn> low;
+    for (int i = 0; i < 32; ++i) {
+        auto pfn = buddy.alloc(2);
+        if (i < 16)
+            low.push_back(*pfn);
+        else
+            movable.push_back({*pfn, 2});
+    }
+    for (Pfn pfn : low)
+        buddy.free(pfn, 2);
+    CompactionDaemon daemon(buddy);
+    EXPECT_LE(daemon.compact(movable, [](Pfn, Pfn, unsigned) {}, 3),
+              3u);
+}
+
+TEST(MergePass, MergesAdjacentFullReservations)
+{
+    PhysMemory pm(512ull << 20);
+    AddressSpace as(pm, std::make_unique<TpsPolicy>());
+    // Fragment physical memory so a 128 KB mmap is backed by two
+    // *non-adjacent* 64 KB reservations: consume every order-5+ block,
+    // then free two scattered order-4 (64 KB) halves.
+    BuddyAllocator &buddy = pm.buddy();
+    std::vector<Pfn> held;
+    while (auto pfn = buddy.alloc(5))
+        held.push_back(*pfn);
+    ASSERT_GT(held.size(), 40u);
+    buddy.free(held[10], 4);          // low half of one held block
+    buddy.free(held[20] + 16, 4);     // high half of another
+
+    vm::Vaddr va = as.mmap(128 << 10);
+    for (uint64_t off = 0; off < (128 << 10); off += 0x1000)
+        ASSERT_TRUE(as.handleFault(va + off, true));
+    ASSERT_EQ(as.reservations().size(), 2u);
+    EXPECT_EQ(as.pageSizeCensus().at(16), 2u);
+
+    // Free one whole order-5 block so the merged 128 KB block fits.
+    buddy.free(held[30], 5);
+
+    uint64_t merges = mergeReservationPass(as, 10);
+    EXPECT_EQ(merges, 1u);
+    EXPECT_EQ(as.reservations().size(), 1u);
+    Histogram census = as.pageSizeCensus();
+    EXPECT_EQ(census.at(17), 1u);   // one 128 KB page
+    EXPECT_EQ(census.total(), 1u);
+    // Translation still valid everywhere.
+    for (uint64_t off = 0; off < (128 << 10); off += 0x1000)
+        ASSERT_TRUE(as.pageTable().lookup(va + off).has_value());
+}
+
+TEST(MergePass, NoCandidatesNoMerges)
+{
+    PhysMemory pm(256ull << 20);
+    AddressSpace as(pm, std::make_unique<TpsPolicy>());
+    vm::Vaddr va = as.mmap(64 << 10);
+    for (uint64_t off = 0; off < (64 << 10); off += 0x1000)
+        as.handleFault(va + off, true);
+    // Single fully promoted reservation: nothing to merge.
+    EXPECT_EQ(mergeReservationPass(as, 10), 0u);
+}
+
+TEST(Fragmenter, ReachesTargetFreeFraction)
+{
+    PhysMemory pm(256ull << 20);
+    FragmenterConfig cfg;
+    cfg.targetFreeFraction = 0.3;
+    cfg.churnOps = 20000;
+    Fragmenter frag(pm, cfg);
+    frag.run();
+    double free_frac = static_cast<double>(pm.buddy().freeFrames()) /
+                       static_cast<double>(pm.buddy().totalFrames());
+    EXPECT_NEAR(free_frac, 0.3, 0.1);
+    EXPECT_GT(frag.held().size(), 0u);
+}
+
+TEST(Fragmenter, ProducesIntermediateContiguity)
+{
+    PhysMemory pm(256ull << 20);
+    Fragmenter frag(pm, FragmenterConfig{});
+    frag.run();
+    const BuddyAllocator &buddy = pm.buddy();
+    // The paper's Fig. 15 shape: full coverage at 4 KB, substantial
+    // intermediate coverage, little at huge sizes.
+    EXPECT_DOUBLE_EQ(buddy.coverageAt(0), 1.0);
+    EXPECT_GT(buddy.coverageAt(3), 0.2);    // 32 KB
+    EXPECT_LT(buddy.coverageAt(9), buddy.coverageAt(3));
+    EXPECT_LT(buddy.coverageAt(12), 0.6);   // 16 MB pages are rare
+}
+
+TEST(Fragmenter, Deterministic)
+{
+    FragmenterConfig cfg;
+    cfg.churnOps = 5000;
+    PhysMemory a(128ull << 20), b(128ull << 20);
+    Fragmenter fa(a, cfg), fb(b, cfg);
+    fa.run();
+    fb.run();
+    EXPECT_EQ(a.buddy().freeListCounts(), b.buddy().freeListCounts());
+}
+
+TEST(Fragmenter, ReleaseAllRestoresMemory)
+{
+    PhysMemory pm(128ull << 20);
+    Fragmenter frag(pm, FragmenterConfig{});
+    frag.run();
+    frag.releaseAll();
+    EXPECT_EQ(pm.buddy().freeFrames(), pm.buddy().totalFrames());
+}
+
+} // namespace
+} // namespace tps::os

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * End-to-end integration tests: small-scale versions of the paper's
+ * headline comparisons.  These pin the *directional* results every
+ * figure depends on -- if one of these fails, the corresponding bench
+ * would reproduce the wrong shape.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/tps_system.hh"
+#include "sim/perf_model.hh"
+#include "util/stats.hh"
+
+namespace tps::core {
+namespace {
+
+sim::SimStats
+run(const std::string &workload, Design design, double scale = 1.0,
+    bool fragmented = false)
+{
+    RunOptions opts;
+    opts.workload = workload;
+    opts.design = design;
+    opts.scale = scale;
+    opts.physBytes = 8ull << 30;
+    opts.fragmented = fragmented;
+    return runExperiment(opts);
+}
+
+TEST(Paper, TpsEliminatesMostL1MissesVsThp)
+{
+    // Fig. 10's headline: TPS removes ~98% of L1 DTLB misses.
+    for (const char *wl : {"gups", "xsbench", "mcf"}) {
+        sim::SimStats thp = run(wl, Design::Thp);
+        sim::SimStats tps = run(wl, Design::Tps);
+        double elim = percentEliminated(thp.l1TlbMisses,
+                                        tps.l1TlbMisses);
+        EXPECT_GT(elim, 80.0) << wl;
+    }
+}
+
+TEST(Paper, RmmEliminatesNoL1Misses)
+{
+    // Fig. 10: RMM's range TLB sits at L2; L1 misses stay.
+    sim::SimStats thp = run("gups", Design::Thp);
+    sim::SimStats rmm = run("gups", Design::Rmm);
+    double elim =
+        percentEliminated(thp.l1TlbMisses, rmm.l1TlbMisses);
+    EXPECT_LT(elim, 10.0);
+}
+
+TEST(Paper, RmmEliminatesWalksLikeTps)
+{
+    // Fig. 11: RMM and TPS both nearly eliminate walk references.
+    sim::SimStats thp = run("xsbench", Design::Thp);
+    sim::SimStats rmm = run("xsbench", Design::Rmm);
+    sim::SimStats tps = run("xsbench", Design::Tps);
+    double rmm_elim =
+        percentEliminated(thp.walkMemRefs, rmm.walkMemRefs);
+    double tps_elim =
+        percentEliminated(thp.walkMemRefs, tps.walkMemRefs);
+    EXPECT_GT(rmm_elim, 80.0);
+    EXPECT_GT(tps_elim, 80.0);
+}
+
+TEST(Paper, ColtBarelyHelpsGups)
+{
+    // Fig. 10: coalescing a few pages per entry cannot fix random
+    // access over a huge table.
+    sim::SimStats thp = run("gups", Design::Thp);
+    sim::SimStats colt = run("gups", Design::Colt);
+    double elim =
+        percentEliminated(thp.l1TlbMisses, colt.l1TlbMisses);
+    EXPECT_LT(elim, 25.0);
+}
+
+TEST(Paper, ColtHelpsSparse4kWorkloads)
+{
+    // CoLT's coalescing pays off where THP cannot promote: the
+    // sparsely populated slab pool keeps its 4 KB pages, which CoLT
+    // packs eight-to-an-entry.
+    sim::SimStats thp = run("omnetpp", Design::Thp);
+    sim::SimStats colt = run("omnetpp", Design::Colt);
+    double elim =
+        percentEliminated(thp.l1TlbMisses, colt.l1TlbMisses);
+    EXPECT_GT(elim, 15.0);
+}
+
+TEST(Paper, TpsUnderFragmentationLosesGupsButKeepsGraph500)
+{
+    // Fig. 16: GUPS needs huge pages (no locality); workloads with
+    // reference locality (the paper names XSBench and Graph500)
+    // retain benefit from intermediate page sizes.
+    // Scaled so the workload fits the fragmented machine's free
+    // memory, with heavy-server-grade fragmentation (free chunks
+    // almost all below 256 KB).
+    auto frag_run = [](const char *wl, Design d) {
+        RunOptions opts;
+        opts.workload = wl;
+        opts.design = d;
+        opts.scale = 0.25;
+        opts.physBytes = 8ull << 30;
+        opts.fragmented = true;
+        return runExperiment(opts);
+    };
+    sim::SimStats thp_g = frag_run("gups", Design::Thp);
+    sim::SimStats tps_g = frag_run("gups", Design::Tps);
+    double gups_elim =
+        percentEliminated(thp_g.l1TlbMisses, tps_g.l1TlbMisses);
+
+    sim::SimStats thp_x = frag_run("graph500", Design::Thp);
+    sim::SimStats tps_x = frag_run("graph500", Design::Tps);
+    double graph_elim =
+        percentEliminated(thp_x.l1TlbMisses, tps_x.l1TlbMisses);
+
+    EXPECT_GT(graph_elim, gups_elim);
+    EXPECT_GT(graph_elim, 25.0);
+    EXPECT_LT(gups_elim, 10.0);
+}
+
+TEST(Paper, TpsUsesManyPageSizes)
+{
+    // Fig. 18: the census spans many distinct sizes.
+    RunOptions opts;
+    opts.workload = "gcc";
+    opts.design = Design::Tps;
+    opts.scale = 0.05;
+    opts.physBytes = 1ull << 30;
+
+    os::PhysMemory pm(opts.physBytes);
+    sim::EngineConfig ecfg;
+    ecfg.mmu.tlb = designTlbConfig(opts.design);
+    auto w = workloads::makeWorkload(opts.workload, opts.scale);
+    sim::Engine engine(pm, makePolicy(opts.design), ecfg);
+    engine.addWorkload(*w);
+    engine.run();
+    Histogram census = engine.addressSpace().pageSizeCensus();
+    unsigned distinct = 0;
+    for (auto &[pb, count] : census.buckets())
+        distinct += count > 0;
+    EXPECT_GE(distinct, 4u);
+}
+
+TEST(Paper, ThpMemoryBloatVs4k)
+{
+    // Fig. 9 direction: 2 MB-only paging uses more memory than 4 KB
+    // demand paging for sparsely touched regions; TPS at 100%
+    // threshold uses exactly the 4 KB amount.
+    os::PhysMemory pm(1ull << 30);
+    os::AddressSpace as4k(pm, makePolicy(Design::Base4k));
+    vm::Vaddr va = as4k.mmap(8ull << 20);
+    for (uint64_t off = 0; off < (8ull << 20); off += 0x4000)
+        as4k.handleFault(va + off, true);
+    uint64_t used_4k = as4k.mappedBytes();
+
+    os::AddressSpace tps(pm, makePolicy(Design::Tps));
+    vm::Vaddr vt = tps.mmap(8ull << 20);
+    for (uint64_t off = 0; off < (8ull << 20); off += 0x4000)
+        tps.handleFault(vt + off, true);
+    EXPECT_EQ(tps.mappedBytes(), used_4k);
+}
+
+TEST(Paper, SpeedupOrderingTpsRmmColt)
+{
+    // Fig. 13's ordering on a TLB-hostile benchmark:
+    // speedup(TPS) >= speedup(RMM) >= speedup(CoLT) > ~1.
+    sim::SimStats thp = run("gups", Design::Thp);
+
+    RunOptions base;
+    base.workload = "gups";
+    base.scale = 1.0;
+    base.physBytes = 8ull << 30;
+    base.design = Design::Thp;
+    base.timing = sim::TlbTimingMode::PerfectL2;
+    uint64_t perfect_l2 = runExperiment(base).cycles;
+    base.timing = sim::TlbTimingMode::PerfectL1;
+    uint64_t perfect_l1 = runExperiment(base).cycles;
+
+    auto estimate = [&](Design d) {
+        sim::SimStats s = run("gups", d);
+        sim::SpeedupInputs in;
+        in.baselineCycles = thp.cycles;
+        in.perfectL2Cycles = perfect_l2;
+        in.perfectL1Cycles = perfect_l1;
+        in.baselinePwCycles = thp.walkCycles;
+        in.savableFraction = 1.0;
+        in.l1MissElimination =
+            percentEliminated(thp.l1TlbMisses, s.l1TlbMisses) / 100.0;
+        in.walkRefElimination =
+            percentEliminated(thp.walkMemRefs, s.walkMemRefs) / 100.0;
+        return sim::estimateSpeedup(in).speedup;
+    };
+
+    double tps = estimate(Design::Tps);
+    double rmm = estimate(Design::Rmm);
+    double colt = estimate(Design::Colt);
+    EXPECT_GE(tps, rmm - 0.01);
+    EXPECT_GE(rmm, colt - 0.01);
+    EXPECT_GT(tps, 1.0);
+}
+
+TEST(Paper, EagerPagingBestForWalkReduction)
+{
+    // Fig. 11: eager TPS removes even the cold-start walks.
+    sim::SimStats tps = run("xsbench", Design::Tps);
+    sim::SimStats eager = run("xsbench", Design::TpsEager);
+    EXPECT_LE(eager.walkMemRefs, tps.walkMemRefs);
+    // Eager paging takes no demand faults at all, even during init.
+    EXPECT_EQ(eager.warmup.faults + eager.faults, 0u);
+    EXPECT_GT(tps.warmup.faults, 0u);
+}
+
+TEST(Paper, SystemTimeRemainsSmall)
+{
+    // Fig. 17: OS allocator work is a tiny fraction of execution.
+    sim::SimStats tps = run("xsbench", Design::Tps);
+    EXPECT_LT(tps.systemTimeFraction(), 0.1);
+}
+
+TEST(Paper, TpsL1HitRateAbove99Percent)
+{
+    // Sec. I: "TPS is able to raise the L1 TLB hit rate to more than
+    // 99%" -- check on a locality-bearing workload.
+    sim::SimStats tps = run("xsbench", Design::Tps);
+    double hit_rate = 1.0 - ratio(tps.l1TlbMisses, tps.accesses);
+    EXPECT_GT(hit_rate, 0.99);
+}
+
+} // namespace
+} // namespace tps::core

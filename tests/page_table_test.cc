@@ -1,0 +1,307 @@
+/**
+ * @file
+ * Page-table tests: mapping/unmapping at every page size, alias-PTE
+ * layout in both alias modes, promotion overwrite semantics, A/D
+ * stickiness, visitors, and frame accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "vm/page_table.hh"
+
+namespace tps::vm {
+namespace {
+
+class PageTableTest : public ::testing::Test
+{
+  protected:
+    SyntheticFrameProvider provider_;
+};
+
+TEST_F(PageTableTest, EmptyLookupFails)
+{
+    PageTable pt(provider_);
+    EXPECT_FALSE(pt.lookup(0x1000).has_value());
+    EXPECT_FALSE(pt.unmap(0x1000).has_value());
+}
+
+TEST_F(PageTableTest, Map4kAndLookup)
+{
+    PageTable pt(provider_);
+    pt.map(0x7000, 0x123, kBasePageBits, true, true);
+    auto res = pt.lookup(0x7abc);
+    ASSERT_TRUE(res.has_value());
+    EXPECT_EQ(res->leaf.pfn, 0x123u);
+    EXPECT_EQ(res->leaf.pageBits, kBasePageBits);
+    EXPECT_EQ(res->pageBase, 0x7000u);
+    EXPECT_TRUE(res->leaf.writable);
+    // Neighbouring page not mapped.
+    EXPECT_FALSE(pt.lookup(0x8000).has_value());
+    EXPECT_FALSE(pt.lookup(0x6fff).has_value());
+}
+
+TEST_F(PageTableTest, MapReadOnly)
+{
+    PageTable pt(provider_);
+    pt.map(0x1000, 0x1, kBasePageBits, false, true);
+    auto res = pt.lookup(0x1000);
+    ASSERT_TRUE(res.has_value());
+    EXPECT_FALSE(res->leaf.writable);
+}
+
+/** Map/lookup/unmap at every supported page size. */
+class PageTableSizes : public ::testing::TestWithParam<unsigned>
+{
+  protected:
+    SyntheticFrameProvider provider_;
+};
+
+TEST_P(PageTableSizes, RoundTrip)
+{
+    unsigned pb = GetParam();
+    PageTable pt(provider_);
+    uint64_t size = 1ull << pb;
+    Vaddr va = 2 * size;   // naturally aligned, nonzero
+    Pfn pfn = 4ull << (pb - kBasePageBits);
+
+    pt.map(va, pfn, pb, true, true);
+
+    // Every byte offset inside the page translates to the same leaf.
+    for (uint64_t off :
+         {uint64_t(0), size / 3, size / 2, size - 1}) {
+        auto res = pt.lookup(va + off);
+        ASSERT_TRUE(res.has_value()) << pb << " off " << off;
+        EXPECT_EQ(res->leaf.pageBits, pb);
+        EXPECT_EQ(res->leaf.pfn, pfn);
+        EXPECT_EQ(res->pageBase, va);
+    }
+    // One byte outside either edge is unmapped.
+    EXPECT_FALSE(pt.lookup(va - 1).has_value());
+    EXPECT_FALSE(pt.lookup(va + size).has_value());
+
+    auto removed = pt.unmap(va + size / 2);
+    ASSERT_TRUE(removed.has_value());
+    EXPECT_EQ(removed->pageBits, pb);
+    EXPECT_FALSE(pt.lookup(va).has_value());
+    EXPECT_FALSE(pt.lookup(va + size - 1).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSizes, PageTableSizes,
+                         ::testing::Range(12u, kMaxPageBits + 1));
+
+TEST_F(PageTableTest, AliasSlotsPointerMode)
+{
+    PageTable pt(provider_, SizeEncoding::Napot, AliasMode::Pointer);
+    // 32 KB page: 8 slots at the PT level.
+    Vaddr va = 1ull << 21;
+    pt.map(va, 0x800, 15, true, true);
+
+    const PageTableNode *pt_node = &pt.root();
+    for (unsigned l = 4; l > 1; --l)
+        pt_node = pt_node->children[vaIndex(va, l)].get();
+    unsigned idx = vaIndex(va, 1);
+    const Pte &true_pte = pt_node->ptes[idx];
+    EXPECT_TRUE(true_pte.tailored());
+    EXPECT_FALSE(true_pte.alias());
+    for (unsigned s = 1; s < 8; ++s) {
+        const Pte &alias = pt_node->ptes[idx + s];
+        EXPECT_TRUE(alias.present());
+        EXPECT_TRUE(alias.tailored());
+        EXPECT_TRUE(alias.alias());
+        // Pointer-mode aliases still carry the size code.
+        unsigned bits = 0;
+        napotDecode(alias.rawPfn(), bits);
+        EXPECT_EQ(bits, 15u);
+        // ...but no PFN payload.
+        EXPECT_EQ(alias.rawPfn() & ~lowMask(3), 0u);
+    }
+    EXPECT_EQ(pt.stats().aliasWrites, 7u);
+}
+
+TEST_F(PageTableTest, AliasSlotsFullCopyMode)
+{
+    PageTable pt(provider_, SizeEncoding::Napot, AliasMode::FullCopy);
+    Vaddr va = 1ull << 21;
+    pt.map(va, 0x800, 15, true, true);
+
+    const PageTableNode *node = &pt.root();
+    for (unsigned l = 4; l > 1; --l)
+        node = node->children[vaIndex(va, l)].get();
+    unsigned idx = vaIndex(va, 1);
+    for (unsigned s = 1; s < 8; ++s) {
+        const Pte &alias = node->ptes[idx + s];
+        EXPECT_TRUE(alias.alias());
+        // Full copies carry the complete coded PFN.
+        EXPECT_EQ(alias.rawPfn(), node->ptes[idx].rawPfn());
+    }
+}
+
+TEST_F(PageTableTest, PromotionOverwritesSmallerPages)
+{
+    PageTable pt(provider_);
+    Vaddr base = 1ull << 30;
+    // Map two 4 KB pages, then promote the containing 8 KB region.
+    pt.map(base, 0x10, 12, true, true);
+    pt.map(base + 0x1000, 0x11, 12, true, true);
+    pt.map(base, 0x10, 13, true, true);
+    auto res = pt.lookup(base + 0x1800);
+    ASSERT_TRUE(res.has_value());
+    EXPECT_EQ(res->leaf.pageBits, 13u);
+    EXPECT_EQ(res->leaf.pfn, 0x10u);
+}
+
+TEST_F(PageTableTest, PromotionAcrossLevelFreesChildNodes)
+{
+    PageTable pt(provider_);
+    Vaddr base = 1ull << 31;
+    // Map 512 x 4 KB pages, then promote to one 2 MB page.
+    for (unsigned i = 0; i < 512; ++i)
+        pt.map(base + i * 0x1000ull, 0x1000 + i, 12, true, true);
+    uint64_t freed_before = pt.stats().nodesFreed;
+    uint64_t gen_before = pt.generation();
+    pt.map(base, 0x1000, 21, true, true);
+    EXPECT_GT(pt.stats().nodesFreed, freed_before);
+    EXPECT_GT(pt.generation(), gen_before);
+    auto res = pt.lookup(base + 0x12345);
+    ASSERT_TRUE(res.has_value());
+    EXPECT_EQ(res->leaf.pageBits, 21u);
+}
+
+TEST_F(PageTableTest, AccessedDirtySticky)
+{
+    PageTable pt(provider_);
+    pt.map(0x4000, 0x44, 12, true, true);
+    uint64_t writes = pt.stats().pteWrites;
+    pt.setAccessed(0x4000);
+    EXPECT_EQ(pt.stats().pteWrites, writes + 1);
+    pt.setAccessed(0x4123);   // already set: no write
+    EXPECT_EQ(pt.stats().pteWrites, writes + 1);
+    pt.setDirty(0x4000);
+    EXPECT_EQ(pt.stats().pteWrites, writes + 2);
+    pt.setDirty(0x4000);
+    EXPECT_EQ(pt.stats().pteWrites, writes + 2);
+    auto res = pt.lookup(0x4000);
+    EXPECT_TRUE(res->leaf.accessed);
+    EXPECT_TRUE(res->leaf.dirty);
+}
+
+TEST_F(PageTableTest, DirtyImpliesAccessed)
+{
+    PageTable pt(provider_);
+    pt.map(0x4000, 0x44, 12, true, true);
+    pt.setDirty(0x4000);
+    auto res = pt.lookup(0x4000);
+    EXPECT_TRUE(res->leaf.accessed);
+    EXPECT_TRUE(res->leaf.dirty);
+}
+
+TEST_F(PageTableTest, FullCopyAdFansOutToAliases)
+{
+    PageTable pt(provider_, SizeEncoding::Napot, AliasMode::FullCopy);
+    Vaddr va = 1ull << 21;
+    pt.map(va, 0x800, 14, true, true);   // 4 slots
+    uint64_t writes = pt.stats().pteWrites;
+    pt.setAccessed(va);
+    // True PTE + 3 aliases.
+    EXPECT_EQ(pt.stats().pteWrites, writes + 4);
+}
+
+TEST_F(PageTableTest, LookupThroughAliasSlotFindsTruePte)
+{
+    PageTable pt(provider_);
+    Vaddr va = 1ull << 22;
+    pt.map(va, 0x40, 14, true, true);   // 16 KB, 4 slots
+    // Look up via the 3rd constituent page (an alias slot).
+    auto res = pt.lookup(va + 3 * 0x1000);
+    ASSERT_TRUE(res.has_value());
+    EXPECT_EQ(res->leaf.pfn, 0x40u);
+    EXPECT_EQ(res->pageBase, va);
+}
+
+TEST_F(PageTableTest, ForEachLeafVisitsTrueLeavesOnly)
+{
+    PageTable pt(provider_);
+    pt.map(0x1000, 0x1, 12, true, true);
+    pt.map(0x4000, 0x4, 14, true, true);      // 16 KB
+    pt.map(1ull << 21, 0x200, 21, true, true); // 2 MB
+    std::vector<std::pair<Vaddr, unsigned>> seen;
+    pt.forEachLeaf([&](Vaddr base, const LeafInfo &leaf) {
+        seen.emplace_back(base, leaf.pageBits);
+    });
+    ASSERT_EQ(seen.size(), 3u);
+    EXPECT_EQ(seen[0], (std::pair<Vaddr, unsigned>{0x1000, 12u}));
+    EXPECT_EQ(seen[1], (std::pair<Vaddr, unsigned>{0x4000, 14u}));
+    EXPECT_EQ(seen[2], (std::pair<Vaddr, unsigned>{1ull << 21, 21u}));
+}
+
+TEST_F(PageTableTest, ForEachLeafInRangeFilters)
+{
+    PageTable pt(provider_);
+    for (unsigned i = 0; i < 10; ++i)
+        pt.map(0x100000 + i * 0x1000ull, i, 12, true, true);
+    unsigned count = 0;
+    pt.forEachLeafInRange(0x102000, 0x105000,
+                          [&](Vaddr, const LeafInfo &) { ++count; });
+    EXPECT_EQ(count, 3u);
+}
+
+TEST_F(PageTableTest, TableBytesGrowsAndShrinks)
+{
+    PageTable pt(provider_);
+    uint64_t initial = pt.tableBytes();
+    pt.map(0x1000, 0x1, 12, true, true);
+    EXPECT_GT(pt.tableBytes(), initial);
+}
+
+TEST_F(PageTableTest, FramesReturnedOnDestruction)
+{
+    {
+        PageTable pt(provider_);
+        pt.map(0x1000, 0x1, 12, true, true);
+        pt.map(1ull << 30, 0x100, 12, true, true);
+        EXPECT_GT(provider_.live(), 0u);
+    }
+    EXPECT_EQ(provider_.live(), 0u);
+}
+
+TEST_F(PageTableTest, MapOpsCounted)
+{
+    PageTable pt(provider_);
+    pt.map(0x1000, 0x1, 12, true, true);
+    pt.map(0x2000, 0x2, 12, true, true);
+    pt.unmap(0x1000);
+    EXPECT_EQ(pt.stats().mapOps, 2u);
+    EXPECT_EQ(pt.stats().unmapOps, 1u);
+}
+
+TEST_F(PageTableTest, SizeFieldEncodingRoundTrip)
+{
+    PageTable pt(provider_, SizeEncoding::SizeField,
+                 AliasMode::Pointer);
+    Vaddr va = 1ull << 24;
+    pt.map(va, 0x1000, 16, true, true);   // 64 KB
+    auto res = pt.lookup(va + 0x8000);
+    ASSERT_TRUE(res.has_value());
+    EXPECT_EQ(res->leaf.pageBits, 16u);
+    EXPECT_EQ(res->leaf.pfn, 0x1000u);
+}
+
+TEST_F(PageTableTest, TwoTailoredPagesSideBySide)
+{
+    PageTable pt(provider_);
+    Vaddr base = 1ull << 25;
+    pt.map(base, 0x100, 14, true, true);
+    pt.map(base + (1ull << 14), 0x200, 14, true, true);
+    auto a = pt.lookup(base + 0x2000);
+    auto b = pt.lookup(base + (1ull << 14) + 0x2000);
+    ASSERT_TRUE(a && b);
+    EXPECT_EQ(a->leaf.pfn, 0x100u);
+    EXPECT_EQ(b->leaf.pfn, 0x200u);
+    // Unmapping one leaves the other intact.
+    pt.unmap(base);
+    EXPECT_FALSE(pt.lookup(base).has_value());
+    EXPECT_TRUE(pt.lookup(base + (1ull << 14)).has_value());
+}
+
+} // namespace
+} // namespace tps::vm

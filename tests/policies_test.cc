@@ -1,0 +1,363 @@
+/**
+ * @file
+ * Paging-policy tests: demand 4 KB, reservation-based THP promotion,
+ * TPS incremental promotion up the power-of-two ladder (the paper's
+ * central OS mechanism), thresholds, eager paging, fragmentation
+ * fallback, CoLT contiguity, and the RMM range table.
+ */
+
+#include <gtest/gtest.h>
+
+#include "os/address_space.hh"
+#include "os/policy_common.hh"
+#include "os/policy_rmm.hh"
+
+namespace tps::os {
+namespace {
+
+/** Touch every base page of [va, va+bytes). */
+void
+touchRange(AddressSpace &as, vm::Vaddr va, uint64_t bytes)
+{
+    for (uint64_t off = 0; off < bytes; off += vm::kBasePageBytes)
+        ASSERT_TRUE(as.handleFault(va + off, true));
+}
+
+TEST(Base4k, OnlyBasePages)
+{
+    PhysMemory pm(256ull << 20);
+    AddressSpace as(pm, std::make_unique<Base4kPolicy>());
+    vm::Vaddr va = as.mmap(1 << 20);
+    touchRange(as, va, 1 << 20);
+    Histogram census = as.pageSizeCensus();
+    EXPECT_EQ(census.at(12), 256u);
+    EXPECT_EQ(census.total(), 256u);
+    EXPECT_EQ(as.reservations().size(), 0u);
+}
+
+TEST(Base4k, MemoryUsageEqualsTouched)
+{
+    PhysMemory pm(256ull << 20);
+    AddressSpace as(pm, std::make_unique<Base4kPolicy>());
+    vm::Vaddr va = as.mmap(4 << 20);
+    for (int i = 0; i < 10; ++i)
+        as.handleFault(va + i * 0x10000ull, true);
+    EXPECT_EQ(as.mappedBytes(), 10 * vm::kBasePageBytes);
+}
+
+TEST(Thp, ReservesOn2MBoundaries)
+{
+    PhysMemory pm(256ull << 20);
+    AddressSpace as(pm, std::make_unique<ThpPolicy>());
+    vm::Vaddr va = as.mmap(4ull << 20);
+    as.handleFault(va, true);
+    ASSERT_EQ(as.reservations().size(), 1u);
+    const Reservation &r = as.reservations().all().begin()->second;
+    EXPECT_EQ(r.order(), 9u);   // 2 MB block
+    EXPECT_TRUE(isAligned(r.vaBase(), 2ull << 20));
+}
+
+TEST(Thp, PromotesOnlyAtFullUtilization)
+{
+    PhysMemory pm(256ull << 20);
+    AddressSpace as(pm, std::make_unique<ThpPolicy>());
+    vm::Vaddr va = as.mmap(2ull << 20);
+    // Touch all but one page: no promotion.
+    for (unsigned i = 0; i < 511; ++i)
+        as.handleFault(va + i * 0x1000ull, true);
+    EXPECT_EQ(as.pageSizeCensus().at(21), 0u);
+    EXPECT_EQ(as.pageSizeCensus().at(12), 511u);
+    // The last page triggers the 2 MB promotion.
+    as.handleFault(va + 511 * 0x1000ull, true);
+    EXPECT_EQ(as.pageSizeCensus().at(21), 1u);
+    EXPECT_EQ(as.pageSizeCensus().at(12), 0u);
+    EXPECT_EQ(as.osWork().promotions, 1u);
+}
+
+TEST(Thp, NoIntermediateSizesEver)
+{
+    PhysMemory pm(256ull << 20);
+    AddressSpace as(pm, std::make_unique<ThpPolicy>());
+    vm::Vaddr va = as.mmap(2ull << 20);
+    touchRange(as, va, 2ull << 20);
+    for (unsigned pb = 13; pb <= 20; ++pb)
+        EXPECT_EQ(as.pageSizeCensus().at(pb), 0u) << pb;
+}
+
+TEST(Tps, IncrementalPromotionLadder)
+{
+    PhysMemory pm(512ull << 20);
+    AddressSpace as(pm, std::make_unique<TpsPolicy>());
+    vm::Vaddr va = as.mmap(64 << 10);   // 64 KB region
+
+    // Touch the first two pages: 8 KB page appears.
+    as.handleFault(va, true);
+    as.handleFault(va + 0x1000, true);
+    EXPECT_EQ(as.pageSizeCensus().at(13), 1u);
+    // Next two pages: their own 8 KB, then both merge into 16 KB.
+    as.handleFault(va + 0x2000, true);
+    as.handleFault(va + 0x3000, true);
+    EXPECT_EQ(as.pageSizeCensus().at(14), 1u);
+    EXPECT_EQ(as.pageSizeCensus().at(13), 0u);
+    // Complete the region: one 64 KB tailored page.
+    touchRange(as, va + 0x4000, (64 << 10) - 0x4000);
+    EXPECT_EQ(as.pageSizeCensus().at(16), 1u);
+    EXPECT_EQ(as.pageSizeCensus().total(), 1u);
+}
+
+TEST(Tps, HundredPercentThresholdMeansNoBloat)
+{
+    PhysMemory pm(512ull << 20);
+    AddressSpace as(pm, std::make_unique<TpsPolicy>());
+    vm::Vaddr va = as.mmap(8ull << 20);
+    // Touch half the pages scattered: usage equals touched pages.
+    uint64_t touched = 0;
+    for (uint64_t off = 0; off < (8ull << 20); off += 0x2000) {
+        as.handleFault(va + off, true);
+        ++touched;
+    }
+    EXPECT_EQ(as.mappedBytes(), touched * vm::kBasePageBytes);
+}
+
+TEST(Tps, FiftyPercentThresholdBloatsButCoarsens)
+{
+    PhysMemory pm(512ull << 20);
+    os::TpsPolicyConfig cfg;
+    cfg.threshold = 0.5;
+    AddressSpace as(pm, std::make_unique<TpsPolicy>(cfg));
+    vm::Vaddr va = as.mmap(64 << 10);
+    // Touch every other page: 50% utilization at every level.
+    for (uint64_t off = 0; off < (64 << 10); off += 0x2000)
+        as.handleFault(va + off, true);
+    // The whole region promotes despite half the pages untouched.
+    EXPECT_EQ(as.pageSizeCensus().at(16), 1u);
+    EXPECT_EQ(as.mappedBytes(), 64u << 10);   // bloat: 2x touched
+}
+
+TEST(Tps, SinglePteForWholeRegion)
+{
+    PhysMemory pm(512ull << 20);
+    AddressSpace as(pm, std::make_unique<TpsPolicy>());
+    vm::Vaddr va = as.mmap(16ull << 20);   // 16 MB
+    touchRange(as, va, 16ull << 20);
+    Histogram census = as.pageSizeCensus();
+    EXPECT_EQ(census.at(24), 1u);
+    EXPECT_EQ(census.total(), 1u);
+    // Translation works across the region.
+    auto res = as.pageTable().lookup(va + (13ull << 20) + 0x123);
+    ASSERT_TRUE(res.has_value());
+    EXPECT_EQ(res->leaf.pageBits, 24u);
+}
+
+TEST(Tps, NonPowerOfTwoRegionDecomposes)
+{
+    PhysMemory pm(512ull << 20);
+    AddressSpace as(pm, std::make_unique<TpsPolicy>());
+    // 28 KB: the paper's conservative example -> 16 + 8 + 4.
+    vm::Vaddr va = as.mmap(28 << 10);
+    touchRange(as, va, 28 << 10);
+    Histogram census = as.pageSizeCensus();
+    EXPECT_EQ(census.at(14), 1u);
+    EXPECT_EQ(census.at(13), 1u);
+    EXPECT_EQ(census.at(12), 1u);
+    EXPECT_EQ(census.total(), 3u);
+}
+
+TEST(Tps, PhysicalFramesContiguousWithinReservation)
+{
+    PhysMemory pm(512ull << 20);
+    AddressSpace as(pm, std::make_unique<TpsPolicy>());
+    vm::Vaddr va = as.mmap(1 << 20);
+    as.handleFault(va, true);
+    as.handleFault(va + 0x1000, true);
+    auto a = as.pageTable().lookup(va);
+    auto b = as.pageTable().lookup(va + 0x1000);
+    ASSERT_TRUE(a && b);
+    // After the 8 KB promotion both land in one page with one pfn.
+    EXPECT_EQ(a->leaf.pfn, b->leaf.pfn);
+}
+
+TEST(Tps, EagerMapsWholeRegionAtMmap)
+{
+    PhysMemory pm(512ull << 20);
+    os::TpsPolicyConfig cfg;
+    cfg.eager = true;
+    AddressSpace as(pm, std::make_unique<TpsPolicy>(cfg));
+    vm::Vaddr va = as.mmap(4ull << 20);
+    // No faults needed: already mapped as one 4 MB page.
+    auto res = as.pageTable().lookup(va + (3ull << 20));
+    ASSERT_TRUE(res.has_value());
+    EXPECT_EQ(res->leaf.pageBits, 22u);
+    EXPECT_EQ(as.osWork().faults, 0u);
+}
+
+TEST(Tps, FragmentationFallbackDegradesBlockSize)
+{
+    // Tiny memory: a 16 MB request cannot be backed by one block.
+    PhysMemory pm(8ull << 20);
+    AddressSpace as(pm, std::make_unique<TpsPolicy>());
+    vm::Vaddr va = as.mmap(16ull << 20);
+    // Fault a page: the reservation must degrade below 16 MB.
+    ASSERT_TRUE(as.handleFault(va, true));
+    ASSERT_EQ(as.reservations().size(), 1u);
+    const Reservation &r = as.reservations().all().begin()->second;
+    EXPECT_LT(r.order() + vm::kBasePageBits, 24u);
+    EXPECT_GT(as.osWork().reservationsMissed, 0u);
+}
+
+TEST(Tps, PromotionRequiresNoShootdown)
+{
+    PhysMemory pm(512ull << 20);
+    AddressSpace as(pm, std::make_unique<TpsPolicy>());
+    int shootdowns = 0;
+    as.setShootdownListener([&](vm::Vaddr) { ++shootdowns; });
+    vm::Vaddr va = as.mmap(64 << 10);
+    touchRange(as, va, 64 << 10);
+    // Sec. III-C2: page growth invalidates nothing.
+    EXPECT_EQ(shootdowns, 0);
+}
+
+TEST(Colt, ContiguousFramesNoPromotion)
+{
+    // CoLT runs the same reservation-THP policy as the baseline; a
+    // partially touched 2 MB chunk keeps its 4 KB pages but the
+    // reservation makes their frames contiguous -- exactly what the
+    // coalescing hardware needs.
+    PhysMemory pm(256ull << 20);
+    AddressSpace as(pm, std::make_unique<ColtPolicy>());
+    vm::Vaddr va = as.mmap(4ull << 20);
+    touchRange(as, va, 64 << 10);
+    EXPECT_EQ(as.pageSizeCensus().at(12), 16u);
+    EXPECT_EQ(as.pageSizeCensus().total(), 16u);
+    auto p0 = as.pageTable().lookup(va);
+    auto p1 = as.pageTable().lookup(va + 0x1000);
+    auto p7 = as.pageTable().lookup(va + 7 * 0x1000);
+    ASSERT_TRUE(p0 && p1 && p7);
+    EXPECT_EQ(p1->leaf.pfn, p0->leaf.pfn + 1);
+    EXPECT_EQ(p7->leaf.pfn, p0->leaf.pfn + 7);
+}
+
+TEST(Rmm, EagerContiguousRange)
+{
+    PhysMemory pm(256ull << 20);
+    auto policy = std::make_unique<RmmPolicy>();
+    RmmPolicy *rmm = policy.get();
+    AddressSpace as(pm, std::move(policy));
+    vm::Vaddr va = as.mmap(4ull << 20);
+    // Eagerly mapped: no faults.
+    auto res = as.pageTable().lookup(va + (3ull << 20));
+    ASSERT_TRUE(res.has_value());
+    EXPECT_EQ(res->leaf.pageBits, 12u);   // page table stays base-paged
+    // One range covers the whole region.
+    auto range = rmm->rangeFor(va + (2ull << 20));
+    ASSERT_TRUE(range.has_value());
+    EXPECT_LE(range->baseVpn, vm::vpnOf(va));
+    EXPECT_GE(range->baseVpn + range->pages,
+              vm::vpnOf(va + (4ull << 20)));
+}
+
+TEST(Rmm, RangeTranslationMatchesPageTable)
+{
+    PhysMemory pm(256ull << 20);
+    auto policy = std::make_unique<RmmPolicy>();
+    RmmPolicy *rmm = policy.get();
+    AddressSpace as(pm, std::move(policy));
+    vm::Vaddr va = as.mmap(1ull << 20);
+    for (uint64_t off = 0; off < (1ull << 20); off += 0x1000) {
+        auto pt_res = as.pageTable().lookup(va + off);
+        auto range = rmm->rangeFor(va + off);
+        ASSERT_TRUE(pt_res && range);
+        vm::Pfn range_pfn = static_cast<vm::Pfn>(
+            static_cast<int64_t>(vm::vpnOf(va + off)) + range->offset);
+        EXPECT_EQ(range_pfn, pt_res->leaf.pfn) << off;
+    }
+}
+
+TEST(Rmm, FragmentationSplitsIntoMultipleRanges)
+{
+    PhysMemory pm(64ull << 20);
+    // Fragment: consume memory so no single run of 8 MB exists.
+    {
+        BuddyAllocator &buddy = pm.buddy();
+        // Exhaust memory with 1 MB blocks, then free every other one:
+        // free memory is 1 MB runs with used holes between them.
+        std::vector<Pfn> held;
+        while (auto pfn = buddy.alloc(8))
+            held.push_back(*pfn);
+        for (size_t i = 0; i < held.size(); i += 2)
+            buddy.free(held[i], 8);
+    }
+    auto policy = std::make_unique<RmmPolicy>();
+    RmmPolicy *rmm = policy.get();
+    AddressSpace as(pm, std::move(policy));
+    as.mmap(8ull << 20);
+    EXPECT_GT(rmm->rangeCount(), 1u);
+}
+
+TEST(Rmm, MunmapDropsRangesAndFrames)
+{
+    PhysMemory pm(256ull << 20);
+    auto policy = std::make_unique<RmmPolicy>();
+    RmmPolicy *rmm = policy.get();
+    AddressSpace as(pm, std::move(policy));
+    vm::Vaddr va = as.mmap(2ull << 20);
+    as.munmap(va);
+    EXPECT_EQ(rmm->rangeCount(), 0u);
+    EXPECT_EQ(pm.stats().appFrames, 0u);
+}
+
+TEST(Policies, MunmapWithReservationRestoresAllFrames)
+{
+    PhysMemory pm(512ull << 20);
+    for (auto make : {+[]() -> std::unique_ptr<PagingPolicy> {
+                          return std::make_unique<ThpPolicy>();
+                      },
+                      +[]() -> std::unique_ptr<PagingPolicy> {
+                          return std::make_unique<TpsPolicy>();
+                      },
+                      +[]() -> std::unique_ptr<PagingPolicy> {
+                          return std::make_unique<ColtPolicy>();
+                      }}) {
+        uint64_t free_before = pm.freeBytes();
+        {
+            AddressSpace as(pm, make());
+            vm::Vaddr va = as.mmap(4ull << 20);
+            for (uint64_t off = 0; off < (4ull << 20); off += 0x3000)
+                as.handleFault(va + off, true);
+            as.munmap(va);
+        }
+        EXPECT_EQ(pm.freeBytes(), free_before);
+        EXPECT_EQ(pm.stats().appFrames, 0u);
+        EXPECT_EQ(pm.stats().reservedFrames, 0u);
+    }
+}
+
+TEST(Policies, SystemWorkCharged)
+{
+    PhysMemory pm(512ull << 20);
+    AddressSpace as(pm, std::make_unique<TpsPolicy>());
+    vm::Vaddr va = as.mmap(1 << 20);
+    touchRange(as, va, 1 << 20);
+    const OsWork &w = as.osWork();
+    EXPECT_GT(w.faultCycles, 0u);
+    EXPECT_GT(w.allocCycles, 0u);
+    EXPECT_GT(w.pteCycles, 0u);
+    EXPECT_GT(w.zeroCycles, 0u);
+    EXPECT_GT(w.totalCycles(), 0u);
+    EXPECT_GT(w.promotions, 0u);
+}
+
+TEST(Policies, VaAlignBits)
+{
+    Base4kPolicy base;
+    ThpPolicy thp;
+    TpsPolicy tps;
+    EXPECT_EQ(base.vaAlignBits(1 << 20), 12u);
+    EXPECT_EQ(thp.vaAlignBits(4ull << 20), 21u);
+    EXPECT_EQ(tps.vaAlignBits(4ull << 20), 22u);
+    EXPECT_EQ(tps.vaAlignBits(3ull << 20), 22u);   // ceil
+    EXPECT_EQ(tps.vaAlignBits(1ull << 32), 30u);   // capped
+}
+
+} // namespace
+} // namespace tps::os

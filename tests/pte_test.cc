@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Tests for the PTE word and both TPS size encodings (paper Fig. 5):
+ * NAPOT round trips at every supported page size, cross-checks between
+ * the one-bit NAPOT code and the explicit size field, and the
+ * level/span geometry helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "vm/addr.hh"
+#include "vm/pte.hh"
+
+namespace tps::vm {
+namespace {
+
+TEST(AddrGeometry, Constants)
+{
+    EXPECT_EQ(kBasePageBits, 12u);
+    EXPECT_EQ(kBasePageBytes, 4096u);
+    EXPECT_EQ(kPtesPerNode, 512u);
+    EXPECT_EQ(kVaBits, 48u);
+    EXPECT_EQ(kPageBits4K, 12u);
+    EXPECT_EQ(kPageBits2M, 21u);
+    EXPECT_EQ(kPageBits1G, 30u);
+}
+
+TEST(AddrGeometry, VaIndex)
+{
+    // va = PML4 idx 1, PDPT idx 2, PD idx 3, PT idx 4, offset 5.
+    Vaddr va = (1ull << 39) | (2ull << 30) | (3ull << 21) |
+               (4ull << 12) | 5;
+    EXPECT_EQ(vaIndex(va, 4), 1u);
+    EXPECT_EQ(vaIndex(va, 3), 2u);
+    EXPECT_EQ(vaIndex(va, 2), 3u);
+    EXPECT_EQ(vaIndex(va, 1), 4u);
+}
+
+TEST(AddrGeometry, LeafLevelAndSpan)
+{
+    EXPECT_EQ(leafLevel(12), 1u);
+    EXPECT_EQ(leafLevel(13), 1u);
+    EXPECT_EQ(leafLevel(20), 1u);
+    EXPECT_EQ(leafLevel(21), 2u);
+    EXPECT_EQ(leafLevel(29), 2u);
+    EXPECT_EQ(leafLevel(30), 3u);
+    EXPECT_EQ(leafLevel(38), 3u);
+
+    EXPECT_EQ(spanBits(12), 0u);
+    EXPECT_EQ(spanBits(13), 1u);
+    EXPECT_EQ(spanBits(20), 8u);
+    EXPECT_EQ(spanBits(21), 0u);
+    EXPECT_EQ(spanBits(25), 4u);
+    EXPECT_EQ(spanBits(30), 0u);
+}
+
+TEST(AddrGeometry, IsConventional)
+{
+    EXPECT_TRUE(isConventional(12));
+    EXPECT_TRUE(isConventional(21));
+    EXPECT_TRUE(isConventional(30));
+    for (unsigned pb = 13; pb <= 20; ++pb)
+        EXPECT_FALSE(isConventional(pb)) << pb;
+    for (unsigned pb = 22; pb <= 29; ++pb)
+        EXPECT_FALSE(isConventional(pb)) << pb;
+    for (unsigned pb = 31; pb <= kMaxPageBits; ++pb)
+        EXPECT_FALSE(isConventional(pb)) << pb;
+}
+
+TEST(Pte, FlagBits)
+{
+    Pte pte;
+    EXPECT_FALSE(pte.present());
+    pte.setPresent(true);
+    pte.setWritable(true);
+    pte.setUser(true);
+    pte.setAccessed(true);
+    pte.setDirty(true);
+    pte.setPageSize(true);
+    pte.setTailored(true);
+    pte.setAlias(true);
+    pte.setNoExecute(true);
+    EXPECT_TRUE(pte.present());
+    EXPECT_TRUE(pte.writable());
+    EXPECT_TRUE(pte.user());
+    EXPECT_TRUE(pte.accessed());
+    EXPECT_TRUE(pte.dirty());
+    EXPECT_TRUE(pte.pageSize());
+    EXPECT_TRUE(pte.tailored());
+    EXPECT_TRUE(pte.alias());
+    EXPECT_TRUE(pte.noExecute());
+    pte.setDirty(false);
+    EXPECT_FALSE(pte.dirty());
+    EXPECT_TRUE(pte.accessed());
+}
+
+TEST(Pte, PfnField)
+{
+    Pte pte;
+    pte.setRawPfn(0x123456789);
+    EXPECT_EQ(pte.rawPfn(), 0x123456789u);
+    // Flags unclobbered.
+    pte.setPresent(true);
+    pte.setRawPfn(0x1);
+    EXPECT_TRUE(pte.present());
+    EXPECT_EQ(pte.rawPfn(), 0x1u);
+}
+
+TEST(Pte, SizeField)
+{
+    Pte pte;
+    pte.setSizeField(9);
+    EXPECT_EQ(pte.sizeField(), 9u);
+    pte.setSizeField(1);
+    EXPECT_EQ(pte.sizeField(), 1u);
+}
+
+/** NAPOT encode/decode round trip at a specific page size. */
+class NapotRoundTrip : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(NapotRoundTrip, EncodeDecode)
+{
+    unsigned page_bits = GetParam();
+    unsigned k = page_bits - kBasePageBits;
+    // A PFN aligned to the page size (low k bits zero).
+    Pfn pfn = 0xABCDEull << k;
+    Pfn coded = napotEncode(pfn, page_bits);
+    // The code must sit entirely in the low k bits.
+    EXPECT_EQ(coded & ~lowMask(k), pfn);
+    unsigned decoded_bits = 0;
+    Pfn decoded_pfn = napotDecode(coded, decoded_bits);
+    EXPECT_EQ(decoded_bits, page_bits);
+    EXPECT_EQ(decoded_pfn, pfn);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTailoredSizes, NapotRoundTrip,
+                         ::testing::Range(13u, kMaxPageBits + 1));
+
+/** Full leaf-PTE round trip through both encodings at every size. */
+class LeafPteRoundTrip : public ::testing::TestWithParam<
+                             std::tuple<unsigned, SizeEncoding>>
+{
+};
+
+TEST_P(LeafPteRoundTrip, MakeAndDecode)
+{
+    auto [page_bits, enc] = GetParam();
+    unsigned level = leafLevel(page_bits);
+    unsigned k = page_bits - kBasePageBits;
+    Pfn pfn = 0x5A5ull << k;
+
+    Pte pte = makeLeafPte(pfn, page_bits, level, true, true, enc);
+    EXPECT_TRUE(pte.present());
+    EXPECT_TRUE(pte.writable());
+    EXPECT_EQ(pte.pageSize(), level > 1);
+    EXPECT_EQ(pte.tailored(), !isConventional(page_bits));
+
+    LeafInfo info = decodeLeafPte(pte, level, enc);
+    EXPECT_EQ(info.pageBits, page_bits);
+    EXPECT_EQ(info.pfn, pfn);
+    EXPECT_TRUE(info.writable);
+    EXPECT_TRUE(info.user);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSizesBothEncodings, LeafPteRoundTrip,
+    ::testing::Combine(::testing::Range(12u, kMaxPageBits + 1),
+                       ::testing::Values(SizeEncoding::Napot,
+                                         SizeEncoding::SizeField)));
+
+TEST(LeafPte, ConventionalSizesDoNotSetTailored)
+{
+    for (unsigned pb : {12u, 21u, 30u}) {
+        Pte pte = makeLeafPte(0, pb, leafLevel(pb), false, false);
+        EXPECT_FALSE(pte.tailored()) << pb;
+    }
+}
+
+TEST(LeafPte, EncodingsAgreeOnSize)
+{
+    // The one-bit NAPOT code and the 4-bit explicit field must decode
+    // to the same page size for every tailored size.
+    for (unsigned pb = 13; pb <= kMaxPageBits; ++pb) {
+        if (isConventional(pb))
+            continue;
+        unsigned level = leafLevel(pb);
+        unsigned k = pb - kBasePageBits;
+        Pfn pfn = 0x77ull << k;
+        Pte napot = makeLeafPte(pfn, pb, level, true, true,
+                                SizeEncoding::Napot);
+        Pte field = makeLeafPte(pfn, pb, level, true, true,
+                                SizeEncoding::SizeField);
+        LeafInfo a = decodeLeafPte(napot, level, SizeEncoding::Napot);
+        LeafInfo b = decodeLeafPte(field, level,
+                                   SizeEncoding::SizeField);
+        EXPECT_EQ(a.pageBits, b.pageBits) << pb;
+        EXPECT_EQ(a.pfn, b.pfn) << pb;
+    }
+}
+
+TEST(LeafPte, AdBitsSurviveDecode)
+{
+    Pte pte = makeLeafPte(0x40, 13, 1, true, true);
+    pte.setAccessed(true);
+    pte.setDirty(true);
+    LeafInfo info = decodeLeafPte(pte, 1);
+    EXPECT_TRUE(info.accessed);
+    EXPECT_TRUE(info.dirty);
+}
+
+TEST(LeafPte, PriorityEncoderMatchesSpecExample)
+{
+    // Paper Fig. 5: an 8 KB page uses exactly one PFN bit (s0 = 0).
+    Pfn coded = napotEncode(0x100, 13);
+    EXPECT_EQ(coded & 1, 0u);
+    // 16 KB: s0 = 1, s1 = 0.
+    coded = napotEncode(0x100, 14);
+    EXPECT_EQ(coded & 0b11, 0b01u);
+    // 32 KB: s0 = s1 = 1, s2 = 0.
+    coded = napotEncode(0x100, 15);
+    EXPECT_EQ(coded & 0b111, 0b011u);
+}
+
+} // namespace
+} // namespace tps::vm

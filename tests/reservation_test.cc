@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Reservation-table tests: the Fenwick bit counter, touch/utilization
+ * queries, mapped-region tracking, and table lookup/overlap rules.
+ */
+
+#include <gtest/gtest.h>
+
+#include "os/reservation.hh"
+
+namespace tps::os {
+namespace {
+
+TEST(BitCounter, SetAndTest)
+{
+    BitCounter bc(64);
+    EXPECT_FALSE(bc.test(5));
+    bc.set(5);
+    EXPECT_TRUE(bc.test(5));
+    EXPECT_EQ(bc.count(), 1u);
+    bc.set(5);   // idempotent
+    EXPECT_EQ(bc.count(), 1u);
+}
+
+TEST(BitCounter, RangeCounts)
+{
+    BitCounter bc(128);
+    for (uint64_t i = 0; i < 128; i += 2)
+        bc.set(i);
+    EXPECT_EQ(bc.count(), 64u);
+    EXPECT_EQ(bc.countRange(0, 128), 64u);
+    EXPECT_EQ(bc.countRange(0, 2), 1u);
+    EXPECT_EQ(bc.countRange(1, 2), 1u);
+    EXPECT_EQ(bc.countRange(1, 1), 0u);
+    EXPECT_EQ(bc.countRange(64, 64), 32u);
+}
+
+TEST(BitCounter, LargeSparse)
+{
+    BitCounter bc(1u << 18);
+    bc.set(0);
+    bc.set((1u << 18) - 1);
+    bc.set(12345);
+    EXPECT_EQ(bc.count(), 3u);
+    EXPECT_EQ(bc.countRange(0, 1u << 18), 3u);
+    EXPECT_EQ(bc.countRange(12345, 1), 1u);
+    EXPECT_EQ(bc.countRange(12346, 1000), 0u);
+}
+
+class ReservationTest : public ::testing::Test
+{
+  protected:
+    // 64-page (256 KB) reservation at VA 256 KB, frames from 0x400.
+    ReservationTest() : resv_(1ull << 18, 6, 0x400) {}
+
+    Reservation resv_;
+};
+
+TEST_F(ReservationTest, Geometry)
+{
+    EXPECT_EQ(resv_.vaBase(), 1ull << 18);
+    EXPECT_EQ(resv_.pages(), 64u);
+    EXPECT_EQ(resv_.bytes(), 1ull << 18);
+    EXPECT_EQ(resv_.vaEnd(), 1ull << 19);
+    EXPECT_TRUE(resv_.covers(resv_.vaBase()));
+    EXPECT_TRUE(resv_.covers(resv_.vaEnd() - 1));
+    EXPECT_FALSE(resv_.covers(resv_.vaEnd()));
+    EXPECT_FALSE(resv_.covers(resv_.vaBase() - 1));
+}
+
+TEST_F(ReservationTest, PfnMapping)
+{
+    EXPECT_EQ(resv_.pfnFor(resv_.vaBase()), 0x400u);
+    EXPECT_EQ(resv_.pfnFor(resv_.vaBase() + 5 * 0x1000), 0x405u);
+    EXPECT_EQ(resv_.pageIndex(resv_.vaBase() + 5 * 0x1000), 5u);
+}
+
+TEST_F(ReservationTest, TouchAndUtilization)
+{
+    vm::Vaddr base = resv_.vaBase();
+    resv_.touch(base);
+    resv_.touch(base + 0x1000);
+    EXPECT_TRUE(resv_.isTouched(base));
+    EXPECT_FALSE(resv_.isTouched(base + 0x2000));
+    EXPECT_EQ(resv_.touchedPages(), 2u);
+    EXPECT_EQ(resv_.touchedIn(base, 13), 2u);   // the 8 KB pair: full
+    EXPECT_EQ(resv_.touchedIn(base, 14), 2u);   // 16 KB region: half
+}
+
+TEST_F(ReservationTest, MappedRegionRecords)
+{
+    vm::Vaddr base = resv_.vaBase();
+    resv_.recordMapped(base, 12);
+    resv_.recordMapped(base + 0x1000, 12);
+    EXPECT_EQ(resv_.mappedBytes(), 0x2000u);
+    EXPECT_EQ(resv_.mappedSizeAt(base).value(), 12u);
+    EXPECT_EQ(resv_.mappedSizeAt(base + 0x1fff).value(), 12u);
+    EXPECT_FALSE(resv_.mappedSizeAt(base + 0x2000).has_value());
+
+    auto removed = resv_.eraseMappedWithin(base, 13);
+    EXPECT_EQ(removed.size(), 2u);
+    EXPECT_EQ(resv_.mappedBytes(), 0u);
+    resv_.recordMapped(base, 13);
+    EXPECT_EQ(resv_.mappedBytes(), 0x2000u);
+    EXPECT_EQ(resv_.mappedSizeAt(base + 0x1000).value(), 13u);
+}
+
+TEST(ReservationTable, FindByCoveredAddress)
+{
+    ReservationTable table;
+    table.create(0x100000, 4, 0x10);   // 64 KB at 1 MB
+    table.create(0x200000, 4, 0x20);
+    EXPECT_NE(table.find(0x100000), nullptr);
+    EXPECT_NE(table.find(0x10ffff), nullptr);
+    EXPECT_EQ(table.find(0x110000), nullptr);
+    EXPECT_EQ(table.find(0xfffff), nullptr);
+    EXPECT_EQ(table.find(0x200000)->pfnBase(), 0x20u);
+    EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(ReservationTable, RemoveReleasesSlot)
+{
+    ReservationTable table;
+    table.create(0x100000, 4, 0x10);
+    table.remove(0x100000);
+    EXPECT_EQ(table.find(0x100000), nullptr);
+    EXPECT_EQ(table.size(), 0u);
+    // The range can be reserved again.
+    table.create(0x100000, 4, 0x30);
+    EXPECT_EQ(table.find(0x100000)->pfnBase(), 0x30u);
+}
+
+TEST(ReservationTable, ThresholdScenario)
+{
+    // A 16-page reservation promoted with a 50% threshold needs only
+    // half its pages touched at each rung.
+    ReservationTable table;
+    Reservation &r = table.create(1ull << 20, 4, 0x100);
+    vm::Vaddr base = r.vaBase();
+    for (int i = 0; i < 8; ++i)
+        r.touch(base + i * 0x1000ull);
+    // 16-page (64 KB) region: 8/16 touched = exactly 50%.
+    EXPECT_EQ(r.touchedIn(base, 16), 8u);
+    EXPECT_EQ(r.touchedIn(base, 15), 8u);   // 32 KB region: 8/8
+    EXPECT_EQ(r.touchedIn(base + (1ull << 15), 15), 0u);
+}
+
+} // namespace
+} // namespace tps::os

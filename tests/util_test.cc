@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Unit tests for util: bit operations, RNG determinism and
+ * distributions, statistics accumulators, table formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/bitops.hh"
+#include "util/rng.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+namespace tps {
+namespace {
+
+TEST(BitOps, IsPowerOfTwo)
+{
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_TRUE(isPowerOfTwo(1ull << 40));
+    EXPECT_FALSE(isPowerOfTwo((1ull << 40) + 1));
+    EXPECT_TRUE(isPowerOfTwo(1ull << 63));
+}
+
+TEST(BitOps, Log2Floor)
+{
+    EXPECT_EQ(log2Floor(1), 0u);
+    EXPECT_EQ(log2Floor(2), 1u);
+    EXPECT_EQ(log2Floor(3), 1u);
+    EXPECT_EQ(log2Floor(4096), 12u);
+    EXPECT_EQ(log2Floor(4097), 12u);
+    EXPECT_EQ(log2Floor(~0ull), 63u);
+}
+
+TEST(BitOps, Log2Ceil)
+{
+    EXPECT_EQ(log2Ceil(1), 0u);
+    EXPECT_EQ(log2Ceil(2), 1u);
+    EXPECT_EQ(log2Ceil(3), 2u);
+    EXPECT_EQ(log2Ceil(4096), 12u);
+    EXPECT_EQ(log2Ceil(4097), 13u);
+}
+
+TEST(BitOps, AlignDownUp)
+{
+    EXPECT_EQ(alignDown(0x12345, 0x1000), 0x12000u);
+    EXPECT_EQ(alignUp(0x12345, 0x1000), 0x13000u);
+    EXPECT_EQ(alignUp(0x12000, 0x1000), 0x12000u);
+    EXPECT_EQ(alignDown(0x12000, 0x1000), 0x12000u);
+    EXPECT_TRUE(isAligned(0x200000, 0x200000));
+    EXPECT_FALSE(isAligned(0x201000, 0x200000));
+}
+
+TEST(BitOps, BitsAndMasks)
+{
+    EXPECT_EQ(bits(0xFF00, 15, 8), 0xFFull);
+    EXPECT_EQ(bits(0xABCD, 3, 0), 0xDull);
+    EXPECT_EQ(mask(3, 0), 0xFull);
+    EXPECT_EQ(mask(15, 8), 0xFF00ull);
+    EXPECT_EQ(lowMask(0), 0ull);
+    EXPECT_EQ(lowMask(12), 0xFFFull);
+    EXPECT_EQ(lowMask(64), ~0ull);
+}
+
+TEST(BitOps, CountTrailingOnes)
+{
+    EXPECT_EQ(countTrailingOnes(0b0000), 0u);
+    EXPECT_EQ(countTrailingOnes(0b0001), 1u);
+    EXPECT_EQ(countTrailingOnes(0b0111), 3u);
+    EXPECT_EQ(countTrailingOnes(0b1011), 2u);
+    EXPECT_EQ(countTrailingOnes(~0ull), 64u);
+}
+
+TEST(BitOps, LargestAlignedPow2)
+{
+    // 28 KB at a 16 KB-aligned address: the 16 KB block leads.
+    EXPECT_EQ(largestAlignedPow2(0x4000, 0x7000), 0x4000u);
+    // Alignment limits more than length.
+    EXPECT_EQ(largestAlignedPow2(0x1000, 0x100000), 0x1000u);
+    // Length limits more than alignment.
+    EXPECT_EQ(largestAlignedPow2(0x100000, 0x3000), 0x2000u);
+    // Zero address counts as maximally aligned.
+    EXPECT_EQ(largestAlignedPow2(0, 0x6000), 0x4000u);
+}
+
+TEST(BitOps, GreedyDecompositionCoversExactly)
+{
+    // Sum of greedy blocks equals the length for many (addr, len).
+    for (uint64_t addr : {0x0ull, 0x1000ull, 0x7000ull, 0x340000ull}) {
+        for (uint64_t len = 0x1000; len < 0x40000; len += 0x3000) {
+            uint64_t pos = addr, remaining = len;
+            while (remaining) {
+                uint64_t b = largestAlignedPow2(pos, remaining);
+                ASSERT_GT(b, 0u);
+                ASSERT_TRUE(isAligned(pos, b));
+                pos += b;
+                remaining -= b;
+            }
+            EXPECT_EQ(pos, addr + len);
+        }
+    }
+}
+
+TEST(Pcg32, Deterministic)
+{
+    Pcg32 a(123, 7), b(123, 7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Pcg32, StreamsDiffer)
+{
+    Pcg32 a(123, 7), b(123, 8);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 5);
+}
+
+TEST(Pcg32, BelowInRange)
+{
+    Pcg32 rng(1);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_LT(rng.below(17), 17u);
+        EXPECT_LT(rng.below64(1ull << 40), 1ull << 40);
+    }
+}
+
+TEST(Pcg32, UniformInUnitInterval)
+{
+    Pcg32 rng(2);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Pcg32, BelowRoughlyUniform)
+{
+    Pcg32 rng(3);
+    int counts[10] = {};
+    for (int i = 0; i < 100000; ++i)
+        ++counts[rng.below(10)];
+    for (int c : counts)
+        EXPECT_NEAR(c, 10000, 600);
+}
+
+TEST(Zipf, UniformWhenThetaZero)
+{
+    Pcg32 rng(4);
+    ZipfSampler z(100, 0.0);
+    int low = 0;
+    for (int i = 0; i < 10000; ++i)
+        low += z.sample(rng) < 50;
+    EXPECT_NEAR(low, 5000, 400);
+}
+
+TEST(Zipf, SkewConcentratesOnSmallValues)
+{
+    Pcg32 rng(5);
+    ZipfSampler z(1000000, 0.99);
+    int in_top = 0;
+    for (int i = 0; i < 10000; ++i)
+        in_top += z.sample(rng) < 1000;
+    // With theta ~1, a large fraction of samples fall in the head.
+    EXPECT_GT(in_top, 3000);
+}
+
+TEST(Zipf, SamplesInRange)
+{
+    Pcg32 rng(6);
+    ZipfSampler z(50, 0.6);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(z.sample(rng), 50u);
+}
+
+TEST(Summary, Basics)
+{
+    Summary s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    s.add(2.0);
+    s.add(8.0);
+    EXPECT_EQ(s.count(), 2u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 8.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+    EXPECT_NEAR(s.geomean(), 4.0, 1e-9);
+}
+
+TEST(Summary, GeomeanRequiresPositive)
+{
+    Summary s;
+    s.add(1.0);
+    s.add(-1.0);
+    EXPECT_EQ(s.geomean(), 0.0);
+}
+
+TEST(Histogram, AddAndQuery)
+{
+    Histogram h;
+    h.add(12);
+    h.add(12);
+    h.add(21, 5);
+    EXPECT_EQ(h.at(12), 2u);
+    EXPECT_EQ(h.at(21), 5u);
+    EXPECT_EQ(h.at(30), 0u);
+    EXPECT_EQ(h.total(), 7u);
+    EXPECT_EQ(h.buckets().size(), 2u);
+    h.clear();
+    EXPECT_EQ(h.total(), 0u);
+}
+
+TEST(Ratios, SafeDivision)
+{
+    EXPECT_EQ(ratio(1, 0), 0.0);
+    EXPECT_DOUBLE_EQ(ratio(1, 2), 0.5);
+    EXPECT_DOUBLE_EQ(percent(1, 4), 25.0);
+    EXPECT_DOUBLE_EQ(percentEliminated(100, 2), 98.0);
+    EXPECT_DOUBLE_EQ(percentEliminated(100, 150), -50.0);
+    EXPECT_EQ(percentEliminated(0, 5), 0.0);
+}
+
+TEST(Table, AlignedOutput)
+{
+    Table t({"name", "value"});
+    t.addRow({"a", "1"});
+    t.addRow({"longer", "22"});
+    std::ostringstream os;
+    t.print(os);
+    std::string s = os.str();
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("longer"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+    EXPECT_EQ(t.columns(), 2u);
+}
+
+TEST(Table, CsvOutput)
+{
+    Table t({"a", "b"});
+    t.addRow({"1", "2"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Format, Double)
+{
+    EXPECT_EQ(fmtDouble(1.234, 2), "1.23");
+    EXPECT_EQ(fmtDouble(1.0, 0), "1");
+}
+
+TEST(Format, Percent)
+{
+    EXPECT_EQ(fmtPercent(98.04), "98.0%");
+}
+
+TEST(Format, Size)
+{
+    EXPECT_EQ(fmtSize(512), "512B");
+    EXPECT_EQ(fmtSize(4096), "4KB");
+    EXPECT_EQ(fmtSize(2ull << 20), "2MB");
+    EXPECT_EQ(fmtSize(1ull << 30), "1GB");
+    EXPECT_EQ(fmtSize(32ull << 10), "32KB");
+}
+
+TEST(Format, Count)
+{
+    EXPECT_EQ(fmtCount(1), "1");
+    EXPECT_EQ(fmtCount(1234), "1,234");
+    EXPECT_EQ(fmtCount(1234567), "1,234,567");
+}
+
+} // namespace
+} // namespace tps

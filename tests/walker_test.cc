@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Page-walker tests: access counting at every level, the alias extra
+ * access (paper Fig. 6), MMU-cache-assisted shortening, FullCopy mode
+ * avoiding the extra access, 5-level and virtualized (2-D) modes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "vm/mmu_cache.hh"
+#include "vm/page_table.hh"
+#include "vm/walker.hh"
+
+namespace tps::vm {
+namespace {
+
+class WalkerTest : public ::testing::Test
+{
+  protected:
+    SyntheticFrameProvider provider_;
+};
+
+TEST_F(WalkerTest, Walk4kCostsFourAccesses)
+{
+    PageTable pt(provider_);
+    PageWalker walker(pt, nullptr);
+    pt.map(0x5000, 0x55, 12, true, true);
+    WalkResult res = walker.walk(0x5123);
+    EXPECT_FALSE(res.fault);
+    EXPECT_EQ(res.accesses, 4u);
+    EXPECT_EQ(res.leaf.pfn, 0x55u);
+    EXPECT_EQ(res.pageBase, 0x5000u);
+    EXPECT_EQ(res.nrefs, 4u);
+}
+
+TEST_F(WalkerTest, Walk2mCostsThreeAccesses)
+{
+    PageTable pt(provider_);
+    PageWalker walker(pt, nullptr);
+    pt.map(1ull << 21, 0x200, 21, true, true);
+    WalkResult res = walker.walk((1ull << 21) + 0x1234);
+    EXPECT_EQ(res.accesses, 3u);
+    EXPECT_EQ(res.leaf.pageBits, 21u);
+}
+
+TEST_F(WalkerTest, Walk1gCostsTwoAccesses)
+{
+    PageTable pt(provider_);
+    PageWalker walker(pt, nullptr);
+    pt.map(1ull << 30, 1ull << 18, 30, true, true);
+    WalkResult res = walker.walk((1ull << 30) + 0x99999);
+    EXPECT_EQ(res.accesses, 2u);
+    EXPECT_EQ(res.leaf.pageBits, 30u);
+}
+
+TEST_F(WalkerTest, FaultCountsAccesses)
+{
+    PageTable pt(provider_);
+    PageWalker walker(pt, nullptr);
+    WalkResult res = walker.walk(0x1234);
+    EXPECT_TRUE(res.fault);
+    EXPECT_EQ(res.accesses, 1u);   // root entry absent: stop at level 4
+    EXPECT_EQ(walker.stats().faults, 1u);
+}
+
+TEST_F(WalkerTest, TailoredTruePteNoExtraAccess)
+{
+    PageTable pt(provider_);
+    PageWalker walker(pt, nullptr);
+    Vaddr va = 1ull << 22;
+    pt.map(va, 0x80, 15, true, true);   // 32 KB
+    // Address inside the first (true-PTE) constituent page.
+    WalkResult res = walker.walk(va + 0x123);
+    EXPECT_EQ(res.accesses, 4u);
+    EXPECT_EQ(res.aliasExtra, 0u);
+    EXPECT_EQ(res.leaf.pageBits, 15u);
+}
+
+TEST_F(WalkerTest, TailoredAliasPteOneExtraAccess)
+{
+    PageTable pt(provider_);
+    PageWalker walker(pt, nullptr);
+    Vaddr va = 1ull << 22;
+    pt.map(va, 0x80, 15, true, true);
+    // Address inside the 5th constituent page: lands on an alias PTE.
+    WalkResult res = walker.walk(va + 5 * 0x1000 + 0x10);
+    EXPECT_EQ(res.accesses, 5u);   // 4 + the true-PTE re-read
+    EXPECT_EQ(res.aliasExtra, 1u);
+    EXPECT_EQ(res.leaf.pageBits, 15u);
+    EXPECT_EQ(res.leaf.pfn, 0x80u);
+    EXPECT_EQ(res.pageBase, va);
+}
+
+TEST_F(WalkerTest, FullCopyAliasNoExtraAccess)
+{
+    PageTable pt(provider_, SizeEncoding::Napot, AliasMode::FullCopy);
+    PageWalker walker(pt, nullptr);
+    Vaddr va = 1ull << 22;
+    pt.map(va, 0x80, 15, true, true);
+    WalkResult res = walker.walk(va + 5 * 0x1000);
+    EXPECT_EQ(res.accesses, 4u);
+    EXPECT_EQ(res.aliasExtra, 0u);
+    EXPECT_EQ(res.leaf.pfn, 0x80u);
+}
+
+TEST_F(WalkerTest, TailoredAtPdLevel)
+{
+    PageTable pt(provider_);
+    PageWalker walker(pt, nullptr);
+    Vaddr va = 1ull << 30;
+    pt.map(va, 1ull << 11, 23, true, true);   // 8 MB: 4 PDE slots
+    WalkResult hit_true = walker.walk(va + 0x100);
+    EXPECT_EQ(hit_true.accesses, 3u);
+    WalkResult hit_alias = walker.walk(va + (3ull << 21));
+    EXPECT_EQ(hit_alias.accesses, 4u);
+    EXPECT_EQ(hit_alias.aliasExtra, 1u);
+    EXPECT_EQ(hit_alias.leaf.pageBits, 23u);
+}
+
+TEST_F(WalkerTest, MmuCacheShortensWalk)
+{
+    PageTable pt(provider_);
+    MmuCache cache;
+    PageWalker walker(pt, &cache);
+    pt.map(0x5000, 0x55, 12, true, true);
+    pt.map(0x6000, 0x66, 12, true, true);
+    WalkResult first = walker.walk(0x5000);
+    EXPECT_EQ(first.accesses, 4u);
+    // Second walk to a sibling page: PDE cache supplies the PT node.
+    WalkResult second = walker.walk(0x6000);
+    EXPECT_EQ(second.accesses, 1u);
+}
+
+TEST_F(WalkerTest, MmuCacheInvalidatedByGenerationBump)
+{
+    PageTable pt(provider_);
+    MmuCache cache;
+    PageWalker walker(pt, &cache);
+    Vaddr base = 1ull << 31;
+    for (unsigned i = 0; i < 512; ++i)
+        pt.map(base + i * 0x1000ull, i + 1, 12, true, true);
+    walker.walk(base);
+    EXPECT_EQ(walker.walk(base + 0x1000).accesses, 1u);
+    // Promote to 2 MB: frees the PT node, bumping the generation.
+    pt.map(base, 0x200, 21, true, true);
+    WalkResult after = walker.walk(base + 0x1000);
+    EXPECT_FALSE(after.fault);
+    EXPECT_EQ(after.leaf.pageBits, 21u);
+    EXPECT_EQ(after.accesses, 3u);   // full walk again, leaf at PD
+}
+
+TEST_F(WalkerTest, FiveLevelAddsOneAccessOnFullWalk)
+{
+    PageTable pt(provider_);
+    WalkerConfig cfg;
+    cfg.fiveLevel = true;
+    PageWalker walker(pt, nullptr, cfg);
+    pt.map(0x5000, 0x55, 12, true, true);
+    EXPECT_EQ(walker.walk(0x5000).accesses, 5u);
+}
+
+TEST_F(WalkerTest, VirtualizedWalkAddsNestedAccesses)
+{
+    PageTable pt(provider_);
+    WalkerConfig cfg;
+    cfg.virtualized = true;
+    cfg.nestedTlbEntries = 4;
+    PageWalker walker(pt, nullptr, cfg);
+    pt.map(0x5000, 0x55, 12, true, true);
+    WalkResult res = walker.walk(0x5000);
+    EXPECT_EQ(res.accesses, 4u);
+    // Cold nested TLB: every guest reference needs a nested walk.
+    EXPECT_GT(res.nestedAccesses, 0u);
+    EXPECT_LE(res.nestedAccesses, 4u * cfg.nestedWalkAccesses);
+    // Warm re-walk: nested translations now cached.
+    WalkResult warm = walker.walk(0x5000);
+    EXPECT_LT(warm.nestedAccesses, res.nestedAccesses);
+}
+
+TEST_F(WalkerTest, StatsAccumulate)
+{
+    PageTable pt(provider_);
+    PageWalker walker(pt, nullptr);
+    pt.map(0x5000, 0x55, 12, true, true);
+    walker.walk(0x5000);
+    walker.walk(0x5000);
+    EXPECT_EQ(walker.stats().walks, 2u);
+    EXPECT_EQ(walker.stats().accesses, 8u);
+    walker.clearStats();
+    EXPECT_EQ(walker.stats().walks, 0u);
+}
+
+TEST_F(WalkerTest, RefsAreDistinctPerLevel)
+{
+    PageTable pt(provider_);
+    PageWalker walker(pt, nullptr);
+    pt.map(0x5000, 0x55, 12, true, true);
+    WalkResult res = walker.walk(0x5000);
+    ASSERT_EQ(res.nrefs, 4u);
+    for (unsigned i = 0; i < res.nrefs; ++i)
+        for (unsigned j = i + 1; j < res.nrefs; ++j)
+            EXPECT_NE(res.refs[i], res.refs[j]);
+}
+
+TEST_F(WalkerTest, TruePtePaddrPointsAtTrueSlot)
+{
+    PageTable pt(provider_);
+    PageWalker walker(pt, nullptr);
+    Vaddr va = 1ull << 22;
+    pt.map(va, 0x80, 14, true, true);   // 4 slots
+    WalkResult via_true = walker.walk(va);
+    WalkResult via_alias = walker.walk(va + 2 * 0x1000);
+    EXPECT_EQ(via_true.truePtePaddr, via_alias.truePtePaddr);
+}
+
+} // namespace
+} // namespace tps::vm
+
+namespace tps::vm {
+namespace {
+
+TEST(WalkerExtra, RefsArrayBoundedUnderAllFeatures)
+{
+    SyntheticFrameProvider provider;
+    PageTable pt(provider);
+    WalkerConfig cfg;
+    cfg.fiveLevel = true;
+    cfg.virtualized = true;
+    cfg.nestedTlbEntries = 2;
+    PageWalker walker(pt, nullptr, cfg);
+    Vaddr va = 1ull << 22;
+    pt.map(va, 0x80, 15, true, true);
+    // Alias walk + 5th level: the guest-dimension refs stay within the
+    // fixed-size array and the counter agrees.
+    WalkResult res = walker.walk(va + 5 * 0x1000);
+    EXPECT_LE(res.nrefs, res.refs.size());
+    EXPECT_EQ(res.nrefs, res.accesses);
+    EXPECT_EQ(res.accesses, 6u);   // pml5 + 4 levels + alias re-read
+    EXPECT_GT(res.nestedAccesses, 0u);
+}
+
+TEST(WalkerExtra, NestedTlbEvictsDeterministically)
+{
+    SyntheticFrameProvider provider;
+    PageTable pt(provider);
+    WalkerConfig cfg;
+    cfg.virtualized = true;
+    cfg.nestedTlbEntries = 2;
+    PageWalker walker(pt, nullptr, cfg);
+    // Three pages in distinct PT nodes thrash the 2-entry nested TLB.
+    for (int i = 0; i < 3; ++i)
+        pt.map((1ull << 30) * (i + 1), 0x100 + i, 12, true, true);
+    for (int round = 0; round < 3; ++round)
+        for (int i = 0; i < 3; ++i)
+            walker.walk((1ull << 30) * (i + 1));
+    EXPECT_GT(walker.stats().nestedTlbMisses,
+              walker.stats().nestedTlbHits / 10);
+    // Two identical walkers produce identical stats.
+    PageWalker walker2(pt, nullptr, cfg);
+    for (int round = 0; round < 3; ++round)
+        for (int i = 0; i < 3; ++i)
+            walker2.walk((1ull << 30) * (i + 1));
+    EXPECT_EQ(walker2.stats().nestedAccesses,
+              walker.stats().nestedAccesses);
+}
+
+TEST(WalkerExtra, GenerationSurvivesManyPromotions)
+{
+    SyntheticFrameProvider provider;
+    PageTable pt(provider);
+    MmuCache cache;
+    PageWalker walker(pt, &cache, WalkerConfig{});
+    // Repeated map-promote-walk cycles never leave the MMU cache
+    // pointing at a freed node (crash-free + correct results).
+    for (int round = 0; round < 20; ++round) {
+        Vaddr base = (1ull << 32) + (static_cast<Vaddr>(round) << 21);
+        for (unsigned i = 0; i < 512; ++i) {
+            pt.map(base + i * 0x1000ull, round * 512 + i + 1, 12,
+                   true, true);
+            if (i % 64 == 0)
+                walker.walk(base + i * 0x1000ull);
+        }
+        pt.map(base, alignDown(round * 512 + 1, 512) + 512, 21, true,
+               true);
+        WalkResult res = walker.walk(base + 0x12345);
+        ASSERT_FALSE(res.fault);
+        ASSERT_EQ(res.leaf.pageBits, 21u);
+    }
+}
+
+} // namespace
+} // namespace tps::vm

@@ -1,0 +1,389 @@
+/**
+ * @file
+ * Workload-generator tests: every registry workload sets up, emits its
+ * declared access count, stays inside its mapped regions, and is
+ * deterministic; plus generator-specific shape checks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "workloads/dbx1000.hh"
+#include "workloads/graph500.hh"
+#include "workloads/gups.hh"
+#include "workloads/registry.hh"
+#include "workloads/spec_like.hh"
+#include "workloads/xsbench.hh"
+
+namespace tps::workloads {
+namespace {
+
+/** AllocApi stub recording regions at fixed, disjoint addresses. */
+class FakeAlloc : public sim::AllocApi
+{
+  public:
+    vm::Vaddr
+    mmap(uint64_t bytes) override
+    {
+        vm::Vaddr start = cursor_;
+        // Align generously so workloads see realistic alignment.
+        uint64_t align = 1ull << 30;
+        start = alignUp(start, align);
+        regions_[start] = bytes;
+        cursor_ = start + bytes;
+        return start;
+    }
+
+    void
+    munmap(vm::Vaddr start) override
+    {
+        ASSERT_TRUE(regions_.count(start));
+        regions_.erase(start);
+        ++munmaps_;
+    }
+
+    bool
+    contains(vm::Vaddr va) const
+    {
+        auto it = regions_.upper_bound(va);
+        if (it == regions_.begin())
+            return false;
+        --it;
+        return va >= it->first && va < it->first + it->second;
+    }
+
+    uint64_t
+    totalMapped() const
+    {
+        uint64_t sum = 0;
+        for (auto &[s, l] : regions_)
+            sum += l;
+        return sum;
+    }
+
+    int munmaps_ = 0;
+
+  private:
+    vm::Vaddr cursor_ = 1ull << 40;
+    std::map<vm::Vaddr, uint64_t> regions_;
+};
+
+/** Skip the initialization sweep (deterministic, seed-independent). */
+void
+drainWarmup(Workload &w)
+{
+    sim::MemAccess acc;
+    for (uint64_t i = 0; i < w.warmupAccesses(); ++i)
+        ASSERT_TRUE(w.next(acc));
+}
+
+/** Per-workload conformance checks. */
+class RegistryWorkload : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(RegistryWorkload, EmitsInBoundsAccesses)
+{
+    auto w = makeWorkload(GetParam(), 0.02);
+    FakeAlloc alloc;
+    w->setup(alloc);
+    EXPECT_GT(alloc.totalMapped(), 0u);
+
+    sim::MemAccess acc;
+    uint64_t count = 0;
+    uint64_t writes = 0;
+    while (w->next(acc) && count < 200000) {
+        ASSERT_TRUE(alloc.contains(acc.va))
+            << GetParam() << " va " << std::hex << acc.va;
+        writes += acc.write;
+        ++count;
+    }
+    EXPECT_GT(count, 1000u) << GetParam();
+    EXPECT_GT(writes, 0u) << GetParam();
+}
+
+TEST_P(RegistryWorkload, DeterministicStream)
+{
+    auto a = makeWorkload(GetParam(), 0.01);
+    auto b = makeWorkload(GetParam(), 0.01);
+    FakeAlloc alloc_a, alloc_b;
+    a->setup(alloc_a);
+    b->setup(alloc_b);
+    sim::MemAccess xa, xb;
+    for (int i = 0; i < 20000; ++i) {
+        bool ra = a->next(xa);
+        bool rb = b->next(xb);
+        ASSERT_EQ(ra, rb);
+        if (!ra)
+            break;
+        ASSERT_EQ(xa.va, xb.va) << GetParam() << " @" << i;
+        ASSERT_EQ(xa.write, xb.write);
+        ASSERT_EQ(xa.dependsOnPrev, xb.dependsOnPrev);
+    }
+}
+
+TEST_P(RegistryWorkload, SeedOffsetChangesStream)
+{
+    auto a = makeWorkload(GetParam(), 0.01, 0);
+    auto b = makeWorkload(GetParam(), 0.01, 1000);
+    FakeAlloc alloc_a, alloc_b;
+    a->setup(alloc_a);
+    b->setup(alloc_b);
+    // The init sweeps are address-identical by design; compare the
+    // measured-phase streams.
+    drainWarmup(*a);
+    drainWarmup(*b);
+    sim::MemAccess xa, xb;
+    int same = 0, total = 0;
+    for (int i = 0; i < 2000; ++i) {
+        if (!a->next(xa) || !b->next(xb))
+            break;
+        same += xa.va == xb.va;
+        ++total;
+    }
+    ASSERT_GT(total, 0);
+    EXPECT_LT(same, total);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, RegistryWorkload,
+    ::testing::ValuesIn(profilingSuite()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+TEST(Registry, UnknownNameIsFatal)
+{
+    EXPECT_DEATH((void)makeWorkload("nonexistent"), "unknown workload");
+}
+
+TEST(Registry, SuitesNonEmptyAndDistinct)
+{
+    EXPECT_EQ(evaluationSuite().size(), 11u);
+    EXPECT_EQ(profilingSuite().size(), 14u);
+    std::set<std::string> names(profilingSuite().begin(),
+                                profilingSuite().end());
+    EXPECT_EQ(names.size(), profilingSuite().size());
+}
+
+TEST(Gups, UniformSpreadOverTable)
+{
+    GupsConfig cfg;
+    cfg.tableBytes = 16ull << 20;
+    cfg.updates = 20000;
+    Gups gups(cfg);
+    FakeAlloc alloc;
+    gups.setup(alloc);
+    sim::MemAccess acc;
+    std::set<uint64_t> pages;
+    while (gups.next(acc))
+        pages.insert(acc.va >> 12);
+    // 40 K accesses over 4096 pages: nearly every page touched.
+    EXPECT_GT(pages.size(), 3500u);
+}
+
+TEST(Gups, ReadThenWriteSameAddress)
+{
+    GupsConfig cfg;
+    cfg.tableBytes = 8ull << 20;
+    Gups gups(cfg);
+    FakeAlloc alloc;
+    gups.setup(alloc);
+    drainWarmup(gups);
+    sim::MemAccess r, w;
+    ASSERT_TRUE(gups.next(r));
+    ASSERT_TRUE(gups.next(w));
+    EXPECT_FALSE(r.write);
+    EXPECT_TRUE(w.write);
+    EXPECT_EQ(r.va, w.va);
+    EXPECT_TRUE(w.dependsOnPrev);
+}
+
+TEST(Graph500, GraphShape)
+{
+    Graph500Config cfg;
+    cfg.scale = 12;
+    cfg.edgeFactor = 8;
+    cfg.accesses = 10000;
+    Graph500 g(cfg);
+    FakeAlloc alloc;
+    g.setup(alloc);
+    EXPECT_EQ(g.vertices(), 1ull << 12);
+    // Each generated edge appears in both directions.
+    EXPECT_EQ(g.edges(), 2ull * (1ull << 12) * 8);
+}
+
+TEST(Graph500, MixesDependentAndStreamingAccesses)
+{
+    Graph500Config cfg;
+    cfg.scale = 12;
+    cfg.accesses = 20000;
+    Graph500 g(cfg);
+    FakeAlloc alloc;
+    g.setup(alloc);
+    sim::MemAccess acc;
+    uint64_t dep = 0, total = 0;
+    while (g.next(acc)) {
+        dep += acc.dependsOnPrev;
+        ++total;
+    }
+    EXPECT_GT(dep, total / 10);
+    EXPECT_LT(dep, total);
+}
+
+TEST(SpecLike, PointerChaseIsFullyDependent)
+{
+    auto cfg = mcfLike();
+    cfg.footprintBytes = 16ull << 20;
+    cfg.accesses = 1000;
+    SpecLike w(cfg);
+    FakeAlloc alloc;
+    w.setup(alloc);
+    drainWarmup(w);
+    sim::MemAccess acc;
+    uint64_t dep = 0, total = 0;
+    while (w.next(acc)) {
+        dep += acc.dependsOnPrev;
+        ++total;
+    }
+    // The chase itself is dependent; occasional arc writes are not.
+    EXPECT_GT(dep, total * 3 / 4);
+}
+
+TEST(SpecLike, StreamSweepsSequentially)
+{
+    auto cfg = nabLike();
+    cfg.footprintBytes = 4ull << 20;
+    cfg.accesses = 100;
+    cfg.streams = 1;
+    SpecLike w(cfg);
+    FakeAlloc alloc;
+    w.setup(alloc);
+    sim::MemAccess prev{}, acc;
+    ASSERT_TRUE(w.next(prev));
+    int increasing = 0, total = 0;
+    while (w.next(acc)) {
+        increasing += acc.va > prev.va;
+        prev = acc;
+        ++total;
+    }
+    EXPECT_GT(increasing, total * 9 / 10);
+}
+
+TEST(SpecLike, MixedAllocCreatesAndRetiresRegions)
+{
+    auto cfg = gccLike();
+    cfg.accesses = 60000;
+    cfg.liveRegions = 8;
+    SpecLike w(cfg);
+    FakeAlloc alloc;
+    w.setup(alloc);
+    sim::MemAccess acc;
+    while (w.next(acc))
+        ASSERT_TRUE(alloc.contains(acc.va));
+    EXPECT_GT(alloc.munmaps_, 0);
+}
+
+TEST(SpecLike, HotPoolSkewsAccesses)
+{
+    auto cfg = povrayLike();
+    cfg.footprintBytes = 16ull << 20;
+    cfg.accesses = 20000;
+    SpecLike w(cfg);
+    FakeAlloc alloc;
+    w.setup(alloc);
+    sim::MemAccess acc;
+    uint64_t first = 0;
+    uint64_t hot_bytes = static_cast<uint64_t>(
+        cfg.hotFraction * static_cast<double>(cfg.footprintBytes));
+    uint64_t in_hot = 0, total = 0;
+    (void)first;
+    vm::Vaddr base = 0;
+    bool got_base = false;
+    while (w.next(acc)) {
+        if (!got_base) {
+            base = acc.va & ~((16ull << 20) - 1);
+            got_base = true;
+        }
+        in_hot += (acc.va - base) < hot_bytes;
+        ++total;
+    }
+    EXPECT_GT(in_hot, total * 8 / 10);
+}
+
+TEST(XsBench, BinarySearchThenGathers)
+{
+    XsBenchConfig cfg;
+    cfg.gridPoints = 2000;
+    cfg.lookups = 10;
+    XsBench w(cfg);
+    FakeAlloc alloc;
+    w.setup(alloc);
+    drainWarmup(w);
+    sim::MemAccess acc;
+    uint64_t dep = 0, total = 0;
+    while (w.next(acc)) {
+        dep += acc.dependsOnPrev;
+        ++total;
+    }
+    EXPECT_GT(total, 10u * 30);
+    EXPECT_GT(dep, total / 2);
+}
+
+TEST(Dbx1000, WriteFractionRoughlyHonoured)
+{
+    Dbx1000Config cfg;
+    cfg.rows = 1 << 16;
+    cfg.txns = 5000;
+    cfg.writeFraction = 0.5;
+    Dbx1000 w(cfg);
+    FakeAlloc alloc;
+    w.setup(alloc);
+    drainWarmup(w);
+    sim::MemAccess acc;
+    uint64_t writes = 0, total = 0;
+    while (w.next(acc)) {
+        writes += acc.write;
+        ++total;
+    }
+    // One potential write out of 4 accesses per op, half taken.
+    EXPECT_NEAR(static_cast<double>(writes) / total, 0.125, 0.02);
+}
+
+TEST(Dbx1000, ZipfSkewConcentratesTupleAccesses)
+{
+    Dbx1000Config cfg;
+    cfg.rows = 1 << 16;
+    cfg.txns = 10000;
+    cfg.zipfTheta = 0.9;
+    Dbx1000 w(cfg);
+    FakeAlloc alloc;
+    w.setup(alloc);
+    sim::MemAccess acc;
+    std::map<uint64_t, uint64_t> page_counts;
+    while (w.next(acc))
+        ++page_counts[acc.va >> 12];
+    // The hottest page should see far more than the mean.
+    uint64_t max_count = 0, sum = 0;
+    for (auto &[p, c] : page_counts) {
+        max_count = std::max(max_count, c);
+        sum += c;
+    }
+    double mean =
+        static_cast<double>(sum) / static_cast<double>(page_counts.size());
+    EXPECT_GT(static_cast<double>(max_count), 10.0 * mean);
+}
+
+TEST(Scaling, ScaleShrinksFootprintAndLength)
+{
+    auto full = makeWorkload("mcf", 1.0);
+    auto small = makeWorkload("mcf", 0.05);
+    EXPECT_LT(small->info().footprintBytes, full->info().footprintBytes);
+    EXPECT_LT(small->info().defaultAccesses,
+              full->info().defaultAccesses);
+}
+
+} // namespace
+} // namespace tps::workloads
