@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig02_pagewalk_overhead"
+  "../bench/fig02_pagewalk_overhead.pdb"
+  "CMakeFiles/fig02_pagewalk_overhead.dir/fig02_pagewalk_overhead.cc.o"
+  "CMakeFiles/fig02_pagewalk_overhead.dir/fig02_pagewalk_overhead.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_pagewalk_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

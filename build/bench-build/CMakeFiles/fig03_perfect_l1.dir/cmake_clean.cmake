@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_perfect_l1"
+  "../bench/fig03_perfect_l1.pdb"
+  "CMakeFiles/fig03_perfect_l1.dir/fig03_perfect_l1.cc.o"
+  "CMakeFiles/fig03_perfect_l1.dir/fig03_perfect_l1.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_perfect_l1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_mpki"
+  "../bench/fig08_mpki.pdb"
+  "CMakeFiles/fig08_mpki.dir/fig08_mpki.cc.o"
+  "CMakeFiles/fig08_mpki.dir/fig08_mpki.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_mpki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_mem_bloat"
+  "../bench/fig09_mem_bloat.pdb"
+  "CMakeFiles/fig09_mem_bloat.dir/fig09_mem_bloat.cc.o"
+  "CMakeFiles/fig09_mem_bloat.dir/fig09_mem_bloat.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_mem_bloat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

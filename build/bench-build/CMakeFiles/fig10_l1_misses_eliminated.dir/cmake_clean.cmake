@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_l1_misses_eliminated"
+  "../bench/fig10_l1_misses_eliminated.pdb"
+  "CMakeFiles/fig10_l1_misses_eliminated.dir/fig10_l1_misses_eliminated.cc.o"
+  "CMakeFiles/fig10_l1_misses_eliminated.dir/fig10_l1_misses_eliminated.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_l1_misses_eliminated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_walk_refs_eliminated"
+  "../bench/fig11_walk_refs_eliminated.pdb"
+  "CMakeFiles/fig11_walk_refs_eliminated.dir/fig11_walk_refs_eliminated.cc.o"
+  "CMakeFiles/fig11_walk_refs_eliminated.dir/fig11_walk_refs_eliminated.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_walk_refs_eliminated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

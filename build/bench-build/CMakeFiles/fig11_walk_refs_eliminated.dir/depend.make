@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11_walk_refs_eliminated.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_savable_pwc"
+  "../bench/fig12_savable_pwc.pdb"
+  "CMakeFiles/fig12_savable_pwc.dir/fig12_savable_pwc.cc.o"
+  "CMakeFiles/fig12_savable_pwc.dir/fig12_savable_pwc.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_savable_pwc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_speedup_native"
+  "../bench/fig13_speedup_native.pdb"
+  "CMakeFiles/fig13_speedup_native.dir/fig13_speedup_native.cc.o"
+  "CMakeFiles/fig13_speedup_native.dir/fig13_speedup_native.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_speedup_native.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

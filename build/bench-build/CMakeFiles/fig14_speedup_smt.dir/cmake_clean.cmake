@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_speedup_smt"
+  "../bench/fig14_speedup_smt.pdb"
+  "CMakeFiles/fig14_speedup_smt.dir/fig14_speedup_smt.cc.o"
+  "CMakeFiles/fig14_speedup_smt.dir/fig14_speedup_smt.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_speedup_smt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

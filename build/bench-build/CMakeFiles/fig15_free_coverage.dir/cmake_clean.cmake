@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_free_coverage"
+  "../bench/fig15_free_coverage.pdb"
+  "CMakeFiles/fig15_free_coverage.dir/fig15_free_coverage.cc.o"
+  "CMakeFiles/fig15_free_coverage.dir/fig15_free_coverage.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_free_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig16_fragmented"
+  "../bench/fig16_fragmented.pdb"
+  "CMakeFiles/fig16_fragmented.dir/fig16_fragmented.cc.o"
+  "CMakeFiles/fig16_fragmented.dir/fig16_fragmented.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_fragmented.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

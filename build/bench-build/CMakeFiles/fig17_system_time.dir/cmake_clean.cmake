@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig17_system_time"
+  "../bench/fig17_system_time.pdb"
+  "CMakeFiles/fig17_system_time.dir/fig17_system_time.cc.o"
+  "CMakeFiles/fig17_system_time.dir/fig17_system_time.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_system_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig18_page_size_census"
+  "../bench/fig18_page_size_census.pdb"
+  "CMakeFiles/fig18_page_size_census.dir/fig18_page_size_census.cc.o"
+  "CMakeFiles/fig18_page_size_census.dir/fig18_page_size_census.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_page_size_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

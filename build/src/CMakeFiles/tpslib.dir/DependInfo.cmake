@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/tps_system.cc" "src/CMakeFiles/tpslib.dir/core/tps_system.cc.o" "gcc" "src/CMakeFiles/tpslib.dir/core/tps_system.cc.o.d"
+  "/root/repo/src/os/address_space.cc" "src/CMakeFiles/tpslib.dir/os/address_space.cc.o" "gcc" "src/CMakeFiles/tpslib.dir/os/address_space.cc.o.d"
+  "/root/repo/src/os/buddy_allocator.cc" "src/CMakeFiles/tpslib.dir/os/buddy_allocator.cc.o" "gcc" "src/CMakeFiles/tpslib.dir/os/buddy_allocator.cc.o.d"
+  "/root/repo/src/os/compaction.cc" "src/CMakeFiles/tpslib.dir/os/compaction.cc.o" "gcc" "src/CMakeFiles/tpslib.dir/os/compaction.cc.o.d"
+  "/root/repo/src/os/cow.cc" "src/CMakeFiles/tpslib.dir/os/cow.cc.o" "gcc" "src/CMakeFiles/tpslib.dir/os/cow.cc.o.d"
+  "/root/repo/src/os/fragmenter.cc" "src/CMakeFiles/tpslib.dir/os/fragmenter.cc.o" "gcc" "src/CMakeFiles/tpslib.dir/os/fragmenter.cc.o.d"
+  "/root/repo/src/os/phys_memory.cc" "src/CMakeFiles/tpslib.dir/os/phys_memory.cc.o" "gcc" "src/CMakeFiles/tpslib.dir/os/phys_memory.cc.o.d"
+  "/root/repo/src/os/policy_common.cc" "src/CMakeFiles/tpslib.dir/os/policy_common.cc.o" "gcc" "src/CMakeFiles/tpslib.dir/os/policy_common.cc.o.d"
+  "/root/repo/src/os/policy_rmm.cc" "src/CMakeFiles/tpslib.dir/os/policy_rmm.cc.o" "gcc" "src/CMakeFiles/tpslib.dir/os/policy_rmm.cc.o.d"
+  "/root/repo/src/os/reservation.cc" "src/CMakeFiles/tpslib.dir/os/reservation.cc.o" "gcc" "src/CMakeFiles/tpslib.dir/os/reservation.cc.o.d"
+  "/root/repo/src/sim/cycle_model.cc" "src/CMakeFiles/tpslib.dir/sim/cycle_model.cc.o" "gcc" "src/CMakeFiles/tpslib.dir/sim/cycle_model.cc.o.d"
+  "/root/repo/src/sim/engine.cc" "src/CMakeFiles/tpslib.dir/sim/engine.cc.o" "gcc" "src/CMakeFiles/tpslib.dir/sim/engine.cc.o.d"
+  "/root/repo/src/sim/memsys.cc" "src/CMakeFiles/tpslib.dir/sim/memsys.cc.o" "gcc" "src/CMakeFiles/tpslib.dir/sim/memsys.cc.o.d"
+  "/root/repo/src/sim/mmu.cc" "src/CMakeFiles/tpslib.dir/sim/mmu.cc.o" "gcc" "src/CMakeFiles/tpslib.dir/sim/mmu.cc.o.d"
+  "/root/repo/src/sim/perf_model.cc" "src/CMakeFiles/tpslib.dir/sim/perf_model.cc.o" "gcc" "src/CMakeFiles/tpslib.dir/sim/perf_model.cc.o.d"
+  "/root/repo/src/sim/smt.cc" "src/CMakeFiles/tpslib.dir/sim/smt.cc.o" "gcc" "src/CMakeFiles/tpslib.dir/sim/smt.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/CMakeFiles/tpslib.dir/sim/trace.cc.o" "gcc" "src/CMakeFiles/tpslib.dir/sim/trace.cc.o.d"
+  "/root/repo/src/tlb/colt_tlb.cc" "src/CMakeFiles/tpslib.dir/tlb/colt_tlb.cc.o" "gcc" "src/CMakeFiles/tpslib.dir/tlb/colt_tlb.cc.o.d"
+  "/root/repo/src/tlb/fully_assoc_tlb.cc" "src/CMakeFiles/tpslib.dir/tlb/fully_assoc_tlb.cc.o" "gcc" "src/CMakeFiles/tpslib.dir/tlb/fully_assoc_tlb.cc.o.d"
+  "/root/repo/src/tlb/range_tlb.cc" "src/CMakeFiles/tpslib.dir/tlb/range_tlb.cc.o" "gcc" "src/CMakeFiles/tpslib.dir/tlb/range_tlb.cc.o.d"
+  "/root/repo/src/tlb/set_assoc_tlb.cc" "src/CMakeFiles/tpslib.dir/tlb/set_assoc_tlb.cc.o" "gcc" "src/CMakeFiles/tpslib.dir/tlb/set_assoc_tlb.cc.o.d"
+  "/root/repo/src/tlb/skewed_assoc_tlb.cc" "src/CMakeFiles/tpslib.dir/tlb/skewed_assoc_tlb.cc.o" "gcc" "src/CMakeFiles/tpslib.dir/tlb/skewed_assoc_tlb.cc.o.d"
+  "/root/repo/src/tlb/tlb_hierarchy.cc" "src/CMakeFiles/tpslib.dir/tlb/tlb_hierarchy.cc.o" "gcc" "src/CMakeFiles/tpslib.dir/tlb/tlb_hierarchy.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/tpslib.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/tpslib.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/tpslib.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/tpslib.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/stats.cc" "src/CMakeFiles/tpslib.dir/util/stats.cc.o" "gcc" "src/CMakeFiles/tpslib.dir/util/stats.cc.o.d"
+  "/root/repo/src/util/table.cc" "src/CMakeFiles/tpslib.dir/util/table.cc.o" "gcc" "src/CMakeFiles/tpslib.dir/util/table.cc.o.d"
+  "/root/repo/src/vm/ad_bitvector.cc" "src/CMakeFiles/tpslib.dir/vm/ad_bitvector.cc.o" "gcc" "src/CMakeFiles/tpslib.dir/vm/ad_bitvector.cc.o.d"
+  "/root/repo/src/vm/mmu_cache.cc" "src/CMakeFiles/tpslib.dir/vm/mmu_cache.cc.o" "gcc" "src/CMakeFiles/tpslib.dir/vm/mmu_cache.cc.o.d"
+  "/root/repo/src/vm/page_table.cc" "src/CMakeFiles/tpslib.dir/vm/page_table.cc.o" "gcc" "src/CMakeFiles/tpslib.dir/vm/page_table.cc.o.d"
+  "/root/repo/src/vm/walker.cc" "src/CMakeFiles/tpslib.dir/vm/walker.cc.o" "gcc" "src/CMakeFiles/tpslib.dir/vm/walker.cc.o.d"
+  "/root/repo/src/workloads/dbx1000.cc" "src/CMakeFiles/tpslib.dir/workloads/dbx1000.cc.o" "gcc" "src/CMakeFiles/tpslib.dir/workloads/dbx1000.cc.o.d"
+  "/root/repo/src/workloads/graph500.cc" "src/CMakeFiles/tpslib.dir/workloads/graph500.cc.o" "gcc" "src/CMakeFiles/tpslib.dir/workloads/graph500.cc.o.d"
+  "/root/repo/src/workloads/gups.cc" "src/CMakeFiles/tpslib.dir/workloads/gups.cc.o" "gcc" "src/CMakeFiles/tpslib.dir/workloads/gups.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/CMakeFiles/tpslib.dir/workloads/registry.cc.o" "gcc" "src/CMakeFiles/tpslib.dir/workloads/registry.cc.o.d"
+  "/root/repo/src/workloads/spec_like.cc" "src/CMakeFiles/tpslib.dir/workloads/spec_like.cc.o" "gcc" "src/CMakeFiles/tpslib.dir/workloads/spec_like.cc.o.d"
+  "/root/repo/src/workloads/xsbench.cc" "src/CMakeFiles/tpslib.dir/workloads/xsbench.cc.o" "gcc" "src/CMakeFiles/tpslib.dir/workloads/xsbench.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cow.dir/cow_test.cc.o"
+  "CMakeFiles/test_cow.dir/cow_test.cc.o.d"
+  "test_cow"
+  "test_cow.pdb"
+  "test_cow[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_page_table_model.dir/page_table_model_test.cc.o"
+  "CMakeFiles/test_page_table_model.dir/page_table_model_test.cc.o.d"
+  "test_page_table_model"
+  "test_page_table_model.pdb"
+  "test_page_table_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_page_table_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

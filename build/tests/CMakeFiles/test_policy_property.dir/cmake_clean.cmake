@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_policy_property.dir/policy_property_test.cc.o"
+  "CMakeFiles/test_policy_property.dir/policy_property_test.cc.o.d"
+  "test_policy_property"
+  "test_policy_property.pdb"
+  "test_policy_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_policy_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property2.dir/property2_test.cc.o"
+  "CMakeFiles/test_property2.dir/property2_test.cc.o.d"
+  "test_property2"
+  "test_property2.pdb"
+  "test_property2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reservation.dir/reservation_test.cc.o"
+  "CMakeFiles/test_reservation.dir/reservation_test.cc.o.d"
+  "test_reservation"
+  "test_reservation.pdb"
+  "test_reservation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reservation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_walker.dir/walker_test.cc.o"
+  "CMakeFiles/test_walker.dir/walker_test.cc.o.d"
+  "test_walker"
+  "test_walker.pdb"
+  "test_walker[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_walker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_pte[1]_include.cmake")
+include("/root/repo/build/tests/test_page_table[1]_include.cmake")
+include("/root/repo/build/tests/test_page_table_model[1]_include.cmake")
+include("/root/repo/build/tests/test_walker[1]_include.cmake")
+include("/root/repo/build/tests/test_mmu_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_tlb[1]_include.cmake")
+include("/root/repo/build/tests/test_tlb_hierarchy[1]_include.cmake")
+include("/root/repo/build/tests/test_buddy[1]_include.cmake")
+include("/root/repo/build/tests/test_reservation[1]_include.cmake")
+include("/root/repo/build/tests/test_address_space[1]_include.cmake")
+include("/root/repo/build/tests/test_policies[1]_include.cmake")
+include("/root/repo/build/tests/test_policy_property[1]_include.cmake")
+include("/root/repo/build/tests/test_compaction[1]_include.cmake")
+include("/root/repo/build/tests/test_cow[1]_include.cmake")
+include("/root/repo/build/tests/test_mmu[1]_include.cmake")
+include("/root/repo/build/tests/test_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_misc[1]_include.cmake")
+include("/root/repo/build/tests/test_property2[1]_include.cmake")
