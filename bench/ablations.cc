@@ -24,13 +24,20 @@ void
 thresholdSweep(const FigOptions &opts, const std::string &wl)
 {
     std::printf("-- promotion threshold sweep (%s) --\n", wl.c_str());
-    Table table({"threshold", "L1 miss rate", "walk refs",
-                 "committed bytes", "pages"});
-    for (double threshold : {1.0, 0.75, 0.5, 0.25}) {
+    const std::vector<double> thresholds = {1.0, 0.75, 0.5, 0.25};
+    std::vector<core::RunOptions> cells;
+    for (double threshold : thresholds) {
         core::RunOptions run = makeRun(opts, wl, core::Design::Tps);
         run.tpsThreshold = threshold;
-        CensusRun res = runWithCensus(run);
-        table.addRow({fmtPercent(100.0 * threshold),
+        cells.push_back(run);
+    }
+    auto runs = runCellsWithCensus(opts, cells);
+
+    Table table({"threshold", "L1 miss rate", "walk refs",
+                 "committed bytes", "pages"});
+    for (size_t i = 0; i < thresholds.size(); ++i) {
+        const CensusRun &res = runs[i];
+        table.addRow({fmtPercent(100.0 * thresholds[i]),
                       fmtPercent(percent(res.stats.l1TlbMisses,
                                          res.stats.accesses)),
                       fmtCount(res.stats.walkMemRefs),
@@ -45,14 +52,23 @@ void
 aliasModes(const FigOptions &opts, const std::string &wl)
 {
     std::printf("-- alias-PTE mode (%s) --\n", wl.c_str());
-    Table table({"mode", "walk refs", "alias extra refs",
-                 "PTE writes", "alias writes"});
-    for (auto mode : {vm::AliasMode::Pointer, vm::AliasMode::FullCopy}) {
+    const std::vector<vm::AliasMode> modes = {vm::AliasMode::Pointer,
+                                              vm::AliasMode::FullCopy};
+    std::vector<core::RunOptions> cells;
+    for (auto mode : modes) {
         core::RunOptions run = makeRun(opts, wl, core::Design::Tps);
         run.aliasMode = mode;
-        CensusRun res = runWithCensus(run);
+        cells.push_back(run);
+    }
+    auto runs = runCellsWithCensus(opts, cells);
+
+    Table table({"mode", "walk refs", "alias extra refs",
+                 "PTE writes", "alias writes"});
+    for (size_t i = 0; i < modes.size(); ++i) {
+        const CensusRun &res = runs[i];
         table.addRow(
-            {mode == vm::AliasMode::Pointer ? "pointer" : "full-copy",
+            {modes[i] == vm::AliasMode::Pointer ? "pointer"
+                                                : "full-copy",
              fmtCount(res.stats.walkMemRefs),
              fmtCount(res.stats.walker.aliasExtra),
              fmtCount(res.stats.osWork.pteCycles /
@@ -63,26 +79,44 @@ aliasModes(const FigOptions &opts, const std::string &wl)
     std::printf("\n");
 }
 
+/**
+ * One custom-TLB-geometry run: a per-cell engine build, safe to invoke
+ * concurrently (every object below is cell-local; the workload stream
+ * is seeded from the cell's identity).
+ */
+sim::SimStats
+runTpsTlbVariant(const FigOptions &opts, const std::string &wl,
+                 unsigned entries, bool skewed)
+{
+    os::PhysMemory pm(opts.physBytes);
+    sim::EngineConfig ecfg;
+    ecfg.mmu.tlb = core::designTlbConfig(core::Design::Tps);
+    ecfg.mmu.tlb.tpsTlbEntries = entries;
+    ecfg.mmu.tlb.tpsTlbSkewed = skewed;
+    auto workload = workloads::makeWorkload(
+        wl, opts.scale, cellSeed(wl, "tps-tlb-sweep", opts.scale));
+    ecfg.cycle.instsPerAccess = workload->info().instsPerAccess;
+    sim::Engine engine(pm, core::makePolicy(core::Design::Tps), ecfg);
+    engine.addWorkload(*workload);
+    return engine.run();
+}
+
 void
 tpsTlbCapacity(const FigOptions &opts, const std::string &wl)
 {
     std::printf("-- TPS TLB capacity (%s) --\n", wl.c_str());
+    const std::vector<unsigned> capacities = {8u, 16u, 32u, 64u};
+    core::ExperimentRunner runner(opts.jobs);
+    auto stats = runner.map(capacities, [&](unsigned entries) {
+        return runTpsTlbVariant(opts, wl, entries, false);
+    });
+
     Table table({"entries", "L1 miss rate", "walks"});
-    for (unsigned entries : {8u, 16u, 32u, 64u}) {
-        os::PhysMemory pm(opts.physBytes);
-        sim::EngineConfig ecfg;
-        ecfg.mmu.tlb = core::designTlbConfig(core::Design::Tps);
-        ecfg.mmu.tlb.tpsTlbEntries = entries;
-        auto workload = workloads::makeWorkload(wl, opts.scale);
-        ecfg.cycle.instsPerAccess = workload->info().instsPerAccess;
-        sim::Engine engine(pm, core::makePolicy(core::Design::Tps),
-                           ecfg);
-        engine.addWorkload(*workload);
-        sim::SimStats stats = engine.run();
-        table.addRow({fmtCount(entries),
-                      fmtPercent(percent(stats.l1TlbMisses,
-                                         stats.accesses)),
-                      fmtCount(stats.tlbMisses)});
+    for (size_t i = 0; i < capacities.size(); ++i) {
+        table.addRow({fmtCount(capacities[i]),
+                      fmtPercent(percent(stats[i].l1TlbMisses,
+                                         stats[i].accesses)),
+                      fmtCount(stats[i].tlbMisses)});
     }
     table.print(std::cout);
     std::printf("\n");
@@ -92,31 +126,26 @@ void
 tpsTlbOrganization(const FigOptions &opts, const std::string &wl)
 {
     std::printf("-- TPS TLB organization (%s) --\n", wl.c_str());
-    Table table({"organization", "L1 miss rate", "walks"});
     struct Org
     {
         const char *name;
         bool skewed;
         unsigned entries;
     };
-    for (Org org : {Org{"fully-assoc 32", false, 32u},
-                    Org{"skewed 32x4", true, 32u},
-                    Org{"skewed 64x4", true, 64u}}) {
-        os::PhysMemory pm(opts.physBytes);
-        sim::EngineConfig ecfg;
-        ecfg.mmu.tlb = core::designTlbConfig(core::Design::Tps);
-        ecfg.mmu.tlb.tpsTlbEntries = org.entries;
-        ecfg.mmu.tlb.tpsTlbSkewed = org.skewed;
-        auto workload = workloads::makeWorkload(wl, opts.scale);
-        ecfg.cycle.instsPerAccess = workload->info().instsPerAccess;
-        sim::Engine engine(pm, core::makePolicy(core::Design::Tps),
-                           ecfg);
-        engine.addWorkload(*workload);
-        sim::SimStats stats = engine.run();
-        table.addRow({org.name,
-                      fmtPercent(percent(stats.l1TlbMisses,
-                                         stats.accesses)),
-                      fmtCount(stats.tlbMisses)});
+    const std::vector<Org> orgs = {Org{"fully-assoc 32", false, 32u},
+                                   Org{"skewed 32x4", true, 32u},
+                                   Org{"skewed 64x4", true, 64u}};
+    core::ExperimentRunner runner(opts.jobs);
+    auto stats = runner.map(orgs, [&](const Org &org) {
+        return runTpsTlbVariant(opts, wl, org.entries, org.skewed);
+    });
+
+    Table table({"organization", "L1 miss rate", "walks"});
+    for (size_t i = 0; i < orgs.size(); ++i) {
+        table.addRow({orgs[i].name,
+                      fmtPercent(percent(stats[i].l1TlbMisses,
+                                         stats[i].accesses)),
+                      fmtCount(stats[i].tlbMisses)});
     }
     table.print(std::cout);
     std::printf("\n");
@@ -127,15 +156,21 @@ mmuCacheEffect(const FigOptions &opts, const std::string &wl)
 {
     std::printf("-- paging-structure caches (%s, base-4K paging) --\n",
                 wl.c_str());
-    Table table({"MMU caches", "walks", "walk refs", "refs per walk"});
+    std::vector<core::RunOptions> cells;
     for (bool disabled : {false, true}) {
         core::RunOptions run = makeRun(opts, wl, core::Design::Base4k);
         run.noMmuCache = disabled;
-        sim::SimStats stats = core::runExperiment(run);
-        table.addRow({disabled ? "off" : "on", fmtCount(stats.tlbMisses),
-                      fmtCount(stats.walkMemRefs),
-                      fmtDouble(ratio(stats.walkMemRefs,
-                                      stats.tlbMisses),
+        cells.push_back(run);
+    }
+    auto stats = runCells(opts, cells);
+
+    Table table({"MMU caches", "walks", "walk refs", "refs per walk"});
+    for (size_t i = 0; i < cells.size(); ++i) {
+        table.addRow({cells[i].noMmuCache ? "off" : "on",
+                      fmtCount(stats[i].tlbMisses),
+                      fmtCount(stats[i].walkMemRefs),
+                      fmtDouble(ratio(stats[i].walkMemRefs,
+                                      stats[i].tlbMisses),
                                 2)});
     }
     table.print(std::cout);

@@ -38,21 +38,29 @@ main(int argc, char **argv)
                 "native overhead is modest; SMT interference and "
                 "virtualized 2-D walks increase it significantly");
 
-    Table table({"benchmark", "native", "native-SMT", "virtualized"});
-    Summary native_sum, smt_sum, virt_sum;
-    for (const auto &wl : benchList(opts)) {
+    const auto &list = benchList(opts);
+    std::vector<core::RunOptions> cells;
+    for (const auto &wl : list) {
         core::RunOptions native = makeRun(opts, wl, core::Design::Thp);
-        core::RunOptions smt = makeSmtRun(opts, wl, core::Design::Thp);
         core::RunOptions virt = native;
         virt.virtualized = true;
+        cells.push_back(native);
+        cells.push_back(makeSmtRun(opts, wl, core::Design::Thp));
+        cells.push_back(virt);
+    }
+    auto stats = runCells(opts, cells);
 
-        double n = walkPercent(core::runExperiment(native));
-        double s = walkPercent(core::runExperiment(smt));
-        double v = walkPercent(core::runExperiment(virt));
+    Table table({"benchmark", "native", "native-SMT", "virtualized"});
+    Summary native_sum, smt_sum, virt_sum;
+    for (size_t i = 0; i < list.size(); ++i) {
+        double n = walkPercent(stats[3 * i]);
+        double s = walkPercent(stats[3 * i + 1]);
+        double v = walkPercent(stats[3 * i + 2]);
         native_sum.add(n);
         smt_sum.add(s);
         virt_sum.add(v);
-        table.addRow({wl, fmtPercent(n), fmtPercent(s), fmtPercent(v)});
+        table.addRow({list[i], fmtPercent(n), fmtPercent(s),
+                      fmtPercent(v)});
     }
     table.addRow({"mean", fmtPercent(native_sum.mean()),
                   fmtPercent(smt_sum.mean()),

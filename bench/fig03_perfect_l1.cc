@@ -21,20 +21,27 @@ main(int argc, char **argv)
                 "appreciable speedups for workloads whose memory "
                 "accesses are on the critical path");
 
-    Table table({"benchmark", "perfectL2 cycles", "perfectL1 cycles",
-                 "speedup"});
-    Summary sum;
-    for (const auto &wl : benchList(opts)) {
+    const auto &list = benchList(opts);
+    std::vector<core::RunOptions> cells;
+    for (const auto &wl : list) {
         core::RunOptions l2 = makeRun(opts, wl, core::Design::Thp);
         l2.timing = sim::TlbTimingMode::PerfectL2;
         core::RunOptions l1 = l2;
         l1.timing = sim::TlbTimingMode::PerfectL1;
+        cells.push_back(l2);
+        cells.push_back(l1);
+    }
+    auto stats = runCells(opts, cells);
 
-        uint64_t c_l2 = core::runExperiment(l2).cycles;
-        uint64_t c_l1 = core::runExperiment(l1).cycles;
+    Table table({"benchmark", "perfectL2 cycles", "perfectL1 cycles",
+                 "speedup"});
+    Summary sum;
+    for (size_t i = 0; i < list.size(); ++i) {
+        uint64_t c_l2 = stats[2 * i].cycles;
+        uint64_t c_l1 = stats[2 * i + 1].cycles;
         double speedup = ratio(c_l2, c_l1);
         sum.add(speedup);
-        table.addRow({wl, fmtCount(c_l2), fmtCount(c_l1),
+        table.addRow({list[i], fmtCount(c_l2), fmtCount(c_l1),
                       fmtDouble(speedup, 3)});
     }
     table.addRow({"geomean", "", "", fmtDouble(sum.geomean(), 3)});

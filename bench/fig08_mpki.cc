@@ -35,11 +35,15 @@ main(int argc, char **argv)
                wl == "dbx1000";
     };
 
+    std::vector<core::RunOptions> cells;
+    for (const auto &wl : list)
+        cells.push_back(makeRun(opts, wl, core::Design::Thp));
+    auto stats = runCells(opts, cells);
+
     Table table({"benchmark", "MPKI", "selected"});
-    for (const auto &wl : list) {
-        sim::SimStats stats =
-            core::runExperiment(makeRun(opts, wl, core::Design::Thp));
-        double mpki = stats.mpki();
+    for (size_t i = 0; i < list.size(); ++i) {
+        const auto &wl = list[i];
+        double mpki = stats[i].mpki();
         std::string verdict = is_big_data(wl)
                                   ? "yes (big-data)"
                                   : (mpki > 5.0 ? "yes (MPKI > 5)"

@@ -23,14 +23,21 @@ main(int argc, char **argv)
                 "only modest increases for these benchmarks; TPS at "
                 "100% threshold adds exactly zero");
 
+    const auto &list = benchList(opts);
+    std::vector<core::RunOptions> cells;
+    for (const auto &wl : list) {
+        cells.push_back(makeRun(opts, wl, core::Design::Base4k));
+        cells.push_back(makeRun(opts, wl, core::Design::Tps));
+    }
+    auto runs = runCellsWithCensus(opts, cells);
+
     Table table({"benchmark", "4K bytes", "2M-only bytes", "increase",
                  "tps increase"});
     Summary sum;
-    for (const auto &wl : benchList(opts)) {
-        CensusRun base =
-            runWithCensus(makeRun(opts, wl, core::Design::Base4k));
-        CensusRun tps =
-            runWithCensus(makeRun(opts, wl, core::Design::Tps));
+    for (size_t i = 0; i < list.size(); ++i) {
+        const auto &wl = list[i];
+        const CensusRun &base = runs[2 * i];
+        const CensusRun &tps = runs[2 * i + 1];
 
         uint64_t bytes_4k = base.mappedBytes;
         uint64_t bytes_2m = base.chunks2m << vm::kPageBits2M;

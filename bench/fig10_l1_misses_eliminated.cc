@@ -20,21 +20,22 @@ main(int argc, char **argv)
                 "TPS 98.0% mean, CoLT 36.6%, RMM ~0% (range TLB sits "
                 "at L2); CoLT minimal on GUPS");
 
+    const auto designs = {core::Design::Thp, core::Design::Tps,
+                          core::Design::Colt, core::Design::Rmm};
+    const auto &list = benchList(opts);
+    std::vector<core::RunOptions> cells;
+    for (const auto &wl : list)
+        for (core::Design d : designs)
+            cells.push_back(makeRun(opts, wl, d));
+    auto stats = runCells(opts, cells);
+
     Table table({"benchmark", "thp misses", "tps", "colt", "rmm"});
     Summary tps_sum, colt_sum, rmm_sum;
-    for (const auto &wl : benchList(opts)) {
-        uint64_t thp =
-            core::runExperiment(makeRun(opts, wl, core::Design::Thp))
-                .l1TlbMisses;
-        uint64_t tps =
-            core::runExperiment(makeRun(opts, wl, core::Design::Tps))
-                .l1TlbMisses;
-        uint64_t colt =
-            core::runExperiment(makeRun(opts, wl, core::Design::Colt))
-                .l1TlbMisses;
-        uint64_t rmm =
-            core::runExperiment(makeRun(opts, wl, core::Design::Rmm))
-                .l1TlbMisses;
+    for (size_t i = 0; i < list.size(); ++i) {
+        uint64_t thp = stats[4 * i].l1TlbMisses;
+        uint64_t tps = stats[4 * i + 1].l1TlbMisses;
+        uint64_t colt = stats[4 * i + 2].l1TlbMisses;
+        uint64_t rmm = stats[4 * i + 3].l1TlbMisses;
 
         double e_tps = elimPercent(thp, tps);
         double e_colt = elimPercent(thp, colt);
@@ -42,7 +43,7 @@ main(int argc, char **argv)
         tps_sum.add(e_tps);
         colt_sum.add(e_colt);
         rmm_sum.add(e_rmm);
-        table.addRow({wl, fmtCount(thp), fmtPercent(e_tps),
+        table.addRow({list[i], fmtCount(thp), fmtPercent(e_tps),
                       fmtPercent(e_colt), fmtPercent(e_rmm)});
     }
     table.addRow({"mean", "", fmtPercent(tps_sum.mean()),

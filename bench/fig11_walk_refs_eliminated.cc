@@ -22,18 +22,25 @@ main(int argc, char **argv)
                 "TPS ~98% mean; RMM and eager TPS near-identical best "
                 "case; TPS beats RMM on gcc (range-TLB capacity)");
 
+    const auto designs = {core::Design::Thp, core::Design::Tps,
+                          core::Design::TpsEager, core::Design::Colt,
+                          core::Design::Rmm};
+    const auto &list = benchList(opts);
+    std::vector<core::RunOptions> cells;
+    for (const auto &wl : list)
+        for (core::Design d : designs)
+            cells.push_back(makeRun(opts, wl, d));
+    auto stats = runCells(opts, cells);
+
     Table table({"benchmark", "thp walk refs", "tps", "tps-eager",
                  "colt", "rmm"});
     Summary tps_sum, eager_sum, colt_sum, rmm_sum;
-    for (const auto &wl : benchList(opts)) {
-        auto refs = [&](core::Design d) {
-            return core::runExperiment(makeRun(opts, wl, d)).walkMemRefs;
-        };
-        uint64_t thp = refs(core::Design::Thp);
-        uint64_t tps = refs(core::Design::Tps);
-        uint64_t eager = refs(core::Design::TpsEager);
-        uint64_t colt = refs(core::Design::Colt);
-        uint64_t rmm = refs(core::Design::Rmm);
+    for (size_t i = 0; i < list.size(); ++i) {
+        uint64_t thp = stats[5 * i].walkMemRefs;
+        uint64_t tps = stats[5 * i + 1].walkMemRefs;
+        uint64_t eager = stats[5 * i + 2].walkMemRefs;
+        uint64_t colt = stats[5 * i + 3].walkMemRefs;
+        uint64_t rmm = stats[5 * i + 4].walkMemRefs;
 
         double e_tps = elimPercent(thp, tps);
         double e_eager = elimPercent(thp, eager);
@@ -43,7 +50,7 @@ main(int argc, char **argv)
         eager_sum.add(e_eager);
         colt_sum.add(e_colt);
         rmm_sum.add(e_rmm);
-        table.addRow({wl, fmtCount(thp), fmtPercent(e_tps),
+        table.addRow({list[i], fmtCount(thp), fmtPercent(e_tps),
                       fmtPercent(e_eager), fmtPercent(e_colt),
                       fmtPercent(e_rmm)});
     }

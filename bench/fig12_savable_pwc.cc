@@ -23,14 +23,21 @@ main(int argc, char **argv)
                 "most benchmarks realize a large fraction of PWC "
                 "savings as execution-time savings");
 
+    const auto &list = benchList(opts);
+    std::vector<core::RunOptions> cells;
+    for (const auto &wl : list) {
+        cells.push_back(makeRun(opts, wl, core::Design::Base4k));
+        cells.push_back(makeRun(opts, wl, core::Design::Thp));
+    }
+    auto stats = runCells(opts, cells);
+
     Table table({"benchmark", "TC thp-off", "PWC thp-off", "TC thp-on",
                  "PWC thp-on", "savable"});
     Summary sum;
-    for (const auto &wl : benchList(opts)) {
-        sim::SimStats off =
-            core::runExperiment(makeRun(opts, wl, core::Design::Base4k));
-        sim::SimStats on =
-            core::runExperiment(makeRun(opts, wl, core::Design::Thp));
+    for (size_t i = 0; i < list.size(); ++i) {
+        const auto &wl = list[i];
+        const sim::SimStats &off = stats[2 * i];
+        const sim::SimStats &on = stats[2 * i + 1];
         sim::CounterPoint p_off{off.cycles, off.walkCycles};
         sim::CounterPoint p_on{on.cycles, on.walkCycles};
         double savable = sim::savablePwcFraction(p_off, p_on);

@@ -20,11 +20,15 @@ main(int argc, char **argv)
                 "TPS 15.7% mean vs RMM 9.4% and CoLT 2.7%; TPS realizes "
                 "99.2% of the maximal ideal savings");
 
+    const auto &list = benchList(opts);
+    auto rows = computeAllSpeedups(opts, list, false);
+
     Table table({"benchmark", "tps", "rmm", "colt", "ideal",
                  "tps %-of-ideal"});
     Summary tps_sum, rmm_sum, colt_sum, frac_sum;
-    for (const auto &wl : benchList(opts)) {
-        SpeedupRow row = computeSpeedups(opts, wl, false);
+    for (size_t i = 0; i < list.size(); ++i) {
+        const auto &wl = list[i];
+        const SpeedupRow &row = rows[i];
         tps_sum.add(row.tps);
         rmm_sum.add(row.rmm);
         colt_sum.add(row.colt);

@@ -27,19 +27,26 @@ main(int argc, char **argv)
                 "GUPS minimal; XSBench/Graph500-class locality retains "
                 "significant reduction");
 
-    Table table({"benchmark", "thp misses", "tps misses", "eliminated"});
-    Summary sum;
-    for (const auto &wl : benchList(opts)) {
+    const auto &list = benchList(opts);
+    std::vector<core::RunOptions> cells;
+    for (const auto &wl : list) {
         core::RunOptions thp_run = makeRun(opts, wl, core::Design::Thp);
         thp_run.fragmented = true;
         core::RunOptions tps_run = makeRun(opts, wl, core::Design::Tps);
         tps_run.fragmented = true;
+        cells.push_back(thp_run);
+        cells.push_back(tps_run);
+    }
+    auto stats = runCells(opts, cells);
 
-        uint64_t thp = core::runExperiment(thp_run).l1TlbMisses;
-        uint64_t tps = core::runExperiment(tps_run).l1TlbMisses;
+    Table table({"benchmark", "thp misses", "tps misses", "eliminated"});
+    Summary sum;
+    for (size_t i = 0; i < list.size(); ++i) {
+        uint64_t thp = stats[2 * i].l1TlbMisses;
+        uint64_t tps = stats[2 * i + 1].l1TlbMisses;
         double elim = elimPercent(thp, tps);
         sum.add(elim);
-        table.addRow({wl, fmtCount(thp), fmtCount(tps),
+        table.addRow({list[i], fmtCount(thp), fmtCount(tps),
                       fmtPercent(elim)});
     }
     table.addRow({"mean", "", "", fmtPercent(sum.mean())});

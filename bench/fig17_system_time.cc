@@ -24,14 +24,21 @@ main(int argc, char **argv)
                 "average 0.16% on real whole-length runs; even a 10x "
                 "increase would not cause significant slowdown");
 
+    const auto &list = benchList(opts);
+    std::vector<core::RunOptions> cells;
+    for (const auto &wl : list) {
+        cells.push_back(makeRun(opts, wl, core::Design::Thp));
+        cells.push_back(makeRun(opts, wl, core::Design::Tps));
+    }
+    auto stats = runCells(opts, cells);
+
     Table table({"benchmark", "thp steady", "tps steady",
                  "thp whole-run", "tps whole-run", "tps/thp OS cycles"});
     Summary thp_sum, tps_sum;
-    for (const auto &wl : benchList(opts)) {
-        sim::SimStats thp =
-            core::runExperiment(makeRun(opts, wl, core::Design::Thp));
-        sim::SimStats tps =
-            core::runExperiment(makeRun(opts, wl, core::Design::Tps));
+    for (size_t i = 0; i < list.size(); ++i) {
+        const auto &wl = list[i];
+        const sim::SimStats &thp = stats[2 * i];
+        const sim::SimStats &tps = stats[2 * i + 1];
         double thp_steady = 100.0 * thp.systemTimeFraction();
         double tps_steady = 100.0 * tps.systemTimeFraction();
         thp_sum.add(thp_steady);

@@ -23,17 +23,18 @@ main(int argc, char **argv)
                 "all workloads use many sizes; small total page counts "
                 "are what give TPS its reach");
 
-    // Columns: one per page size that appears anywhere.
-    std::vector<CensusRun> runs;
-    std::set<uint64_t> sizes;
     const auto &list = benchList(opts);
-    for (const auto &wl : list) {
-        runs.push_back(runWithCensus(makeRun(opts, wl,
-                                             core::Design::Tps)));
-        for (const auto &[pb, count] : runs.back().pageSizes.buckets())
+    std::vector<core::RunOptions> cells;
+    for (const auto &wl : list)
+        cells.push_back(makeRun(opts, wl, core::Design::Tps));
+    std::vector<CensusRun> runs = runCellsWithCensus(opts, cells);
+
+    // Columns: one per page size that appears anywhere.
+    std::set<uint64_t> sizes;
+    for (const auto &run : runs)
+        for (const auto &[pb, count] : run.pageSizes.buckets())
             if (count > 0)
                 sizes.insert(pb);
-    }
 
     std::vector<std::string> headers{"benchmark"};
     for (uint64_t pb : sizes)

@@ -29,6 +29,11 @@ parseArgs(int argc, char **argv)
                 tps_fatal("bad --phys-gb value '%s'", arg + 10);
         } else if (std::strcmp(arg, "--csv") == 0) {
             opts.csv = true;
+        } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
+            int jobs = std::atoi(arg + 7);
+            if (jobs < 1)
+                tps_fatal("bad --jobs value '%s'", arg + 7);
+            opts.jobs = static_cast<unsigned>(jobs);
         } else if (std::strncmp(arg, "--benchmarks=", 13) == 0) {
             std::string list = arg + 13;
             size_t pos = 0;
@@ -44,7 +49,7 @@ parseArgs(int argc, char **argv)
             }
         } else if (std::strcmp(arg, "--help") == 0) {
             std::printf(
-                "options: --scale=<f> --phys-gb=<n> --csv "
+                "options: --scale=<f> --phys-gb=<n> --csv --jobs=<n> "
                 "--benchmarks=a,b,c\n");
             std::exit(0);
         } else {
@@ -130,7 +135,10 @@ runWithCensus(const core::RunOptions &opts)
     ecfg.timing = opts.timing;
     ecfg.maxAccesses = opts.maxAccesses;
 
-    auto workload = workloads::makeWorkload(opts.workload, opts.scale);
+    // Same per-cell seed as core::runExperiment so a census run and a
+    // stats run of the same cell see the same access stream.
+    auto workload = workloads::makeWorkload(opts.workload, opts.scale,
+                                            core::runSeed(opts));
     ecfg.cycle.instsPerAccess = workload->info().instsPerAccess;
 
     sim::Engine engine(
@@ -153,6 +161,36 @@ runWithCensus(const core::RunOptions &opts)
         });
     out.chunks2m = chunks.size();
     return out;
+}
+
+std::vector<sim::SimStats>
+runCells(const FigOptions &opts,
+         const std::vector<core::RunOptions> &cells)
+{
+    core::ExperimentRunner runner(opts.jobs);
+    return runner.run(cells);
+}
+
+std::vector<CensusRun>
+runCellsWithCensus(const FigOptions &opts,
+                   const std::vector<core::RunOptions> &cells)
+{
+    core::ExperimentRunner runner(opts.jobs);
+    return runner.map(cells, [](const core::RunOptions &cell) {
+        return runWithCensus(cell);
+    });
+}
+
+std::vector<SpeedupRow>
+computeAllSpeedups(const FigOptions &opts,
+                   const std::vector<std::string> &wls, bool smt)
+{
+    // Coarse-grained: one task per benchmark; each runs its own
+    // seven-configuration estimation pipeline serially.
+    core::ExperimentRunner runner(opts.jobs);
+    return runner.map(wls, [&opts, smt](const std::string &wl) {
+        return computeSpeedups(opts, wl, smt);
+    });
 }
 
 SpeedupRow

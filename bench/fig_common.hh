@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "core/experiment_runner.hh"
 #include "core/tps_system.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
@@ -24,11 +25,12 @@ struct FigOptions
     double scale = 1.0;        //!< workload scale factor
     uint64_t physBytes = 8ull << 30;
     bool csv = false;          //!< emit CSV instead of aligned text
+    unsigned jobs = 0;         //!< worker threads; 0 = hw concurrency
     std::vector<std::string> benchmarks;  //!< default: evaluation suite
 };
 
 /**
- * Parse common flags: --scale=<f>, --phys-gb=<n>, --csv,
+ * Parse common flags: --scale=<f>, --phys-gb=<n>, --csv, --jobs=<n>,
  * --benchmarks=a,b,c.  Unknown flags are fatal.
  */
 FigOptions parseArgs(int argc, char **argv);
@@ -67,6 +69,19 @@ struct CensusRun
 /** Like core::runExperiment but keeps the page-table census. */
 CensusRun runWithCensus(const core::RunOptions &opts);
 
+/**
+ * Run every cell on an opts.jobs-wide ExperimentRunner; the result is
+ * index-aligned with @p cells.  Output is bit-identical for any job
+ * count (each cell's seeds derive from its own identity).
+ */
+std::vector<sim::SimStats> runCells(const FigOptions &opts,
+                                    const std::vector<core::RunOptions> &cells);
+
+/** Parallel runWithCensus over @p cells, index-aligned. */
+std::vector<CensusRun>
+runCellsWithCensus(const FigOptions &opts,
+                   const std::vector<core::RunOptions> &cells);
+
 /** One benchmark's Fig. 13/14 speedup estimates. */
 struct SpeedupRow
 {
@@ -88,6 +103,11 @@ struct SpeedupRow
  */
 SpeedupRow computeSpeedups(const FigOptions &opts,
                            const std::string &wl, bool smt);
+
+/** computeSpeedups for every benchmark in parallel, index-aligned. */
+std::vector<SpeedupRow>
+computeAllSpeedups(const FigOptions &opts,
+                   const std::vector<std::string> &wls, bool smt);
 
 } // namespace tps::bench
 

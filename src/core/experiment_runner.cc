@@ -1,0 +1,12 @@
+#include "core/experiment_runner.hh"
+
+namespace tps::core {
+
+std::vector<sim::SimStats>
+ExperimentRunner::run(const std::vector<RunOptions> &cells)
+{
+    return map(cells,
+               [](const RunOptions &opts) { return runExperiment(opts); });
+}
+
+} // namespace tps::core

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Parallel experiment sweeps: map a grid of RunOptions cells (or any
+ * per-cell computation) onto a worker pool, preserving input order.
+ *
+ * Determinism contract: runExperiment() is a pure function of its
+ * RunOptions -- every generator seed inside a cell derives from the
+ * cell's own (workload, design, scale) identity via cellSeed(), never
+ * from global state -- so the statistics a parallel sweep produces are
+ * bit-identical to the same sweep run serially (or with any other
+ * --jobs value).  tests/golden_stats_test.cc enforces this.
+ */
+
+#ifndef TPS_CORE_EXPERIMENT_RUNNER_HH
+#define TPS_CORE_EXPERIMENT_RUNNER_HH
+
+#include <future>
+#include <vector>
+
+#include "core/tps_system.hh"
+#include "util/task_pool.hh"
+
+namespace tps::core {
+
+class ExperimentRunner
+{
+  public:
+    /** @param jobs  Worker threads; 0 = one per hardware thread. */
+    explicit ExperimentRunner(unsigned jobs = 0) : pool_(jobs) {}
+
+    unsigned jobs() const { return pool_.threads(); }
+
+    /**
+     * Run every cell through runExperiment() on the pool; the result
+     * vector is index-aligned with @p cells.  The first cell failure
+     * (if any) is rethrown in the caller's thread.
+     */
+    std::vector<sim::SimStats> run(const std::vector<RunOptions> &cells);
+
+    /**
+     * Order-preserving parallel map: `out[i] = fn(items[i])`, with the
+     * calls distributed over the pool.  @p fn must be safe to invoke
+     * concurrently from multiple threads (per-cell state only).
+     */
+    template <typename T, typename Fn>
+    auto
+    map(const std::vector<T> &items, Fn fn)
+        -> std::vector<std::invoke_result_t<Fn, const T &>>
+    {
+        using R = std::invoke_result_t<Fn, const T &>;
+        std::vector<std::future<R>> futures;
+        futures.reserve(items.size());
+        for (const T &item : items)
+            futures.push_back(
+                pool_.submit([fn, &item] { return fn(item); }));
+        std::vector<R> out;
+        out.reserve(items.size());
+        for (auto &f : futures)
+            out.push_back(f.get());
+        return out;
+    }
+
+  private:
+    util::TaskPool pool_;
+};
+
+} // namespace tps::core
+
+#endif // TPS_CORE_EXPERIMENT_RUNNER_HH

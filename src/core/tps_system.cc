@@ -2,6 +2,7 @@
 
 #include "os/policy_rmm.hh"
 #include "util/logging.hh"
+#include "util/rng.hh"
 
 namespace tps::core {
 
@@ -74,6 +75,12 @@ designTlbConfig(Design d)
     return cfg;
 }
 
+uint64_t
+runSeed(const RunOptions &opts)
+{
+    return cellSeed(opts.workload, designName(opts.design), opts.scale);
+}
+
 sim::SimStats
 runExperiment(const RunOptions &opts)
 {
@@ -97,7 +104,9 @@ runExperiment(const RunOptions &opts)
     ecfg.timing = opts.timing;
     ecfg.maxAccesses = opts.maxAccesses;
 
-    auto primary = workloads::makeWorkload(opts.workload, opts.scale);
+    uint64_t seed = runSeed(opts);
+    auto primary =
+        workloads::makeWorkload(opts.workload, opts.scale, seed);
     ecfg.cycle.instsPerAccess = primary->info().instsPerAccess;
 
     sim::Engine engine(pm, makePolicy(opts.design, opts.tpsThreshold),
@@ -106,8 +115,8 @@ runExperiment(const RunOptions &opts)
 
     std::unique_ptr<workloads::Workload> competitor;
     if (opts.smt) {
-        competitor =
-            workloads::makeWorkload(opts.workload, opts.scale, 1000);
+        competitor = workloads::makeWorkload(opts.workload, opts.scale,
+                                             seed + 1000);
         engine.addWorkload(*competitor);
     }
     return engine.run();

@@ -64,8 +64,17 @@ struct RunOptions
 };
 
 /**
+ * The workload seed offset for one cell: a stable hash of (workload,
+ * design, scale), so every cell in a sweep draws from an independent,
+ * reproducible stream regardless of run order or thread placement.
+ */
+uint64_t runSeed(const RunOptions &opts);
+
+/**
  * Run one experiment configuration end to end.  Deterministic: the same
- * options always produce the same statistics.
+ * options always produce the same statistics, whether cells execute
+ * serially or on an ExperimentRunner pool (seeds come from runSeed(),
+ * never from global state).
  */
 sim::SimStats runExperiment(const RunOptions &opts);
 

@@ -1,8 +1,43 @@
 #include "util/rng.hh"
 
 #include <cmath>
+#include <cstring>
 
 namespace tps {
+
+uint64_t
+stableHash64(std::string_view bytes)
+{
+    // FNV-1a, 64-bit variant.
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : bytes) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+uint64_t
+hashCombine(uint64_t a, uint64_t b)
+{
+    // splitmix64 finalizer over the xored pair; cheap and well mixed.
+    uint64_t z = a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+cellSeed(std::string_view workload, std::string_view design,
+         double scale)
+{
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(scale));
+    std::memcpy(&bits, &scale, sizeof(bits));
+    return hashCombine(hashCombine(stableHash64(workload),
+                                   stableHash64(design)),
+                       bits);
+}
 
 namespace {
 

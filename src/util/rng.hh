@@ -13,10 +13,33 @@
 #define TPS_UTIL_RNG_HH
 
 #include <cstdint>
+#include <string_view>
 
 #include "util/logging.hh"
 
 namespace tps {
+
+/**
+ * Stable 64-bit FNV-1a hash of a byte string.  The constants are fixed
+ * by the FNV specification, so the value is identical across runs,
+ * platforms and build modes -- safe to persist in golden files.
+ */
+uint64_t stableHash64(std::string_view bytes);
+
+/** Mix two stable hashes into one (order-sensitive). */
+uint64_t hashCombine(uint64_t a, uint64_t b);
+
+/**
+ * The deterministic RNG seed for one experiment cell.
+ *
+ * Derived purely from the cell's identity -- workload name, design
+ * name, and scale factor (by bit pattern) -- never from global state,
+ * submission order, or thread identity.  This is what makes a parallel
+ * sweep bit-identical to the same sweep run serially: every cell's
+ * generators are a pure function of (workload, design, scale).
+ */
+uint64_t cellSeed(std::string_view workload, std::string_view design,
+                  double scale);
 
 /** A PCG-XSH-RR 32-bit generator with a 64-bit state and stream. */
 class Pcg32

@@ -1,6 +1,7 @@
 #include "util/stats.hh"
 
 #include <cmath>
+#include <limits>
 
 namespace tps {
 
@@ -21,6 +22,18 @@ Summary::add(double v)
         logSum_ += std::log(v);
     else
         allPositive_ = false;
+}
+
+double
+Summary::min() const
+{
+    return count_ ? min_ : std::numeric_limits<double>::quiet_NaN();
+}
+
+double
+Summary::max() const
+{
+    return count_ ? max_ : std::numeric_limits<double>::quiet_NaN();
 }
 
 double

@@ -22,10 +22,15 @@ class Summary
     void add(double v);
 
     uint64_t count() const { return count_; }
+    bool empty() const { return count_ == 0; }
     double sum() const { return sum_; }
     double mean() const { return count_ ? sum_ / count_ : 0.0; }
-    double min() const { return count_ ? min_ : 0.0; }
-    double max() const { return count_ ? max_ : 0.0; }
+
+    /** Smallest sample; NaN when no samples have been added. */
+    double min() const;
+
+    /** Largest sample; NaN when no samples have been added. */
+    double max() const;
 
     /** Geometric mean; all samples must have been positive. */
     double geomean() const;

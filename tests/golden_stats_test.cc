@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Golden-statistics regression tests.
+ *
+ * Two guarantees are pinned here:
+ *
+ *  1. Parallel == serial, bitwise: the same cells run through
+ *     core::runExperiment one by one and through a 4-thread
+ *     ExperimentRunner must produce identical statistics in every
+ *     field.  Any drift means a cell's behaviour leaked across
+ *     threads (shared mutable state) or its seeds stopped being a
+ *     pure function of the cell identity.
+ *
+ *  2. Golden values: exact counters for gups under THP and TPS at a
+ *     fixed small scale.  These fail on any silent perf-model or
+ *     seeding change, forcing the change to be acknowledged by
+ *     updating the constants here.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/experiment_runner.hh"
+#include "core/tps_system.hh"
+
+namespace tps::core {
+namespace {
+
+/** Assert every field of two SimStats is identical (no tolerance). */
+void
+expectIdentical(const sim::SimStats &a, const sim::SimStats &b,
+                const char *what)
+{
+#define TPS_EQ(field) EXPECT_EQ(a.field, b.field) << what << ": " #field
+    TPS_EQ(warmup.accesses);
+    TPS_EQ(warmup.cycles);
+    TPS_EQ(warmup.osCycles);
+    TPS_EQ(warmup.faults);
+    TPS_EQ(accesses);
+    TPS_EQ(instructions);
+    TPS_EQ(cycles);
+    TPS_EQ(l1TlbMisses);
+    TPS_EQ(l2TlbHits);
+    TPS_EQ(tlbMisses);
+    TPS_EQ(walkMemRefs);
+    TPS_EQ(walkCycles);
+    TPS_EQ(stlbPenaltyCycles);
+    TPS_EQ(faults);
+    TPS_EQ(mmu.accesses);
+    TPS_EQ(mmu.l1Hits);
+    TPS_EQ(mmu.l1Misses);
+    TPS_EQ(mmu.l2Hits);
+    TPS_EQ(mmu.walks);
+    TPS_EQ(mmu.walkMemRefs);
+    TPS_EQ(mmu.faultWalkMemRefs);
+    TPS_EQ(mmu.faults);
+    TPS_EQ(mmu.writeProtFaults);
+    TPS_EQ(mmu.adPteWrites);
+    TPS_EQ(mmu.adVectorStores);
+    TPS_EQ(mmu.walkCycles);
+    TPS_EQ(mmu.stlbPenaltyCycles);
+    TPS_EQ(mmu.nestedWalkRefs);
+    TPS_EQ(walker.walks);
+    TPS_EQ(walker.faults);
+    TPS_EQ(walker.accesses);
+    TPS_EQ(walker.aliasExtra);
+    TPS_EQ(walker.nestedAccesses);
+    TPS_EQ(walker.nestedTlbHits);
+    TPS_EQ(walker.nestedTlbMisses);
+    TPS_EQ(memsys.accesses);
+    TPS_EQ(memsys.l1Hits);
+    TPS_EQ(memsys.llcHits);
+    TPS_EQ(memsys.dramAccesses);
+    TPS_EQ(osWork.faultCycles);
+    TPS_EQ(osWork.allocCycles);
+    TPS_EQ(osWork.pteCycles);
+    TPS_EQ(osWork.zeroCycles);
+    TPS_EQ(osWork.shootdownCycles);
+    TPS_EQ(osWork.faults);
+    TPS_EQ(osWork.promotions);
+    TPS_EQ(osWork.reservationsCreated);
+    TPS_EQ(osWork.reservationsMissed);
+    TPS_EQ(mmapCalls);
+    TPS_EQ(munmapCalls);
+#undef TPS_EQ
+}
+
+std::vector<RunOptions>
+smallGrid()
+{
+    // Three (workload x design) cells, small enough for test time but
+    // long enough to exercise faults, promotions and TLB churn.
+    std::vector<RunOptions> cells;
+    for (auto [wl, d] : {std::pair<const char *, Design>
+                             {"gups", Design::Thp},
+                         {"xsbench", Design::Tps},
+                         {"mcf", Design::Colt}}) {
+        RunOptions opts;
+        opts.workload = wl;
+        opts.design = d;
+        opts.scale = 0.02;
+        opts.physBytes = 512ull << 20;
+        cells.push_back(opts);
+    }
+    return cells;
+}
+
+TEST(GoldenStats, ParallelRunBitIdenticalToSerial)
+{
+    std::vector<RunOptions> cells = smallGrid();
+
+    std::vector<sim::SimStats> serial;
+    for (const RunOptions &cell : cells)
+        serial.push_back(runExperiment(cell));
+
+    ExperimentRunner runner(4);
+    ASSERT_EQ(runner.jobs(), 4u);
+    std::vector<sim::SimStats> parallel = runner.run(cells);
+
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (size_t i = 0; i < cells.size(); ++i)
+        expectIdentical(serial[i], parallel[i],
+                        cells[i].workload.c_str());
+}
+
+TEST(GoldenStats, RepeatedParallelRunsIdentical)
+{
+    // Two 4-thread sweeps of the same grid agree with each other
+    // (scheduling nondeterminism must not reach the statistics).
+    std::vector<RunOptions> cells = smallGrid();
+    ExperimentRunner a(4), b(4);
+    std::vector<sim::SimStats> first = a.run(cells);
+    std::vector<sim::SimStats> second = b.run(cells);
+    for (size_t i = 0; i < cells.size(); ++i)
+        expectIdentical(first[i], second[i], cells[i].workload.c_str());
+}
+
+TEST(GoldenStats, SeedIsPureFunctionOfCellIdentity)
+{
+    RunOptions opts;
+    opts.workload = "gups";
+    opts.design = Design::Tps;
+    opts.scale = 0.02;
+    uint64_t seed = runSeed(opts);
+    EXPECT_EQ(seed, runSeed(opts));
+
+    RunOptions other = opts;
+    other.design = Design::Thp;
+    EXPECT_NE(runSeed(other), seed);
+    other = opts;
+    other.workload = "mcf";
+    EXPECT_NE(runSeed(other), seed);
+    other = opts;
+    other.scale = 0.04;
+    EXPECT_NE(runSeed(other), seed);
+    // Knobs outside the cell identity do not move the seed: a census
+    // or perfect-TLB re-run of a cell sees the same access stream.
+    other = opts;
+    other.timing = sim::TlbTimingMode::PerfectL1;
+    other.physBytes *= 2;
+    EXPECT_EQ(runSeed(other), seed);
+}
+
+/**
+ * Golden counters for gups at scale 0.02 under THP and TPS.  These are
+ * the measured-phase numbers the figure benches consume (Fig. 10/11
+ * inputs).  If a legitimate model change moves them, re-pin by running:
+ *   build/tests/test_golden_stats --gtest_filter='GoldenStats.Gups*'
+ * and copying the "actual" values reported in the failure output.
+ */
+struct Golden
+{
+    uint64_t accesses;
+    uint64_t l1TlbMisses;
+    uint64_t tlbMisses;
+    uint64_t walkMemRefs;
+    uint64_t faults;
+    uint64_t promotions;
+};
+
+sim::SimStats
+runGups(Design d)
+{
+    RunOptions opts;
+    opts.workload = "gups";
+    opts.design = d;
+    opts.scale = 0.02;
+    opts.physBytes = 512ull << 20;
+    return runExperiment(opts);
+}
+
+void
+expectGolden(const sim::SimStats &s, const Golden &g)
+{
+    EXPECT_EQ(s.accesses, g.accesses);
+    EXPECT_EQ(s.l1TlbMisses, g.l1TlbMisses);
+    EXPECT_EQ(s.tlbMisses, g.tlbMisses);
+    EXPECT_EQ(s.walkMemRefs, g.walkMemRefs);
+    EXPECT_EQ(s.faults, g.faults);
+    EXPECT_EQ(s.osWork.promotions, g.promotions);
+}
+
+TEST(GoldenStats, GupsUnderThp)
+{
+    expectGolden(runGups(Design::Thp),
+                 Golden{30000, 3140, 38, 38, 0, 40});
+}
+
+TEST(GoldenStats, GupsUnderTps)
+{
+    expectGolden(runGups(Design::Tps),
+                 Golden{30000, 55, 1, 2, 0, 20962});
+}
+
+} // namespace
+} // namespace tps::core

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * TaskPool tests: futures preserve submission-order results, worker
+ * exceptions propagate to the submitter, one worker degenerates to
+ * exact serial execution, and a 1000-task stress run completes with
+ * every result intact.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/task_pool.hh"
+
+namespace tps::util {
+namespace {
+
+TEST(TaskPool, ResultsComeBackInSubmissionOrder)
+{
+    TaskPool pool(4);
+    std::vector<std::future<int>> futures;
+    for (int i = 0; i < 64; ++i) {
+        futures.push_back(pool.submit([i] {
+            // Make early tasks slower so completion order differs
+            // from submission order; the futures still line up.
+            if (i % 8 == 0)
+                std::this_thread::sleep_for(std::chrono::milliseconds(2));
+            return i * i;
+        }));
+    }
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(futures[i].get(), i * i);
+}
+
+TEST(TaskPool, WorkerExceptionPropagatesToSubmitter)
+{
+    TaskPool pool(2);
+    auto ok = pool.submit([] { return 7; });
+    auto bad = pool.submit([]() -> int {
+        throw std::runtime_error("cell exploded");
+    });
+    auto after = pool.submit([] { return 9; });
+
+    EXPECT_EQ(ok.get(), 7);
+    EXPECT_THROW(bad.get(), std::runtime_error);
+    // The pool survives a throwing task.
+    EXPECT_EQ(after.get(), 9);
+}
+
+TEST(TaskPool, SingleWorkerRunsTasksSerially)
+{
+    TaskPool pool(1);
+    EXPECT_EQ(pool.threads(), 1u);
+    std::vector<int> order;   // only the one worker touches this
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 100; ++i)
+        futures.push_back(pool.submit([i, &order] { order.push_back(i); }));
+    for (auto &f : futures)
+        f.get();
+    ASSERT_EQ(order.size(), 100u);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(TaskPool, StressThousandTasks)
+{
+    TaskPool pool(8);
+    std::atomic<uint64_t> executed{0};
+    std::vector<std::future<uint64_t>> futures;
+    futures.reserve(1000);
+    for (uint64_t i = 0; i < 1000; ++i) {
+        futures.push_back(pool.submit([i, &executed] {
+            executed.fetch_add(1, std::memory_order_relaxed);
+            return i * 3 + 1;
+        }));
+    }
+    uint64_t sum = 0;
+    for (uint64_t i = 0; i < 1000; ++i) {
+        uint64_t v = futures[i].get();
+        EXPECT_EQ(v, i * 3 + 1);
+        sum += v;
+    }
+    EXPECT_EQ(executed.load(), 1000u);
+    EXPECT_EQ(sum, 3ull * (999 * 1000 / 2) + 1000);
+}
+
+TEST(TaskPool, ZeroThreadsMeansHardwareConcurrency)
+{
+    TaskPool pool(0);
+    EXPECT_EQ(pool.threads(), TaskPool::hardwareThreads());
+    EXPECT_GE(pool.threads(), 1u);
+}
+
+TEST(TaskPool, DestructorDrainsQueuedTasks)
+{
+    std::atomic<int> ran{0};
+    {
+        TaskPool pool(2);
+        for (int i = 0; i < 50; ++i)
+            pool.submit([&ran] {
+                ran.fetch_add(1, std::memory_order_relaxed);
+            });
+        // Destructor must not drop the tasks still queued here.
+    }
+    EXPECT_EQ(ran.load(), 50);
+}
+
+} // namespace
+} // namespace tps::util

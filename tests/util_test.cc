@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include <sstream>
 
 #include "util/bitops.hh"
@@ -181,6 +183,37 @@ TEST(Zipf, SamplesInRange)
     ZipfSampler z(50, 0.6);
     for (int i = 0; i < 10000; ++i)
         EXPECT_LT(z.sample(rng), 50u);
+}
+
+TEST(Rng, StableHashMatchesFnvSpec)
+{
+    // FNV-1a offset basis: hash of the empty string, fixed by spec.
+    EXPECT_EQ(stableHash64(""), 0xcbf29ce484222325ULL);
+    EXPECT_EQ(stableHash64("gups"), stableHash64("gups"));
+    EXPECT_NE(stableHash64("gups"), stableHash64("gupt"));
+    EXPECT_NE(hashCombine(1, 2), hashCombine(2, 1));
+}
+
+TEST(Rng, CellSeedSeparatesCells)
+{
+    uint64_t a = cellSeed("gups", "tps", 1.0);
+    EXPECT_EQ(a, cellSeed("gups", "tps", 1.0));
+    EXPECT_NE(a, cellSeed("gups", "thp", 1.0));
+    EXPECT_NE(a, cellSeed("mcf", "tps", 1.0));
+    EXPECT_NE(a, cellSeed("gups", "tps", 0.5));
+}
+
+TEST(Summary, EmptySignalsEmptiness)
+{
+    // min()/max() of nothing must not masquerade as a real 0.0 sample.
+    Summary s;
+    EXPECT_TRUE(s.empty());
+    EXPECT_TRUE(std::isnan(s.min()));
+    EXPECT_TRUE(std::isnan(s.max()));
+    s.add(-3.0);
+    EXPECT_FALSE(s.empty());
+    EXPECT_DOUBLE_EQ(s.min(), -3.0);
+    EXPECT_DOUBLE_EQ(s.max(), -3.0);
 }
 
 TEST(Summary, Basics)
