@@ -107,9 +107,15 @@ tpsTlbCapacity(const FigOptions &opts, const std::string &wl)
     std::printf("-- TPS TLB capacity (%s) --\n", wl.c_str());
     const std::vector<unsigned> capacities = {8u, 16u, 32u, 64u};
     core::ExperimentRunner runner(opts.jobs);
-    auto stats = runner.map(capacities, [&](unsigned entries) {
-        return runTpsTlbVariant(opts, wl, entries, false);
-    });
+    runner.setMonitor(sweepMonitor());
+    auto stats = runner.map(
+        capacities,
+        [&](unsigned entries) {
+            return runTpsTlbVariant(opts, wl, entries, false);
+        },
+        [&](unsigned entries, size_t) {
+            return wl + "/tps-tlb-" + std::to_string(entries);
+        });
 
     Table table({"entries", "L1 miss rate", "walks"});
     for (size_t i = 0; i < capacities.size(); ++i) {
@@ -136,9 +142,15 @@ tpsTlbOrganization(const FigOptions &opts, const std::string &wl)
                                    Org{"skewed 32x4", true, 32u},
                                    Org{"skewed 64x4", true, 64u}};
     core::ExperimentRunner runner(opts.jobs);
-    auto stats = runner.map(orgs, [&](const Org &org) {
-        return runTpsTlbVariant(opts, wl, org.entries, org.skewed);
-    });
+    runner.setMonitor(sweepMonitor());
+    auto stats = runner.map(
+        orgs,
+        [&](const Org &org) {
+            return runTpsTlbVariant(opts, wl, org.entries, org.skewed);
+        },
+        [&](const Org &org, size_t) {
+            return wl + "/" + org.name;
+        });
 
     Table table({"organization", "L1 miss rate", "walks"});
     for (size_t i = 0; i < orgs.size(); ++i) {
@@ -183,6 +195,7 @@ int
 main(int argc, char **argv)
 {
     FigOptions opts = parseArgs(argc, argv);
+    initBench("ablations", opts);
     printHeader("Ablations",
                 "TPS design-choice sweeps (threshold, alias mode, TLB "
                 "capacity, MMU caches)",
@@ -198,5 +211,6 @@ main(int argc, char **argv)
     tpsTlbCapacity(opts, wl);
     tpsTlbOrganization(opts, sparse_wl);
     mmuCacheEffect(opts, "gups");
+    finishBench(opts);
     return 0;
 }

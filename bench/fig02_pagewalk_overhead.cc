@@ -32,6 +32,7 @@ int
 main(int argc, char **argv)
 {
     FigOptions opts = parseArgs(argc, argv);
+    initBench("fig02_pagewalk_overhead", opts);
     printHeader("Figure 2",
                 "page-walk overhead: % of execution time spent walking "
                 "(THP baseline)",
@@ -66,5 +67,6 @@ main(int argc, char **argv)
                   fmtPercent(smt_sum.mean()),
                   fmtPercent(virt_sum.mean())});
     printTable(opts, table);
+    finishBench(opts);
     return 0;
 }

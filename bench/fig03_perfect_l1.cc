@@ -16,6 +16,7 @@ int
 main(int argc, char **argv)
 {
     FigOptions opts = parseArgs(argc, argv);
+    initBench("fig03_perfect_l1", opts);
     printHeader("Figure 3",
                 "speedup of perfect L1 TLB over perfect-L2-TLB baseline",
                 "appreciable speedups for workloads whose memory "
@@ -46,5 +47,6 @@ main(int argc, char **argv)
     }
     table.addRow({"geomean", "", "", fmtDouble(sum.geomean(), 3)});
     printTable(opts, table);
+    finishBench(opts);
     return 0;
 }

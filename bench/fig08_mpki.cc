@@ -19,6 +19,7 @@ int
 main(int argc, char **argv)
 {
     FigOptions opts = parseArgs(argc, argv);
+    initBench("fig08_mpki", opts);
     printHeader("Figure 8",
                 "L1 DTLB MPKI per benchmark (THP baseline)",
                 "evaluated benchmarks were chosen with MPKI > 5; "
@@ -51,5 +52,6 @@ main(int argc, char **argv)
         table.addRow({wl, fmtDouble(mpki, 2), verdict});
     }
     printTable(opts, table);
+    finishBench(opts);
     return 0;
 }

@@ -18,6 +18,7 @@ int
 main(int argc, char **argv)
 {
     FigOptions opts = parseArgs(argc, argv);
+    initBench("fig09_mem_bloat", opts);
     printHeader("Figure 9",
                 "memory-utilization increase with exclusive 2 MB pages",
                 "only modest increases for these benchmarks; TPS at "
@@ -53,5 +54,6 @@ main(int argc, char **argv)
     }
     table.addRow({"mean", "", "", fmtPercent(sum.mean()), ""});
     printTable(opts, table);
+    finishBench(opts);
     return 0;
 }

@@ -14,6 +14,7 @@ int
 main(int argc, char **argv)
 {
     FigOptions opts = parseArgs(argc, argv);
+    initBench("fig10_l1_misses_eliminated", opts);
     printHeader("Figure 10",
                 "% of L1 DTLB misses eliminated (baseline: "
                 "reservation-based THP)",
@@ -50,5 +51,6 @@ main(int argc, char **argv)
                   fmtPercent(colt_sum.mean()),
                   fmtPercent(rmm_sum.mean())});
     printTable(opts, table);
+    finishBench(opts);
     return 0;
 }

@@ -16,6 +16,7 @@ int
 main(int argc, char **argv)
 {
     FigOptions opts = parseArgs(argc, argv);
+    initBench("fig11_walk_refs_eliminated", opts);
     printHeader("Figure 11",
                 "% of page-walk memory references eliminated "
                 "(baseline: reservation-based THP)",
@@ -59,5 +60,6 @@ main(int argc, char **argv)
                   fmtPercent(colt_sum.mean()),
                   fmtPercent(rmm_sum.mean())});
     printTable(opts, table);
+    finishBench(opts);
     return 0;
 }

@@ -17,6 +17,7 @@ int
 main(int argc, char **argv)
 {
     FigOptions opts = parseArgs(argc, argv);
+    initBench("fig12_savable_pwc", opts);
     printHeader("Figure 12",
                 "% of page-walker cycles savable (THP-off vs THP-on "
                 "calibration)",
@@ -48,5 +49,6 @@ main(int argc, char **argv)
     }
     table.addRow({"mean", "", "", "", "", fmtPercent(sum.mean())});
     printTable(opts, table);
+    finishBench(opts);
     return 0;
 }

@@ -15,6 +15,7 @@ int
 main(int argc, char **argv)
 {
     FigOptions opts = parseArgs(argc, argv);
+    initBench("fig13_speedup_native", opts);
     printHeader("Figure 13",
                 "estimated speedup over THP baseline, native (no SMT)",
                 "TPS 15.7% mean vs RMM 9.4% and CoLT 2.7%; TPS realizes "
@@ -49,5 +50,6 @@ main(int argc, char **argv)
                 100.0 * (tps_sum.mean() - 1.0),
                 100.0 * (rmm_sum.mean() - 1.0),
                 100.0 * (colt_sum.mean() - 1.0));
+    finishBench(opts);
     return 0;
 }

@@ -15,6 +15,7 @@ int
 main(int argc, char **argv)
 {
     FigOptions opts = parseArgs(argc, argv);
+    initBench("fig14_speedup_smt", opts);
     printHeader("Figure 14",
                 "estimated speedup over THP baseline, native (SMT)",
                 "TPS 21.6% mean vs RMM 15.2% and CoLT 4.7%; TPS "
@@ -49,5 +50,6 @@ main(int argc, char **argv)
                 100.0 * (tps_sum.mean() - 1.0),
                 100.0 * (rmm_sum.mean() - 1.0),
                 100.0 * (colt_sum.mean() - 1.0));
+    finishBench(opts);
     return 0;
 }

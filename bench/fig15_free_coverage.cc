@@ -19,6 +19,7 @@ int
 main(int argc, char **argv)
 {
     FigOptions opts = parseArgs(argc, argv);
+    initBench("fig15_free_coverage", opts);
     printHeader("Figure 15",
                 "% of free memory coverable by each single page size "
                 "on a fragmented host",
@@ -56,5 +57,6 @@ main(int argc, char **argv)
     }
     std::printf("buddyinfo-style free lists:\n");
     printTable(opts, lists);
+    finishBench(opts);
     return 0;
 }

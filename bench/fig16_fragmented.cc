@@ -17,6 +17,7 @@ int
 main(int argc, char **argv)
 {
     FigOptions opts = parseArgs(argc, argv);
+    initBench("fig16_fragmented", opts);
     // Default to quarter-size footprints so everything fits the ~30%
     // of memory the fragmented host has free.
     if (opts.scale == 1.0)
@@ -51,5 +52,6 @@ main(int argc, char **argv)
     }
     table.addRow({"mean", "", "", fmtPercent(sum.mean())});
     printTable(opts, table);
+    finishBench(opts);
     return 0;
 }

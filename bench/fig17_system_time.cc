@@ -19,6 +19,7 @@ int
 main(int argc, char **argv)
 {
     FigOptions opts = parseArgs(argc, argv);
+    initBench("fig17_system_time", opts);
     printHeader("Figure 17",
                 "% of execution time spent in system (OS) work",
                 "average 0.16% on real whole-length runs; even a 10x "
@@ -54,5 +55,6 @@ main(int argc, char **argv)
     table.addRow({"mean", fmtPercent(thp_sum.mean()),
                   fmtPercent(tps_sum.mean()), "", "", ""});
     printTable(opts, table);
+    finishBench(opts);
     return 0;
 }

@@ -18,6 +18,7 @@ int
 main(int argc, char **argv)
 {
     FigOptions opts = parseArgs(argc, argv);
+    initBench("fig18_page_size_census", opts);
     printHeader("Figure 18",
                 "per-benchmark page-size counts under TPS",
                 "all workloads use many sizes; small total page counts "
@@ -52,5 +53,6 @@ main(int argc, char **argv)
         table.addRow(std::move(row));
     }
     printTable(opts, table);
+    finishBench(opts);
     return 0;
 }

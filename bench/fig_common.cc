@@ -1,6 +1,9 @@
 #include "fig_common.hh"
 
+#include <chrono>
 #include <cstdio>
+#include <memory>
+#include <mutex>
 #include <set>
 #include <cstdlib>
 #include <cstring>
@@ -11,6 +14,95 @@
 #include "workloads/registry.hh"
 
 namespace tps::bench {
+
+namespace {
+
+/**
+ * Bench-wide observability state.  Each bench is one main program, so
+ * a single process-wide context (guarded for the pooled recorders) is
+ * the natural owner of the monitor and the collected artifacts.
+ */
+struct BenchContext
+{
+    std::string name;
+    std::chrono::steady_clock::time_point start;
+    std::unique_ptr<obs::SweepMonitor> monitor;
+    std::mutex mu;
+    std::vector<obs::CellArtifact> artifacts;
+};
+
+BenchContext g_bench;
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/** Span label for one experiment cell. */
+std::string
+cellLabel(const core::RunOptions &run)
+{
+    std::string label =
+        run.workload + "/" + core::designName(run.design);
+    if (run.timing == sim::TlbTimingMode::PerfectL2)
+        label += "/perfect-l2";
+    else if (run.timing == sim::TlbTimingMode::PerfectL1)
+        label += "/perfect-l1";
+    return label;
+}
+
+} // namespace
+
+void
+initBench(const std::string &name, const FigOptions &opts)
+{
+    g_bench.name = name;
+    g_bench.start = std::chrono::steady_clock::now();
+    if (!opts.tracePath.empty() || opts.progress) {
+        obs::SweepMonitor::Config mcfg;
+        mcfg.bench = name;
+        mcfg.progress = opts.progress;
+        g_bench.monitor = std::make_unique<obs::SweepMonitor>(mcfg);
+    }
+}
+
+obs::SweepMonitor *
+sweepMonitor()
+{
+    return g_bench.monitor.get();
+}
+
+void
+recordRun(const core::RunOptions &run, const sim::SimStats &stats,
+          double wallSeconds)
+{
+    std::lock_guard<std::mutex> lock(g_bench.mu);
+    g_bench.artifacts.push_back(
+        obs::CellArtifact{run, stats, wallSeconds});
+}
+
+void
+finishBench(const FigOptions &opts)
+{
+    if (!opts.statsJson.empty()) {
+        obs::ManifestInfo info;
+        info.bench = g_bench.name;
+        info.jobs = opts.jobs;
+        info.wallSeconds = secondsSince(g_bench.start);
+        std::lock_guard<std::mutex> lock(g_bench.mu);
+        obs::writeManifest(opts.statsJson, info, g_bench.artifacts);
+        std::fprintf(stderr, "wrote %zu-cell manifest to %s\n",
+                     g_bench.artifacts.size(), opts.statsJson.c_str());
+    }
+    if (!opts.tracePath.empty() && g_bench.monitor) {
+        g_bench.monitor->writeTrace(opts.tracePath);
+        std::fprintf(stderr, "wrote sweep trace to %s\n",
+                     opts.tracePath.c_str());
+    }
+}
 
 FigOptions
 parseArgs(int argc, char **argv)
@@ -47,10 +139,26 @@ parseArgs(int argc, char **argv)
                     opts.benchmarks.push_back(name);
                 pos = comma == std::string::npos ? comma : comma + 1;
             }
+        } else if (std::strncmp(arg, "--epochs=", 9) == 0) {
+            long long epochs = std::atoll(arg + 9);
+            if (epochs < 1)
+                tps_fatal("bad --epochs value '%s'", arg + 9);
+            opts.epochs = static_cast<uint64_t>(epochs);
+        } else if (std::strncmp(arg, "--stats-json=", 13) == 0) {
+            opts.statsJson = arg + 13;
+            if (opts.statsJson.empty())
+                tps_fatal("--stats-json needs a path");
+        } else if (std::strncmp(arg, "--trace=", 8) == 0) {
+            opts.tracePath = arg + 8;
+            if (opts.tracePath.empty())
+                tps_fatal("--trace needs a path");
+        } else if (std::strcmp(arg, "--progress") == 0) {
+            opts.progress = true;
         } else if (std::strcmp(arg, "--help") == 0) {
             std::printf(
                 "options: --scale=<f> --phys-gb=<n> --csv --jobs=<n> "
-                "--benchmarks=a,b,c\n");
+                "--benchmarks=a,b,c --epochs=<n> --stats-json=<path> "
+                "--trace=<path> --progress\n");
             std::exit(0);
         } else {
             tps_fatal("unknown option '%s' (try --help)", arg);
@@ -95,6 +203,7 @@ makeRun(const FigOptions &opts, const std::string &wl,
     run.design = design;
     run.scale = opts.scale;
     run.physBytes = opts.physBytes;
+    run.epochAccesses = opts.epochs;
     return run;
 }
 
@@ -126,20 +235,12 @@ runWithCensus(const core::RunOptions &opts)
         fragmenter->run();
     }
 
-    sim::EngineConfig ecfg;
-    ecfg.mmu.tlb = core::designTlbConfig(opts.design);
-    ecfg.mmu.walker.virtualized = opts.virtualized;
-    ecfg.mmu.walker.fiveLevel = opts.fiveLevel;
-    ecfg.addressSpace.aliasMode = opts.aliasMode;
-    ecfg.addressSpace.encoding = opts.encoding;
-    ecfg.timing = opts.timing;
-    ecfg.maxAccesses = opts.maxAccesses;
+    sim::EngineConfig ecfg = core::makeEngineConfig(opts);
 
     // Same per-cell seed as core::runExperiment so a census run and a
     // stats run of the same cell see the same access stream.
     auto workload = workloads::makeWorkload(opts.workload, opts.scale,
                                             core::runSeed(opts));
-    ecfg.cycle.instsPerAccess = workload->info().instsPerAccess;
 
     sim::Engine engine(
         pm, core::makePolicy(opts.design, opts.tpsThreshold), ecfg);
@@ -168,7 +269,33 @@ runCells(const FigOptions &opts,
          const std::vector<core::RunOptions> &cells)
 {
     core::ExperimentRunner runner(opts.jobs);
-    return runner.run(cells);
+    runner.setMonitor(sweepMonitor());
+    struct Timed
+    {
+        sim::SimStats stats;
+        double seconds = 0.0;
+    };
+    auto out = runner.map(
+        cells,
+        [](const core::RunOptions &cell) {
+            auto t0 = std::chrono::steady_clock::now();
+            Timed r;
+            r.stats = core::runExperiment(cell);
+            r.seconds = secondsSince(t0);
+            return r;
+        },
+        [](const core::RunOptions &cell, size_t) {
+            return cellLabel(cell);
+        });
+    // Record in input order so the manifest layout is independent of
+    // pool scheduling (the golden test compares it across --jobs).
+    std::vector<sim::SimStats> stats;
+    stats.reserve(cells.size());
+    for (size_t i = 0; i < cells.size(); ++i) {
+        recordRun(cells[i], out[i].stats, out[i].seconds);
+        stats.push_back(std::move(out[i].stats));
+    }
+    return stats;
 }
 
 std::vector<CensusRun>
@@ -176,9 +303,31 @@ runCellsWithCensus(const FigOptions &opts,
                    const std::vector<core::RunOptions> &cells)
 {
     core::ExperimentRunner runner(opts.jobs);
-    return runner.map(cells, [](const core::RunOptions &cell) {
-        return runWithCensus(cell);
-    });
+    runner.setMonitor(sweepMonitor());
+    struct Timed
+    {
+        CensusRun run;
+        double seconds = 0.0;
+    };
+    auto out = runner.map(
+        cells,
+        [](const core::RunOptions &cell) {
+            auto t0 = std::chrono::steady_clock::now();
+            Timed r;
+            r.run = runWithCensus(cell);
+            r.seconds = secondsSince(t0);
+            return r;
+        },
+        [](const core::RunOptions &cell, size_t) {
+            return cellLabel(cell);
+        });
+    std::vector<CensusRun> runs;
+    runs.reserve(cells.size());
+    for (size_t i = 0; i < cells.size(); ++i) {
+        recordRun(cells[i], out[i].run.stats, out[i].seconds);
+        runs.push_back(std::move(out[i].run));
+    }
+    return runs;
 }
 
 std::vector<SpeedupRow>
@@ -188,35 +337,68 @@ computeAllSpeedups(const FigOptions &opts,
     // Coarse-grained: one task per benchmark; each runs its own
     // seven-configuration estimation pipeline serially.
     core::ExperimentRunner runner(opts.jobs);
-    return runner.map(wls, [&opts, smt](const std::string &wl) {
-        return computeSpeedups(opts, wl, smt);
-    });
+    runner.setMonitor(sweepMonitor());
+    struct WlResult
+    {
+        SpeedupRow row;
+        std::vector<obs::CellArtifact> artifacts;
+    };
+    auto out = runner.map(
+        wls,
+        [&opts, smt](const std::string &wl) {
+            WlResult r;
+            r.row = computeSpeedups(opts, wl, smt, &r.artifacts);
+            return r;
+        },
+        [](const std::string &wl, size_t) { return wl; });
+    std::vector<SpeedupRow> rows;
+    rows.reserve(wls.size());
+    for (WlResult &r : out) {
+        for (const obs::CellArtifact &a : r.artifacts)
+            recordRun(a.options, a.stats, a.wallSeconds);
+        rows.push_back(r.row);
+    }
+    return rows;
 }
 
 SpeedupRow
-computeSpeedups(const FigOptions &opts, const std::string &wl, bool smt)
+computeSpeedups(const FigOptions &opts, const std::string &wl, bool smt,
+                std::vector<obs::CellArtifact> *artifacts)
 {
     auto base_opts = [&](core::Design d) {
         return smt ? makeSmtRun(opts, wl, d) : makeRun(opts, wl, d);
     };
 
+    // One pipeline step: run, trace a (nested) span, keep the artifact.
+    auto step = [&](const core::RunOptions &run) {
+        obs::SweepMonitor *monitor = sweepMonitor();
+        if (monitor)
+            monitor->addPlanned(1);
+        obs::SweepMonitor::Scope span(monitor, cellLabel(run));
+        auto t0 = std::chrono::steady_clock::now();
+        sim::SimStats s = core::runExperiment(run);
+        if (artifacts)
+            artifacts->push_back(
+                obs::CellArtifact{run, s, secondsSince(t0)});
+        return s;
+    };
+
     // THP baseline: real timing plus the two perfect-TLB reference
     // points and the THP-disabled calibration point.
-    sim::SimStats thp = core::runExperiment(base_opts(core::Design::Thp));
+    sim::SimStats thp = step(base_opts(core::Design::Thp));
     core::RunOptions perfect = base_opts(core::Design::Thp);
     perfect.timing = sim::TlbTimingMode::PerfectL2;
-    uint64_t c_perfect_l2 = core::runExperiment(perfect).cycles;
+    uint64_t c_perfect_l2 = step(perfect).cycles;
     perfect.timing = sim::TlbTimingMode::PerfectL1;
-    uint64_t c_perfect_l1 = core::runExperiment(perfect).cycles;
-    sim::SimStats off =
-        core::runExperiment(base_opts(core::Design::Base4k));
+    uint64_t c_perfect_l1 = step(perfect).cycles;
+    sim::SimStats off = step(base_opts(core::Design::Base4k));
 
     double savable = sim::savablePwcFraction(
         sim::CounterPoint{off.cycles, off.walkCycles},
         sim::CounterPoint{thp.cycles, thp.walkCycles});
 
     auto estimate = [&](core::Design d, sim::SpeedupResult *full) {
-        sim::SimStats s = core::runExperiment(base_opts(d));
+        sim::SimStats s = step(base_opts(d));
         sim::SpeedupInputs in;
         in.baselineCycles = thp.cycles;
         in.perfectL2Cycles = c_perfect_l2;

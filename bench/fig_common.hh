@@ -14,6 +14,8 @@
 
 #include "core/experiment_runner.hh"
 #include "core/tps_system.hh"
+#include "obs/run_manifest.hh"
+#include "obs/sweep_monitor.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
 
@@ -27,13 +29,38 @@ struct FigOptions
     bool csv = false;          //!< emit CSV instead of aligned text
     unsigned jobs = 0;         //!< worker threads; 0 = hw concurrency
     std::vector<std::string> benchmarks;  //!< default: evaluation suite
+    uint64_t epochs = 0;       //!< epoch-sample interval in accesses
+    std::string statsJson;     //!< write a run manifest here
+    std::string tracePath;     //!< write a Chrome trace here
+    bool progress = false;     //!< live per-cell progress on stderr
 };
 
 /**
  * Parse common flags: --scale=<f>, --phys-gb=<n>, --csv, --jobs=<n>,
- * --benchmarks=a,b,c.  Unknown flags are fatal.
+ * --benchmarks=a,b,c, --epochs=<n>, --stats-json=<path>,
+ * --trace=<path>, --progress.  Unknown flags are fatal.
  */
 FigOptions parseArgs(int argc, char **argv);
+
+/**
+ * Set up bench-wide observability from the parsed options: the sweep
+ * monitor (--trace/--progress) and the --stats-json artifact
+ * collector.  Call once at the top of main, after parseArgs().
+ */
+void initBench(const std::string &name, const FigOptions &opts);
+
+/** The bench-wide sweep monitor; nullptr without --trace/--progress. */
+obs::SweepMonitor *sweepMonitor();
+
+/** Record one completed run for the --stats-json manifest. */
+void recordRun(const core::RunOptions &run, const sim::SimStats &stats,
+               double wallSeconds);
+
+/**
+ * Write the artifacts the command line asked for (--stats-json
+ * manifest, --trace Chrome trace).  Call once at the end of main.
+ */
+void finishBench(const FigOptions &opts);
 
 /** The benchmark list a bench should iterate. */
 const std::vector<std::string> &benchList(const FigOptions &opts);
@@ -98,11 +125,15 @@ struct SpeedupRow
  * the THP-off calibration point), measure each design's miss/walk
  * eliminations, and apply the analytic model.
  *
- * @param smt  Run every configuration with a competing SMT thread
- *             (Figure 14) instead of alone (Figure 13).
+ * @param smt        Run every configuration with a competing SMT
+ *                   thread (Figure 14) instead of alone (Figure 13).
+ * @param artifacts  When non-null, every underlying experiment run is
+ *                   appended here (in a fixed order) for the manifest.
  */
-SpeedupRow computeSpeedups(const FigOptions &opts,
-                           const std::string &wl, bool smt);
+SpeedupRow computeSpeedups(const FigOptions &opts, const std::string &wl,
+                           bool smt,
+                           std::vector<obs::CellArtifact> *artifacts =
+                               nullptr);
 
 /** computeSpeedups for every benchmark in parallel, index-aligned. */
 std::vector<SpeedupRow>

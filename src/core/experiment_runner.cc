@@ -5,8 +5,12 @@ namespace tps::core {
 std::vector<sim::SimStats>
 ExperimentRunner::run(const std::vector<RunOptions> &cells)
 {
-    return map(cells,
-               [](const RunOptions &opts) { return runExperiment(opts); });
+    return map(
+        cells,
+        [](const RunOptions &opts) { return runExperiment(opts); },
+        [](const RunOptions &opts, size_t) {
+            return opts.workload + "/" + designName(opts.design);
+        });
 }
 
 } // namespace tps::core

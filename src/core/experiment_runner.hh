@@ -15,9 +15,11 @@
 #define TPS_CORE_EXPERIMENT_RUNNER_HH
 
 #include <future>
+#include <string>
 #include <vector>
 
 #include "core/tps_system.hh"
+#include "obs/sweep_monitor.hh"
 #include "util/task_pool.hh"
 
 namespace tps::core {
@@ -31,9 +33,18 @@ class ExperimentRunner
     unsigned jobs() const { return pool_.threads(); }
 
     /**
+     * Attach a sweep monitor: every subsequently mapped cell is
+     * wrapped in a trace span (and counts toward progress/ETA).  The
+     * monitor must outlive the runner's sweeps; nullptr detaches.
+     */
+    void setMonitor(obs::SweepMonitor *monitor) { monitor_ = monitor; }
+    obs::SweepMonitor *monitor() const { return monitor_; }
+
+    /**
      * Run every cell through runExperiment() on the pool; the result
      * vector is index-aligned with @p cells.  The first cell failure
-     * (if any) is rethrown in the caller's thread.
+     * (if any) is rethrown in the caller's thread.  Spans are labeled
+     * "workload/design".
      */
     std::vector<sim::SimStats> run(const std::vector<RunOptions> &cells);
 
@@ -41,18 +52,28 @@ class ExperimentRunner
      * Order-preserving parallel map: `out[i] = fn(items[i])`, with the
      * calls distributed over the pool.  @p fn must be safe to invoke
      * concurrently from multiple threads (per-cell state only).
+     * @p labelFn names each item's trace span: label(item, index).
      */
-    template <typename T, typename Fn>
+    template <typename T, typename Fn, typename LabelFn>
     auto
-    map(const std::vector<T> &items, Fn fn)
+    map(const std::vector<T> &items, Fn fn, LabelFn labelFn)
         -> std::vector<std::invoke_result_t<Fn, const T &>>
     {
         using R = std::invoke_result_t<Fn, const T &>;
+        obs::SweepMonitor *monitor = monitor_;
+        if (monitor)
+            monitor->addPlanned(items.size());
         std::vector<std::future<R>> futures;
         futures.reserve(items.size());
-        for (const T &item : items)
-            futures.push_back(
-                pool_.submit([fn, &item] { return fn(item); }));
+        for (size_t i = 0; i < items.size(); ++i) {
+            const T &item = items[i];
+            std::string label = labelFn(item, i);
+            futures.push_back(pool_.submit(
+                [fn, &item, monitor, label = std::move(label)] {
+                    obs::SweepMonitor::Scope span(monitor, label);
+                    return fn(item);
+                }));
+        }
         std::vector<R> out;
         out.reserve(items.size());
         for (auto &f : futures)
@@ -60,8 +81,20 @@ class ExperimentRunner
         return out;
     }
 
+    /** map() with spans labeled "cell <index>". */
+    template <typename T, typename Fn>
+    auto
+    map(const std::vector<T> &items, Fn fn)
+        -> std::vector<std::invoke_result_t<Fn, const T &>>
+    {
+        return map(items, fn, [](const T &, size_t i) {
+            return "cell " + std::to_string(i);
+        });
+    }
+
   private:
     util::TaskPool pool_;
+    obs::SweepMonitor *monitor_ = nullptr;
 };
 
 } // namespace tps::core

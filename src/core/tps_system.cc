@@ -81,17 +81,9 @@ runSeed(const RunOptions &opts)
     return cellSeed(opts.workload, designName(opts.design), opts.scale);
 }
 
-sim::SimStats
-runExperiment(const RunOptions &opts)
+sim::EngineConfig
+makeEngineConfig(const RunOptions &opts)
 {
-    os::PhysMemory pm(opts.physBytes);
-
-    std::optional<os::Fragmenter> fragmenter;
-    if (opts.fragmented) {
-        fragmenter.emplace(pm, opts.fragmenter);
-        fragmenter->run();
-    }
-
     sim::EngineConfig ecfg;
     ecfg.mmu.tlb = designTlbConfig(opts.design);
     ecfg.mmu.walker.virtualized = opts.virtualized;
@@ -103,11 +95,31 @@ runExperiment(const RunOptions &opts)
     ecfg.addressSpace.encoding = opts.encoding;
     ecfg.timing = opts.timing;
     ecfg.maxAccesses = opts.maxAccesses;
+    ecfg.epochAccesses = opts.epochAccesses;
+    // Workload construction is cheap (simulated memory is only mapped
+    // at setup), so resolving the instruction mix here is fine.
+    ecfg.cycle.instsPerAccess =
+        workloads::makeWorkload(opts.workload, opts.scale, runSeed(opts))
+            ->info()
+            .instsPerAccess;
+    return ecfg;
+}
 
+sim::SimStats
+runExperiment(const RunOptions &opts)
+{
+    os::PhysMemory pm(opts.physBytes);
+
+    std::optional<os::Fragmenter> fragmenter;
+    if (opts.fragmented) {
+        fragmenter.emplace(pm, opts.fragmenter);
+        fragmenter->run();
+    }
+
+    sim::EngineConfig ecfg = makeEngineConfig(opts);
     uint64_t seed = runSeed(opts);
     auto primary =
         workloads::makeWorkload(opts.workload, opts.scale, seed);
-    ecfg.cycle.instsPerAccess = primary->info().instsPerAccess;
 
     sim::Engine engine(pm, makePolicy(opts.design, opts.tpsThreshold),
                        ecfg);

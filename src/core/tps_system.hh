@@ -61,6 +61,7 @@ struct RunOptions
     vm::AliasMode aliasMode = vm::AliasMode::Pointer;
     vm::SizeEncoding encoding = vm::SizeEncoding::Napot;
     uint64_t maxAccesses = ~0ull;
+    uint64_t epochAccesses = 0;    //!< epoch-sample interval (0 = off)
 };
 
 /**
@@ -69,6 +70,13 @@ struct RunOptions
  * reproducible stream regardless of run order or thread placement.
  */
 uint64_t runSeed(const RunOptions &opts);
+
+/**
+ * The exact EngineConfig runExperiment() assembles for @p opts,
+ * including the workload-specific instruction mix -- exposed so run
+ * manifests can record the hardware configuration a cell used.
+ */
+sim::EngineConfig makeEngineConfig(const RunOptions &opts);
 
 /**
  * Run one experiment configuration end to end.  Deterministic: the same

@@ -1,0 +1,277 @@
+#include "obs/json.hh"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "util/logging.hh"
+
+namespace tps::obs {
+
+Json
+Json::array()
+{
+    Json j;
+    j.kind_ = Kind::Array;
+    return j;
+}
+
+Json
+Json::object()
+{
+    Json j;
+    j.kind_ = Kind::Object;
+    return j;
+}
+
+Json &
+Json::operator[](const std::string &key)
+{
+    if (kind_ == Kind::Null)
+        kind_ = Kind::Object;
+    tps_assert(kind_ == Kind::Object);
+    for (auto &kv : obj_)
+        if (kv.first == key)
+            return kv.second;
+    obj_.emplace_back(key, Json());
+    return obj_.back().second;
+}
+
+const Json *
+Json::find(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    for (const auto &kv : obj_)
+        if (kv.first == key)
+            return &kv.second;
+    return nullptr;
+}
+
+const Json &
+Json::at(const std::string &key) const
+{
+    const Json *v = find(key);
+    if (!v)
+        tps_panic("json: no member '%s'", key.c_str());
+    return *v;
+}
+
+const Json &
+Json::at(size_t index) const
+{
+    tps_assert(kind_ == Kind::Array && index < arr_.size());
+    return arr_[index];
+}
+
+void
+Json::push(Json v)
+{
+    if (kind_ == Kind::Null)
+        kind_ = Kind::Array;
+    tps_assert(kind_ == Kind::Array);
+    arr_.push_back(std::move(v));
+}
+
+size_t
+Json::size() const
+{
+    if (kind_ == Kind::Array)
+        return arr_.size();
+    if (kind_ == Kind::Object)
+        return obj_.size();
+    return 0;
+}
+
+bool
+Json::asBool() const
+{
+    tps_assert(kind_ == Kind::Bool);
+    return bool_;
+}
+
+uint64_t
+Json::asUInt() const
+{
+    if (kind_ == Kind::Int) {
+        tps_assert(int_ >= 0);
+        return static_cast<uint64_t>(int_);
+    }
+    tps_assert(kind_ == Kind::UInt);
+    return uint_;
+}
+
+int64_t
+Json::asInt() const
+{
+    if (kind_ == Kind::UInt) {
+        tps_assert(uint_ <= static_cast<uint64_t>(INT64_MAX));
+        return static_cast<int64_t>(uint_);
+    }
+    tps_assert(kind_ == Kind::Int);
+    return int_;
+}
+
+double
+Json::asDouble() const
+{
+    switch (kind_) {
+      case Kind::UInt:
+        return static_cast<double>(uint_);
+      case Kind::Int:
+        return static_cast<double>(int_);
+      case Kind::Double:
+        return double_;
+      default:
+        tps_panic("json: not a number");
+    }
+}
+
+const std::string &
+Json::asString() const
+{
+    tps_assert(kind_ == Kind::String);
+    return str_;
+}
+
+const std::vector<std::pair<std::string, Json>> &
+Json::members() const
+{
+    tps_assert(kind_ == Kind::Object);
+    return obj_;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out.push_back(static_cast<char>(c));
+            }
+        }
+    }
+    return out;
+}
+
+namespace {
+
+/** Shortest round-trip double representation (deterministic). */
+void
+appendDouble(std::string &out, double v)
+{
+    if (!std::isfinite(v)) {
+        out += "null";
+        return;
+    }
+    char buf[64];
+    auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    out.append(buf, res.ptr);
+}
+
+} // namespace
+
+void
+Json::dumpTo(std::string &out, int indent, int depth) const
+{
+    auto newline = [&](int d) {
+        if (indent < 0)
+            return;
+        out.push_back('\n');
+        out.append(static_cast<size_t>(indent) * d, ' ');
+    };
+
+    switch (kind_) {
+      case Kind::Null:
+        out += "null";
+        break;
+      case Kind::Bool:
+        out += bool_ ? "true" : "false";
+        break;
+      case Kind::UInt:
+        out += std::to_string(uint_);
+        break;
+      case Kind::Int:
+        out += std::to_string(int_);
+        break;
+      case Kind::Double:
+        appendDouble(out, double_);
+        break;
+      case Kind::String:
+        out.push_back('"');
+        out += jsonEscape(str_);
+        out.push_back('"');
+        break;
+      case Kind::Array:
+        out.push_back('[');
+        for (size_t i = 0; i < arr_.size(); ++i) {
+            if (i)
+                out.push_back(',');
+            newline(depth + 1);
+            arr_[i].dumpTo(out, indent, depth + 1);
+        }
+        if (!arr_.empty())
+            newline(depth);
+        out.push_back(']');
+        break;
+      case Kind::Object:
+        out.push_back('{');
+        for (size_t i = 0; i < obj_.size(); ++i) {
+            if (i)
+                out.push_back(',');
+            newline(depth + 1);
+            out.push_back('"');
+            out += jsonEscape(obj_[i].first);
+            out += indent < 0 ? "\":" : "\": ";
+            obj_[i].second.dumpTo(out, indent, depth + 1);
+        }
+        if (!obj_.empty())
+            newline(depth);
+        out.push_back('}');
+        break;
+    }
+}
+
+std::string
+Json::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+void
+writeJsonFile(const std::string &path, const Json &value)
+{
+    std::ofstream os(path);
+    if (!os)
+        tps_fatal("cannot open '%s' for writing", path.c_str());
+    os << value.dump(2) << "\n";
+    if (!os)
+        tps_fatal("write to '%s' failed", path.c_str());
+}
+
+} // namespace tps::obs

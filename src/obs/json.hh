@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Minimal deterministic JSON document model for run artifacts.
+ *
+ * Values are built in memory (objects preserve insertion order, so a
+ * manifest's layout is fixed by the code that builds it, never by hash
+ * ordering) and serialized with dump().  Serialization is bit-stable:
+ * the same value tree always produces the same bytes -- doubles use the
+ * shortest round-trip representation (std::to_chars), non-finite
+ * doubles become null -- which is what lets golden tests compare whole
+ * manifests byte for byte.
+ */
+
+#ifndef TPS_OBS_JSON_HH
+#define TPS_OBS_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tps::obs {
+
+/** One JSON value (null, bool, integer, double, string, array, object). */
+class Json
+{
+  public:
+    enum class Kind
+    {
+        Null,
+        Bool,
+        UInt,
+        Int,
+        Double,
+        String,
+        Array,
+        Object,
+    };
+
+    Json() : kind_(Kind::Null) {}
+    Json(bool v) : kind_(Kind::Bool), bool_(v) {}
+    Json(uint64_t v) : kind_(Kind::UInt), uint_(v) {}
+    Json(int64_t v) : kind_(Kind::Int), int_(v) {}
+    Json(int v) : kind_(Kind::Int), int_(v) {}
+    Json(unsigned v) : kind_(Kind::UInt), uint_(v) {}
+    Json(double v) : kind_(Kind::Double), double_(v) {}
+    Json(std::string v) : kind_(Kind::String), str_(std::move(v)) {}
+    Json(const char *v) : kind_(Kind::String), str_(v) {}
+
+    /** An empty array value. */
+    static Json array();
+
+    /** An empty object value. */
+    static Json object();
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+
+    /**
+     * Object member access: returns the member named @p key, inserting
+     * a null member (at the end, preserving insertion order) if absent.
+     * A default-constructed null value becomes an object on first use.
+     */
+    Json &operator[](const std::string &key);
+
+    /** Member lookup without insertion; nullptr when absent. */
+    const Json *find(const std::string &key) const;
+
+    /** Member access; panics when absent (use find() to probe). */
+    const Json &at(const std::string &key) const;
+
+    /** Array element access; panics when out of range. */
+    const Json &at(size_t index) const;
+
+    /** Append @p v to an array (null values become arrays on first push). */
+    void push(Json v);
+
+    /** Array/object element count (0 for scalars). */
+    size_t size() const;
+
+    bool asBool() const;
+    uint64_t asUInt() const;
+    int64_t asInt() const;
+    /** Numeric value as double (UInt/Int/Double kinds). */
+    double asDouble() const;
+    const std::string &asString() const;
+
+    /** Object members in insertion order. */
+    const std::vector<std::pair<std::string, Json>> &members() const;
+
+    /**
+     * Serialize.  @p indent < 0 emits the compact single-line form;
+     * @p indent >= 0 pretty-prints with that many spaces per level.
+     */
+    std::string dump(int indent = -1) const;
+
+  private:
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Kind kind_;
+    bool bool_ = false;
+    uint64_t uint_ = 0;
+    int64_t int_ = 0;
+    double double_ = 0.0;
+    std::string str_;
+    std::vector<Json> arr_;
+    std::vector<std::pair<std::string, Json>> obj_;
+};
+
+/** Escape @p s per JSON string rules (quotes not included). */
+std::string jsonEscape(const std::string &s);
+
+/** Write @p value to @p path (pretty-printed, trailing newline). */
+void writeJsonFile(const std::string &path, const Json &value);
+
+} // namespace tps::obs
+
+#endif // TPS_OBS_JSON_HH

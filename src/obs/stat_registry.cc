@@ -1,0 +1,243 @@
+#include "obs/stat_registry.hh"
+
+#include <cmath>
+#include <iomanip>
+
+#include "util/logging.hh"
+
+namespace tps::obs {
+
+namespace {
+
+/** Dotted path validity: non-empty segments of printable non-space. */
+bool
+validName(const std::string &name)
+{
+    if (name.empty() || name.front() == '.' || name.back() == '.')
+        return false;
+    bool prev_dot = false;
+    for (char c : name) {
+        if (c == '.') {
+            if (prev_dot)
+                return false;
+            prev_dot = true;
+        } else if (c <= ' ' || c > '~') {
+            return false;
+        } else {
+            prev_dot = false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+void
+StatRegistry::insert(const std::string &name, Stat stat)
+{
+    if (!validName(name))
+        tps_panic("stat name '%s' is not a valid dotted path",
+                  name.c_str());
+    auto [it, inserted] = stats_.emplace(name, std::move(stat));
+    if (!inserted)
+        tps_panic("stat '%s' registered twice", name.c_str());
+}
+
+void
+StatRegistry::addCounter(const std::string &name, CounterProbe probe,
+                         std::string desc)
+{
+    tps_assert(probe != nullptr);
+    Stat s;
+    s.kind = Kind::Counter;
+    s.counter = std::move(probe);
+    s.desc = std::move(desc);
+    insert(name, std::move(s));
+}
+
+void
+StatRegistry::addCounter(const std::string &name, const uint64_t *field,
+                         std::string desc)
+{
+    tps_assert(field != nullptr);
+    addCounter(name, [field] { return *field; }, std::move(desc));
+}
+
+void
+StatRegistry::addScalar(const std::string &name, ScalarProbe probe,
+                        std::string desc)
+{
+    tps_assert(probe != nullptr);
+    Stat s;
+    s.kind = Kind::Scalar;
+    s.scalar = std::move(probe);
+    s.desc = std::move(desc);
+    insert(name, std::move(s));
+}
+
+void
+StatRegistry::addSummary(const std::string &name, const Summary *summary,
+                         std::string desc)
+{
+    tps_assert(summary != nullptr);
+    Stat s;
+    s.kind = Kind::SummaryStat;
+    s.summary = summary;
+    s.desc = std::move(desc);
+    insert(name, std::move(s));
+}
+
+void
+StatRegistry::addHistogram(const std::string &name,
+                           const Histogram *histogram, std::string desc)
+{
+    tps_assert(histogram != nullptr);
+    Stat s;
+    s.kind = Kind::HistogramStat;
+    s.histogram = histogram;
+    s.desc = std::move(desc);
+    insert(name, std::move(s));
+}
+
+bool
+StatRegistry::has(const std::string &name) const
+{
+    return stats_.count(name) != 0;
+}
+
+std::vector<std::string>
+StatRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(stats_.size());
+    for (const auto &kv : stats_)
+        out.push_back(kv.first);
+    return out;
+}
+
+uint64_t
+StatRegistry::counter(const std::string &name) const
+{
+    auto it = stats_.find(name);
+    if (it == stats_.end() || it->second.kind != Kind::Counter)
+        tps_panic("no counter stat '%s'", name.c_str());
+    return it->second.counter();
+}
+
+double
+StatRegistry::scalar(const std::string &name) const
+{
+    auto it = stats_.find(name);
+    if (it == stats_.end() || it->second.kind != Kind::Scalar)
+        tps_panic("no scalar stat '%s'", name.c_str());
+    return it->second.scalar();
+}
+
+void
+StatRegistry::printText(std::ostream &os) const
+{
+    auto line = [&](const std::string &name, const std::string &value,
+                    const std::string &desc) {
+        os << std::left << std::setw(44) << name << " " << std::right
+           << std::setw(16) << value;
+        if (!desc.empty())
+            os << "  # " << desc;
+        os << "\n";
+    };
+    auto fmt = [](double v) {
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), "%.6g", v);
+        return std::string(buf);
+    };
+
+    for (const auto &[name, stat] : stats_) {
+        switch (stat.kind) {
+          case Kind::Counter:
+            line(name, std::to_string(stat.counter()), stat.desc);
+            break;
+          case Kind::Scalar:
+            line(name, fmt(stat.scalar()), stat.desc);
+            break;
+          case Kind::SummaryStat: {
+            const Summary &s = *stat.summary;
+            line(name + ".count", std::to_string(s.count()), stat.desc);
+            line(name + ".mean", fmt(s.mean()), {});
+            line(name + ".stddev", fmt(s.stddev()), {});
+            if (!s.empty()) {
+                line(name + ".min", fmt(s.min()), {});
+                line(name + ".max", fmt(s.max()), {});
+            }
+            break;
+          }
+          case Kind::HistogramStat: {
+            const Histogram &h = *stat.histogram;
+            line(name + ".total", std::to_string(h.total()), stat.desc);
+            for (const auto &[key, count] : h.buckets())
+                line(name + "." + std::to_string(key),
+                     std::to_string(count), {});
+            break;
+          }
+        }
+    }
+}
+
+Json
+StatRegistry::statJson(const Stat &stat)
+{
+    switch (stat.kind) {
+      case Kind::Counter:
+        return Json(stat.counter());
+      case Kind::Scalar:
+        return Json(stat.scalar());
+      case Kind::SummaryStat: {
+        const Summary &s = *stat.summary;
+        Json j = Json::object();
+        j["count"] = Json(s.count());
+        j["mean"] = Json(s.mean());
+        j["stddev"] = Json(s.stddev());
+        if (!s.empty()) {
+            j["min"] = Json(s.min());
+            j["max"] = Json(s.max());
+        }
+        return j;
+      }
+      case Kind::HistogramStat: {
+        const Histogram &h = *stat.histogram;
+        Json j = Json::object();
+        j["total"] = Json(h.total());
+        if (h.total() > 0) {
+            j["p50"] = Json(h.p50());
+            j["p95"] = Json(h.p95());
+            j["p99"] = Json(h.p99());
+        }
+        Json buckets = Json::object();
+        for (const auto &[key, count] : h.buckets())
+            buckets[std::to_string(key)] = Json(count);
+        j["buckets"] = std::move(buckets);
+        return j;
+      }
+    }
+    return Json();
+}
+
+Json
+StatRegistry::toJson() const
+{
+    Json root = Json::object();
+    for (const auto &[name, stat] : stats_) {
+        Json *node = &root;
+        size_t pos = 0;
+        for (;;) {
+            size_t dot = name.find('.', pos);
+            if (dot == std::string::npos) {
+                (*node)[name.substr(pos)] = statJson(stat);
+                break;
+            }
+            node = &(*node)[name.substr(pos, dot - pos)];
+            pos = dot + 1;
+        }
+    }
+    return root;
+}
+
+} // namespace tps::obs

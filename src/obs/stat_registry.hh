@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Hierarchical named-statistic registry (the gem5 stats idea, scaled to
+ * this library): hardware and OS modules register probes onto their own
+ * live counters under dotted names ("mmu.l1.misses",
+ * "os.work.faultCycles", ...), and the registry renders the whole tree
+ * as gem5-style text or as nested JSON.
+ *
+ * The registry never owns or copies counter state -- every stat is a
+ * probe (callback or pointer) evaluated at dump time -- so a value read
+ * through the registry is bit-identical to the module's own field, by
+ * construction.  tests/obs_test.cc asserts this against SimStats.
+ */
+
+#ifndef TPS_OBS_STAT_REGISTRY_HH
+#define TPS_OBS_STAT_REGISTRY_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hh"
+#include "util/stats.hh"
+
+namespace tps::obs {
+
+/** The registry. */
+class StatRegistry
+{
+  public:
+    /** Probe returning an integer counter value. */
+    using CounterProbe = std::function<uint64_t()>;
+
+    /** Probe returning a derived floating-point value. */
+    using ScalarProbe = std::function<double()>;
+
+    /**
+     * Register an integer counter under @p name (dotted path; each
+     * segment non-empty).  Duplicate names are a library bug.
+     */
+    void addCounter(const std::string &name, CounterProbe probe,
+                    std::string desc = {});
+
+    /** Convenience: counter probe reading @p *field directly. */
+    void addCounter(const std::string &name, const uint64_t *field,
+                    std::string desc = {});
+
+    /** Register a derived floating-point stat. */
+    void addScalar(const std::string &name, ScalarProbe probe,
+                   std::string desc = {});
+
+    /** Register a Summary (count/mean/min/max/stddev at dump time). */
+    void addSummary(const std::string &name, const Summary *summary,
+                    std::string desc = {});
+
+    /** Register a Histogram (buckets + total + p50/p95/p99). */
+    void addHistogram(const std::string &name, const Histogram *histogram,
+                      std::string desc = {});
+
+    bool has(const std::string &name) const;
+    size_t size() const { return stats_.size(); }
+
+    /** All registered names in sorted order. */
+    std::vector<std::string> names() const;
+
+    /** Evaluate a counter; panics if absent or not a counter. */
+    uint64_t counter(const std::string &name) const;
+
+    /** Evaluate a scalar; panics if absent or not a scalar. */
+    double scalar(const std::string &name) const;
+
+    /**
+     * gem5-style text dump: one sorted `name  value  # desc` line per
+     * stat (summaries and histograms expand to several lines).
+     */
+    void printText(std::ostream &os) const;
+
+    /**
+     * The whole tree as nested JSON: "a.b.c" becomes {"a":{"b":{"c":
+     * value}}}, keys sorted, so output is deterministic.
+     */
+    Json toJson() const;
+
+  private:
+    enum class Kind
+    {
+        Counter,
+        Scalar,
+        SummaryStat,
+        HistogramStat,
+    };
+
+    struct Stat
+    {
+        Kind kind = Kind::Counter;
+        CounterProbe counter;
+        ScalarProbe scalar;
+        const Summary *summary = nullptr;
+        const Histogram *histogram = nullptr;
+        std::string desc;
+    };
+
+    void insert(const std::string &name, Stat stat);
+
+    /** Leaf JSON value for one stat. */
+    static Json statJson(const Stat &stat);
+
+    //! Sorted by name: deterministic text and JSON output.
+    std::map<std::string, Stat> stats_;
+};
+
+} // namespace tps::obs
+
+#endif // TPS_OBS_STAT_REGISTRY_HH

@@ -1,0 +1,194 @@
+#include "obs/stats_bindings.hh"
+
+#include "obs/stat_registry.hh"
+
+namespace tps::obs {
+
+void
+bindEngineStats(StatRegistry &reg, const std::string &prefix,
+                const sim::SimStats *s)
+{
+    const std::string p = prefix + ".";
+    reg.addCounter(p + "accesses", &s->accesses,
+                   "measured primary-thread accesses");
+    reg.addCounter(p + "instructions", &s->instructions,
+                   "measured primary-thread instructions");
+    reg.addCounter(p + "cycles", &s->cycles, "total execution cycles");
+    reg.addCounter(p + "l1TlbMisses", &s->l1TlbMisses,
+                   "L1 DTLB misses (primary thread)");
+    reg.addCounter(p + "l2TlbHits", &s->l2TlbHits,
+                   "L1 misses that hit the L2 TLB");
+    reg.addCounter(p + "walks", &s->tlbMisses,
+                   "full TLB misses (page walks)");
+    reg.addCounter(p + "walkMemRefs", &s->walkMemRefs,
+                   "page-walk memory references");
+    reg.addCounter(p + "walkCycles", &s->walkCycles,
+                   "walker-active cycles");
+    reg.addCounter(p + "stlbPenaltyCycles", &s->stlbPenaltyCycles,
+                   "L1-miss/L2-hit penalty cycles");
+    reg.addCounter(p + "faults", &s->faults, "demand faults serviced");
+    reg.addCounter(p + "mmapCalls", &s->mmapCalls, "mmap syscalls");
+    reg.addCounter(p + "munmapCalls", &s->munmapCalls,
+                   "munmap syscalls");
+    reg.addCounter(p + "warmup.accesses", &s->warmup.accesses,
+                   "init-phase accesses before the stats reset");
+    reg.addCounter(p + "warmup.cycles", &s->warmup.cycles,
+                   "init-phase cycles");
+    reg.addCounter(p + "warmup.osCycles", &s->warmup.osCycles,
+                   "OS cycles charged during init");
+    reg.addCounter(p + "warmup.faults", &s->warmup.faults,
+                   "init-phase faults");
+    reg.addScalar(p + "mpki", [s] { return s->mpki(); },
+                  "L1 DTLB misses per kilo-instruction");
+    reg.addScalar(p + "walkCycleFraction",
+                  [s] { return s->walkCycleFraction(); },
+                  "fraction of cycles the walker was active");
+    reg.addScalar(p + "systemTimeFraction",
+                  [s] { return s->systemTimeFraction(); },
+                  "fraction of measured time in OS work");
+}
+
+void
+bindMmuStats(StatRegistry &reg, const std::string &prefix,
+             const sim::MmuStats *s)
+{
+    const std::string p = prefix + ".";
+    reg.addCounter(p + "accesses", &s->accesses,
+                   "translations requested (all threads)");
+    reg.addCounter(p + "l1.hits", &s->l1Hits, "L1 TLB hits");
+    reg.addCounter(p + "l1.misses", &s->l1Misses, "L1 DTLB misses");
+    reg.addCounter(p + "l2.hits", &s->l2Hits, "L2 TLB hits");
+    reg.addCounter(p + "walks", &s->walks, "hardware page walks");
+    reg.addCounter(p + "walk.memRefs", &s->walkMemRefs,
+                   "page-walk memory references");
+    reg.addCounter(p + "walk.faultMemRefs", &s->faultWalkMemRefs,
+                   "walk references spent discovering faults");
+    reg.addCounter(p + "walk.cycles", &s->walkCycles,
+                   "latency of walk references");
+    reg.addCounter(p + "walk.nestedRefs", &s->nestedWalkRefs,
+                   "extra references of two-dimensional walks");
+    reg.addCounter(p + "stlb.penaltyCycles", &s->stlbPenaltyCycles,
+                   "L1-miss/L2-hit penalty cycles");
+    reg.addCounter(p + "faults", &s->faults, "demand faults");
+    reg.addCounter(p + "writeProtFaults", &s->writeProtFaults,
+                   "write-protection (CoW) faults");
+    reg.addCounter(p + "ad.pteWrites", &s->adPteWrites,
+                   "A/D PTE update stores");
+    reg.addCounter(p + "ad.vectorStores", &s->adVectorStores,
+                   "fine-grained A/D bit-vector stores");
+}
+
+void
+bindWalkerStats(StatRegistry &reg, const std::string &prefix,
+                const vm::WalkerStats *s)
+{
+    const std::string p = prefix + ".";
+    reg.addCounter(p + "walks", &s->walks, "page walks performed");
+    reg.addCounter(p + "faults", &s->faults,
+                   "walks that found no translation");
+    reg.addCounter(p + "accesses", &s->accesses,
+                   "guest-dimension memory references");
+    reg.addCounter(p + "aliasExtra", &s->aliasExtra,
+                   "alias-PTE re-read references");
+    reg.addCounter(p + "nestedAccesses", &s->nestedAccesses,
+                   "nested-dimension references (virtualized)");
+    reg.addCounter(p + "nestedTlb.hits", &s->nestedTlbHits,
+                   "nested-translation cache hits");
+    reg.addCounter(p + "nestedTlb.misses", &s->nestedTlbMisses,
+                   "nested-translation cache misses");
+}
+
+void
+bindMemSysStats(StatRegistry &reg, const std::string &prefix,
+                const sim::MemSysStats *s)
+{
+    const std::string p = prefix + ".";
+    reg.addCounter(p + "accesses", &s->accesses,
+                   "cache-hierarchy accesses");
+    reg.addCounter(p + "l1Hits", &s->l1Hits, "L1D hits");
+    reg.addCounter(p + "llcHits", &s->llcHits, "LLC hits");
+    reg.addCounter(p + "dramAccesses", &s->dramAccesses,
+                   "DRAM accesses");
+}
+
+void
+bindTlbStats(StatRegistry &reg, const std::string &prefix,
+             const tlb::TlbHierarchyStats *s)
+{
+    const std::string p = prefix + ".";
+    reg.addCounter(p + "accesses", &s->accesses, "hierarchy lookups");
+    reg.addCounter(p + "l1Hits", &s->l1Hits, "L1 hits");
+    reg.addCounter(p + "l1Misses", &s->l1Misses, "L1 misses");
+    reg.addCounter(p + "l2Hits", &s->l2Hits,
+                   "STLB or range-TLB hits");
+    reg.addCounter(p + "rangeHits", &s->rangeHits,
+                   "range-TLB subset of L2 hits");
+    reg.addCounter(p + "misses", &s->misses,
+                   "full misses (walk required)");
+}
+
+void
+bindOsWork(StatRegistry &reg, const std::string &prefix,
+           const os::OsWork *s)
+{
+    const std::string p = prefix + ".";
+    reg.addCounter(p + "faultCycles", &s->faultCycles,
+                   "fault-entry cycles");
+    reg.addCounter(p + "allocCycles", &s->allocCycles,
+                   "allocator cycles");
+    reg.addCounter(p + "pteCycles", &s->pteCycles,
+                   "PTE update cycles");
+    reg.addCounter(p + "zeroCycles", &s->zeroCycles,
+                   "page-zeroing cycles");
+    reg.addCounter(p + "shootdownCycles", &s->shootdownCycles,
+                   "TLB shootdown cycles");
+    reg.addCounter(p + "totalCycles", [s] { return s->totalCycles(); },
+                   "all OS cycles");
+    reg.addCounter(p + "faults", &s->faults, "faults handled");
+    reg.addCounter(p + "promotions", &s->promotions,
+                   "page promotions");
+    reg.addCounter(p + "reservationsCreated", &s->reservationsCreated,
+                   "reservations created");
+    reg.addCounter(p + "reservationsMissed", &s->reservationsMissed,
+                   "reservations degraded to smaller blocks");
+}
+
+void
+bindSimStats(StatRegistry &reg, const sim::SimStats *s)
+{
+    bindEngineStats(reg, "engine", s);
+    bindMmuStats(reg, "mmu", &s->mmu);
+    bindWalkerStats(reg, "mmu.walker", &s->walker);
+    bindMemSysStats(reg, "memsys", &s->memsys);
+    bindOsWork(reg, "os.work", &s->osWork);
+}
+
+Json
+epochsJson(const sim::SimStats &s)
+{
+    if (s.epochInterval == 0)
+        return Json();
+    Json series = Json::array();
+    for (const sim::EpochSample &e : s.epochs) {
+        Json rec = Json::object();
+        rec["accesses"] = Json(e.accesses);
+        rec["instructions"] = Json(e.instructions);
+        rec["cycles"] = Json(e.cycles);
+        rec["l1TlbMisses"] = Json(e.l1TlbMisses);
+        rec["l2TlbHits"] = Json(e.l2TlbHits);
+        rec["walks"] = Json(e.walks);
+        rec["walkMemRefs"] = Json(e.walkMemRefs);
+        rec["walkCycles"] = Json(e.walkCycles);
+        rec["faults"] = Json(e.faults);
+        rec["osCycles"] = Json(e.osCycles);
+        rec["mpki"] = Json(e.mpki());
+        rec["walkCycleFraction"] = Json(e.walkCycleFraction());
+        series.push(std::move(rec));
+    }
+    Json j = Json::object();
+    j["interval"] = Json(s.epochInterval);
+    j["samples"] = std::move(series);
+    return j;
+}
+
+} // namespace tps::obs

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The one place stat names are defined: binding helpers that register a
+ * stats struct's fields into a StatRegistry under a dotted prefix.
+ *
+ * Both registration paths go through these functions -- the live path
+ * (each module's registerStats() binds probes onto its own counters)
+ * and the snapshot path (bindSimStats() binds a returned SimStats for
+ * export) -- so a name can never mean different fields in the two
+ * views, and registry-backed totals are bit-identical to the legacy
+ * struct fields by construction.
+ */
+
+#ifndef TPS_OBS_STATS_BINDINGS_HH
+#define TPS_OBS_STATS_BINDINGS_HH
+
+#include <string>
+
+#include "obs/json.hh"
+#include "sim/engine.hh"
+
+namespace tps::obs {
+
+class StatRegistry;
+
+/** Engine-level counters (primary thread, warmup, derived rates). */
+void bindEngineStats(StatRegistry &reg, const std::string &prefix,
+                     const sim::SimStats *s);
+
+/** MMU front-end counters. */
+void bindMmuStats(StatRegistry &reg, const std::string &prefix,
+                  const sim::MmuStats *s);
+
+/** Hardware page-walker counters. */
+void bindWalkerStats(StatRegistry &reg, const std::string &prefix,
+                     const vm::WalkerStats *s);
+
+/** Cache/DRAM latency-model counters. */
+void bindMemSysStats(StatRegistry &reg, const std::string &prefix,
+                     const sim::MemSysStats *s);
+
+/** TLB-hierarchy counters. */
+void bindTlbStats(StatRegistry &reg, const std::string &prefix,
+                  const tlb::TlbHierarchyStats *s);
+
+/** OS work-accounting counters. */
+void bindOsWork(StatRegistry &reg, const std::string &prefix,
+                const os::OsWork *s);
+
+/**
+ * Bind a whole SimStats snapshot: engine.*, mmu.* (including
+ * mmu.walker.*), memsys.* and os.work.* -- the same names the live
+ * modules register, minus live-only structures (mmu.tlb.*, cycle.*).
+ */
+void bindSimStats(StatRegistry &reg, const sim::SimStats *s);
+
+/**
+ * The per-epoch time series of @p s as JSON: interval plus one record
+ * per epoch with the delta counters and per-epoch MPKI.  Null when
+ * epoch sampling was off.
+ */
+Json epochsJson(const sim::SimStats &s);
+
+} // namespace tps::obs
+
+#endif // TPS_OBS_STATS_BINDINGS_HH

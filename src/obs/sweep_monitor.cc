@@ -1,0 +1,170 @@
+#include "obs/sweep_monitor.hh"
+
+#include <unistd.h>
+
+#include <cstdio>
+
+#include "util/logging.hh"
+#include "util/task_pool.hh"
+
+namespace tps::obs {
+
+namespace {
+
+/** "3.2s" / "2m06s" rendering for progress lines. */
+std::string
+fmtSeconds(double s)
+{
+    char buf[32];
+    if (s < 60.0) {
+        std::snprintf(buf, sizeof(buf), "%.1fs", s);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%dm%02ds", int(s) / 60,
+                      int(s) % 60);
+    }
+    return buf;
+}
+
+} // namespace
+
+SweepMonitor::SweepMonitor() : SweepMonitor(Config{}) {}
+
+SweepMonitor::SweepMonitor(Config cfg)
+    : cfg_(std::move(cfg)), start_(std::chrono::steady_clock::now())
+{
+}
+
+uint64_t
+SweepMonitor::nowUs() const
+{
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+}
+
+void
+SweepMonitor::addPlanned(size_t cells)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    planned_ += cells;
+}
+
+uint64_t
+SweepMonitor::begin(const std::string &label)
+{
+    uint64_t start = nowUs();
+    std::lock_guard<std::mutex> lock(mu_);
+    Span span;
+    span.label = label;
+    span.worker = util::TaskPool::currentWorkerIndex();
+    span.startUs = start;
+    spans_.push_back(std::move(span));
+    return spans_.size() - 1;
+}
+
+void
+SweepMonitor::end(uint64_t id)
+{
+    uint64_t now = nowUs();
+    std::lock_guard<std::mutex> lock(mu_);
+    tps_assert(id < spans_.size() && !spans_[id].done);
+    spans_[id].endUs = now;
+    spans_[id].done = true;
+    ++done_;
+    if (cfg_.progress)
+        printProgress(spans_[id]);
+}
+
+size_t
+SweepMonitor::planned() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return planned_;
+}
+
+size_t
+SweepMonitor::completed() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return done_;
+}
+
+void
+SweepMonitor::printProgress(const Span &last) const
+{
+    // Called with mu_ held.
+    size_t total = planned_ > done_ ? planned_ : done_;
+    double elapsed = double(nowUs()) / 1e6;
+    // Throughput-based ETA: cells finish concurrently, so per-span
+    // means would be pessimistic by the pool width.
+    double eta = done_ > 0 ? elapsed * double(total - done_) / double(done_)
+                           : 0.0;
+    double lastSec = double(last.endUs - last.startUs) / 1e6;
+    bool tty = isatty(fileno(stderr));
+    std::fprintf(stderr, "%s[%s] %zu/%zu cells  elapsed %s  eta %s  "
+                         "(last: %s %s)%s",
+                 tty ? "\r\033[K" : "", cfg_.bench.c_str(), done_, total,
+                 fmtSeconds(elapsed).c_str(), fmtSeconds(eta).c_str(),
+                 last.label.c_str(), fmtSeconds(lastSec).c_str(),
+                 tty ? (done_ >= total ? "\n" : "") : "\n");
+    std::fflush(stderr);
+}
+
+Json
+SweepMonitor::traceJson() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    Json root = Json::object();
+    root["displayTimeUnit"] = std::string("ms");
+    Json events = Json::array();
+
+    Json process = Json::object();
+    process["name"] = std::string("process_name");
+    process["ph"] = std::string("M");
+    process["pid"] = uint64_t(1);
+    process["tid"] = uint64_t(0);
+    process["args"]["name"] =
+        cfg_.bench.empty() ? std::string("sweep") : cfg_.bench;
+    events.push(std::move(process));
+
+    // One thread_name row per tid seen: tid 0 is the calling thread,
+    // tid w+1 is pool worker w.
+    int maxWorker = -1;
+    for (const Span &span : spans_)
+        if (span.worker > maxWorker)
+            maxWorker = span.worker;
+    for (int tid = 0; tid <= maxWorker + 1; ++tid) {
+        Json meta = Json::object();
+        meta["name"] = std::string("thread_name");
+        meta["ph"] = std::string("M");
+        meta["pid"] = uint64_t(1);
+        meta["tid"] = uint64_t(tid);
+        meta["args"]["name"] =
+            tid == 0 ? std::string("caller")
+                     : "worker " + std::to_string(tid - 1);
+        events.push(std::move(meta));
+    }
+
+    for (const Span &span : spans_) {
+        if (!span.done)
+            continue;
+        Json ev = Json::object();
+        ev["name"] = span.label;
+        ev["ph"] = std::string("X");
+        ev["pid"] = uint64_t(1);
+        ev["tid"] = uint64_t(span.worker + 1);
+        ev["ts"] = span.startUs;
+        ev["dur"] = span.endUs - span.startUs;
+        events.push(std::move(ev));
+    }
+    root["traceEvents"] = std::move(events);
+    return root;
+}
+
+void
+SweepMonitor::writeTrace(const std::string &path) const
+{
+    writeJsonFile(path, traceJson());
+}
+
+} // namespace tps::obs

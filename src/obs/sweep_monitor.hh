@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Sweep tracing and live progress for experiment grids.
+ *
+ * The monitor records one span per cell (label, owning pool worker,
+ * start/end time) as the ExperimentRunner executes it, renders the
+ * whole sweep as Chrome trace-event JSON (load chrome://tracing or
+ * https://ui.perfetto.dev) and optionally keeps a live progress/ETA
+ * line on stderr while the sweep runs.
+ *
+ * Thread-safe: begin()/end() are called concurrently from pool
+ * workers.  Worker attribution comes from
+ * util::TaskPool::currentWorkerIndex().
+ */
+
+#ifndef TPS_OBS_SWEEP_MONITOR_HH
+#define TPS_OBS_SWEEP_MONITOR_HH
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/json.hh"
+
+namespace tps::obs {
+
+/** The monitor. */
+class SweepMonitor
+{
+  public:
+    /** Construction knobs. */
+    struct Config
+    {
+        std::string bench;      //!< name shown in progress lines
+        bool progress = false;  //!< live per-cell progress on stderr
+    };
+
+    SweepMonitor();
+    explicit SweepMonitor(Config cfg);
+
+    /**
+     * Announce @p cells upcoming spans (called once per submitted
+     * grid), so the progress line's total and ETA are meaningful.
+     */
+    void addPlanned(size_t cells);
+
+    /** Open a span for one cell; returns its id. */
+    uint64_t begin(const std::string &label);
+
+    /** Close the span @p id (emits a progress update). */
+    void end(uint64_t id);
+
+    /**
+     * RAII span guard; a null monitor makes it a no-op, so callers can
+     * wrap work unconditionally.
+     */
+    class Scope
+    {
+      public:
+        Scope(SweepMonitor *monitor, const std::string &label)
+            : monitor_(monitor), id_(monitor ? monitor->begin(label) : 0)
+        {
+        }
+
+        ~Scope()
+        {
+            if (monitor_)
+                monitor_->end(id_);
+        }
+
+        Scope(const Scope &) = delete;
+        Scope &operator=(const Scope &) = delete;
+
+      private:
+        SweepMonitor *monitor_;
+        uint64_t id_;
+    };
+
+    size_t planned() const;
+    size_t completed() const;
+
+    /**
+     * The sweep as Chrome trace-event JSON: one "X" (complete) event
+     * per finished span, tid = pool worker + 1 (tid 0 is the calling
+     * thread), timestamps in microseconds since construction, plus
+     * thread_name metadata.
+     */
+    Json traceJson() const;
+
+    /** Write traceJson() to @p path. */
+    void writeTrace(const std::string &path) const;
+
+  private:
+    struct Span
+    {
+        std::string label;
+        int worker = -1;      //!< TaskPool worker index; -1 = caller
+        uint64_t startUs = 0;
+        uint64_t endUs = 0;
+        bool done = false;
+    };
+
+    /** Microseconds since construction. */
+    uint64_t nowUs() const;
+
+    void printProgress(const Span &last) const;
+
+    mutable std::mutex mu_;
+    Config cfg_;
+    std::chrono::steady_clock::time_point start_;
+    std::vector<Span> spans_;
+    size_t planned_ = 0;
+    size_t done_ = 0;
+};
+
+} // namespace tps::obs
+
+#endif // TPS_OBS_SWEEP_MONITOR_HH

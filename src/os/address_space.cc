@@ -1,5 +1,7 @@
 #include "os/address_space.hh"
 
+#include "obs/stat_registry.hh"
+#include "obs/stats_bindings.hh"
 #include "util/bitops.hh"
 #include "util/logging.hh"
 
@@ -131,6 +133,16 @@ AddressSpace::mappedBytes() const
             bytes += 1ull << leaf.pageBits;
         });
     return bytes;
+}
+
+void
+AddressSpace::registerStats(obs::StatRegistry &reg,
+                            const std::string &prefix)
+{
+    obs::bindOsWork(reg, prefix + ".work", &osWork_);
+    reg.addCounter(prefix + ".touchedBasePages", &touchedBasePages_,
+                   "base pages demand-touched");
+    policy_->registerStats(reg, prefix + ".policy");
 }
 
 } // namespace tps::os

@@ -24,6 +24,10 @@
 #include "util/stats.hh"
 #include "vm/page_table.hh"
 
+namespace tps::obs {
+class StatRegistry;
+} // namespace tps::obs
+
 namespace tps::os {
 
 /** The address space. */
@@ -131,6 +135,13 @@ class AddressSpace
 
     /** All VMAs, keyed by start (inspection). */
     const std::map<vm::Vaddr, Vma> &vmas() const { return vmas_; }
+
+    /**
+     * Register OS-side counters (OsWork under "<prefix>.work" plus any
+     * policy-specific stats under "<prefix>.policy") under @p prefix.
+     */
+    void registerStats(obs::StatRegistry &reg,
+                       const std::string &prefix);
 
   private:
     PhysMemory &phys_;

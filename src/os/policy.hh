@@ -19,8 +19,13 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 
 #include "vm/addr.hh"
+
+namespace tps::obs {
+class StatRegistry;
+} // namespace tps::obs
 
 namespace tps::os {
 
@@ -106,6 +111,14 @@ class PagingPolicy
     {
         (void)length;
         return vm::kBasePageBits;
+    }
+
+    /** Register policy-specific live counters under @p prefix. */
+    virtual void
+    registerStats(obs::StatRegistry &reg, const std::string &prefix) const
+    {
+        (void)reg;
+        (void)prefix;
     }
 };
 

@@ -1,5 +1,6 @@
 #include "os/policy_rmm.hh"
 
+#include "obs/stat_registry.hh"
 #include "util/bitops.hh"
 #include "util/logging.hh"
 
@@ -179,6 +180,15 @@ RmmPolicy::onMunmap(AddressSpace &as, const Vma &vma)
         }
         runs_.erase(rit);
     }
+}
+
+void
+RmmPolicy::registerStats(obs::StatRegistry &reg,
+                         const std::string &prefix) const
+{
+    reg.addCounter(prefix + ".ranges",
+                   [this] { return uint64_t(ranges_.size()); },
+                   "OS range-table entries");
 }
 
 } // namespace tps::os

@@ -21,7 +21,12 @@
 #define TPS_SIM_CYCLE_MODEL_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
+
+namespace tps::obs {
+class StatRegistry;
+} // namespace tps::obs
 
 namespace tps::sim {
 
@@ -58,6 +63,10 @@ class CycleModel
 
     /** Reset to an empty pipeline. */
     void reset();
+
+    /** Register cycles/instructions probes under @p prefix. */
+    void registerStats(obs::StatRegistry &reg,
+                       const std::string &prefix);
 
   private:
     CycleModelConfig cfg_;

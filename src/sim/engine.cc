@@ -1,9 +1,28 @@
 #include "sim/engine.hh"
 
+#include "obs/stat_registry.hh"
+#include "obs/stats_bindings.hh"
 #include "util/logging.hh"
 #include "util/stats.hh"
 
 namespace tps::sim {
+
+double
+EpochSample::mpki() const
+{
+    return instructions == 0
+               ? 0.0
+               : 1000.0 * static_cast<double>(l1TlbMisses) /
+                     static_cast<double>(instructions);
+}
+
+double
+EpochSample::walkCycleFraction() const
+{
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(walkCycles) /
+                             static_cast<double>(cycles);
+}
 
 double
 SimStats::mpki() const
@@ -49,6 +68,17 @@ SimStats::fullRunSystemTimeFraction() const
                             static_cast<double>(total);
 }
 
+obs::Json
+SimStats::toJson() const
+{
+    obs::StatRegistry reg;
+    obs::bindSimStats(reg, this);
+    obs::Json j = reg.toJson();
+    if (epochInterval)
+        j["epochs"] = obs::epochsJson(*this);
+    return j;
+}
+
 Engine::Engine(os::PhysMemory &pm,
                std::unique_ptr<os::PagingPolicy> policy, EngineConfig cfg)
     : cfg_(cfg), memsys_(cfg.memsys),
@@ -79,6 +109,16 @@ Engine::munmap(vm::Vaddr start)
     as_->munmap(start);
 }
 
+void
+Engine::registerStats(obs::StatRegistry &reg)
+{
+    obs::bindEngineStats(reg, "engine", &stats_);
+    mmu_->registerStats(reg, "mmu");
+    memsys_.registerStats(reg, "memsys");
+    cycle_.registerStats(reg, "cycle");
+    as_->registerStats(reg, "os");
+}
+
 SimStats
 Engine::run()
 {
@@ -86,7 +126,9 @@ Engine::run()
     for (auto *w : workloads_)
         w->setup(*this);
 
-    SimStats stats;
+    stats_ = SimStats{};
+    SimStats &stats = stats_;
+    stats.epochInterval = cfg_.epochAccesses;
     unsigned n = static_cast<unsigned>(workloads_.size());
     std::vector<bool> done(n, false);
     uint64_t primary_accesses = 0;
@@ -97,6 +139,42 @@ Engine::run()
     // the figures report steady-state behaviour.
     uint64_t warmup_target = workloads_[0]->warmupAccesses();
     bool in_warmup = warmup_target > 0;
+
+    // Epoch sampling: cumulative counter values at the last epoch
+    // boundary; take_epoch() pushes the deltas since then.  Reads only,
+    // so sampling never perturbs the simulation.
+    struct EpochPrev
+    {
+        uint64_t accesses = 0;
+        uint64_t l1TlbMisses = 0;
+        uint64_t l2TlbHits = 0;
+        uint64_t walks = 0;
+        uint64_t walkMemRefs = 0;
+        uint64_t walkCycles = 0;
+        uint64_t faults = 0;
+        uint64_t cycles = 0;
+        uint64_t osCycles = 0;
+    } eprev;
+    auto take_epoch = [&]() {
+        uint64_t walk_refs = mmu_->stats().walkMemRefs;
+        uint64_t os_cycles = as_->osWork().totalCycles();
+        EpochSample e;
+        e.accesses = primary_accesses - eprev.accesses;
+        e.instructions = e.accesses * (primary_ipa + 1);
+        e.cycles = cycle_.cycles() - eprev.cycles;
+        e.l1TlbMisses = stats.l1TlbMisses - eprev.l1TlbMisses;
+        e.l2TlbHits = stats.l2TlbHits - eprev.l2TlbHits;
+        e.walks = stats.tlbMisses - eprev.walks;
+        e.walkMemRefs = walk_refs - eprev.walkMemRefs;
+        e.walkCycles = stats.walkCycles - eprev.walkCycles;
+        e.faults = stats.faults - eprev.faults;
+        e.osCycles = os_cycles - eprev.osCycles;
+        stats.epochs.push_back(e);
+        eprev = EpochPrev{primary_accesses, stats.l1TlbMisses,
+                          stats.l2TlbHits, stats.tlbMisses, walk_refs,
+                          stats.walkCycles, stats.faults,
+                          cycle_.cycles(), os_cycles};
+    };
 
     bool running = true;
     while (running) {
@@ -159,14 +237,27 @@ Engine::run()
                     mmu_->clearStats();
                     memsys_.clearStats();
                     cycle_.reset();
+                    // Epoch deltas restart at the measured phase;
+                    // osWork is not reset, so carry its baseline.
+                    eprev = EpochPrev{};
+                    eprev.osCycles = stats.warmup.osCycles;
                 } else if (!in_warmup &&
                            primary_accesses >= cfg_.maxAccesses) {
                     running = false;
                     done[0] = true;
                 }
+                if (cfg_.epochAccesses != 0 && !in_warmup &&
+                    primary_accesses - eprev.accesses >=
+                        cfg_.epochAccesses) {
+                    take_epoch();
+                }
             }
         }
     }
+
+    // Flush the final (possibly short) epoch.
+    if (cfg_.epochAccesses != 0 && primary_accesses > eprev.accesses)
+        take_epoch();
 
     stats.accesses = primary_accesses;
     stats.instructions = primary_accesses * (primary_ipa + 1);

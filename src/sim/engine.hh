@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/json.hh"
 #include "os/address_space.hh"
 #include "os/phys_memory.hh"
 #include "sim/access.hh"
@@ -19,6 +20,10 @@
 #include "sim/memsys.hh"
 #include "sim/mmu.hh"
 #include "workloads/workload.hh"
+
+namespace tps::obs {
+class StatRegistry;
+} // namespace tps::obs
 
 namespace tps::sim {
 
@@ -39,6 +44,37 @@ struct EngineConfig
     os::AddressSpace::Config addressSpace;
     TlbTimingMode timing = TlbTimingMode::Real;
     uint64_t maxAccesses = ~0ull;   //!< cap on primary-thread accesses
+    /**
+     * Snapshot delta counters into SimStats::epochs every this many
+     * measured primary-thread accesses (0 = no epoch sampling).  The
+     * sampling is passive: it never perturbs the simulated counters.
+     */
+    uint64_t epochAccesses = 0;
+};
+
+/**
+ * Delta counters over one epoch of epochAccesses measured accesses (the
+ * final epoch may be shorter).  This is the time-series view that makes
+ * warmup-vs-steady-state and fragmentation onset visible.
+ */
+struct EpochSample
+{
+    uint64_t accesses = 0;
+    uint64_t instructions = 0;
+    uint64_t cycles = 0;
+    uint64_t l1TlbMisses = 0;
+    uint64_t l2TlbHits = 0;
+    uint64_t walks = 0;          //!< full misses (page walks)
+    uint64_t walkMemRefs = 0;
+    uint64_t walkCycles = 0;
+    uint64_t faults = 0;
+    uint64_t osCycles = 0;
+
+    /** L1 DTLB misses per thousand instructions within the epoch. */
+    double mpki() const;
+
+    /** Walker-active fraction of the epoch's cycles. */
+    double walkCycleFraction() const;
 };
 
 /** Warmup (initialization-phase) accounting. */
@@ -75,6 +111,10 @@ struct SimStats
     uint64_t mmapCalls = 0;
     uint64_t munmapCalls = 0;
 
+    // Epoch time series (empty unless EngineConfig::epochAccesses > 0).
+    uint64_t epochInterval = 0;
+    std::vector<EpochSample> epochs;
+
     /** L1 DTLB misses per thousand instructions. */
     double mpki() const;
 
@@ -92,6 +132,13 @@ struct SimStats
      * the view a real whole-program run reports.
      */
     double fullRunSystemTimeFraction() const;
+
+    /**
+     * The complete stat tree (engine.*, mmu.*, memsys.*, os.work.*)
+     * plus the epoch series as JSON, built on a StatRegistry so names
+     * and values match the live module registrations exactly.
+     */
+    obs::Json toJson() const;
 };
 
 /** The engine. */
@@ -117,6 +164,18 @@ class Engine : public AllocApi
     /** Run to primary-thread completion; returns the statistics. */
     SimStats run();
 
+    /**
+     * Register every hardware/OS module's live counters plus the
+     * engine-level counters into @p reg ("engine.*", "mmu.*",
+     * "mmu.tlb.*", "mmu.walker.*", "memsys.*", "cycle.*", "os.*").
+     * Values read through the registry after run() are bit-identical
+     * to the returned SimStats fields.
+     */
+    void registerStats(obs::StatRegistry &reg);
+
+    /** The statistics of the last completed run(). */
+    const SimStats &lastStats() const { return stats_; }
+
     os::AddressSpace &addressSpace() { return *as_; }
     Mmu &mmu() { return *mmu_; }
     MemSys &memsys() { return memsys_; }
@@ -134,6 +193,8 @@ class Engine : public AllocApi
     std::vector<workloads::Workload *> workloads_;
     uint64_t mmapCalls_ = 0;
     uint64_t munmapCalls_ = 0;
+    //! run() accumulates here so registered stat probes stay valid.
+    SimStats stats_;
 };
 
 } // namespace tps::sim

@@ -1,5 +1,6 @@
 #include "sim/memsys.hh"
 
+#include "obs/stats_bindings.hh"
 #include "util/bitops.hh"
 #include "util/logging.hh"
 
@@ -65,6 +66,12 @@ MemSys::access(vm::Paddr pa)
     }
     ++stats_.dramAccesses;
     return cfg_.dramLatencyCycles;
+}
+
+void
+MemSys::registerStats(obs::StatRegistry &reg, const std::string &prefix)
+{
+    obs::bindMemSysStats(reg, prefix, &stats_);
 }
 
 } // namespace tps::sim

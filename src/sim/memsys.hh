@@ -13,9 +13,14 @@
 #define TPS_SIM_MEMSYS_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "vm/addr.hh"
+
+namespace tps::obs {
+class StatRegistry;
+} // namespace tps::obs
 
 namespace tps::sim {
 
@@ -53,6 +58,10 @@ class MemSys
     const MemSysStats &stats() const { return stats_; }
     void clearStats() { stats_ = MemSysStats{}; }
     const MemSysConfig &config() const { return cfg_; }
+
+    /** Register the live per-level hit counters under @p prefix. */
+    void registerStats(obs::StatRegistry &reg,
+                       const std::string &prefix);
 
   private:
     /** One set-associative tag array. */

@@ -1,5 +1,7 @@
 #include "sim/mmu.hh"
 
+#include "obs/stat_registry.hh"
+#include "obs/stats_bindings.hh"
 #include "util/logging.hh"
 
 namespace tps::sim {
@@ -332,6 +334,15 @@ Mmu::clearStats()
     stats_ = MmuStats{};
     tlb_.clearStats();
     walker_.clearStats();
+}
+
+void
+Mmu::registerStats(obs::StatRegistry &reg, const std::string &prefix)
+{
+    obs::bindMmuStats(reg, prefix, &stats_);
+    walker_.registerStats(reg, prefix + ".walker");
+    tlb_.registerStats(reg, prefix + ".tlb");
+    mmuCache_.registerStats(reg, prefix + ".cache");
 }
 
 } // namespace tps::sim

@@ -20,6 +20,10 @@
 #include "vm/mmu_cache.hh"
 #include "vm/walker.hh"
 
+namespace tps::obs {
+class StatRegistry;
+} // namespace tps::obs
+
 namespace tps::sim {
 
 /** MMU configuration: all three hardware sub-blocks. */
@@ -93,6 +97,13 @@ class Mmu
 
     const MmuStats &stats() const { return stats_; }
     void clearStats();
+
+    /**
+     * Register the MMU's live counters (and those of the TLB
+     * hierarchy, walker and MMU caches it owns) under @p prefix.
+     */
+    void registerStats(obs::StatRegistry &reg,
+                       const std::string &prefix);
 
     tlb::TlbHierarchy &tlbs() { return tlb_; }
     vm::PageWalker &walker() { return walker_; }

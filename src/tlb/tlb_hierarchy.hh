@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "tlb/colt_tlb.hh"
@@ -31,6 +32,10 @@
 #include "tlb/range_tlb.hh"
 #include "tlb/set_assoc_tlb.hh"
 #include "tlb/tlb_entry.hh"
+
+namespace tps::obs {
+class StatRegistry;
+} // namespace tps::obs
 
 namespace tps::tlb {
 
@@ -119,6 +124,10 @@ class TlbHierarchy
 
     const TlbHierarchyStats &stats() const { return stats_; }
     void clearStats();
+
+    /** Register the hierarchy's live counters under @p prefix. */
+    void registerStats(obs::StatRegistry &reg,
+                       const std::string &prefix);
 
     TlbDesign design() const { return cfg_.design; }
     const TlbHierarchyConfig &config() const { return cfg_; }

@@ -10,6 +10,7 @@
 #ifndef TPS_UTIL_LOGGING_HH
 #define TPS_UTIL_LOGGING_HH
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdint>
 
@@ -37,6 +38,20 @@ void informImpl(const char *fmt, ...)
 #define tps_fatal(...) ::tps::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
 #define tps_warn(...) ::tps::warnImpl(__VA_ARGS__)
 #define tps_inform(...) ::tps::informImpl(__VA_ARGS__)
+
+/**
+ * Warn exactly once per call site, however many times (and from however
+ * many threads) control passes through it.  The first thread to arrive
+ * wins the exchange and prints; everyone else skips silently.
+ */
+#define tps_warn_once(...)                                                  \
+    do {                                                                    \
+        static ::std::atomic<bool> tps_warned_once_{false};                 \
+        if (!tps_warned_once_.exchange(true,                                \
+                                       ::std::memory_order_relaxed)) {      \
+            ::tps::warnImpl(__VA_ARGS__);                                   \
+        }                                                                   \
+    } while (0)
 
 /** Assert an invariant that indicates a library bug when violated. */
 #define tps_assert(cond, ...)                                               \

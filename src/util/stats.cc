@@ -3,6 +3,8 @@
 #include <cmath>
 #include <limits>
 
+#include "util/logging.hh"
+
 namespace tps {
 
 void
@@ -18,10 +20,29 @@ Summary::add(double v)
     }
     ++count_;
     sum_ += v;
+    // Welford's online update; mean()/sum() stay on the plain sum so
+    // existing consumers are bit-for-bit unaffected.
+    double delta = v - welfordMean_;
+    welfordMean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (v - welfordMean_);
     if (v > 0.0)
         logSum_ += std::log(v);
     else
         allPositive_ = false;
+}
+
+double
+Summary::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+Summary::stddev() const
+{
+    return std::sqrt(variance());
 }
 
 double
@@ -56,6 +77,24 @@ Histogram::at(uint64_t key) const
 {
     auto it = buckets_.find(key);
     return it == buckets_.end() ? 0 : it->second;
+}
+
+uint64_t
+Histogram::quantile(double q) const
+{
+    tps_assert(q >= 0.0 && q <= 1.0);
+    tps_assert(total_ > 0);
+    uint64_t target = static_cast<uint64_t>(
+        std::ceil(q * static_cast<double>(total_)));
+    if (target == 0)
+        target = 1;
+    uint64_t seen = 0;
+    for (const auto &[key, count] : buckets_) {
+        seen += count;
+        if (seen >= target)
+            return key;
+    }
+    return buckets_.rbegin()->first;
 }
 
 void

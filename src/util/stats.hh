@@ -35,12 +35,23 @@ class Summary
     /** Geometric mean; all samples must have been positive. */
     double geomean() const;
 
+    /**
+     * Sample variance (n-1 denominator), accumulated online with
+     * Welford's algorithm; 0 with fewer than two samples.
+     */
+    double variance() const;
+
+    /** Sample standard deviation; 0 with fewer than two samples. */
+    double stddev() const;
+
   private:
     uint64_t count_ = 0;
     double sum_ = 0.0;
     double logSum_ = 0.0;
     double min_ = 0.0;
     double max_ = 0.0;
+    double welfordMean_ = 0.0;  //!< Welford running mean (for m2_)
+    double m2_ = 0.0;           //!< sum of squared deviations
     bool allPositive_ = true;
 };
 
@@ -59,6 +70,22 @@ class Histogram
 
     /** Buckets in ascending key order. */
     const std::map<uint64_t, uint64_t> &buckets() const { return buckets_; }
+
+    /**
+     * The @p q-quantile (q in [0, 1]) over bucket keys weighted by
+     * count: the smallest key whose cumulative count reaches
+     * ceil(q * total).  Panics when the histogram is empty.
+     */
+    uint64_t quantile(double q) const;
+
+    /** Median bucket key. */
+    uint64_t p50() const { return quantile(0.50); }
+
+    /** 95th-percentile bucket key. */
+    uint64_t p95() const { return quantile(0.95); }
+
+    /** 99th-percentile bucket key. */
+    uint64_t p99() const { return quantile(0.99); }
 
     /** Remove all contents. */
     void clear();

@@ -1,5 +1,6 @@
 #include "util/table.hh"
 
+#include <cmath>
 #include <cstdio>
 #include <iomanip>
 
@@ -69,6 +70,10 @@ Table::printCsv(std::ostream &os) const
 std::string
 fmtDouble(double v, int decimals)
 {
+    // NaN (e.g. Summary::min()/max() on an empty summary) renders as an
+    // empty cell rather than "nan"/"-nan" leaking into CSV output.
+    if (std::isnan(v))
+        return "";
     char buf[64];
     std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
     return buf;

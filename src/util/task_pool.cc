@@ -2,11 +2,24 @@
 
 namespace tps::util {
 
+namespace {
+
+//! -1 outside pool workers; the worker's 0-based index inside one.
+thread_local int tls_worker_index = -1;
+
+} // namespace
+
 unsigned
 TaskPool::hardwareThreads()
 {
     unsigned n = std::thread::hardware_concurrency();
     return n == 0 ? 1 : n;
+}
+
+int
+TaskPool::currentWorkerIndex()
+{
+    return tls_worker_index;
 }
 
 TaskPool::TaskPool(unsigned threads)
@@ -16,7 +29,7 @@ TaskPool::TaskPool(unsigned threads)
     workers_.reserve(threads);
     for (unsigned i = 0; i < threads; ++i)
         workers_.emplace_back(
-            [this](std::stop_token stop) { workerLoop(stop); });
+            [this, i](std::stop_token stop) { workerLoop(i, stop); });
 }
 
 TaskPool::~TaskPool()
@@ -38,8 +51,9 @@ TaskPool::enqueue(std::function<void()> job)
 }
 
 void
-TaskPool::workerLoop(std::stop_token stop)
+TaskPool::workerLoop(unsigned index, std::stop_token stop)
 {
+    tls_worker_index = static_cast<int>(index);
     for (;;) {
         std::function<void()> job;
         {

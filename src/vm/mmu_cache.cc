@@ -1,5 +1,6 @@
 #include "vm/mmu_cache.hh"
 
+#include "obs/stat_registry.hh"
 #include "util/logging.hh"
 
 namespace tps::vm {
@@ -91,6 +92,21 @@ MmuCache::invalidate(Vaddr va)
                 e.valid = false;
     }
     ++stats_.invalidations;
+}
+
+void
+MmuCache::registerStats(obs::StatRegistry &reg, const std::string &prefix)
+{
+    reg.addCounter(prefix + ".lookups", &stats_.lookups,
+                   "MMU-cache lookups");
+    for (unsigned l = 2; l <= kLevels; ++l) {
+        reg.addCounter(prefix + ".hits.l" + std::to_string(l),
+                       &stats_.hits[l],
+                       "hits in the level-" + std::to_string(l) + " cache");
+    }
+    reg.addCounter(prefix + ".fills", &stats_.fills, "MMU-cache fills");
+    reg.addCounter(prefix + ".invalidations", &stats_.invalidations,
+                   "MMU-cache invalidations");
 }
 
 } // namespace tps::vm

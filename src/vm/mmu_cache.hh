@@ -18,9 +18,14 @@
 #define TPS_VM_MMU_CACHE_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "vm/addr.hh"
+
+namespace tps::obs {
+class StatRegistry;
+} // namespace tps::obs
 
 namespace tps::vm {
 
@@ -80,6 +85,10 @@ class MmuCache
     void invalidate(Vaddr va);
 
     const MmuCacheStats &stats() const { return stats_; }
+
+    /** Register the caches' live counters under @p prefix. */
+    void registerStats(obs::StatRegistry &reg,
+                       const std::string &prefix);
 
   private:
     struct Entry

@@ -1,5 +1,6 @@
 #include "vm/walker.hh"
 
+#include "obs/stats_bindings.hh"
 #include "util/logging.hh"
 
 namespace tps::vm {
@@ -126,6 +127,12 @@ PageWalker::walk(Vaddr va)
     if (res.fault)
         ++stats_.faults;
     return res;
+}
+
+void
+PageWalker::registerStats(obs::StatRegistry &reg, const std::string &prefix)
+{
+    obs::bindWalkerStats(reg, prefix, &stats_);
 }
 
 } // namespace tps::vm

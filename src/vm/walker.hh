@@ -15,12 +15,17 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "vm/addr.hh"
 #include "vm/mmu_cache.hh"
 #include "vm/page_table.hh"
 #include "vm/pte.hh"
+
+namespace tps::obs {
+class StatRegistry;
+} // namespace tps::obs
 
 namespace tps::vm {
 
@@ -82,6 +87,10 @@ class PageWalker
 
     /** Reset statistics (not the nested TLB). */
     void clearStats() { stats_ = WalkerStats{}; }
+
+    /** Register the walker's live counters under @p prefix. */
+    void registerStats(obs::StatRegistry &reg,
+                       const std::string &prefix);
 
   private:
     /** Charge the nested cost of touching guest-physical @p pa. */

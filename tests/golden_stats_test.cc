@@ -19,10 +19,12 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 #include "core/experiment_runner.hh"
 #include "core/tps_system.hh"
+#include "obs/run_manifest.hh"
 
 namespace tps::core {
 namespace {
@@ -160,6 +162,42 @@ TEST(GoldenStats, SeedIsPureFunctionOfCellIdentity)
     other.timing = sim::TlbTimingMode::PerfectL1;
     other.physBytes *= 2;
     EXPECT_EQ(runSeed(other), seed);
+}
+
+/** The grid's host-free manifest JSON when run on @p jobs workers. */
+std::string
+manifestBytes(unsigned jobs)
+{
+    std::vector<RunOptions> cells = smallGrid();
+    // Epoch sampling on: the per-epoch series must be schedule-stable
+    // too, not just the totals.
+    for (RunOptions &cell : cells)
+        cell.epochAccesses = 10000;
+
+    ExperimentRunner runner(jobs);
+    std::vector<sim::SimStats> stats = runner.run(cells);
+    std::vector<obs::CellArtifact> artifacts;
+    for (size_t i = 0; i < cells.size(); ++i) {
+        obs::CellArtifact cell;
+        cell.options = cells[i];
+        cell.stats = stats[i];
+        cell.wallSeconds = double(jobs);  // must not reach the bytes
+        artifacts.push_back(std::move(cell));
+    }
+    obs::ManifestInfo info;
+    info.bench = "golden";
+    info.jobs = jobs;
+    info.includeHost = false;
+    return obs::manifestJson(info, artifacts).dump(2);
+}
+
+TEST(GoldenStats, ManifestByteStableAcrossJobs)
+{
+    // The full --stats-json artifact (config, seeds, stat tree, epoch
+    // series) is byte-identical however wide the worker pool was.
+    std::string serial = manifestBytes(1);
+    EXPECT_EQ(serial, manifestBytes(4));
+    EXPECT_EQ(serial, manifestBytes(7));
 }
 
 /**

@@ -1,0 +1,509 @@
+/**
+ * @file
+ * Tests for the observability layer: the JSON document model, the stat
+ * registry (including the acceptance criterion that registry-backed
+ * totals are bit-identical to the legacy SimStats fields), epoch
+ * sampling, run manifests and the sweep monitor.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "core/experiment_runner.hh"
+#include "core/tps_system.hh"
+#include "obs/json.hh"
+#include "obs/run_manifest.hh"
+#include "obs/stat_registry.hh"
+#include "obs/stats_bindings.hh"
+#include "obs/sweep_monitor.hh"
+#include "os/phys_memory.hh"
+#include "sim/engine.hh"
+#include "workloads/registry.hh"
+
+namespace tps::obs {
+namespace {
+
+// ---------------------------------------------------------------- Json
+
+TEST(Json, ScalarDumps)
+{
+    EXPECT_EQ(Json().dump(), "null");
+    EXPECT_EQ(Json(true).dump(), "true");
+    EXPECT_EQ(Json(false).dump(), "false");
+    EXPECT_EQ(Json(uint64_t(18446744073709551615ull)).dump(),
+              "18446744073709551615");
+    EXPECT_EQ(Json(int64_t(-42)).dump(), "-42");
+    EXPECT_EQ(Json(0.5).dump(), "0.5");
+    EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, NonFiniteDoublesBecomeNull)
+{
+    EXPECT_EQ(Json(std::nan("")).dump(), "null");
+    EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(),
+              "null");
+    EXPECT_EQ(Json(-std::numeric_limits<double>::infinity()).dump(),
+              "null");
+}
+
+TEST(Json, StringEscaping)
+{
+    EXPECT_EQ(jsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+    EXPECT_EQ(jsonEscape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+    EXPECT_EQ(Json("x\"y").dump(), "\"x\\\"y\"");
+}
+
+TEST(Json, ObjectsPreserveInsertionOrder)
+{
+    Json j = Json::object();
+    j["zebra"] = Json(uint64_t(1));
+    j["apple"] = Json(uint64_t(2));
+    EXPECT_EQ(j.dump(), "{\"zebra\":1,\"apple\":2}");
+    ASSERT_EQ(j.members().size(), 2u);
+    EXPECT_EQ(j.members()[0].first, "zebra");
+    EXPECT_EQ(j.members()[1].first, "apple");
+}
+
+TEST(Json, NullBecomesObjectOrArrayOnFirstUse)
+{
+    Json obj;
+    obj["k"] = Json(uint64_t(3));
+    EXPECT_EQ(obj.kind(), Json::Kind::Object);
+    EXPECT_EQ(obj.at("k").asUInt(), 3u);
+
+    Json arr;
+    arr.push(Json(uint64_t(7)));
+    arr.push(Json("s"));
+    EXPECT_EQ(arr.kind(), Json::Kind::Array);
+    ASSERT_EQ(arr.size(), 2u);
+    EXPECT_EQ(arr.at(0).asUInt(), 7u);
+    EXPECT_EQ(arr.at(1).asString(), "s");
+}
+
+TEST(Json, FindProbesWithoutInserting)
+{
+    Json j = Json::object();
+    j["present"] = Json(true);
+    EXPECT_NE(j.find("present"), nullptr);
+    EXPECT_EQ(j.find("absent"), nullptr);
+    EXPECT_EQ(j.size(), 1u);
+}
+
+TEST(Json, PrettyDump)
+{
+    Json j = Json::object();
+    j["a"] = Json(uint64_t(1));
+    j["b"] = Json::array();
+    j["b"].push(Json(uint64_t(2)));
+    EXPECT_EQ(j.dump(2), "{\n  \"a\": 1,\n  \"b\": [\n    2\n  ]\n}");
+}
+
+TEST(Json, DumpIsDeterministic)
+{
+    Json j = Json::object();
+    j["x"] = Json(1.0 / 3.0);
+    j["y"] = Json(uint64_t(99));
+    EXPECT_EQ(j.dump(2), j.dump(2));
+}
+
+// -------------------------------------------------------- StatRegistry
+
+TEST(StatRegistry, CounterProbesAreLive)
+{
+    StatRegistry reg;
+    uint64_t field = 5;
+    reg.addCounter("mod.count", &field);
+    reg.addCounter("mod.derived", [&field] { return field * 2; });
+    EXPECT_EQ(reg.counter("mod.count"), 5u);
+    field = 9;  // the registry holds a probe, not a copy
+    EXPECT_EQ(reg.counter("mod.count"), 9u);
+    EXPECT_EQ(reg.counter("mod.derived"), 18u);
+}
+
+TEST(StatRegistry, ScalarProbe)
+{
+    StatRegistry reg;
+    double v = 0.25;
+    reg.addScalar("mod.frac", [&v] { return v; });
+    EXPECT_DOUBLE_EQ(reg.scalar("mod.frac"), 0.25);
+    v = 0.75;
+    EXPECT_DOUBLE_EQ(reg.scalar("mod.frac"), 0.75);
+}
+
+TEST(StatRegistry, NamesAreSorted)
+{
+    StatRegistry reg;
+    uint64_t x = 0;
+    reg.addCounter("b.two", &x);
+    reg.addCounter("a.one", &x);
+    reg.addCounter("b.one", &x);
+    std::vector<std::string> expect = {"a.one", "b.one", "b.two"};
+    EXPECT_EQ(reg.names(), expect);
+    EXPECT_EQ(reg.size(), 3u);
+    EXPECT_TRUE(reg.has("a.one"));
+    EXPECT_FALSE(reg.has("a.two"));
+}
+
+TEST(StatRegistry, DuplicateNamePanics)
+{
+    StatRegistry reg;
+    uint64_t x = 0;
+    reg.addCounter("dup.name", &x);
+    EXPECT_DEATH(reg.addCounter("dup.name", &x), "registered twice");
+}
+
+TEST(StatRegistry, ToJsonNestsDottedNames)
+{
+    StatRegistry reg;
+    uint64_t x = 11;
+    reg.addCounter("a.b.c", &x);
+    reg.addCounter("a.d", [] { return uint64_t(22); });
+    Json j = reg.toJson();
+    EXPECT_EQ(j.at("a").at("b").at("c").asUInt(), 11u);
+    EXPECT_EQ(j.at("a").at("d").asUInt(), 22u);
+}
+
+TEST(StatRegistry, SummaryAndHistogramStats)
+{
+    StatRegistry reg;
+    Summary s;
+    s.add(1.0);
+    s.add(3.0);
+    Histogram h;
+    h.add(12, 4);
+    reg.addSummary("mod.lat", &s);
+    reg.addHistogram("mod.sizes", &h);
+    Json j = reg.toJson();
+    EXPECT_EQ(j.at("mod").at("lat").at("count").asUInt(), 2u);
+    EXPECT_DOUBLE_EQ(j.at("mod").at("lat").at("mean").asDouble(), 2.0);
+    EXPECT_EQ(j.at("mod").at("sizes").at("total").asUInt(), 4u);
+    EXPECT_EQ(j.at("mod").at("sizes").at("p50").asUInt(), 12u);
+    EXPECT_EQ(
+        j.at("mod").at("sizes").at("buckets").at("12").asUInt(), 4u);
+}
+
+TEST(StatRegistry, PrintTextListsEveryStat)
+{
+    StatRegistry reg;
+    uint64_t x = 123;
+    reg.addCounter("top.count", &x, "a described counter");
+    std::ostringstream os;
+    reg.printText(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("top.count"), std::string::npos);
+    EXPECT_NE(out.find("123"), std::string::npos);
+    EXPECT_NE(out.find("a described counter"), std::string::npos);
+}
+
+// ------------------------------------- registry vs. SimStats identity
+
+core::RunOptions
+smallRun(uint64_t epochAccesses = 0)
+{
+    core::RunOptions opts;
+    opts.workload = "gups";
+    opts.design = core::Design::Thp;
+    opts.scale = 0.02;
+    opts.physBytes = 512ull << 20;
+    opts.epochAccesses = epochAccesses;
+    return opts;
+}
+
+/**
+ * The acceptance criterion: every total read back through the live
+ * registry after run() is bit-identical to the corresponding legacy
+ * SimStats field.
+ */
+TEST(StatRegistry, RegistryMatchesSimStatsBitForBit)
+{
+    core::RunOptions opts = smallRun();
+    os::PhysMemory pm(opts.physBytes);
+    sim::Engine engine(pm, core::makePolicy(opts.design),
+                       core::makeEngineConfig(opts));
+    auto workload = workloads::makeWorkload(opts.workload, opts.scale,
+                                            core::runSeed(opts));
+    engine.addWorkload(*workload);
+
+    StatRegistry reg;
+    engine.registerStats(reg);
+    sim::SimStats stats = engine.run();
+    ASSERT_GT(stats.accesses, 0u);
+
+    // Engine-level totals.
+    EXPECT_EQ(reg.counter("engine.accesses"), stats.accesses);
+    EXPECT_EQ(reg.counter("engine.instructions"), stats.instructions);
+    EXPECT_EQ(reg.counter("engine.cycles"), stats.cycles);
+    EXPECT_EQ(reg.counter("engine.l1TlbMisses"), stats.l1TlbMisses);
+    EXPECT_EQ(reg.counter("engine.l2TlbHits"), stats.l2TlbHits);
+    EXPECT_EQ(reg.counter("engine.walks"), stats.tlbMisses);
+    EXPECT_EQ(reg.counter("engine.walkMemRefs"), stats.walkMemRefs);
+    EXPECT_EQ(reg.counter("engine.walkCycles"), stats.walkCycles);
+    EXPECT_EQ(reg.counter("engine.faults"), stats.faults);
+    EXPECT_EQ(reg.counter("engine.warmup.accesses"),
+              stats.warmup.accesses);
+    EXPECT_EQ(reg.counter("engine.mmapCalls"), stats.mmapCalls);
+
+    // Live sub-module counters against their SimStats snapshots.
+    EXPECT_EQ(reg.counter("mmu.accesses"), stats.mmu.accesses);
+    EXPECT_EQ(reg.counter("mmu.l1.misses"), stats.mmu.l1Misses);
+    EXPECT_EQ(reg.counter("mmu.l2.hits"), stats.mmu.l2Hits);
+    EXPECT_EQ(reg.counter("mmu.walks"), stats.mmu.walks);
+    EXPECT_EQ(reg.counter("mmu.walk.memRefs"), stats.mmu.walkMemRefs);
+    EXPECT_EQ(reg.counter("mmu.walker.walks"), stats.walker.walks);
+    EXPECT_EQ(reg.counter("mmu.walker.accesses"),
+              stats.walker.accesses);
+    EXPECT_EQ(reg.counter("memsys.accesses"), stats.memsys.accesses);
+    EXPECT_EQ(reg.counter("memsys.dramAccesses"),
+              stats.memsys.dramAccesses);
+    EXPECT_EQ(reg.counter("os.work.totalCycles"),
+              stats.osWork.totalCycles());
+    EXPECT_EQ(reg.counter("os.work.faults"), stats.osWork.faults);
+
+    // Derived scalars agree with the struct's own methods.
+    EXPECT_EQ(reg.scalar("engine.mpki"), stats.mpki());
+    EXPECT_EQ(reg.scalar("engine.walkCycleFraction"),
+              stats.walkCycleFraction());
+
+    // The snapshot path binds the same names to the same values.
+    StatRegistry snap;
+    bindSimStats(snap, &stats);
+    for (const std::string &name :
+         {"engine.accesses", "engine.l1TlbMisses", "engine.walks",
+          "mmu.l1.misses", "mmu.walker.walks", "memsys.accesses",
+          "os.work.totalCycles"}) {
+        EXPECT_EQ(snap.counter(name), reg.counter(name)) << name;
+    }
+}
+
+// ------------------------------------------------------ epoch sampling
+
+TEST(Epochs, OffByDefault)
+{
+    sim::SimStats stats = core::runExperiment(smallRun());
+    EXPECT_EQ(stats.epochInterval, 0u);
+    EXPECT_TRUE(stats.epochs.empty());
+    EXPECT_TRUE(epochsJson(stats).isNull());
+    EXPECT_EQ(stats.toJson().find("epochs"), nullptr);
+}
+
+TEST(Epochs, DeltasSumToTotals)
+{
+    const uint64_t interval = 7000;
+    sim::SimStats stats = core::runExperiment(smallRun(interval));
+    EXPECT_EQ(stats.epochInterval, interval);
+    ASSERT_FALSE(stats.epochs.empty());
+
+    sim::EpochSample sum;
+    for (size_t i = 0; i < stats.epochs.size(); ++i) {
+        const sim::EpochSample &e = stats.epochs[i];
+        // Every epoch but the final one covers exactly the interval.
+        if (i + 1 < stats.epochs.size())
+            EXPECT_EQ(e.accesses, interval);
+        else
+            EXPECT_LE(e.accesses, interval);
+        sum.accesses += e.accesses;
+        sum.instructions += e.instructions;
+        sum.cycles += e.cycles;
+        sum.l1TlbMisses += e.l1TlbMisses;
+        sum.l2TlbHits += e.l2TlbHits;
+        sum.walks += e.walks;
+        sum.walkMemRefs += e.walkMemRefs;
+        sum.walkCycles += e.walkCycles;
+        sum.faults += e.faults;
+    }
+    // The series is a lossless decomposition of the measured phase.
+    EXPECT_EQ(sum.accesses, stats.accesses);
+    EXPECT_EQ(sum.instructions, stats.instructions);
+    EXPECT_EQ(sum.cycles, stats.cycles);
+    EXPECT_EQ(sum.l1TlbMisses, stats.l1TlbMisses);
+    EXPECT_EQ(sum.l2TlbHits, stats.l2TlbHits);
+    EXPECT_EQ(sum.walks, stats.tlbMisses);
+    EXPECT_EQ(sum.walkMemRefs, stats.walkMemRefs);
+    EXPECT_EQ(sum.walkCycles, stats.walkCycles);
+    EXPECT_EQ(sum.faults, stats.faults);
+}
+
+TEST(Epochs, SamplingDoesNotPerturbResults)
+{
+    sim::SimStats plain = core::runExperiment(smallRun());
+    sim::SimStats sampled = core::runExperiment(smallRun(5000));
+    EXPECT_EQ(plain.accesses, sampled.accesses);
+    EXPECT_EQ(plain.cycles, sampled.cycles);
+    EXPECT_EQ(plain.l1TlbMisses, sampled.l1TlbMisses);
+    EXPECT_EQ(plain.walkMemRefs, sampled.walkMemRefs);
+    EXPECT_EQ(plain.faults, sampled.faults);
+}
+
+TEST(Epochs, JsonSeries)
+{
+    sim::SimStats stats = core::runExperiment(smallRun(10000));
+    Json j = epochsJson(stats);
+    ASSERT_FALSE(j.isNull());
+    EXPECT_EQ(j.at("interval").asUInt(), 10000u);
+    ASSERT_EQ(j.at("samples").size(), stats.epochs.size());
+    const Json &first = j.at("samples").at(0);
+    EXPECT_EQ(first.at("accesses").asUInt(), stats.epochs[0].accesses);
+    EXPECT_EQ(first.at("mpki").asDouble(), stats.epochs[0].mpki());
+    // And the full stat tree embeds the same series.
+    EXPECT_EQ(stats.toJson().at("epochs").dump(), j.dump());
+}
+
+// ------------------------------------------------------- run manifest
+
+TEST(Manifest, CellJsonContents)
+{
+    core::RunOptions opts = smallRun();
+    CellArtifact cell;
+    cell.options = opts;
+    cell.stats = core::runExperiment(opts);
+    cell.wallSeconds = 1.5;
+
+    Json j = cellJson(cell, /*includeHost=*/false);
+    EXPECT_EQ(j.at("workload").at("name").asString(), "gups");
+    EXPECT_EQ(j.at("design").asString(), "thp");
+    EXPECT_EQ(j.at("seed").asUInt(), core::runSeed(opts));
+    EXPECT_EQ(j.at("options").at("workload").asString(), "gups");
+    EXPECT_EQ(j.at("options").at("physBytes").asUInt(),
+              opts.physBytes);
+    EXPECT_NE(j.at("engineConfig").find("mmu"), nullptr);
+    EXPECT_NE(j.at("engineConfig").find("memsys"), nullptr);
+    EXPECT_EQ(j.at("stats").at("engine").at("accesses").asUInt(),
+              cell.stats.accesses);
+    // Host-dependent data stays out unless asked for.
+    EXPECT_EQ(j.find("wallSeconds"), nullptr);
+    EXPECT_NE(cellJson(cell, true).find("wallSeconds"), nullptr);
+}
+
+TEST(Manifest, ManifestShape)
+{
+    core::RunOptions opts = smallRun();
+    CellArtifact cell;
+    cell.options = opts;
+    cell.stats = core::runExperiment(opts);
+
+    ManifestInfo info;
+    info.bench = "unit";
+    info.jobs = 3;
+    info.wallSeconds = 2.0;
+    Json j = manifestJson(info, {cell});
+    EXPECT_EQ(j.at("format").asString(), "tps-run-manifest");
+    EXPECT_EQ(j.at("version").asUInt(), 1u);
+    EXPECT_EQ(j.at("bench").asString(), "unit");
+    EXPECT_EQ(j.at("host").at("jobs").asUInt(), 3u);
+    ASSERT_EQ(j.at("cells").size(), 1u);
+
+    info.includeHost = false;
+    Json pure = manifestJson(info, {cell});
+    EXPECT_EQ(pure.find("host"), nullptr);
+    EXPECT_EQ(pure.at("cells").at(0).find("wallSeconds"), nullptr);
+}
+
+TEST(Manifest, HostFreeManifestIsReproducible)
+{
+    // Two independent runs of the same cell serialize byte-identically
+    // once host data is excluded.
+    core::RunOptions opts = smallRun(10000);
+    ManifestInfo info;
+    info.bench = "unit";
+    info.includeHost = false;
+
+    CellArtifact a;
+    a.options = opts;
+    a.stats = core::runExperiment(opts);
+    a.wallSeconds = 0.1;
+    CellArtifact b;
+    b.options = opts;
+    b.stats = core::runExperiment(opts);
+    b.wallSeconds = 99.9;  // must not leak into the output
+
+    EXPECT_EQ(manifestJson(info, {a}).dump(2),
+              manifestJson(info, {b}).dump(2));
+}
+
+// ------------------------------------------------------ sweep monitor
+
+TEST(SweepMonitor, SpansAndCounts)
+{
+    SweepMonitor mon;
+    mon.addPlanned(2);
+    EXPECT_EQ(mon.planned(), 2u);
+    EXPECT_EQ(mon.completed(), 0u);
+    uint64_t id = mon.begin("cell A");
+    mon.end(id);
+    {
+        SweepMonitor::Scope span(&mon, "cell B");
+    }
+    EXPECT_EQ(mon.completed(), 2u);
+}
+
+TEST(SweepMonitor, NullMonitorScopeIsNoop)
+{
+    SweepMonitor::Scope span(nullptr, "ignored");
+    // Destructor must not crash either.
+}
+
+TEST(SweepMonitor, TraceJsonShape)
+{
+    SweepMonitor mon;
+    {
+        SweepMonitor::Scope span(&mon, "wl/design");
+    }
+    Json trace = mon.traceJson();
+    EXPECT_EQ(trace.at("displayTimeUnit").asString(), "ms");
+    const Json &events = trace.at("traceEvents");
+    ASSERT_GT(events.size(), 0u);
+
+    bool sawSpan = false, sawCallerName = false;
+    for (size_t i = 0; i < events.size(); ++i) {
+        const Json &ev = events.at(i);
+        if (ev.at("ph").asString() == "X" &&
+            ev.at("name").asString() == "wl/design") {
+            sawSpan = true;
+            // Recorded on the calling thread: tid 0.
+            EXPECT_EQ(ev.at("tid").asUInt(), 0u);
+            EXPECT_EQ(ev.at("pid").asUInt(), 1u);
+            EXPECT_NE(ev.find("ts"), nullptr);
+            EXPECT_NE(ev.find("dur"), nullptr);
+        }
+        if (ev.at("ph").asString() == "M" &&
+            ev.at("name").asString() == "thread_name" &&
+            ev.at("args").at("name").asString() == "caller") {
+            sawCallerName = true;
+        }
+    }
+    EXPECT_TRUE(sawSpan);
+    EXPECT_TRUE(sawCallerName);
+}
+
+TEST(SweepMonitor, AttributesSpansToPoolWorkers)
+{
+    SweepMonitor mon;
+    core::ExperimentRunner runner(2);
+    runner.setMonitor(&mon);
+    std::vector<int> items = {1, 2, 3, 4};
+    auto doubled = runner.map(items, [](int v) { return 2 * v; });
+    EXPECT_EQ(doubled, (std::vector<int>{2, 4, 6, 8}));
+    EXPECT_EQ(mon.planned(), 4u);
+    EXPECT_EQ(mon.completed(), 4u);
+
+    Json trace = mon.traceJson();
+    const Json &events = trace.at("traceEvents");
+    size_t spans = 0;
+    for (size_t i = 0; i < events.size(); ++i) {
+        const Json &ev = events.at(i);
+        if (ev.at("ph").asString() != "X")
+            continue;
+        ++spans;
+        // Pool workers 0..1 map to tids 1..2.
+        uint64_t tid = ev.at("tid").asUInt();
+        EXPECT_GE(tid, 1u);
+        EXPECT_LE(tid, 2u);
+    }
+    EXPECT_EQ(spans, 4u);
+}
+
+} // namespace
+} // namespace tps::obs

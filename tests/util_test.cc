@@ -9,8 +9,11 @@
 #include <cmath>
 
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include "util/bitops.hh"
+#include "util/logging.hh"
 #include "util/rng.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
@@ -239,6 +242,69 @@ TEST(Summary, GeomeanRequiresPositive)
     EXPECT_EQ(s.geomean(), 0.0);
 }
 
+TEST(Summary, StddevKnownValues)
+{
+    // {2, 4, 4, 4, 5, 5, 7, 9}: sample variance 32/7.
+    Summary s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Summary, StddevDegenerateCases)
+{
+    Summary s;
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.stddev(), 0.0);
+    s.add(42.0);
+    // A single sample has no spread (n-1 denominator undefined).
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.stddev(), 0.0);
+    s.add(42.0);
+    EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(Summary, WelfordMatchesTwoPass)
+{
+    // Welford against the naive two-pass computation on a pseudo-random
+    // stream, including a large offset that defeats the naive
+    // sum-of-squares formulation.
+    Pcg32 rng(77);
+    Summary s;
+    std::vector<double> xs;
+    for (int i = 0; i < 1000; ++i) {
+        double v = 1e9 + rng.uniform();
+        xs.push_back(v);
+        s.add(v);
+    }
+    double mean = 0.0;
+    for (double v : xs)
+        mean += v;
+    mean /= double(xs.size());
+    double var = 0.0;
+    for (double v : xs)
+        var += (v - mean) * (v - mean);
+    var /= double(xs.size() - 1);
+    // Both sides round at the 1e9 offset; agreement to 1e-6 relative is
+    // what matters (the naive sum-of-squares would be off by ~1e2).
+    EXPECT_NEAR(s.variance(), var, var * 1e-6);
+}
+
+TEST(Summary, WelfordLeavesMeanAndSumUntouched)
+{
+    // The stddev accumulator must not perturb the pre-existing
+    // fields: sum() stays the plain left-to-right addition.
+    Summary s;
+    double naive = 0.0;
+    for (double v : {0.1, 0.2, 0.3, 1e17, 7.0}) {
+        s.add(v);
+        naive += v;
+    }
+    EXPECT_EQ(s.sum(), naive);
+    EXPECT_EQ(s.mean(), naive / 5.0);
+}
+
 TEST(Histogram, AddAndQuery)
 {
     Histogram h;
@@ -252,6 +318,29 @@ TEST(Histogram, AddAndQuery)
     EXPECT_EQ(h.buckets().size(), 2u);
     h.clear();
     EXPECT_EQ(h.total(), 0u);
+}
+
+TEST(Histogram, QuantilesWeightedByCount)
+{
+    Histogram h;
+    h.add(1, 50);
+    h.add(10, 40);
+    h.add(100, 9);
+    h.add(1000, 1);
+    EXPECT_EQ(h.quantile(0.0), 1u);   // target clamps to the 1st sample
+    EXPECT_EQ(h.p50(), 1u);
+    EXPECT_EQ(h.quantile(0.51), 10u);
+    EXPECT_EQ(h.p95(), 100u);
+    EXPECT_EQ(h.p99(), 100u);
+    EXPECT_EQ(h.quantile(1.0), 1000u);
+}
+
+TEST(Histogram, QuantileSingleBucket)
+{
+    Histogram h;
+    h.add(21, 3);
+    EXPECT_EQ(h.p50(), 21u);
+    EXPECT_EQ(h.p99(), 21u);
 }
 
 TEST(Ratios, SafeDivision)
@@ -291,6 +380,74 @@ TEST(Format, Double)
 {
     EXPECT_EQ(fmtDouble(1.234, 2), "1.23");
     EXPECT_EQ(fmtDouble(1.0, 0), "1");
+}
+
+TEST(Format, DoubleNanIsEmpty)
+{
+    EXPECT_EQ(fmtDouble(std::nan(""), 2), "");
+    EXPECT_EQ(fmtDouble(-std::nan(""), 2), "");
+}
+
+TEST(Table, CsvNanCellIsEmpty)
+{
+    // An empty Summary's min() is NaN; it must land in the CSV as an
+    // empty cell, not the locale-dependent "nan"/"-nan" strings.
+    Summary empty;
+    Table t({"wl", "min"});
+    t.addRow({"gups", fmtDouble(empty.min(), 2)});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "wl,min\ngups,\n");
+}
+
+TEST(Logging, WarnAndInformGoToStderr)
+{
+    testing::internal::CaptureStderr();
+    tps_warn("spooky %d", 7);
+    tps_inform("status %s", "ok");
+    std::string out = testing::internal::GetCapturedStderr();
+    EXPECT_NE(out.find("warn: spooky 7\n"), std::string::npos);
+    EXPECT_NE(out.find("info: status ok\n"), std::string::npos);
+}
+
+TEST(Logging, WarnOnceFiresOncePerSite)
+{
+    testing::internal::CaptureStderr();
+    for (int i = 0; i < 5; ++i)
+        tps_warn_once("once-only %d", i);
+    std::string out = testing::internal::GetCapturedStderr();
+    EXPECT_NE(out.find("warn: once-only 0\n"), std::string::npos);
+    EXPECT_EQ(out.find("once-only 1"), std::string::npos);
+}
+
+TEST(Logging, WarnOncePerSiteNotGlobal)
+{
+    testing::internal::CaptureStderr();
+    tps_warn_once("site A");
+    tps_warn_once("site B");  // distinct call site, distinct flag
+    std::string out = testing::internal::GetCapturedStderr();
+    EXPECT_NE(out.find("site A"), std::string::npos);
+    EXPECT_NE(out.find("site B"), std::string::npos);
+}
+
+TEST(Logging, WarnOnceThreadSafe)
+{
+    testing::internal::CaptureStderr();
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 8; ++t) {
+        threads.emplace_back([] {
+            for (int i = 0; i < 100; ++i)
+                tps_warn_once("threaded warn");
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    std::string out = testing::internal::GetCapturedStderr();
+    // Exactly one occurrence across all threads and iterations.
+    const std::string msg = "warn: threaded warn\n";
+    size_t first = out.find(msg);
+    ASSERT_NE(first, std::string::npos);
+    EXPECT_EQ(out.find(msg, first + msg.size()), std::string::npos);
 }
 
 TEST(Format, Percent)
