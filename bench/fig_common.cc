@@ -1,6 +1,8 @@
 #include "fig_common.hh"
 
+#include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <memory>
 #include <mutex>
@@ -9,8 +11,11 @@
 #include <cstring>
 #include <iostream>
 
+#include "obs/resume.hh"
+#include "obs/stats_bindings.hh"
 #include "sim/perf_model.hh"
 #include "util/logging.hh"
+#include "util/sim_error.hh"
 #include "workloads/registry.hh"
 
 namespace tps::bench {
@@ -29,9 +34,32 @@ struct BenchContext
     std::unique_ptr<obs::SweepMonitor> monitor;
     std::mutex mu;
     std::vector<obs::CellArtifact> artifacts;
+    obs::ResumeLog resume;
+    bool resumeActive = false;
+    unsigned retries = 0;
 };
 
 BenchContext g_bench;
+
+/** The prior run's pure cell JSON for @p run, or nullptr. */
+const obs::Json *
+resumeLookup(const core::RunOptions &run)
+{
+    return g_bench.resumeActive ? g_bench.resume.find(run) : nullptr;
+}
+
+/** A Resumed artifact carrying the prior cell JSON verbatim. */
+obs::CellArtifact
+restoredArtifact(const core::RunOptions &run, const obs::Json &pure)
+{
+    obs::CellArtifact cell;
+    cell.options = run;
+    cell.stats = obs::simStatsFromJson(pure.at("stats"));
+    cell.status = core::CellStatus::Resumed;
+    cell.attempts = 0;
+    cell.restored = pure;
+    return cell;
+}
 
 double
 secondsSince(std::chrono::steady_clock::time_point t0)
@@ -61,11 +89,27 @@ initBench(const std::string &name, const FigOptions &opts)
 {
     g_bench.name = name;
     g_bench.start = std::chrono::steady_clock::now();
+    g_bench.retries = opts.retries;
     if (!opts.tracePath.empty() || opts.progress) {
         obs::SweepMonitor::Config mcfg;
         mcfg.bench = name;
         mcfg.progress = opts.progress;
         g_bench.monitor = std::make_unique<obs::SweepMonitor>(mcfg);
+    }
+    if (opts.resume) {
+        if (opts.statsJson.empty())
+            tps_fatal("--resume needs --stats-json=<path> (the manifest "
+                      "to resume from and rewrite)");
+        g_bench.resumeActive = g_bench.resume.load(opts.statsJson);
+        if (g_bench.resumeActive) {
+            std::fprintf(stderr,
+                         "resuming: %zu completed cells in %s\n",
+                         g_bench.resume.size(), opts.statsJson.c_str());
+        } else {
+            std::fprintf(stderr,
+                         "no usable manifest at %s; running all cells\n",
+                         opts.statsJson.c_str());
+        }
     }
 }
 
@@ -79,9 +123,18 @@ void
 recordRun(const core::RunOptions &run, const sim::SimStats &stats,
           double wallSeconds)
 {
+    obs::CellArtifact cell;
+    cell.options = run;
+    cell.stats = stats;
+    cell.wallSeconds = wallSeconds;
+    recordArtifact(std::move(cell));
+}
+
+void
+recordArtifact(obs::CellArtifact cell)
+{
     std::lock_guard<std::mutex> lock(g_bench.mu);
-    g_bench.artifacts.push_back(
-        obs::CellArtifact{run, stats, wallSeconds});
+    g_bench.artifacts.push_back(std::move(cell));
 }
 
 void
@@ -104,6 +157,44 @@ finishBench(const FigOptions &opts)
     }
 }
 
+namespace {
+
+/**
+ * Strict unsigned decimal parse: the whole string must be digits and
+ * fit uint64_t.  atoi-style silent truncation ("8x" -> 8, "" -> 0) is
+ * exactly how a typo'd sweep burns a night, so reject it up front.
+ */
+bool
+parseU64(const char *s, uint64_t *out)
+{
+    if (*s == '\0' || *s == '-' || *s == '+')
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(s, &end, 10);
+    if (errno != 0 || end == s || *end != '\0')
+        return false;
+    *out = v;
+    return true;
+}
+
+/** Strict finite-double parse: whole string, no trailing garbage. */
+bool
+parseF64(const char *s, double *out)
+{
+    if (*s == '\0')
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    double v = std::strtod(s, &end);
+    if (errno != 0 || end == s || *end != '\0' || !std::isfinite(v))
+        return false;
+    *out = v;
+    return true;
+}
+
+} // namespace
+
 FigOptions
 parseArgs(int argc, char **argv)
 {
@@ -111,20 +202,21 @@ parseArgs(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
         if (std::strncmp(arg, "--scale=", 8) == 0) {
-            opts.scale = std::atof(arg + 8);
-            if (opts.scale <= 0)
+            if (!parseF64(arg + 8, &opts.scale) || opts.scale <= 0)
                 tps_fatal("bad --scale value '%s'", arg + 8);
         } else if (std::strncmp(arg, "--phys-gb=", 10) == 0) {
-            opts.physBytes =
-                static_cast<uint64_t>(std::atoi(arg + 10)) << 30;
-            if (opts.physBytes == 0)
+            uint64_t gb = 0;
+            if (!parseU64(arg + 10, &gb) || gb == 0 || gb > (1u << 20))
                 tps_fatal("bad --phys-gb value '%s'", arg + 10);
+            opts.physBytes = gb << 30;
         } else if (std::strcmp(arg, "--csv") == 0) {
             opts.csv = true;
         } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
-            int jobs = std::atoi(arg + 7);
-            if (jobs < 1)
+            uint64_t jobs = 0;
+            if (!parseU64(arg + 7, &jobs) || jobs == 0 ||
+                jobs > 4096) {
                 tps_fatal("bad --jobs value '%s'", arg + 7);
+            }
             opts.jobs = static_cast<unsigned>(jobs);
         } else if (std::strncmp(arg, "--benchmarks=", 13) == 0) {
             std::string list = arg + 13;
@@ -140,10 +232,8 @@ parseArgs(int argc, char **argv)
                 pos = comma == std::string::npos ? comma : comma + 1;
             }
         } else if (std::strncmp(arg, "--epochs=", 9) == 0) {
-            long long epochs = std::atoll(arg + 9);
-            if (epochs < 1)
+            if (!parseU64(arg + 9, &opts.epochs) || opts.epochs == 0)
                 tps_fatal("bad --epochs value '%s'", arg + 9);
-            opts.epochs = static_cast<uint64_t>(epochs);
         } else if (std::strncmp(arg, "--stats-json=", 13) == 0) {
             opts.statsJson = arg + 13;
             if (opts.statsJson.empty())
@@ -154,11 +244,31 @@ parseArgs(int argc, char **argv)
                 tps_fatal("--trace needs a path");
         } else if (std::strcmp(arg, "--progress") == 0) {
             opts.progress = true;
+        } else if (std::strcmp(arg, "--paranoid") == 0) {
+            opts.paranoid = true;
+        } else if (std::strncmp(arg, "--check-every=", 14) == 0) {
+            if (!parseU64(arg + 14, &opts.checkEvery) ||
+                opts.checkEvery == 0) {
+                tps_fatal("bad --check-every value '%s'", arg + 14);
+            }
+        } else if (std::strncmp(arg, "--cell-timeout=", 15) == 0) {
+            if (!parseF64(arg + 15, &opts.cellTimeout) ||
+                opts.cellTimeout <= 0) {
+                tps_fatal("bad --cell-timeout value '%s'", arg + 15);
+            }
+        } else if (std::strncmp(arg, "--retries=", 10) == 0) {
+            uint64_t retries = 0;
+            if (!parseU64(arg + 10, &retries) || retries > 100)
+                tps_fatal("bad --retries value '%s'", arg + 10);
+            opts.retries = static_cast<unsigned>(retries);
+        } else if (std::strcmp(arg, "--resume") == 0) {
+            opts.resume = true;
         } else if (std::strcmp(arg, "--help") == 0) {
             std::printf(
                 "options: --scale=<f> --phys-gb=<n> --csv --jobs=<n> "
                 "--benchmarks=a,b,c --epochs=<n> --stats-json=<path> "
-                "--trace=<path> --progress\n");
+                "--trace=<path> --progress --paranoid --check-every=<n> "
+                "--cell-timeout=<sec> --retries=<n> --resume\n");
             std::exit(0);
         } else {
             tps_fatal("unknown option '%s' (try --help)", arg);
@@ -204,6 +314,9 @@ makeRun(const FigOptions &opts, const std::string &wl,
     run.scale = opts.scale;
     run.physBytes = opts.physBytes;
     run.epochAccesses = opts.epochs;
+    run.paranoid = opts.paranoid;
+    run.checkEvery = opts.checkEvery;
+    run.cellTimeoutSeconds = opts.cellTimeout;
     return run;
 }
 
@@ -268,32 +381,52 @@ std::vector<sim::SimStats>
 runCells(const FigOptions &opts,
          const std::vector<core::RunOptions> &cells)
 {
+    // Restore completed cells from the prior manifest; only the rest
+    // go to the pool.
+    std::vector<obs::CellArtifact> arts(cells.size());
+    std::vector<core::RunOptions> to_run;
+    std::vector<size_t> to_run_idx;
+    for (size_t i = 0; i < cells.size(); ++i) {
+        if (const obs::Json *pure = resumeLookup(cells[i])) {
+            arts[i] = restoredArtifact(cells[i], *pure);
+        } else {
+            to_run.push_back(cells[i]);
+            to_run_idx.push_back(i);
+        }
+    }
+
     core::ExperimentRunner runner(opts.jobs);
     runner.setMonitor(sweepMonitor());
-    struct Timed
-    {
-        sim::SimStats stats;
-        double seconds = 0.0;
-    };
-    auto out = runner.map(
-        cells,
-        [](const core::RunOptions &cell) {
-            auto t0 = std::chrono::steady_clock::now();
-            Timed r;
-            r.stats = core::runExperiment(cell);
-            r.seconds = secondsSince(t0);
-            return r;
-        },
-        [](const core::RunOptions &cell, size_t) {
-            return cellLabel(cell);
-        });
+    core::SweepPolicy policy;
+    policy.retries = opts.retries;
+    std::vector<core::CellOutcome> outcomes =
+        runner.runGuarded(to_run, policy);
+    for (size_t j = 0; j < outcomes.size(); ++j) {
+        obs::CellArtifact &cell = arts[to_run_idx[j]];
+        core::CellOutcome &out = outcomes[j];
+        cell.options = to_run[j];
+        cell.stats = std::move(out.stats);
+        cell.status = out.status;
+        cell.error = std::move(out.error);
+        cell.errorKind = std::move(out.errorKind);
+        cell.attempts = out.attempts;
+        cell.wallSeconds = out.seconds;
+        if (cell.status != core::CellStatus::Ok) {
+            std::fprintf(stderr,
+                         "cell %s %s after %u attempt(s): %s\n",
+                         cellLabel(cell.options).c_str(),
+                         core::cellStatusName(cell.status),
+                         cell.attempts, cell.error.c_str());
+        }
+    }
+
     // Record in input order so the manifest layout is independent of
     // pool scheduling (the golden test compares it across --jobs).
     std::vector<sim::SimStats> stats;
     stats.reserve(cells.size());
-    for (size_t i = 0; i < cells.size(); ++i) {
-        recordRun(cells[i], out[i].stats, out[i].seconds);
-        stats.push_back(std::move(out[i].stats));
+    for (obs::CellArtifact &cell : arts) {
+        stats.push_back(cell.stats);
+        recordArtifact(std::move(cell));
     }
     return stats;
 }
@@ -302,20 +435,48 @@ std::vector<CensusRun>
 runCellsWithCensus(const FigOptions &opts,
                    const std::vector<core::RunOptions> &cells)
 {
+    // Census cells always execute, even with --resume: the manifest
+    // stores only the stats, not the end-of-run page-table census.
     core::ExperimentRunner runner(opts.jobs);
     runner.setMonitor(sweepMonitor());
-    struct Timed
+    struct Guarded
     {
         CensusRun run;
-        double seconds = 0.0;
+        obs::CellArtifact cell;
     };
+    unsigned retries = opts.retries;
     auto out = runner.map(
         cells,
-        [](const core::RunOptions &cell) {
+        [retries](const core::RunOptions &cell_opts) {
             auto t0 = std::chrono::steady_clock::now();
-            Timed r;
-            r.run = runWithCensus(cell);
-            r.seconds = secondsSince(t0);
+            Guarded r;
+            r.cell.options = cell_opts;
+            for (unsigned attempt = 0; attempt <= retries; ++attempt) {
+                r.cell.attempts = attempt + 1;
+                try {
+                    r.run = runWithCensus(cell_opts);
+                    r.cell.stats = r.run.stats;
+                    r.cell.status = core::CellStatus::Ok;
+                    r.cell.error.clear();
+                    r.cell.errorKind.clear();
+                    break;
+                } catch (const SimError &e) {
+                    r.run = CensusRun{};
+                    r.cell.stats = sim::SimStats{};
+                    r.cell.status = e.kind() == ErrorKind::Timeout
+                                        ? core::CellStatus::Timeout
+                                        : core::CellStatus::Failed;
+                    r.cell.error = e.what();
+                    r.cell.errorKind = errorKindName(e.kind());
+                } catch (const std::exception &e) {
+                    r.run = CensusRun{};
+                    r.cell.stats = sim::SimStats{};
+                    r.cell.status = core::CellStatus::Failed;
+                    r.cell.error = e.what();
+                    r.cell.errorKind = "exception";
+                }
+            }
+            r.cell.wallSeconds = secondsSince(t0);
             return r;
         },
         [](const core::RunOptions &cell, size_t) {
@@ -324,7 +485,14 @@ runCellsWithCensus(const FigOptions &opts,
     std::vector<CensusRun> runs;
     runs.reserve(cells.size());
     for (size_t i = 0; i < cells.size(); ++i) {
-        recordRun(cells[i], out[i].run.stats, out[i].seconds);
+        if (out[i].cell.status != core::CellStatus::Ok) {
+            std::fprintf(stderr,
+                         "cell %s %s after %u attempt(s): %s\n",
+                         cellLabel(cells[i]).c_str(),
+                         core::cellStatusName(out[i].cell.status),
+                         out[i].cell.attempts, out[i].cell.error.c_str());
+        }
+        recordArtifact(std::move(out[i].cell));
         runs.push_back(std::move(out[i].run));
     }
     return runs;
@@ -347,15 +515,26 @@ computeAllSpeedups(const FigOptions &opts,
         wls,
         [&opts, smt](const std::string &wl) {
             WlResult r;
-            r.row = computeSpeedups(opts, wl, smt, &r.artifacts);
+            try {
+                r.row = computeSpeedups(opts, wl, smt, &r.artifacts);
+            } catch (const std::exception &e) {
+                // One benchmark's pipeline failing must not sink the
+                // sweep: report a NaN row; its completed cells stay in
+                // r.artifacts so a --resume rerun can skip them.
+                std::fprintf(stderr,
+                             "speedup pipeline for %s failed: %s\n",
+                             wl.c_str(), e.what());
+                double nan = std::nan("");
+                r.row = SpeedupRow{nan, nan, nan, nan, nan};
+            }
             return r;
         },
         [](const std::string &wl, size_t) { return wl; });
     std::vector<SpeedupRow> rows;
     rows.reserve(wls.size());
     for (WlResult &r : out) {
-        for (const obs::CellArtifact &a : r.artifacts)
-            recordRun(a.options, a.stats, a.wallSeconds);
+        for (obs::CellArtifact &a : r.artifacts)
+            recordArtifact(std::move(a));
         rows.push_back(r.row);
     }
     return rows;
@@ -369,17 +548,29 @@ computeSpeedups(const FigOptions &opts, const std::string &wl, bool smt,
         return smt ? makeSmtRun(opts, wl, d) : makeRun(opts, wl, d);
     };
 
-    // One pipeline step: run, trace a (nested) span, keep the artifact.
+    // One pipeline step: restore from the prior manifest when --resume
+    // has the cell, else run; trace a (nested) span, keep the artifact.
     auto step = [&](const core::RunOptions &run) {
+        if (const obs::Json *pure = resumeLookup(run)) {
+            obs::CellArtifact cell = restoredArtifact(run, *pure);
+            sim::SimStats s = cell.stats;
+            if (artifacts)
+                artifacts->push_back(std::move(cell));
+            return s;
+        }
         obs::SweepMonitor *monitor = sweepMonitor();
         if (monitor)
             monitor->addPlanned(1);
         obs::SweepMonitor::Scope span(monitor, cellLabel(run));
         auto t0 = std::chrono::steady_clock::now();
         sim::SimStats s = core::runExperiment(run);
-        if (artifacts)
-            artifacts->push_back(
-                obs::CellArtifact{run, s, secondsSince(t0)});
+        if (artifacts) {
+            obs::CellArtifact cell;
+            cell.options = run;
+            cell.stats = s;
+            cell.wallSeconds = secondsSince(t0);
+            artifacts->push_back(std::move(cell));
+        }
         return s;
     };
 

@@ -33,12 +33,20 @@ struct FigOptions
     std::string statsJson;     //!< write a run manifest here
     std::string tracePath;     //!< write a Chrome trace here
     bool progress = false;     //!< live per-cell progress on stderr
+    bool paranoid = false;     //!< full invariant sweep after each cell
+    uint64_t checkEvery = 0;   //!< in-run invariant check interval
+    double cellTimeout = 0.0;  //!< per-cell wall-clock budget (seconds)
+    unsigned retries = 0;      //!< extra attempts for a failed cell
+    bool resume = false;       //!< skip cells already in --stats-json
 };
 
 /**
  * Parse common flags: --scale=<f>, --phys-gb=<n>, --csv, --jobs=<n>,
  * --benchmarks=a,b,c, --epochs=<n>, --stats-json=<path>,
- * --trace=<path>, --progress.  Unknown flags are fatal.
+ * --trace=<path>, --progress, --paranoid, --check-every=<n>,
+ * --cell-timeout=<sec>, --retries=<n>, --resume.  Values are parsed
+ * strictly (trailing garbage, out-of-range, or nonsensical values like
+ * --jobs=0 are rejected with a one-line error); unknown flags are fatal.
  */
 FigOptions parseArgs(int argc, char **argv);
 
@@ -55,6 +63,9 @@ obs::SweepMonitor *sweepMonitor();
 /** Record one completed run for the --stats-json manifest. */
 void recordRun(const core::RunOptions &run, const sim::SimStats &stats,
                double wallSeconds);
+
+/** Record a full cell artifact (failed, restored, or fresh). */
+void recordArtifact(obs::CellArtifact cell);
 
 /**
  * Write the artifacts the command line asked for (--stats-json
@@ -100,6 +111,12 @@ CensusRun runWithCensus(const core::RunOptions &opts);
  * Run every cell on an opts.jobs-wide ExperimentRunner; the result is
  * index-aligned with @p cells.  Output is bit-identical for any job
  * count (each cell's seeds derive from its own identity).
+ *
+ * Cells are fault-isolated: a cell that throws is recorded as a
+ * failed/timed-out manifest entry (with opts.retries re-attempts) and
+ * returns zeroed stats; the sweep continues.  With --resume, cells
+ * already completed in the prior --stats-json manifest are restored
+ * instead of re-run.
  */
 std::vector<sim::SimStats> runCells(const FigOptions &opts,
                                     const std::vector<core::RunOptions> &cells);

@@ -1,0 +1,195 @@
+#include "check/fault_injector.hh"
+
+#include "os/address_space.hh"
+#include "os/phys_memory.hh"
+#include "tlb/tlb_entry.hh"
+#include "tlb/tlb_hierarchy.hh"
+#include "util/bitops.hh"
+#include "vm/page_table.hh"
+
+namespace tps::check {
+
+using vm::Vaddr;
+
+const char *
+faultClassName(FaultClass cls)
+{
+    switch (cls) {
+      case FaultClass::PteBitFlip: return "pte-bit-flip";
+      case FaultClass::SkippedInvalidation:
+        return "skipped-invalidation";
+      case FaultClass::LeakedBuddyBlock: return "leaked-buddy-block";
+      case FaultClass::MisalignedGrant: return "misaligned-grant";
+      case FaultClass::ReservationOverlap: return "reservation-overlap";
+    }
+    return "unknown";
+}
+
+FaultInjector::FaultInjector(const Targets &targets, uint64_t seed)
+    : t_(targets), rng_(seed, /*stream=*/0x900ddeed)
+{
+}
+
+bool
+FaultInjector::inject(FaultClass cls)
+{
+    switch (cls) {
+      case FaultClass::PteBitFlip: return injectPteBitFlip();
+      case FaultClass::SkippedInvalidation:
+        return injectSkippedInvalidation();
+      case FaultClass::LeakedBuddyBlock:
+        return injectLeakedBuddyBlock();
+      case FaultClass::MisalignedGrant: return injectMisalignedGrant();
+      case FaultClass::ReservationOverlap:
+        return injectReservationOverlap();
+    }
+    return false;
+}
+
+void
+FaultInjector::collect(vm::PageTableNode *node, unsigned level,
+                       Vaddr prefix, std::vector<LeafSite> &out) const
+{
+    const vm::SizeEncoding enc = t_.as->pageTable().encoding();
+    const uint64_t entry_bytes = 1ull << vm::levelPageBits(level);
+    for (unsigned idx = 0; idx < vm::kPtesPerNode; ++idx) {
+        const vm::Pte pte = node->ptes[idx];
+        Vaddr base = prefix + idx * entry_bytes;
+        if (!pte.present() || pte.alias())
+            continue;
+        bool is_leaf = (level == 1) || pte.pageSize();
+        if (!is_leaf) {
+            if (node->children[idx])
+                collect(node->children[idx].get(), level - 1, base, out);
+            continue;
+        }
+        LeafSite site;
+        site.node = node;
+        site.level = level;
+        site.idx = idx;
+        site.base = base;
+        site.info = vm::decodeLeafPte(pte, level, enc);
+        site.tailored = pte.tailored();
+        out.push_back(site);
+        idx += (1u << vm::spanBits(site.info.pageBits)) - 1;
+    }
+}
+
+std::vector<FaultInjector::LeafSite>
+FaultInjector::collectLeaves() const
+{
+    std::vector<LeafSite> out;
+    if (t_.as)
+        collect(&t_.as->pageTable().root(), vm::kLevels, 0, out);
+    return out;
+}
+
+bool
+FaultInjector::injectPteBitFlip()
+{
+    std::vector<LeafSite> sites = collectLeaves();
+    if (sites.empty())
+        return false;
+    LeafSite &s = sites[rng_.below(
+        static_cast<uint32_t>(sites.size()))];
+    // Flip a bit high in the PFN field: the decoded frame lands far
+    // beyond physical memory while NAPOT size codes (low bits) are
+    // untouched, so exactly the PTE-alignment range check fires.
+    vm::Pte pte = s.node->ptes[s.idx];
+    pte.setRawPfn(pte.rawPfn() ^ (1ull << (vm::Pte::kPfnBits - 1)));
+    s.node->ptes[s.idx] = pte;
+    return true;
+}
+
+bool
+FaultInjector::injectSkippedInvalidation()
+{
+    if (!t_.as || !t_.tlb)
+        return false;
+    // Base pages only: every TLB design can cache a 4 KB entry.
+    std::vector<LeafSite> sites = collectLeaves();
+    std::vector<LeafSite> small;
+    for (const LeafSite &s : sites)
+        if (s.info.pageBits == vm::kBasePageBits)
+            small.push_back(s);
+    if (small.empty())
+        return false;
+    LeafSite &s = small[rng_.below(
+        static_cast<uint32_t>(small.size()))];
+    tlb::TlbEntry entry = tlb::TlbEntry::fromLeaf(
+        s.base, s.info, s.node->entryPaddr(s.idx));
+    t_.tlb->fill(s.base, entry);
+    // Unmap straight through the page table -- the OS path would have
+    // requested a shootdown here.
+    t_.as->pageTable().unmap(s.base);
+    return true;
+}
+
+bool
+FaultInjector::injectLeakedBuddyBlock()
+{
+    if (!t_.phys)
+        return false;
+    // Allocate behind PhysMemory's back, leaving the frames owned by
+    // nobody the ledger knows about.
+    return t_.phys->buddy().alloc(0).has_value();
+}
+
+bool
+FaultInjector::injectMisalignedGrant()
+{
+    std::vector<LeafSite> sites = collectLeaves();
+    // Preferred: swap a tailored true PTE with its first alias, leaving
+    // the true PTE at a span-misaligned slot and an orphan alias at the
+    // aligned one (the TPS-specific grant violation).
+    std::vector<LeafSite *> tailored;
+    std::vector<LeafSite *> large_conv;
+    for (LeafSite &s : sites) {
+        if (vm::spanBits(s.info.pageBits) > 0)
+            tailored.push_back(&s);
+        else if (s.info.pageBits > vm::kBasePageBits)
+            large_conv.push_back(&s);
+    }
+    if (!tailored.empty()) {
+        LeafSite &s = *tailored[rng_.below(
+            static_cast<uint32_t>(tailored.size()))];
+        std::swap(s.node->ptes[s.idx], s.node->ptes[s.idx + 1]);
+        return true;
+    }
+    if (!large_conv.empty()) {
+        // Fallback for THP-style state: nudge a 2M/1G frame off its
+        // natural alignment.
+        LeafSite &s = *large_conv[rng_.below(
+            static_cast<uint32_t>(large_conv.size()))];
+        vm::Pte pte = s.node->ptes[s.idx];
+        pte.setRawPfn(pte.rawPfn() + 1);
+        s.node->ptes[s.idx] = pte;
+        return true;
+    }
+    return false;
+}
+
+bool
+FaultInjector::injectReservationOverlap()
+{
+    if (!t_.as)
+        return false;
+    auto &table = t_.as->reservations().all();
+    for (auto &[va, res] : table) {
+        if (res.order() == 0)
+            continue;
+        // Carve a half-size reservation out of the upper half of an
+        // existing one; alignment preconditions hold, the frames are
+        // genuinely reserved, only the overlap is wrong.
+        Vaddr upper = res.vaBase() + res.bytes() / 2;
+        unsigned order = res.order() - 1;
+        if (table.count(upper))
+            continue;
+        table.emplace(upper,
+                      os::Reservation(upper, order, res.pfnBase()));
+        return true;
+    }
+    return false;
+}
+
+} // namespace tps::check

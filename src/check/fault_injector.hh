@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Deterministic fault injection for the invariant checker's negative
+ * tests.
+ *
+ * Each fault class corrupts exactly one of the state families the
+ * checker verifies, chosen so that a well-targeted corruption trips its
+ * intended invariant and no other: a PTE bit flip or a misaligned
+ * physical grant fires the PTE-alignment check, a skipped TLB
+ * invalidation fires the coherence check, a leaked buddy block fires
+ * frame accounting, and an overlapping reservation fires the
+ * VMA/reservation check.  Site selection is driven by a seeded PCG
+ * stream so every injection is reproducible.
+ */
+
+#ifndef TPS_CHECK_FAULT_INJECTOR_HH
+#define TPS_CHECK_FAULT_INJECTOR_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hh"
+#include "vm/addr.hh"
+#include "vm/pte.hh"
+
+namespace tps::os {
+class AddressSpace;
+class PhysMemory;
+} // namespace tps::os
+
+namespace tps::tlb {
+class TlbHierarchy;
+} // namespace tps::tlb
+
+namespace tps::vm {
+struct PageTableNode;
+} // namespace tps::vm
+
+namespace tps::check {
+
+/** The corruption each injection applies. */
+enum class FaultClass
+{
+    PteBitFlip,          //!< flip a high PFN bit in a true leaf PTE
+    SkippedInvalidation, //!< unmap a page without the TLB shootdown
+    LeakedBuddyBlock,    //!< allocate frames behind the ledger's back
+    MisalignedGrant,     //!< break the natural-alignment rule of a leaf
+    ReservationOverlap,  //!< insert a reservation overlapping another
+};
+
+/** Stable display name ("pte-bit-flip", ...). */
+const char *faultClassName(FaultClass cls);
+
+/** Every fault class, for matrix-style tests. */
+inline constexpr std::array<FaultClass, 5> kAllFaultClasses = {
+    FaultClass::PteBitFlip,          FaultClass::SkippedInvalidation,
+    FaultClass::LeakedBuddyBlock,    FaultClass::MisalignedGrant,
+    FaultClass::ReservationOverlap,
+};
+
+/** The injector.  Mutates live state; only ever used by tests. */
+class FaultInjector
+{
+  public:
+    /** What may be corrupted; classes missing their target are no-ops. */
+    struct Targets
+    {
+        os::AddressSpace *as = nullptr;
+        os::PhysMemory *phys = nullptr;
+        tlb::TlbHierarchy *tlb = nullptr;
+    };
+
+    FaultInjector(const Targets &targets, uint64_t seed);
+
+    /**
+     * Apply one corruption of class @p cls at a seeded-random site.
+     * @return true if a suitable site existed and was corrupted.
+     */
+    bool inject(FaultClass cls);
+
+  private:
+    /** A true leaf PTE with its location in the radix tree. */
+    struct LeafSite
+    {
+        vm::PageTableNode *node;
+        unsigned level;
+        unsigned idx;
+        vm::Vaddr base;
+        vm::LeafInfo info;
+        bool tailored;
+    };
+
+    std::vector<LeafSite> collectLeaves() const;
+    void collect(vm::PageTableNode *node, unsigned level,
+                 vm::Vaddr prefix, std::vector<LeafSite> &out) const;
+
+    bool injectPteBitFlip();
+    bool injectSkippedInvalidation();
+    bool injectLeakedBuddyBlock();
+    bool injectMisalignedGrant();
+    bool injectReservationOverlap();
+
+    Targets t_;
+    Pcg32 rng_;
+};
+
+} // namespace tps::check
+
+#endif // TPS_CHECK_FAULT_INJECTOR_HH

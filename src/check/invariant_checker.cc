@@ -1,0 +1,540 @@
+#include "check/invariant_checker.hh"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <utility>
+
+#include "os/address_space.hh"
+#include "os/phys_memory.hh"
+#include "tlb/tlb_hierarchy.hh"
+#include "util/bitops.hh"
+#include "util/sim_error.hh"
+#include "vm/page_table.hh"
+#include "vm/pte.hh"
+
+namespace tps::check {
+
+using vm::Paddr;
+using vm::Pfn;
+using vm::Vaddr;
+
+namespace {
+
+std::string
+fmt(const char *format, ...)
+{
+    char buf[512];
+    va_list args;
+    va_start(args, format);
+    vsnprintf(buf, sizeof(buf), format, args);
+    va_end(args);
+    return std::string(buf);
+}
+
+} // namespace
+
+const char *
+invariantClassName(InvariantClass cls)
+{
+    switch (cls) {
+      case InvariantClass::PteAlignment: return "pte-alignment";
+      case InvariantClass::TlbCoherence: return "tlb-coherence";
+      case InvariantClass::FrameAccounting: return "frame-accounting";
+      case InvariantClass::VmaConsistency: return "vma-consistency";
+    }
+    return "unknown";
+}
+
+void
+CheckReport::add(InvariantClass cls, std::string detail)
+{
+    violations_.push_back(Violation{cls, std::move(detail)});
+}
+
+bool
+CheckReport::has(InvariantClass cls) const
+{
+    for (const Violation &v : violations_)
+        if (v.cls == cls)
+            return true;
+    return false;
+}
+
+std::string
+CheckReport::summary(size_t max_items) const
+{
+    if (ok())
+        return "all invariants hold";
+    std::string s = fmt("%zu invariant violation%s:", violations_.size(),
+                        violations_.size() == 1 ? "" : "s");
+    size_t shown = std::min(max_items, violations_.size());
+    for (size_t i = 0; i < shown; ++i) {
+        s += fmt(" [%s] %s%s", invariantClassName(violations_[i].cls),
+                 violations_[i].detail.c_str(),
+                 i + 1 < shown ? ";" : "");
+    }
+    if (violations_.size() > shown)
+        s += fmt(" (+%zu more)", violations_.size() - shown);
+    return s;
+}
+
+CheckReport
+InvariantChecker::checkAll() const
+{
+    CheckReport r;
+    checkPteAlignment(r);
+    checkTlbCoherence(r);
+    checkFrameAccounting(r);
+    checkVmaConsistency(r);
+    return r;
+}
+
+void
+InvariantChecker::throwIfBad() const
+{
+    CheckReport r = checkAll();
+    if (!r.ok())
+        throwSimError(ErrorKind::CorruptState, "%s",
+                      r.summary().c_str());
+}
+
+uint64_t
+InvariantChecker::externallyHeldFrames(const os::PhysMemory &pm)
+{
+    const os::PhysMemoryStats &s = pm.stats();
+    uint64_t ledger = s.tableFrames + s.appFrames + s.reservedFrames;
+    uint64_t used = pm.buddy().usedFrames();
+    return used > ledger ? used - ledger : 0;
+}
+
+// ---------------------------------------------------------------------
+// PTE alignment / alias-span structure
+// ---------------------------------------------------------------------
+
+void
+InvariantChecker::scanNode(const vm::PageTableNode *node, unsigned level,
+                           Vaddr prefix, CheckReport &r) const
+{
+    const vm::PageTable &pt = t_.as->pageTable();
+    const vm::SizeEncoding enc = pt.encoding();
+    const vm::AliasMode alias_mode = pt.aliasMode();
+    const uint64_t entry_bytes = 1ull << vm::levelPageBits(level);
+    constexpr InvariantClass kCls = InvariantClass::PteAlignment;
+
+    for (unsigned idx = 0; idx < vm::kPtesPerNode; ++idx) {
+        const vm::Pte pte = node->ptes[idx];
+        const vm::PageTableNode *child = node->children[idx].get();
+        const Vaddr base = prefix + idx * entry_bytes;
+
+        if (!pte.present()) {
+            if (child) {
+                r.add(kCls, fmt("level-%u slot %u (va %#llx): "
+                                "non-present entry with a live child node",
+                                level, idx,
+                                (unsigned long long)base));
+            }
+            continue;
+        }
+
+        bool is_leaf = (level == 1) || pte.pageSize();
+        if (!is_leaf) {
+            if (!child) {
+                r.add(kCls, fmt("level-%u directory at va %#llx has no "
+                                "child node", level,
+                                (unsigned long long)base));
+            } else {
+                if (pte.rawPfn() != child->framePfn) {
+                    r.add(kCls,
+                          fmt("level-%u directory at va %#llx points at "
+                              "frame %#llx but child lives in %#llx",
+                              level, (unsigned long long)base,
+                              (unsigned long long)pte.rawPfn(),
+                              (unsigned long long)child->framePfn));
+                }
+                scanNode(child, level - 1, base, r);
+            }
+            continue;
+        }
+
+        if (pte.alias()) {
+            // Covered aliases are consumed by the span loop below, so
+            // any alias reached here has no true PTE anchoring it.
+            r.add(kCls, fmt("orphan alias PTE at level %u, va %#llx",
+                            level, (unsigned long long)base));
+            continue;
+        }
+
+        vm::LeafInfo info = vm::decodeLeafPte(pte, level, enc);
+        if (info.pageBits < vm::kBasePageBits ||
+            info.pageBits > vm::kMaxPageBits) {
+            r.add(kCls, fmt("leaf at va %#llx decodes to impossible page "
+                            "size 2^%u", (unsigned long long)base,
+                            info.pageBits));
+            continue;
+        }
+        if (vm::leafLevel(info.pageBits) != level) {
+            r.add(kCls, fmt("leaf at va %#llx: 2^%u page anchored at "
+                            "level %u, expected level %u",
+                            (unsigned long long)base, info.pageBits,
+                            level, vm::leafLevel(info.pageBits)));
+            continue;
+        }
+
+        unsigned span = vm::spanBits(info.pageBits);
+        unsigned slots = 1u << span;
+        unsigned k = info.pageBits - vm::kBasePageBits;
+
+        if (idx % slots != 0) {
+            r.add(kCls, fmt("true PTE of 2^%u page at va %#llx sits at "
+                            "slot %u, not span-aligned",
+                            info.pageBits, (unsigned long long)base,
+                            idx));
+            continue;  // span loop below assumes alignment
+        }
+        if (info.pfn & lowMask(k)) {
+            r.add(kCls, fmt("2^%u page at va %#llx backed by misaligned "
+                            "frame %#llx", info.pageBits,
+                            (unsigned long long)base,
+                            (unsigned long long)info.pfn));
+        }
+        if (base & lowMask(info.pageBits)) {
+            r.add(kCls, fmt("2^%u page base va %#llx not naturally "
+                            "aligned", info.pageBits,
+                            (unsigned long long)base));
+        }
+        if (pte.tailored() && enc == vm::SizeEncoding::Napot &&
+            vm::napotEncode(info.pfn, info.pageBits) != pte.rawPfn()) {
+            r.add(kCls, fmt("NAPOT code of leaf at va %#llx does not "
+                            "round-trip (raw pfn %#llx)",
+                            (unsigned long long)base,
+                            (unsigned long long)pte.rawPfn()));
+        }
+        if (t_.phys) {
+            uint64_t frames = 1ull << k;
+            uint64_t total = t_.phys->buddy().totalFrames();
+            if (info.pfn >= total || info.pfn + frames > total) {
+                r.add(kCls, fmt("leaf at va %#llx maps frames "
+                                "[%#llx, +%llu) beyond physical memory "
+                                "(%llu frames)",
+                                (unsigned long long)base,
+                                (unsigned long long)info.pfn,
+                                (unsigned long long)frames,
+                                (unsigned long long)total));
+            }
+        }
+
+        for (unsigned s = 1; s < slots; ++s) {
+            const vm::Pte a = node->ptes[idx + s];
+            Vaddr ava = prefix + (idx + s) * entry_bytes;
+            if (node->children[idx + s]) {
+                r.add(kCls, fmt("alias slot at va %#llx has a live child "
+                                "node", (unsigned long long)ava));
+            }
+            if (!a.present() || !a.alias()) {
+                r.add(kCls, fmt("2^%u page at va %#llx: slot %u is not "
+                                "an alias PTE", info.pageBits,
+                                (unsigned long long)base, idx + s));
+                continue;
+            }
+            if (alias_mode == vm::AliasMode::FullCopy) {
+                if (a.raw() != (pte.raw() | vm::Pte::kAlias)) {
+                    r.add(kCls, fmt("full-copy alias at va %#llx "
+                                    "diverges from its true PTE",
+                                    (unsigned long long)ava));
+                }
+                continue;
+            }
+            if (!a.tailored() || a.pageSize() != pte.pageSize()) {
+                r.add(kCls, fmt("pointer alias at va %#llx lost its "
+                                "T/PS bits", (unsigned long long)ava));
+            }
+            if (enc == vm::SizeEncoding::Napot) {
+                if (a.rawPfn() != lowMask(k == 0 ? 0 : k - 1)) {
+                    r.add(kCls, fmt("pointer alias at va %#llx carries "
+                                    "wrong NAPOT size code %#llx",
+                                    (unsigned long long)ava,
+                                    (unsigned long long)a.rawPfn()));
+                }
+            } else if (a.sizeField() != span) {
+                r.add(kCls, fmt("pointer alias at va %#llx carries "
+                                "wrong size field %u (expected %u)",
+                                (unsigned long long)ava, a.sizeField(),
+                                span));
+            }
+        }
+        idx += slots - 1;
+    }
+}
+
+void
+InvariantChecker::checkPteAlignment(CheckReport &r) const
+{
+    if (!t_.as)
+        return;
+    scanNode(&t_.as->pageTable().root(), vm::kLevels, 0, r);
+}
+
+// ---------------------------------------------------------------------
+// TLB <-> page-table coherence
+// ---------------------------------------------------------------------
+
+void
+InvariantChecker::checkTlbCoherence(CheckReport &r) const
+{
+    if (!t_.as || !t_.tlb)
+        return;
+    const vm::PageTable &pt = t_.as->pageTable();
+    constexpr InvariantClass kCls = InvariantClass::TlbCoherence;
+
+    auto check_page = [&](Vaddr va, Paddr want_pa, unsigned page_bits,
+                          bool writable, const char *what) {
+        auto res = pt.lookup(va);
+        if (!res) {
+            r.add(kCls, fmt("stale %s for unmapped va %#llx", what,
+                            (unsigned long long)va));
+            return;
+        }
+        Paddr pa = (res->leaf.pfn << vm::kBasePageBits) +
+                   vm::pageOffset(va, res->leaf.pageBits);
+        if (pa != want_pa) {
+            r.add(kCls, fmt("%s translates va %#llx to pa %#llx but the "
+                            "page table says %#llx", what,
+                            (unsigned long long)va,
+                            (unsigned long long)want_pa,
+                            (unsigned long long)pa));
+        }
+        if (res->leaf.pageBits < page_bits) {
+            r.add(kCls, fmt("%s for va %#llx covers 2^%u bytes but the "
+                            "mapping is only 2^%u", what,
+                            (unsigned long long)va, page_bits,
+                            res->leaf.pageBits));
+        }
+        if (writable && !res->leaf.writable) {
+            r.add(kCls, fmt("%s for va %#llx caches a stale writable "
+                            "permission", what,
+                            (unsigned long long)va));
+        }
+    };
+
+    t_.tlb->forEachEntry([&](const tlb::TlbEntry &e) {
+        check_page(e.pageBase(), e.pfn << vm::kBasePageBits, e.pageBits,
+                   e.writable, "TLB entry");
+    });
+    t_.tlb->forEachColtRun([&](const tlb::ColtEntry &e) {
+        for (unsigned i = 0; i < e.length; ++i) {
+            check_page((e.startVpn + i) << vm::kBasePageBits,
+                       (e.startPfn + i) << vm::kBasePageBits,
+                       vm::kBasePageBits, e.writable, "CoLT run");
+        }
+    });
+    t_.tlb->forEachRange([&](const tlb::RangeEntry &e) {
+        for (vm::Vpn vpn : {e.baseVpn, e.limitVpn}) {
+            check_page(vpn << vm::kBasePageBits,
+                       (Pfn)(vpn + e.offset) << vm::kBasePageBits,
+                       vm::kBasePageBits, e.writable, "range entry");
+        }
+    });
+}
+
+// ---------------------------------------------------------------------
+// Buddy free lists vs. the usage ledger
+// ---------------------------------------------------------------------
+
+void
+InvariantChecker::checkFrameAccounting(CheckReport &r) const
+{
+    if (!t_.phys)
+        return;
+    const os::BuddyAllocator &buddy = t_.phys->buddy();
+    constexpr InvariantClass kCls = InvariantClass::FrameAccounting;
+
+    std::vector<std::pair<Pfn, uint64_t>> blocks;  // (pfn, frames)
+    uint64_t free_sum = 0;
+    for (unsigned order = 0; order <= os::BuddyAllocator::kMaxOrder;
+         ++order) {
+        uint64_t frames = 1ull << order;
+        for (Pfn pfn : buddy.freeList(order)) {
+            if (pfn % frames != 0) {
+                r.add(kCls, fmt("free order-%u block at frame %#llx is "
+                                "not naturally aligned", order,
+                                (unsigned long long)pfn));
+            }
+            if (pfn + frames > buddy.totalFrames()) {
+                r.add(kCls, fmt("free order-%u block at frame %#llx "
+                                "extends beyond physical memory", order,
+                                (unsigned long long)pfn));
+            }
+            blocks.emplace_back(pfn, frames);
+            free_sum += frames;
+        }
+    }
+    std::sort(blocks.begin(), blocks.end());
+    for (size_t i = 1; i < blocks.size(); ++i) {
+        if (blocks[i - 1].first + blocks[i - 1].second >
+            blocks[i].first) {
+            r.add(kCls, fmt("free blocks at frames %#llx and %#llx "
+                            "overlap",
+                            (unsigned long long)blocks[i - 1].first,
+                            (unsigned long long)blocks[i].first));
+        }
+    }
+    if (free_sum != buddy.freeFrames()) {
+        r.add(kCls, fmt("free lists hold %llu frames but freeFrames() "
+                        "says %llu", (unsigned long long)free_sum,
+                        (unsigned long long)buddy.freeFrames()));
+    }
+
+    const os::PhysMemoryStats &s = t_.phys->stats();
+    uint64_t ledger = s.tableFrames + s.appFrames + s.reservedFrames +
+                      t_.exemptFrames;
+    if (ledger != buddy.usedFrames()) {
+        r.add(kCls, fmt("frame ledger (table %llu + app %llu + reserved "
+                        "%llu + exempt %llu) != buddy used %llu "
+                        "(leak or double free)",
+                        (unsigned long long)s.tableFrames,
+                        (unsigned long long)s.appFrames,
+                        (unsigned long long)s.reservedFrames,
+                        (unsigned long long)t_.exemptFrames,
+                        (unsigned long long)buddy.usedFrames()));
+    }
+
+    if (t_.as) {
+        t_.as->pageTable().forEachLeaf(
+            [&](Vaddr base, const vm::LeafInfo &leaf) {
+                uint64_t frames =
+                    1ull << (leaf.pageBits - vm::kBasePageBits);
+                // Out-of-range or misaligned frames are the PTE
+                // check's findings; ownership is undefined for them.
+                if (leaf.pfn + frames > buddy.totalFrames() ||
+                    (leaf.pfn & lowMask(leaf.pageBits -
+                                        vm::kBasePageBits))) {
+                    return;
+                }
+                for (Pfn pfn : {leaf.pfn, leaf.pfn + frames - 1}) {
+                    if (buddy.isFree(pfn, 0)) {
+                        r.add(kCls,
+                              fmt("frame %#llx backs va %#llx but is "
+                                  "also on a free list",
+                                  (unsigned long long)pfn,
+                                  (unsigned long long)base));
+                    }
+                }
+            });
+        for (const auto &[va, res] : t_.as->reservations().all()) {
+            if (res.pfnBase() + res.pages() > buddy.totalFrames())
+                continue;  // reported by the VMA check
+            if (buddy.isFree(res.pfnBase(), 0)) {
+                r.add(kCls, fmt("reserved frame %#llx (reservation at "
+                                "va %#llx) is on a free list",
+                                (unsigned long long)res.pfnBase(),
+                                (unsigned long long)va));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// VMA / reservation consistency
+// ---------------------------------------------------------------------
+
+void
+InvariantChecker::checkVmaConsistency(CheckReport &r) const
+{
+    if (!t_.as)
+        return;
+    constexpr InvariantClass kCls = InvariantClass::VmaConsistency;
+
+    const auto &vmas = t_.as->vmas();
+    const os::Vma *prev = nullptr;
+    for (const auto &[start, vma] : vmas) {
+        if (vma.length == 0 || vma.length % vm::kBasePageBytes != 0) {
+            r.add(kCls, fmt("VMA at %#llx has non-page-multiple length "
+                            "%llu", (unsigned long long)start,
+                            (unsigned long long)vma.length));
+        }
+        if (prev && prev->end() > vma.start) {
+            r.add(kCls, fmt("VMAs at %#llx and %#llx overlap",
+                            (unsigned long long)prev->start,
+                            (unsigned long long)vma.start));
+        }
+        prev = &vma;
+    }
+
+    t_.as->pageTable().forEachLeaf(
+        [&](Vaddr base, const vm::LeafInfo &leaf) {
+            const os::Vma *vma = t_.as->findVma(base);
+            if (!vma) {
+                r.add(kCls, fmt("mapped 2^%u page at va %#llx lies "
+                                "outside every VMA", leaf.pageBits,
+                                (unsigned long long)base));
+            } else if (base + (1ull << leaf.pageBits) > vma->end()) {
+                r.add(kCls, fmt("mapped 2^%u page at va %#llx spills "
+                                "past its VMA end %#llx", leaf.pageBits,
+                                (unsigned long long)base,
+                                (unsigned long long)vma->end()));
+            }
+        });
+
+    const os::Reservation *prev_res = nullptr;
+    for (const auto &[va, res] : t_.as->reservations().all()) {
+        if (va != res.vaBase()) {
+            r.add(kCls, fmt("reservation keyed at %#llx claims base "
+                            "%#llx", (unsigned long long)va,
+                            (unsigned long long)res.vaBase()));
+        }
+        if (res.vaBase() % res.bytes() != 0) {
+            r.add(kCls, fmt("reservation at %#llx not aligned to its "
+                            "%llu-byte block",
+                            (unsigned long long)res.vaBase(),
+                            (unsigned long long)res.bytes()));
+        }
+        if (res.pfnBase() % res.pages() != 0) {
+            r.add(kCls, fmt("reservation at %#llx holds misaligned "
+                            "frame block %#llx",
+                            (unsigned long long)res.vaBase(),
+                            (unsigned long long)res.pfnBase()));
+        }
+        if (prev_res && prev_res->vaEnd() > res.vaBase()) {
+            r.add(kCls, fmt("reservations at %#llx and %#llx overlap",
+                            (unsigned long long)prev_res->vaBase(),
+                            (unsigned long long)res.vaBase()));
+        }
+        prev_res = &res;
+
+        const os::Vma *vma = t_.as->findVma(res.vaBase());
+        if (!vma || res.vaEnd() > vma->end()) {
+            r.add(kCls, fmt("reservation [%#llx, %#llx) not contained "
+                            "in any VMA",
+                            (unsigned long long)res.vaBase(),
+                            (unsigned long long)res.vaEnd()));
+        }
+
+        uint64_t mapped_sum = 0;
+        for (const auto &[base, bits] : res.mappedRegions()) {
+            if (base < res.vaBase() ||
+                base + (1ull << bits) > res.vaEnd()) {
+                r.add(kCls, fmt("reservation at %#llx records a mapped "
+                                "region at %#llx outside its range",
+                                (unsigned long long)res.vaBase(),
+                                (unsigned long long)base));
+            }
+            mapped_sum += 1ull << bits;
+        }
+        if (mapped_sum != res.mappedBytes()) {
+            r.add(kCls, fmt("reservation at %#llx mappedBytes %llu != "
+                            "region sum %llu",
+                            (unsigned long long)res.vaBase(),
+                            (unsigned long long)res.mappedBytes(),
+                            (unsigned long long)mapped_sum));
+        }
+        if (res.touchedPages() > res.pages()) {
+            r.add(kCls, fmt("reservation at %#llx touched %llu of %llu "
+                            "pages", (unsigned long long)res.vaBase(),
+                            (unsigned long long)res.touchedPages(),
+                            (unsigned long long)res.pages()));
+        }
+    }
+}
+
+} // namespace tps::check

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Paranoid invariant checker over live simulation state.
+ *
+ * TPS correctness rests on a handful of structural invariants that no
+ * single module can see end to end: leaf PTEs must obey the NAPOT
+ * natural-alignment rule (paper Sec. III-A1), alias spans must mirror
+ * their true PTE (Fig. 6), TLBs must never cache a translation the page
+ * table no longer backs, the buddy allocator's free lists must partition
+ * physical memory against the usage ledger, and reservations must stay
+ * consistent with the VMAs they were carved for.  The checker walks the
+ * live structures read-only and reports every violation it finds; the
+ * engine can run it every N accesses (--check-every) or after every cell
+ * (--paranoid), and the fault-injection tests prove each class fires.
+ */
+
+#ifndef TPS_CHECK_INVARIANT_CHECKER_HH
+#define TPS_CHECK_INVARIANT_CHECKER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vm/addr.hh"
+
+namespace tps::os {
+class AddressSpace;
+class PhysMemory;
+} // namespace tps::os
+
+namespace tps::tlb {
+class TlbHierarchy;
+} // namespace tps::tlb
+
+namespace tps::vm {
+struct PageTableNode;
+} // namespace tps::vm
+
+namespace tps::check {
+
+/** The invariant families the checker verifies. */
+enum class InvariantClass
+{
+    PteAlignment,     //!< NAPOT/size-field leaf + alias-span structure
+    TlbCoherence,     //!< no TLB entry contradicts the page table
+    FrameAccounting,  //!< buddy free lists vs. the usage ledger
+    VmaConsistency,   //!< VMAs, leaves and reservations agree
+};
+
+/** Stable display name ("pte-alignment", ...). */
+const char *invariantClassName(InvariantClass cls);
+
+/** One violated invariant. */
+struct Violation
+{
+    InvariantClass cls;
+    std::string detail;
+};
+
+/** Everything one sweep of the checker found. */
+class CheckReport
+{
+  public:
+    void add(InvariantClass cls, std::string detail);
+
+    bool ok() const { return violations_.empty(); }
+    bool has(InvariantClass cls) const;
+    size_t count() const { return violations_.size(); }
+    const std::vector<Violation> &violations() const
+    {
+        return violations_;
+    }
+
+    /** One-line digest: count plus the first few violations. */
+    std::string summary(size_t max_items = 4) const;
+
+  private:
+    std::vector<Violation> violations_;
+};
+
+/** The checker.  Holds only const pointers; checks never mutate state. */
+class InvariantChecker
+{
+  public:
+    /** What to check; null members skip the checks that need them. */
+    struct Targets
+    {
+        const os::AddressSpace *as = nullptr;
+        const os::PhysMemory *phys = nullptr;
+        const tlb::TlbHierarchy *tlb = nullptr;
+        /**
+         * Frames held outside the PhysMemory ledger (the fragmenter
+         * allocates straight from the buddy allocator); added to the
+         * ledger side of the frame-accounting equation.
+         */
+        uint64_t exemptFrames = 0;
+    };
+
+    explicit InvariantChecker(const Targets &targets)
+        : t_(targets)
+    {}
+
+    /** Run every applicable check. */
+    CheckReport checkAll() const;
+
+    /** Run checkAll() and throw SimError(CorruptState) on violations. */
+    void throwIfBad() const;
+
+    void checkPteAlignment(CheckReport &r) const;
+    void checkTlbCoherence(CheckReport &r) const;
+    void checkFrameAccounting(CheckReport &r) const;
+    void checkVmaConsistency(CheckReport &r) const;
+
+    /**
+     * Frames currently allocated from @p pm's buddy allocator that its
+     * own ledger does not account for -- the exemptFrames baseline for a
+     * run whose fragmenter holds blocks directly.
+     */
+    static uint64_t externallyHeldFrames(const os::PhysMemory &pm);
+
+  private:
+    void scanNode(const vm::PageTableNode *node, unsigned level,
+                  vm::Vaddr prefix, CheckReport &r) const;
+
+    Targets t_;
+};
+
+} // namespace tps::check
+
+#endif // TPS_CHECK_INVARIANT_CHECKER_HH

@@ -1,5 +1,9 @@
 #include "core/experiment_runner.hh"
 
+#include <chrono>
+
+#include "util/sim_error.hh"
+
 namespace tps::core {
 
 std::vector<sim::SimStats>
@@ -8,6 +12,49 @@ ExperimentRunner::run(const std::vector<RunOptions> &cells)
     return map(
         cells,
         [](const RunOptions &opts) { return runExperiment(opts); },
+        [](const RunOptions &opts, size_t) {
+            return opts.workload + "/" + designName(opts.design);
+        });
+}
+
+std::vector<CellOutcome>
+ExperimentRunner::runGuarded(const std::vector<RunOptions> &cells,
+                             const SweepPolicy &policy)
+{
+    unsigned retries = policy.retries;
+    return map(
+        cells,
+        [retries](const RunOptions &opts) {
+            CellOutcome out;
+            auto start = std::chrono::steady_clock::now();
+            for (unsigned attempt = 0; attempt <= retries; ++attempt) {
+                out.attempts = attempt + 1;
+                try {
+                    out.stats = runExperiment(opts);
+                    out.status = CellStatus::Ok;
+                    out.error.clear();
+                    out.errorKind.clear();
+                    break;
+                } catch (const SimError &e) {
+                    out.stats = sim::SimStats{};
+                    out.status = e.kind() == ErrorKind::Timeout
+                                     ? CellStatus::Timeout
+                                     : CellStatus::Failed;
+                    out.error = e.what();
+                    out.errorKind = errorKindName(e.kind());
+                } catch (const std::exception &e) {
+                    out.stats = sim::SimStats{};
+                    out.status = CellStatus::Failed;
+                    out.error = e.what();
+                    out.errorKind = "exception";
+                }
+            }
+            out.seconds =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+            return out;
+        },
         [](const RunOptions &opts, size_t) {
             return opts.workload + "/" + designName(opts.design);
         });

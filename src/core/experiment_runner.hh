@@ -24,6 +24,29 @@
 
 namespace tps::core {
 
+/** Fault-tolerance policy for guarded sweeps. */
+struct SweepPolicy
+{
+    /**
+     * Re-run a failed cell up to this many extra times with identical
+     * options (and therefore an identical deterministic seed) before
+     * recording it as failed.  Useful against per-cell timeouts on a
+     * loaded machine; a deterministic failure will simply fail again.
+     */
+    unsigned retries = 0;
+};
+
+/** Outcome of one cell of a guarded sweep. */
+struct CellOutcome
+{
+    sim::SimStats stats;     //!< zero-initialized unless status == Ok
+    CellStatus status = CellStatus::Ok;
+    std::string error;       //!< what() of the final failure
+    std::string errorKind;   //!< SimError taxonomy name, or "exception"
+    unsigned attempts = 1;   //!< executions performed
+    double seconds = 0.0;    //!< wall time across all attempts
+};
+
 class ExperimentRunner
 {
   public:
@@ -47,6 +70,18 @@ class ExperimentRunner
      * "workload/design".
      */
     std::vector<sim::SimStats> run(const std::vector<RunOptions> &cells);
+
+    /**
+     * Fault-isolated variant of run(): a cell that throws SimError (or
+     * any std::exception) is captured as a Failed/Timeout outcome with
+     * zeroed stats and the sweep continues; @p policy.retries re-runs a
+     * failed cell with the same deterministic seed first.  Outcomes are
+     * index-aligned with @p cells.  tps_panic/assert failures still
+     * abort the process: they are programmer errors, not cell errors.
+     */
+    std::vector<CellOutcome>
+    runGuarded(const std::vector<RunOptions> &cells,
+               const SweepPolicy &policy = SweepPolicy{});
 
     /**
      * Order-preserving parallel map: `out[i] = fn(items[i])`, with the

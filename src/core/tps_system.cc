@@ -1,5 +1,6 @@
 #include "core/tps_system.hh"
 
+#include "check/invariant_checker.hh"
 #include "os/policy_rmm.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
@@ -22,6 +23,22 @@ designName(Design d)
         return "rmm";
       case Design::Colt:
         return "colt";
+    }
+    return "?";
+}
+
+const char *
+cellStatusName(CellStatus status)
+{
+    switch (status) {
+      case CellStatus::Ok:
+        return "ok";
+      case CellStatus::Failed:
+        return "failed";
+      case CellStatus::Timeout:
+        return "timeout";
+      case CellStatus::Resumed:
+        return "resumed";
     }
     return "?";
 }
@@ -96,6 +113,8 @@ makeEngineConfig(const RunOptions &opts)
     ecfg.timing = opts.timing;
     ecfg.maxAccesses = opts.maxAccesses;
     ecfg.epochAccesses = opts.epochAccesses;
+    ecfg.checkEveryAccesses = opts.checkEvery;
+    ecfg.timeoutSeconds = opts.cellTimeoutSeconds;
     // Workload construction is cheap (simulated memory is only mapped
     // at setup), so resolving the instruction mix here is fine.
     ecfg.cycle.instsPerAccess =
@@ -131,7 +150,25 @@ runExperiment(const RunOptions &opts)
                                              seed + 1000);
         engine.addWorkload(*competitor);
     }
-    return engine.run();
+    sim::SimStats stats = engine.run();
+
+    if (opts.paranoid) {
+        // Full post-run sweep over the final state.  The fragmenter's
+        // holdings come from its own ledger (not a usage snapshot), so
+        // a frame leaked during the run cannot hide behind it.
+        uint64_t exempt = 0;
+        if (fragmenter) {
+            for (const auto &[pfn, order] : fragmenter->held())
+                exempt += 1ull << order;
+        }
+        check::InvariantChecker::Targets targets;
+        targets.as = &engine.addressSpace();
+        targets.phys = &pm;
+        targets.tlb = &engine.mmu().tlbs();
+        targets.exemptFrames = exempt;
+        check::InvariantChecker(targets).throwIfBad();
+    }
+    return stats;
 }
 
 TpsSystem::TpsSystem(const Config &cfg)

@@ -62,7 +62,22 @@ struct RunOptions
     vm::SizeEncoding encoding = vm::SizeEncoding::Napot;
     uint64_t maxAccesses = ~0ull;
     uint64_t epochAccesses = 0;    //!< epoch-sample interval (0 = off)
+    bool paranoid = false;         //!< full invariant check after the run
+    uint64_t checkEvery = 0;       //!< in-run invariant-check interval
+    double cellTimeoutSeconds = 0; //!< per-cell wall-clock budget (0 = none)
 };
+
+/** How one sweep cell ended (recorded in run manifests). */
+enum class CellStatus
+{
+    Ok,       //!< ran to completion
+    Failed,   //!< aborted with an error; stats are zeroed
+    Timeout,  //!< exceeded its wall-clock budget; stats are zeroed
+    Resumed,  //!< restored from a prior manifest, not re-run
+};
+
+/** Stable display name ("ok", "failed", "timeout", "resumed"). */
+const char *cellStatusName(CellStatus status);
 
 /**
  * The workload seed offset for one cell: a stable hash of (workload,

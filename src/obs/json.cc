@@ -3,9 +3,12 @@
 #include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <iterator>
 
 #include "util/logging.hh"
+#include "util/sim_error.hh"
 
 namespace tps::obs {
 
@@ -272,6 +275,298 @@ writeJsonFile(const std::string &path, const Json &value)
     os << value.dump(2) << "\n";
     if (!os)
         tps_fatal("write to '%s' failed", path.c_str());
+}
+
+namespace {
+
+/** Recursive-descent JSON parser over an in-memory buffer. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : s_(text) {}
+
+    Json
+    parse()
+    {
+        Json v = value();
+        skipWs();
+        if (pos_ != s_.size())
+            fail("trailing garbage after value");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const char *what)
+    {
+        throwSimError(ErrorKind::InvalidArgument,
+                      "json parse error at offset %zu: %s", pos_, what);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                s_[pos_] == '\n' || s_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    char
+    peek()
+    {
+        if (pos_ >= s_.size())
+            fail("unexpected end of input");
+        return s_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (pos_ >= s_.size() || s_[pos_] != c)
+            fail("unexpected character");
+        ++pos_;
+    }
+
+    bool
+    consume(const char *lit)
+    {
+        size_t n = std::strlen(lit);
+        if (s_.compare(pos_, n, lit) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    Json
+    value()
+    {
+        skipWs();
+        if (++depth_ > 256)
+            fail("nesting too deep");
+        Json v;
+        switch (peek()) {
+          case '{': v = object(); break;
+          case '[': v = array(); break;
+          case '"': v = Json(string()); break;
+          case 't':
+            if (!consume("true"))
+                fail("bad literal");
+            v = Json(true);
+            break;
+          case 'f':
+            if (!consume("false"))
+                fail("bad literal");
+            v = Json(false);
+            break;
+          case 'n':
+            if (!consume("null"))
+                fail("bad literal");
+            break;
+          default: v = number(); break;
+        }
+        --depth_;
+        return v;
+    }
+
+    Json
+    object()
+    {
+        expect('{');
+        Json obj = Json::object();
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return obj;
+        }
+        for (;;) {
+            skipWs();
+            if (peek() != '"')
+                fail("expected member name");
+            std::string key = string();
+            skipWs();
+            expect(':');
+            obj[key] = value();
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return obj;
+        }
+    }
+
+    Json
+    array()
+    {
+        expect('[');
+        Json arr = Json::array();
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return arr;
+        }
+        for (;;) {
+            arr.push(value());
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return arr;
+        }
+    }
+
+    std::string
+    string()
+    {
+        expect('"');
+        std::string out;
+        for (;;) {
+            if (pos_ >= s_.size())
+                fail("unterminated string");
+            char c = s_[pos_++];
+            if (c == '"')
+                return out;
+            if (static_cast<unsigned char>(c) < 0x20)
+                fail("raw control character in string");
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos_ >= s_.size())
+                fail("unterminated escape");
+            char e = s_[pos_++];
+            switch (e) {
+              case '"': out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/': out.push_back('/'); break;
+              case 'b': out.push_back('\b'); break;
+              case 'f': out.push_back('\f'); break;
+              case 'n': out.push_back('\n'); break;
+              case 'r': out.push_back('\r'); break;
+              case 't': out.push_back('\t'); break;
+              case 'u': appendEscapedCodepoint(out); break;
+              default: fail("bad escape");
+            }
+        }
+    }
+
+    void
+    appendEscapedCodepoint(std::string &out)
+    {
+        if (pos_ + 4 > s_.size())
+            fail("truncated \\u escape");
+        unsigned cp = 0;
+        for (int i = 0; i < 4; ++i) {
+            char c = s_[pos_++];
+            cp <<= 4;
+            if (c >= '0' && c <= '9')
+                cp |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                cp |= static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                cp |= static_cast<unsigned>(c - 'A' + 10);
+            else
+                fail("bad \\u escape digit");
+        }
+        if (cp >= 0xd800 && cp <= 0xdfff)
+            fail("surrogate escapes are not supported");
+        // UTF-8 encode (BMP only; jsonEscape only emits < 0x20).
+        if (cp < 0x80) {
+            out.push_back(static_cast<char>(cp));
+        } else if (cp < 0x800) {
+            out.push_back(static_cast<char>(0xc0 | (cp >> 6)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+        } else {
+            out.push_back(static_cast<char>(0xe0 | (cp >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+        }
+    }
+
+    Json
+    number()
+    {
+        size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        bool integral = true;
+        while (pos_ < s_.size()) {
+            char c = s_[pos_];
+            if (c >= '0' && c <= '9') {
+                ++pos_;
+            } else if (c == '.' || c == 'e' || c == 'E' || c == '+' ||
+                       c == '-') {
+                integral = false;
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+        const char *first = s_.data() + start;
+        const char *last = s_.data() + pos_;
+        if (first == last)
+            fail("expected a value");
+        // JSON forbids leading zeros ("01"); dump() never emits them,
+        // so rejecting keeps parse(dump(x)) the only accepted spelling.
+        const char *digits = *first == '-' ? first + 1 : first;
+        if (last - digits >= 2 && digits[0] == '0' && digits[1] >= '0' &&
+            digits[1] <= '9') {
+            fail("leading zero in number");
+        }
+        if (integral) {
+            if (*first == '-') {
+                int64_t v = 0;
+                auto res = std::from_chars(first, last, v);
+                if (res.ec == std::errc() && res.ptr == last)
+                    return Json(v);
+            } else {
+                uint64_t v = 0;
+                auto res = std::from_chars(first, last, v);
+                if (res.ec == std::errc() && res.ptr == last)
+                    return Json(v);
+            }
+            // Out-of-range integer: fall through to double.
+        }
+        double d = 0.0;
+        auto res = std::from_chars(first, last, d);
+        if (res.ec != std::errc() || res.ptr != last)
+            fail("malformed number");
+        return Json(d);
+    }
+
+    const std::string &s_;
+    size_t pos_ = 0;
+    int depth_ = 0;
+};
+
+} // namespace
+
+Json
+parseJson(const std::string &text)
+{
+    return Parser(text).parse();
+}
+
+Json
+readJsonFile(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is) {
+        throwSimError(ErrorKind::InvalidArgument,
+                      "cannot open '%s' for reading", path.c_str());
+    }
+    std::string text((std::istreambuf_iterator<char>(is)),
+                     std::istreambuf_iterator<char>());
+    if (is.bad()) {
+        throwSimError(ErrorKind::InvalidArgument,
+                      "read from '%s' failed", path.c_str());
+    }
+    return parseJson(text);
 }
 
 } // namespace tps::obs

@@ -113,6 +113,21 @@ std::string jsonEscape(const std::string &s);
 /** Write @p value to @p path (pretty-printed, trailing newline). */
 void writeJsonFile(const std::string &path, const Json &value);
 
+/**
+ * Parse @p text into a value tree.  Integers without sign/fraction
+ * become UInt, signed integers Int, everything else Double, so a tree
+ * written by dump() parses back to an identical tree (and re-dumps to
+ * identical bytes -- what --resume's byte-stable manifests rely on).
+ * @throws SimError{InvalidArgument} on malformed input.
+ */
+Json parseJson(const std::string &text);
+
+/**
+ * Read and parse the JSON file at @p path.
+ * @throws SimError{InvalidArgument} when unreadable or malformed.
+ */
+Json readJsonFile(const std::string &path);
+
 } // namespace tps::obs
 
 #endif // TPS_OBS_JSON_HH

@@ -1,0 +1,98 @@
+#include "obs/resume.hh"
+
+#include "obs/run_manifest.hh"
+#include "util/sim_error.hh"
+
+namespace tps::obs {
+
+namespace {
+
+/**
+ * Overwrite the robustness-only knobs with fixed values so two runs of
+ * the same cell under different checking/timeout settings share one
+ * identity.  Older (v1) manifests lack the keys entirely; operator[]
+ * appends them in the same order runOptionsJson() emits, so the
+ * canonical dumps still line up.
+ */
+Json
+canonicalOptions(const Json &options)
+{
+    Json j = options;
+    j["paranoid"] = false;
+    j["checkEvery"] = uint64_t(0);
+    j["cellTimeoutSeconds"] = 0.0;
+    return j;
+}
+
+/** True for per-cell keys that describe the host run, not the result. */
+bool
+isHostOnlyKey(const std::string &key)
+{
+    return key == "wallSeconds" || key == "resumed" || key == "attempts";
+}
+
+} // namespace
+
+std::string
+ResumeLog::key(const Json &options, uint64_t seed)
+{
+    return canonicalOptions(options).dump() + "#" + std::to_string(seed);
+}
+
+bool
+ResumeLog::load(const std::string &path)
+{
+    cells_.clear();
+
+    Json manifest;
+    try {
+        manifest = readJsonFile(path);
+    } catch (const SimError &) {
+        return false;
+    }
+
+    const Json *format = manifest.find("format");
+    if (!format || format->kind() != Json::Kind::String ||
+        format->asString() != "tps-run-manifest") {
+        return false;
+    }
+    const Json *cells = manifest.find("cells");
+    if (!cells || cells->kind() != Json::Kind::Array)
+        return false;
+
+    for (size_t i = 0; i < cells->size(); ++i) {
+        const Json &cell = cells->at(i);
+        if (cell.kind() != Json::Kind::Object)
+            continue;
+        // Only completed cells are worth restoring; failed or timed-out
+        // ones must re-run.  Version-1 manifests predate the status
+        // field -- every cell they recorded had completed.
+        if (const Json *status = cell.find("status");
+            status && (status->kind() != Json::Kind::String ||
+                       status->asString() != "ok")) {
+            continue;
+        }
+        const Json *options = cell.find("options");
+        const Json *seed = cell.find("seed");
+        if (!options || !seed || seed->kind() != Json::Kind::UInt)
+            continue;
+
+        Json pure = Json::object();
+        for (const auto &[name, value] : cell.members()) {
+            if (!isHostOnlyKey(name))
+                pure[name] = value;
+        }
+        cells_[key(*options, seed->asUInt())] = std::move(pure);
+    }
+    return true;
+}
+
+const Json *
+ResumeLog::find(const core::RunOptions &opts) const
+{
+    auto it =
+        cells_.find(key(runOptionsJson(opts), core::runSeed(opts)));
+    return it == cells_.end() ? nullptr : &it->second;
+}
+
+} // namespace tps::obs

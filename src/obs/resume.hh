@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Resumable sweeps: reload a partial run manifest and look up completed
+ * cells so a restarted bench can skip them.
+ *
+ * A manifest written after a crash, ^C, or a sweep with failed cells is
+ * a valid resume artifact: ResumeLog indexes only the cells that
+ * completed with status "ok"; failed/timed-out cells are simply absent
+ * and re-run.  Restored cells carry the prior manifest's pure cell JSON
+ * verbatim, which is what makes a resumed sweep's manifest (host
+ * section aside) byte-identical to an uninterrupted run --
+ * tests/robustness_test.cc enforces this.
+ *
+ * Cell identity is the canonicalized RunOptions plus the deterministic
+ * cell seed.  Robustness-only knobs (paranoid, checkEvery,
+ * cellTimeoutSeconds) are canonicalized away: they cannot change a
+ * cell's statistics, and resuming with a longer --cell-timeout must
+ * still match the cells the shorter budget already finished.
+ */
+
+#ifndef TPS_OBS_RESUME_HH
+#define TPS_OBS_RESUME_HH
+
+#include <map>
+#include <string>
+
+#include "core/tps_system.hh"
+#include "obs/json.hh"
+
+namespace tps::obs {
+
+/** Index of completed cells loaded from a prior --stats-json manifest. */
+class ResumeLog
+{
+  public:
+    /**
+     * Load @p path.  Returns false (leaving the log empty) when the
+     * file is missing, unreadable, malformed, or not a run manifest --
+     * a bench treats that as "nothing to resume", not an error.
+     * Host-only keys (wallSeconds, resumed, attempts) are stripped from
+     * each stored cell so the retained JSON is the pure form.
+     */
+    bool load(const std::string &path);
+
+    /**
+     * The stored pure cell JSON for @p opts, or nullptr when the prior
+     * run has no completed ("ok") cell with this identity.
+     */
+    const Json *find(const core::RunOptions &opts) const;
+
+    size_t size() const { return cells_.size(); }
+
+  private:
+    static std::string key(const Json &options, uint64_t seed);
+
+    std::map<std::string, Json> cells_;
+};
+
+} // namespace tps::obs
+
+#endif // TPS_OBS_RESUME_HH

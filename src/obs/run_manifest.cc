@@ -88,6 +88,9 @@ runOptionsJson(const core::RunOptions &opts)
     j["encoding"] = std::string(encodingName(opts.encoding));
     j["maxAccesses"] = opts.maxAccesses;
     j["epochAccesses"] = opts.epochAccesses;
+    j["paranoid"] = opts.paranoid;
+    j["checkEvery"] = opts.checkEvery;
+    j["cellTimeoutSeconds"] = opts.cellTimeoutSeconds;
     return j;
 }
 
@@ -151,12 +154,27 @@ engineConfigJson(const sim::EngineConfig &cfg)
     j["timing"] = std::string(timingName(cfg.timing));
     j["maxAccesses"] = cfg.maxAccesses;
     j["epochAccesses"] = cfg.epochAccesses;
+    j["checkEveryAccesses"] = cfg.checkEveryAccesses;
+    j["timeoutSeconds"] = cfg.timeoutSeconds;
     return j;
 }
 
 Json
 cellJson(const CellArtifact &cell, bool includeHost)
 {
+    if (!cell.restored.isNull()) {
+        // A cell --resume carried over: re-emit the prior manifest's
+        // pure cell JSON verbatim so a resumed sweep's manifest is
+        // byte-identical to an uninterrupted one.
+        Json j = cell.restored;
+        if (includeHost) {
+            j["wallSeconds"] = cell.wallSeconds;
+            j["resumed"] = true;
+            j["attempts"] = uint64_t(cell.attempts);
+        }
+        return j;
+    }
+
     const core::RunOptions &opts = cell.options;
     Json j = Json::object();
 
@@ -174,9 +192,16 @@ cellJson(const CellArtifact &cell, bool includeHost)
     j["seed"] = core::runSeed(opts);
     j["options"] = runOptionsJson(opts);
     j["engineConfig"] = engineConfigJson(core::makeEngineConfig(opts));
+    j["status"] = std::string(core::cellStatusName(cell.status));
+    if (cell.status != core::CellStatus::Ok) {
+        j["error"] = cell.error;
+        j["errorKind"] = cell.errorKind;
+    }
     j["stats"] = cell.stats.toJson();
-    if (includeHost)
+    if (includeHost) {
         j["wallSeconds"] = cell.wallSeconds;
+        j["attempts"] = uint64_t(cell.attempts);
+    }
     return j;
 }
 
@@ -186,7 +211,7 @@ manifestJson(const ManifestInfo &info,
 {
     Json j = Json::object();
     j["format"] = std::string("tps-run-manifest");
-    j["version"] = uint64_t(1);
+    j["version"] = uint64_t(2);
     j["bench"] = info.bench;
     if (info.includeHost) {
         Json &host = j["host"];

@@ -31,7 +31,18 @@ struct CellArtifact
 {
     core::RunOptions options;
     sim::SimStats stats;
+    core::CellStatus status = core::CellStatus::Ok;
+    std::string error;       //!< final failure message (status != Ok)
+    std::string errorKind;   //!< SimError taxonomy name (status != Ok)
+    unsigned attempts = 1;   //!< executions performed (host-only field)
     double wallSeconds = 0.0;
+    /**
+     * Non-null for cells restored by --resume: the verbatim pure cell
+     * JSON from the prior manifest.  cellJson() re-emits it unchanged
+     * (host-only keys aside), which is what keeps a resumed manifest
+     * byte-identical to an uninterrupted run.
+     */
+    Json restored;
 };
 
 /** Manifest-level metadata. */

@@ -1,6 +1,7 @@
 #include "obs/stats_bindings.hh"
 
 #include "obs/stat_registry.hh"
+#include "util/sim_error.hh"
 
 namespace tps::obs {
 
@@ -161,6 +162,116 @@ bindSimStats(StatRegistry &reg, const sim::SimStats *s)
     bindWalkerStats(reg, "mmu.walker", &s->walker);
     bindMemSysStats(reg, "memsys", &s->memsys);
     bindOsWork(reg, "os.work", &s->osWork);
+}
+
+namespace {
+
+/** The counter at @p path below @p j; throws when absent. */
+uint64_t
+counterAt(const Json &j, std::initializer_list<const char *> path)
+{
+    const Json *node = &j;
+    for (const char *key : path) {
+        node = node->find(key);
+        if (!node) {
+            throwSimError(ErrorKind::InvalidArgument,
+                          "stats tree is missing counter '%s'", key);
+        }
+    }
+    return node->asUInt();
+}
+
+} // namespace
+
+sim::SimStats
+simStatsFromJson(const Json &j)
+{
+    sim::SimStats s;
+
+    s.accesses = counterAt(j, {"engine", "accesses"});
+    s.instructions = counterAt(j, {"engine", "instructions"});
+    s.cycles = counterAt(j, {"engine", "cycles"});
+    s.l1TlbMisses = counterAt(j, {"engine", "l1TlbMisses"});
+    s.l2TlbHits = counterAt(j, {"engine", "l2TlbHits"});
+    s.tlbMisses = counterAt(j, {"engine", "walks"});
+    s.walkMemRefs = counterAt(j, {"engine", "walkMemRefs"});
+    s.walkCycles = counterAt(j, {"engine", "walkCycles"});
+    s.stlbPenaltyCycles = counterAt(j, {"engine", "stlbPenaltyCycles"});
+    s.faults = counterAt(j, {"engine", "faults"});
+    s.mmapCalls = counterAt(j, {"engine", "mmapCalls"});
+    s.munmapCalls = counterAt(j, {"engine", "munmapCalls"});
+    s.warmup.accesses = counterAt(j, {"engine", "warmup", "accesses"});
+    s.warmup.cycles = counterAt(j, {"engine", "warmup", "cycles"});
+    s.warmup.osCycles = counterAt(j, {"engine", "warmup", "osCycles"});
+    s.warmup.faults = counterAt(j, {"engine", "warmup", "faults"});
+
+    s.mmu.accesses = counterAt(j, {"mmu", "accesses"});
+    s.mmu.l1Hits = counterAt(j, {"mmu", "l1", "hits"});
+    s.mmu.l1Misses = counterAt(j, {"mmu", "l1", "misses"});
+    s.mmu.l2Hits = counterAt(j, {"mmu", "l2", "hits"});
+    s.mmu.walks = counterAt(j, {"mmu", "walks"});
+    s.mmu.walkMemRefs = counterAt(j, {"mmu", "walk", "memRefs"});
+    s.mmu.faultWalkMemRefs =
+        counterAt(j, {"mmu", "walk", "faultMemRefs"});
+    s.mmu.walkCycles = counterAt(j, {"mmu", "walk", "cycles"});
+    s.mmu.nestedWalkRefs = counterAt(j, {"mmu", "walk", "nestedRefs"});
+    s.mmu.stlbPenaltyCycles =
+        counterAt(j, {"mmu", "stlb", "penaltyCycles"});
+    s.mmu.faults = counterAt(j, {"mmu", "faults"});
+    s.mmu.writeProtFaults = counterAt(j, {"mmu", "writeProtFaults"});
+    s.mmu.adPteWrites = counterAt(j, {"mmu", "ad", "pteWrites"});
+    s.mmu.adVectorStores = counterAt(j, {"mmu", "ad", "vectorStores"});
+
+    s.walker.walks = counterAt(j, {"mmu", "walker", "walks"});
+    s.walker.faults = counterAt(j, {"mmu", "walker", "faults"});
+    s.walker.accesses = counterAt(j, {"mmu", "walker", "accesses"});
+    s.walker.aliasExtra = counterAt(j, {"mmu", "walker", "aliasExtra"});
+    s.walker.nestedAccesses =
+        counterAt(j, {"mmu", "walker", "nestedAccesses"});
+    s.walker.nestedTlbHits =
+        counterAt(j, {"mmu", "walker", "nestedTlb", "hits"});
+    s.walker.nestedTlbMisses =
+        counterAt(j, {"mmu", "walker", "nestedTlb", "misses"});
+
+    s.memsys.accesses = counterAt(j, {"memsys", "accesses"});
+    s.memsys.l1Hits = counterAt(j, {"memsys", "l1Hits"});
+    s.memsys.llcHits = counterAt(j, {"memsys", "llcHits"});
+    s.memsys.dramAccesses = counterAt(j, {"memsys", "dramAccesses"});
+
+    s.osWork.faultCycles = counterAt(j, {"os", "work", "faultCycles"});
+    s.osWork.allocCycles = counterAt(j, {"os", "work", "allocCycles"});
+    s.osWork.pteCycles = counterAt(j, {"os", "work", "pteCycles"});
+    s.osWork.zeroCycles = counterAt(j, {"os", "work", "zeroCycles"});
+    s.osWork.shootdownCycles =
+        counterAt(j, {"os", "work", "shootdownCycles"});
+    s.osWork.faults = counterAt(j, {"os", "work", "faults"});
+    s.osWork.promotions = counterAt(j, {"os", "work", "promotions"});
+    s.osWork.reservationsCreated =
+        counterAt(j, {"os", "work", "reservationsCreated"});
+    s.osWork.reservationsMissed =
+        counterAt(j, {"os", "work", "reservationsMissed"});
+
+    if (const Json *epochs = j.find("epochs");
+        epochs && !epochs->isNull()) {
+        s.epochInterval = counterAt(*epochs, {"interval"});
+        const Json *samples = epochs->find("samples");
+        for (size_t i = 0; samples && i < samples->size(); ++i) {
+            const Json &rec = samples->at(i);
+            sim::EpochSample e;
+            e.accesses = counterAt(rec, {"accesses"});
+            e.instructions = counterAt(rec, {"instructions"});
+            e.cycles = counterAt(rec, {"cycles"});
+            e.l1TlbMisses = counterAt(rec, {"l1TlbMisses"});
+            e.l2TlbHits = counterAt(rec, {"l2TlbHits"});
+            e.walks = counterAt(rec, {"walks"});
+            e.walkMemRefs = counterAt(rec, {"walkMemRefs"});
+            e.walkCycles = counterAt(rec, {"walkCycles"});
+            e.faults = counterAt(rec, {"faults"});
+            e.osCycles = counterAt(rec, {"osCycles"});
+            s.epochs.push_back(e);
+        }
+    }
+    return s;
 }
 
 Json

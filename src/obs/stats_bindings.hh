@@ -61,6 +61,16 @@ void bindSimStats(StatRegistry &reg, const sim::SimStats *s);
  */
 Json epochsJson(const sim::SimStats &s);
 
+/**
+ * Rebuild a SimStats from the tree SimStats::toJson() produced (the
+ * "stats" section of a run-manifest cell).  The inverse of the snapshot
+ * binding for every stored counter; derived scalars are recomputed by
+ * SimStats itself.  Used by --resume to restore completed cells without
+ * re-running them.
+ * @throws SimError{InvalidArgument} when a counter is missing.
+ */
+sim::SimStats simStatsFromJson(const Json &j);
+
 } // namespace tps::obs
 
 #endif // TPS_OBS_STATS_BINDINGS_HH

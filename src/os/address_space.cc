@@ -4,6 +4,7 @@
 #include "obs/stats_bindings.hh"
 #include "util/bitops.hh"
 #include "util/logging.hh"
+#include "util/sim_error.hh"
 
 namespace tps::os {
 
@@ -54,8 +55,9 @@ AddressSpace::munmap(vm::Vaddr start)
 {
     auto it = vmas_.find(start);
     if (it == vmas_.end())
-        tps_fatal("munmap of unmapped region %#llx",
-                  static_cast<unsigned long long>(start));
+        throwSimError(ErrorKind::InvalidArgument,
+                      "munmap of unmapped region %#llx",
+                      static_cast<unsigned long long>(start));
     policy_->onMunmap(*this, it->second);
     vmas_.erase(it);
 }

@@ -81,6 +81,7 @@ class AddressSpace
     vm::PageTable &pageTable() { return pageTable_; }
     const vm::PageTable &pageTable() const { return pageTable_; }
     ReservationTable &reservations() { return reservations_; }
+    const ReservationTable &reservations() const { return reservations_; }
     PhysMemory &phys() { return phys_; }
     PagingPolicy &policy() { return *policy_; }
     const PagingPolicy &policy() const { return *policy_; }

@@ -2,6 +2,7 @@
 
 #include "util/bitops.hh"
 #include "util/logging.hh"
+#include "util/sim_error.hh"
 
 namespace tps::os {
 
@@ -185,7 +186,8 @@ CowManager::copyPage(AddressSpace &as, vm::Vaddr base,
     unsigned order = leaf.pageBits - vm::kBasePageBits;
     auto fresh = as.phys().allocApp(order);
     if (!fresh)
-        tps_fatal("out of memory for a copy-on-write copy");
+        throwSimError(ErrorKind::OutOfMemory,
+                      "out of memory for a copy-on-write copy");
     uint64_t frames = 1ull << order;
 
     as.pageTable().unmap(base);

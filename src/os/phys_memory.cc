@@ -1,6 +1,7 @@
 #include "os/phys_memory.hh"
 
 #include "util/logging.hh"
+#include "util/sim_error.hh"
 
 namespace tps::os {
 
@@ -14,7 +15,9 @@ PhysMemory::allocTableFrame()
 {
     auto pfn = buddy_.alloc(0);
     if (!pfn)
-        tps_fatal("out of physical memory allocating a page-table frame");
+        throwSimError(ErrorKind::OutOfMemory,
+                      "out of physical memory allocating a page-table "
+                      "frame");
     ++stats_.tableFrames;
     return *pfn;
 }

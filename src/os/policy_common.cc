@@ -4,6 +4,7 @@
 
 #include "util/bitops.hh"
 #include "util/logging.hh"
+#include "util/sim_error.hh"
 
 namespace tps::os {
 
@@ -94,9 +95,10 @@ ReservationPolicyBase::demandBasePage(AddressSpace &as, const Vma &vma,
     work.allocCycles += oscost::kBuddyOp;
     auto pfn = as.phys().allocApp(0);
     if (!pfn) {
-        tps_fatal("out of physical memory backing va %#llx "
-                  "(no OOM killer is modeled; raise physBytes)",
-                  static_cast<unsigned long long>(va));
+        throwSimError(ErrorKind::OutOfMemory,
+                      "out of physical memory backing va %#llx "
+                      "(no OOM killer is modeled; raise physBytes)",
+                      static_cast<unsigned long long>(va));
     }
     vm::Vaddr base = alignDown(va, vm::kBasePageBytes);
     as.pageTable().map(base, *pfn, vm::kBasePageBits, vma.writable, true);

@@ -3,6 +3,7 @@
 #include "obs/stat_registry.hh"
 #include "util/bitops.hh"
 #include "util/logging.hh"
+#include "util/sim_error.hh"
 
 namespace tps::os {
 
@@ -64,7 +65,8 @@ RmmPolicy::onMmap(AddressSpace &as, const Vma &vma)
     while (pages > 0) {
         auto [pfn, run] = allocRun(as, pages);
         if (run == 0)
-            tps_fatal("RMM eager paging: out of physical memory");
+            throwSimError(ErrorKind::OutOfMemory,
+                          "RMM eager paging: out of physical memory");
         vma_runs.emplace_back(pfn, run);
 
         // Populate the page table with base pages (RMM keeps both

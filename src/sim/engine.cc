@@ -1,8 +1,13 @@
 #include "sim/engine.hh"
 
+#include <chrono>
+#include <optional>
+
+#include "check/invariant_checker.hh"
 #include "obs/stat_registry.hh"
 #include "obs/stats_bindings.hh"
 #include "util/logging.hh"
+#include "util/sim_error.hh"
 #include "util/stats.hh"
 
 namespace tps::sim {
@@ -176,6 +181,32 @@ Engine::run()
                           cycle_.cycles(), os_cycles};
     };
 
+    // Paranoid-mode support: periodic invariant sweeps and a
+    // cooperative wall-clock budget, both tested on primary-access
+    // boundaries so they cost one branch when disabled.  Frames an
+    // external holder (the fragmenter) took straight from the buddy
+    // allocator are snapshotted here as the accounting baseline.
+    std::optional<check::InvariantChecker> checker;
+    if (cfg_.checkEveryAccesses != 0) {
+        check::InvariantChecker::Targets targets;
+        targets.as = as_.get();
+        targets.phys = &as_->phys();
+        targets.tlb = &mmu_->tlbs();
+        targets.exemptFrames =
+            check::InvariantChecker::externallyHeldFrames(as_->phys());
+        checker.emplace(targets);
+    }
+    uint64_t accesses_since_check = 0;
+    uint64_t accesses_since_clock = 0;
+    std::chrono::steady_clock::time_point deadline{};
+    if (cfg_.timeoutSeconds > 0.0) {
+        deadline = std::chrono::steady_clock::now() +
+                   std::chrono::duration_cast<
+                       std::chrono::steady_clock::duration>(
+                       std::chrono::duration<double>(
+                           cfg_.timeoutSeconds));
+    }
+
     bool running = true;
     while (running) {
         for (unsigned t = 0; t < n; ++t) {
@@ -250,6 +281,18 @@ Engine::run()
                     primary_accesses - eprev.accesses >=
                         cfg_.epochAccesses) {
                     take_epoch();
+                }
+                if (checker && ++accesses_since_check >=
+                                   cfg_.checkEveryAccesses) {
+                    accesses_since_check = 0;
+                    checker->throwIfBad();
+                }
+                if (cfg_.timeoutSeconds > 0.0 &&
+                    (++accesses_since_clock & 0xfff) == 0 &&
+                    std::chrono::steady_clock::now() > deadline) {
+                    throwSimError(ErrorKind::Timeout,
+                                  "cell exceeded its %.3g s wall-clock "
+                                  "budget", cfg_.timeoutSeconds);
                 }
             }
         }

@@ -50,6 +50,20 @@ struct EngineConfig
      * sampling is passive: it never perturbs the simulated counters.
      */
     uint64_t epochAccesses = 0;
+    /**
+     * Run the invariant checker (check/invariant_checker.hh) every this
+     * many primary-thread accesses (0 = never).  A violation aborts the
+     * cell with SimError{CorruptState}.  Purely read-only: checking
+     * never perturbs simulated state or statistics.
+     */
+    uint64_t checkEveryAccesses = 0;
+    /**
+     * Cooperative wall-clock budget for run() in seconds (0 = none).
+     * Checked every few thousand accesses; exceeding it aborts the cell
+     * with SimError{Timeout} so a sweep can degrade gracefully instead
+     * of hanging.
+     */
+    double timeoutSeconds = 0.0;
 };
 
 /**

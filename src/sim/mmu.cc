@@ -3,6 +3,7 @@
 #include "obs/stat_registry.hh"
 #include "obs/stats_bindings.hh"
 #include "util/logging.hh"
+#include "util/sim_error.hh"
 
 namespace tps::sim {
 
@@ -208,8 +209,9 @@ Mmu::accessInternal(vm::Vaddr va, bool write, bool retried)
     auto write_fault = [&]() -> MmuAccessResult {
         ++stats_.writeProtFaults;
         if (retried || !as_.handleFault(va, true)) {
-            tps_panic("unresolvable write to read-only va %#llx",
-                      static_cast<unsigned long long>(va));
+            throwSimError(ErrorKind::InvalidAccess,
+                          "unresolvable write to read-only va %#llx",
+                          static_cast<unsigned long long>(va));
         }
         MmuAccessResult inner = accessInternal(va, true, true);
         inner.faulted = true;
@@ -255,13 +257,15 @@ Mmu::accessInternal(vm::Vaddr va, bool write, bool retried)
         stats_.nestedWalkRefs += walk.nestedAccesses;
         ++stats_.faults;
         if (!as_.handleFault(va, write)) {
-            tps_panic("segfault: access to unmapped va %#llx",
-                      static_cast<unsigned long long>(va));
+            throwSimError(ErrorKind::InvalidAccess,
+                          "segfault: access to unmapped va %#llx",
+                          static_cast<unsigned long long>(va));
         }
         walk = walker_.walk(va);
         if (walk.fault)
-            tps_panic("fault handler failed to map va %#llx",
-                      static_cast<unsigned long long>(va));
+            throwSimError(ErrorKind::InvalidAccess,
+                          "fault handler failed to map va %#llx",
+                          static_cast<unsigned long long>(va));
         res.faulted = true;
     }
     if (write && !walk.leaf.writable)

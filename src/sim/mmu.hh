@@ -106,6 +106,7 @@ class Mmu
                        const std::string &prefix);
 
     tlb::TlbHierarchy &tlbs() { return tlb_; }
+    const tlb::TlbHierarchy &tlbs() const { return tlb_; }
     vm::PageWalker &walker() { return walker_; }
     vm::MmuCache &mmuCache() { return mmuCache_; }
 

@@ -10,6 +10,8 @@
 #ifndef TPS_TLB_ANY_SIZE_TLB_HH
 #define TPS_TLB_ANY_SIZE_TLB_HH
 
+#include <functional>
+
 #include "tlb/tlb_entry.hh"
 
 namespace tps::tlb {
@@ -42,6 +44,12 @@ class AnySizeTlb
     virtual void clearStats() = 0;
     virtual unsigned capacity() const = 0;
     virtual unsigned occupancy() const = 0;
+
+    /** Visitor over valid entries (invariant checking / census). */
+    using EntryVisitor = std::function<void(const TlbEntry &)>;
+
+    /** Visit every valid entry without disturbing state. */
+    virtual void forEachEntry(const EntryVisitor &visit) const = 0;
 };
 
 } // namespace tps::tlb

@@ -17,6 +17,7 @@
 #define TPS_TLB_COLT_TLB_HH
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -80,6 +81,15 @@ class ColtTlb
 
     /** Mean pages per valid entry (coalescing factor). */
     double coalescingFactor() const;
+
+    /** Visit every valid run without disturbing state. */
+    void
+    forEachRun(const std::function<void(const ColtEntry &)> &visit) const
+    {
+        for (const ColtEntry &e : entries_)
+            if (e.valid)
+                visit(e);
+    }
 
   private:
     unsigned setIndex(Vpn vpn) const;

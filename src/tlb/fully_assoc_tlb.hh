@@ -67,6 +67,14 @@ class FullyAssocTlb : public AnySizeTlb
     /** Entries, for inspection by tests and the page-size census. */
     const std::vector<TlbEntry> &entries() const { return entries_; }
 
+    void
+    forEachEntry(const EntryVisitor &visit) const override
+    {
+        for (const TlbEntry &e : entries_)
+            if (e.valid)
+                visit(e);
+    }
+
   private:
     std::string name_;
     std::vector<TlbEntry> entries_;

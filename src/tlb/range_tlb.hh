@@ -15,6 +15,7 @@
 #define TPS_TLB_RANGE_TLB_HH
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "tlb/tlb_entry.hh"
@@ -68,6 +69,15 @@ class RangeTlb
     void clearStats() { stats_ = TlbStats{}; }
     unsigned capacity() const { return static_cast<unsigned>(ranges_.size()); }
     unsigned occupancy() const;
+
+    /** Visit every valid range without disturbing state. */
+    void
+    forEachRange(const std::function<void(const RangeEntry &)> &visit) const
+    {
+        for (const RangeEntry &e : ranges_)
+            if (e.valid)
+                visit(e);
+    }
 
   private:
     std::vector<RangeEntry> ranges_;

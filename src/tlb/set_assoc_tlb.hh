@@ -15,6 +15,7 @@
 #define TPS_TLB_SET_ASSOC_TLB_HH
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -75,6 +76,15 @@ class SetAssocTlb
 
     /** Number of valid entries currently resident. */
     unsigned occupancy() const;
+
+    /** Visit every valid entry without disturbing state. */
+    void
+    forEachEntry(const std::function<void(const TlbEntry &)> &visit) const
+    {
+        for (const TlbEntry &e : entries_)
+            if (e.valid)
+                visit(e);
+    }
 
   private:
     unsigned setIndex(Vaddr va, unsigned page_bits) const;

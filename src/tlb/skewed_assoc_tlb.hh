@@ -52,6 +52,14 @@ class SkewedAssocTlb : public AnySizeTlb
     const std::string &name() const { return name_; }
     unsigned ways() const { return ways_; }
 
+    void
+    forEachEntry(const EntryVisitor &visit) const override
+    {
+        for (const TlbEntry &e : entries_)
+            if (e.valid)
+                visit(e);
+    }
+
   private:
     /** Way-specific index hash for a page of 2^@p page_bits at @p va. */
     unsigned indexOf(unsigned way, Vaddr va, unsigned page_bits) const;

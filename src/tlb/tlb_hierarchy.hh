@@ -22,6 +22,7 @@
 #define TPS_TLB_TLB_HIERARCHY_HH
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -141,6 +142,50 @@ class TlbHierarchy
     FullyAssocTlb *l1Large() { return l1Large_.get(); }
     FullyAssocTlb *l1Huge() { return l1Huge_.get(); }
     FullyAssocTlb *stlbHuge() { return stlbHuge_.get(); }
+
+    const RangeTlb *rangeTlb() const { return rangeTlb_.get(); }
+    const ColtTlb *coltTlb() const { return coltL1_.get(); }
+
+    /**
+     * Visit every cached page-granular translation in every structure,
+     * without disturbing replacement state or stats.  Coalesced (CoLT)
+     * runs and RMM ranges have their own shapes; use forEachColtRun()
+     * and forEachRange() for those.
+     */
+    void
+    forEachEntry(const std::function<void(const TlbEntry &)> &visit) const
+    {
+        if (l1Small_)
+            l1Small_->forEachEntry(visit);
+        if (l1Large_)
+            l1Large_->forEachEntry(visit);
+        if (l1Huge_)
+            l1Huge_->forEachEntry(visit);
+        if (tpsL1_)
+            tpsL1_->forEachEntry(visit);
+        if (stlb_)
+            stlb_->forEachEntry(visit);
+        if (stlbHuge_)
+            stlbHuge_->forEachEntry(visit);
+    }
+
+    /** Visit every valid CoLT run (no-op without a CoLT L1). */
+    void
+    forEachColtRun(
+        const std::function<void(const ColtEntry &)> &visit) const
+    {
+        if (coltL1_)
+            coltL1_->forEachRun(visit);
+    }
+
+    /** Visit every valid RMM range (no-op without a range TLB). */
+    void
+    forEachRange(
+        const std::function<void(const RangeEntry &)> &visit) const
+    {
+        if (rangeTlb_)
+            rangeTlb_->forEachRange(visit);
+    }
 
   private:
     /** Probe only the L1 structures. */

@@ -5,6 +5,26 @@
  * panic() flags an internal library bug (invariant violation) and aborts;
  * fatal() flags a user error (bad configuration, impossible request) and
  * exits with status 1; warn()/inform() report conditions without stopping.
+ *
+ * Error policy (which mechanism to use where):
+ *
+ *  - tps::SimError (util/sim_error.hh) -- *recoverable* simulation
+ *    failures that are a property of one experiment cell, not of the
+ *    process: simulated out-of-memory, simulated segfaults, per-cell
+ *    timeouts, invariant-checker findings, unknown workload names.
+ *    Library code under src/ throws these so a sweep can catch the
+ *    failure per cell, record it in the run manifest, and continue.
+ *
+ *  - tps_fatal -- unrecoverable *user* errors at the process level:
+ *    malformed command lines, unopenable output files.  Only
+ *    appropriate in main()-adjacent code (bench/, tools); library code
+ *    that a sweep drives must throw SimError instead.
+ *
+ *  - tps_panic / tps_assert -- programmer errors: broken preconditions
+ *    and internal invariants that no input should be able to trigger
+ *    (e.g. mapping inside an existing leaf without demoting first).
+ *    These abort so the bug is caught at its source, never swallowed
+ *    by a sweep's per-cell error capture.
  */
 
 #ifndef TPS_UTIL_LOGGING_HH

@@ -1,0 +1,37 @@
+#include "util/sim_error.hh"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace tps {
+
+const char *
+errorKindName(ErrorKind kind)
+{
+    switch (kind) {
+      case ErrorKind::OutOfMemory:
+        return "out-of-memory";
+      case ErrorKind::InvalidArgument:
+        return "invalid-argument";
+      case ErrorKind::InvalidAccess:
+        return "invalid-access";
+      case ErrorKind::CorruptState:
+        return "corrupt-state";
+      case ErrorKind::Timeout:
+        return "timeout";
+    }
+    return "?";
+}
+
+void
+throwSimError(ErrorKind kind, const char *fmt, ...)
+{
+    char buf[1024];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    throw SimError(kind, buf);
+}
+
+} // namespace tps

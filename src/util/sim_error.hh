@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Structured simulation errors.
+ *
+ * Library code signals *recoverable* failures -- conditions a sweep
+ * driver can catch, record, and survive -- by throwing SimError instead
+ * of calling tps_fatal/tps_panic.  The sweep harness
+ * (core::ExperimentRunner::runGuarded) catches these per cell, marks
+ * the cell failed in the run manifest, and keeps the rest of the sweep
+ * alive.  See util/logging.hh for the full error-policy taxonomy.
+ */
+
+#ifndef TPS_UTIL_SIM_ERROR_HH
+#define TPS_UTIL_SIM_ERROR_HH
+
+#include <stdexcept>
+#include <string>
+
+namespace tps {
+
+/** What went wrong, coarsely -- drives per-cell status in manifests. */
+enum class ErrorKind
+{
+    OutOfMemory,      //!< simulated physical memory exhausted
+    InvalidArgument,  //!< caller passed an impossible request
+    InvalidAccess,    //!< simulated segfault / unresolvable fault
+    CorruptState,     //!< an invariant checker found inconsistent state
+    Timeout,          //!< per-cell wall-clock budget exceeded
+};
+
+/** Printable name of an error kind ("out-of-memory", ...). */
+const char *errorKindName(ErrorKind kind);
+
+/** A recoverable simulation failure, carrying its kind. */
+class SimError : public std::runtime_error
+{
+  public:
+    SimError(ErrorKind kind, const std::string &what)
+        : std::runtime_error(what), kind_(kind)
+    {}
+
+    ErrorKind kind() const { return kind_; }
+
+  private:
+    ErrorKind kind_;
+};
+
+/** Throw a SimError with a printf-formatted message. */
+[[noreturn]] void throwSimError(ErrorKind kind, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+} // namespace tps
+
+#endif // TPS_UTIL_SIM_ERROR_HH

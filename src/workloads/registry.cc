@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/logging.hh"
+#include "util/sim_error.hh"
 #include "workloads/dbx1000.hh"
 #include "workloads/graph500.hh"
 #include "workloads/gups.hh"
@@ -97,7 +98,8 @@ makeWorkload(const std::string &name, double scale, uint64_t seed_offset)
         return makeSpecLike(leelaLike(), scale, seed_offset);
     if (name == "nab")
         return makeSpecLike(nabLike(), scale, seed_offset);
-    tps_fatal("unknown workload '%s'", name.c_str());
+    throwSimError(ErrorKind::InvalidArgument, "unknown workload '%s'",
+                  name.c_str());
 }
 
 const std::vector<std::string> &

@@ -10,6 +10,7 @@
 #include "os/policy_common.hh"
 #include "os/policy_rmm.hh"
 #include "sim/mmu.hh"
+#include "util/sim_error.hh"
 
 namespace tps::sim {
 namespace {
@@ -175,7 +176,7 @@ TEST(Mmu, ShootdownOnMunmapDropsTranslations)
     rig.mmu.access(va, true);
     rig.as.munmap(va);
     // The VA is gone; a new access must fault (and fail: no VMA).
-    EXPECT_DEATH(rig.mmu.access(va, false), "segfault");
+    EXPECT_THROW(rig.mmu.access(va, false), SimError);
 }
 
 TEST(Mmu, WalkRefsMatchPageSizeDepth)

@@ -390,7 +390,7 @@ TEST(Manifest, ManifestShape)
     info.wallSeconds = 2.0;
     Json j = manifestJson(info, {cell});
     EXPECT_EQ(j.at("format").asString(), "tps-run-manifest");
-    EXPECT_EQ(j.at("version").asUInt(), 1u);
+    EXPECT_EQ(j.at("version").asUInt(), 2u);
     EXPECT_EQ(j.at("bench").asString(), "unit");
     EXPECT_EQ(j.at("host").at("jobs").asUInt(), 3u);
     ASSERT_EQ(j.at("cells").size(), 1u);

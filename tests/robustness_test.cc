@@ -1,0 +1,348 @@
+/**
+ * @file
+ * Sweep-hardening tests: the SimError taxonomy, fault-isolated guarded
+ * sweeps (failed cells recorded, good cells bit-identical to solo
+ * runs), per-cell timeouts, retry accounting, the JSON parser's
+ * round-trip guarantees, and the --resume path's golden property --
+ * a resumed sweep's pure manifest is byte-identical to an
+ * uninterrupted one.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/experiment_runner.hh"
+#include "core/tps_system.hh"
+#include "obs/json.hh"
+#include "obs/resume.hh"
+#include "obs/run_manifest.hh"
+#include "obs/stats_bindings.hh"
+#include "util/sim_error.hh"
+
+namespace tps {
+namespace {
+
+core::RunOptions
+smallRun(const std::string &workload = "gups",
+         core::Design design = core::Design::Thp)
+{
+    core::RunOptions opts;
+    opts.workload = workload;
+    opts.design = design;
+    opts.scale = 0.02;
+    opts.physBytes = 512ull << 20;
+    return opts;
+}
+
+/** A scratch path under the test's working directory. */
+std::string
+scratchPath(const std::string &name)
+{
+    return "robustness_test_" + name + ".json";
+}
+
+TEST(SimErrorTaxonomy, KindNamesAreStable)
+{
+    EXPECT_STREQ(errorKindName(ErrorKind::OutOfMemory),
+                 "out-of-memory");
+    EXPECT_STREQ(errorKindName(ErrorKind::InvalidArgument),
+                 "invalid-argument");
+    EXPECT_STREQ(errorKindName(ErrorKind::InvalidAccess),
+                 "invalid-access");
+    EXPECT_STREQ(errorKindName(ErrorKind::CorruptState),
+                 "corrupt-state");
+    EXPECT_STREQ(errorKindName(ErrorKind::Timeout), "timeout");
+}
+
+TEST(SimErrorTaxonomy, CellStatusNamesAreStable)
+{
+    EXPECT_STREQ(core::cellStatusName(core::CellStatus::Ok), "ok");
+    EXPECT_STREQ(core::cellStatusName(core::CellStatus::Failed),
+                 "failed");
+    EXPECT_STREQ(core::cellStatusName(core::CellStatus::Timeout),
+                 "timeout");
+    EXPECT_STREQ(core::cellStatusName(core::CellStatus::Resumed),
+                 "resumed");
+}
+
+TEST(GuardedSweep, FailingCellIsIsolated)
+{
+    // Middle cell names a workload that does not exist; the sweep must
+    // survive it and the good cells must match solo runs bit for bit.
+    std::vector<core::RunOptions> cells = {
+        smallRun("gups", core::Design::Thp),
+        smallRun("nonexistent-workload"),
+        smallRun("gups", core::Design::Tps),
+    };
+    core::ExperimentRunner runner(2);
+    std::vector<core::CellOutcome> out = runner.runGuarded(cells);
+    ASSERT_EQ(out.size(), 3u);
+
+    EXPECT_EQ(out[0].status, core::CellStatus::Ok);
+    EXPECT_EQ(out[2].status, core::CellStatus::Ok);
+    EXPECT_EQ(out[1].status, core::CellStatus::Failed);
+    EXPECT_EQ(out[1].errorKind, "invalid-argument");
+    EXPECT_NE(out[1].error.find("unknown workload"), std::string::npos);
+    EXPECT_EQ(out[1].stats.accesses, 0u);
+
+    sim::SimStats solo0 = core::runExperiment(cells[0]);
+    sim::SimStats solo2 = core::runExperiment(cells[2]);
+    EXPECT_EQ(out[0].stats.toJson().dump(), solo0.toJson().dump());
+    EXPECT_EQ(out[2].stats.toJson().dump(), solo2.toJson().dump());
+}
+
+TEST(GuardedSweep, RetriesReRunDeterministicFailures)
+{
+    core::SweepPolicy policy;
+    policy.retries = 2;
+    core::ExperimentRunner runner(1);
+    std::vector<core::CellOutcome> out =
+        runner.runGuarded({smallRun("nonexistent-workload")}, policy);
+    ASSERT_EQ(out.size(), 1u);
+    // Deterministic failure: every attempt fails the same way.
+    EXPECT_EQ(out[0].status, core::CellStatus::Failed);
+    EXPECT_EQ(out[0].attempts, 3u);
+}
+
+TEST(GuardedSweep, SuccessUsesOneAttempt)
+{
+    core::SweepPolicy policy;
+    policy.retries = 5;
+    core::ExperimentRunner runner(1);
+    std::vector<core::CellOutcome> out =
+        runner.runGuarded({smallRun()}, policy);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].status, core::CellStatus::Ok);
+    EXPECT_EQ(out[0].attempts, 1u);
+}
+
+TEST(GuardedSweep, TimeoutBecomesTimeoutStatus)
+{
+    core::RunOptions opts = smallRun();
+    opts.cellTimeoutSeconds = 1e-9;
+    core::ExperimentRunner runner(1);
+    std::vector<core::CellOutcome> out = runner.runGuarded({opts});
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].status, core::CellStatus::Timeout);
+    EXPECT_EQ(out[0].errorKind, "timeout");
+    EXPECT_NE(out[0].error.find("wall-clock"), std::string::npos);
+}
+
+TEST(JsonParser, RoundTripsManifestShapedTrees)
+{
+    obs::Json j = obs::Json::object();
+    j["uint"] = uint64_t(18446744073709551615ull);
+    j["int"] = int64_t(-42);
+    j["double"] = 0.1;
+    j["short"] = 2.5;
+    j["bool"] = true;
+    j["null"] = obs::Json();
+    j["string"] = std::string("he \"quoted\" \\ path\n");
+    obs::Json arr = obs::Json::array();
+    arr.push(obs::Json(uint64_t(1)));
+    arr.push(obs::Json("two"));
+    j["arr"] = std::move(arr);
+    j["nested"]["a"]["b"] = uint64_t(7);
+
+    for (int indent : {-1, 2}) {
+        std::string text = j.dump(indent);
+        obs::Json parsed = obs::parseJson(text);
+        // Identical bytes and identical kinds (UInt stays UInt, ...).
+        EXPECT_EQ(parsed.dump(indent), text);
+        EXPECT_EQ(parsed.at("uint").kind(), obs::Json::Kind::UInt);
+        EXPECT_EQ(parsed.at("int").kind(), obs::Json::Kind::Int);
+        EXPECT_EQ(parsed.at("double").kind(), obs::Json::Kind::Double);
+        EXPECT_EQ(parsed.at("string").asString(),
+                  j.at("string").asString());
+    }
+}
+
+TEST(JsonParser, RejectsMalformedInput)
+{
+    for (const char *bad :
+         {"", "{", "[1,]", "{\"a\":}", "{\"a\" 1}", "tru", "\"\\x\"",
+          "01", "1.2.3", "{\"a\":1}trailing", "\"unterminated",
+          "[\"\x01\"]"}) {
+        EXPECT_THROW((void)obs::parseJson(bad), SimError) << bad;
+    }
+}
+
+TEST(StatsBindings, SimStatsRoundTripThroughJson)
+{
+    core::RunOptions opts = smallRun();
+    opts.epochAccesses = 4096;  // exercise the epoch series too
+    sim::SimStats stats = core::runExperiment(opts);
+    ASSERT_FALSE(stats.epochs.empty());
+
+    obs::Json j = stats.toJson();
+    sim::SimStats restored = obs::simStatsFromJson(j);
+    EXPECT_EQ(restored.toJson().dump(), j.dump());
+
+    obs::Json broken = obs::parseJson(j.dump());
+    broken["engine"] = obs::Json::object();  // counters now missing
+    EXPECT_THROW((void)obs::simStatsFromJson(broken), SimError);
+}
+
+TEST(Manifest, FailedCellRecordsErrorAndStatus)
+{
+    obs::CellArtifact cell;
+    cell.options = smallRun();
+    cell.status = core::CellStatus::Timeout;
+    cell.error = "cell exceeded its 2 s wall-clock budget";
+    cell.errorKind = "timeout";
+    cell.attempts = 3;
+
+    obs::Json j = obs::cellJson(cell, /*includeHost=*/true);
+    EXPECT_EQ(j.at("status").asString(), "timeout");
+    EXPECT_EQ(j.at("errorKind").asString(), "timeout");
+    EXPECT_NE(j.at("error").asString().find("wall-clock"),
+              std::string::npos);
+    EXPECT_EQ(j.at("attempts").asUInt(), 3u);
+
+    obs::Json pure = obs::cellJson(cell, /*includeHost=*/false);
+    EXPECT_EQ(pure.find("attempts"), nullptr);
+    EXPECT_EQ(pure.find("wallSeconds"), nullptr);
+    EXPECT_EQ(pure.at("status").asString(), "timeout");
+}
+
+TEST(Resume, ResumedSweepManifestIsByteIdentical)
+{
+    const std::vector<core::RunOptions> cells = {
+        smallRun("gups", core::Design::Thp),
+        smallRun("gups", core::Design::Tps),
+        smallRun("gups", core::Design::Colt),
+    };
+    obs::ManifestInfo pure_info;
+    pure_info.bench = "resume-golden";
+    pure_info.includeHost = false;
+
+    // Uninterrupted reference sweep.
+    std::vector<obs::CellArtifact> full;
+    for (const core::RunOptions &opts : cells) {
+        obs::CellArtifact cell;
+        cell.options = opts;
+        cell.stats = core::runExperiment(opts);
+        full.push_back(std::move(cell));
+    }
+    std::string golden =
+        obs::manifestJson(pure_info, full).dump(2);
+
+    // "Interrupted" artifact: only the first two cells completed.
+    const std::string partial_path = scratchPath("partial");
+    obs::writeManifest(partial_path, pure_info,
+                       {full[0], full[1]});
+
+    obs::ResumeLog log;
+    ASSERT_TRUE(log.load(partial_path));
+    EXPECT_EQ(log.size(), 2u);
+    ASSERT_NE(log.find(cells[0]), nullptr);
+    ASSERT_NE(log.find(cells[1]), nullptr);
+    EXPECT_EQ(log.find(cells[2]), nullptr);
+
+    // Resumed sweep: restore the first two, run only the third.
+    std::vector<obs::CellArtifact> resumed;
+    for (const core::RunOptions &opts : cells) {
+        obs::CellArtifact cell;
+        cell.options = opts;
+        if (const obs::Json *pure = log.find(opts)) {
+            cell.stats = obs::simStatsFromJson(pure->at("stats"));
+            cell.status = core::CellStatus::Resumed;
+            cell.restored = *pure;
+        } else {
+            cell.stats = core::runExperiment(opts);
+        }
+        resumed.push_back(std::move(cell));
+    }
+    EXPECT_EQ(obs::manifestJson(pure_info, resumed).dump(2), golden);
+
+    // Restored stats decode to the same tree the original run had.
+    EXPECT_EQ(resumed[0].stats.toJson().dump(),
+              full[0].stats.toJson().dump());
+
+    // The host view marks restored cells.
+    obs::ManifestInfo host_info = pure_info;
+    host_info.includeHost = true;
+    obs::Json host = obs::manifestJson(host_info, resumed);
+    EXPECT_TRUE(host.at("cells").at(0).at("resumed").asBool());
+    EXPECT_EQ(host.at("cells").at(2).find("resumed"), nullptr);
+
+    std::remove(partial_path.c_str());
+}
+
+TEST(Resume, CanonicalizesRobustnessKnobs)
+{
+    // A cell completed under --paranoid/--cell-timeout must be found
+    // when resuming without them (they cannot change the statistics).
+    core::RunOptions ran = smallRun();
+    ran.paranoid = true;
+    ran.checkEvery = 1000;
+    ran.cellTimeoutSeconds = 30.0;
+
+    obs::CellArtifact cell;
+    cell.options = ran;
+    cell.stats = core::runExperiment(ran);
+    obs::ManifestInfo info;
+    info.bench = "canon";
+    info.includeHost = false;
+    const std::string path = scratchPath("canon");
+    obs::writeManifest(path, info, {cell});
+
+    obs::ResumeLog log;
+    ASSERT_TRUE(log.load(path));
+    EXPECT_NE(log.find(smallRun()), nullptr);
+
+    // A genuinely different cell still misses.
+    core::RunOptions other = smallRun();
+    other.scale = 0.03;
+    EXPECT_EQ(log.find(other), nullptr);
+
+    std::remove(path.c_str());
+}
+
+TEST(Resume, FailedCellsAreNotRestored)
+{
+    obs::CellArtifact ok;
+    ok.options = smallRun("gups", core::Design::Thp);
+    ok.stats = core::runExperiment(ok.options);
+
+    obs::CellArtifact bad;
+    bad.options = smallRun("gups", core::Design::Tps);
+    bad.status = core::CellStatus::Failed;
+    bad.error = "boom";
+    bad.errorKind = "invalid-access";
+
+    obs::ManifestInfo info;
+    info.bench = "failures";
+    info.includeHost = false;
+    const std::string path = scratchPath("failures");
+    obs::writeManifest(path, info, {ok, bad});
+
+    obs::ResumeLog log;
+    ASSERT_TRUE(log.load(path));
+    EXPECT_EQ(log.size(), 1u);
+    EXPECT_NE(log.find(ok.options), nullptr);
+    EXPECT_EQ(log.find(bad.options), nullptr);
+
+    std::remove(path.c_str());
+}
+
+TEST(Resume, MissingOrMalformedManifestLoadsNothing)
+{
+    obs::ResumeLog log;
+    EXPECT_FALSE(log.load("does-not-exist.json"));
+    EXPECT_EQ(log.size(), 0u);
+
+    const std::string path = scratchPath("malformed");
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("{\"format\": \"something-else\"}", f);
+    std::fclose(f);
+    EXPECT_FALSE(log.load(path));
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace tps

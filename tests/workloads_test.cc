@@ -11,6 +11,7 @@
 #include <set>
 
 #include "util/rng.hh"
+#include "util/sim_error.hh"
 #include "workloads/dbx1000.hh"
 #include "workloads/graph500.hh"
 #include "workloads/gups.hh"
@@ -178,9 +179,9 @@ INSTANTIATE_TEST_SUITE_P(
         return info.param;
     });
 
-TEST(Registry, UnknownNameIsFatal)
+TEST(Registry, UnknownNameThrows)
 {
-    EXPECT_DEATH((void)makeWorkload("nonexistent"), "unknown workload");
+    EXPECT_THROW((void)makeWorkload("nonexistent"), SimError);
 }
 
 TEST(Registry, SuitesNonEmptyAndDistinct)
