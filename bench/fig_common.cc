@@ -11,6 +11,8 @@
 #include <cstring>
 #include <iostream>
 
+#include "obs/event_trace.hh"
+#include "obs/profile.hh"
 #include "obs/resume.hh"
 #include "obs/stats_bindings.hh"
 #include "sim/perf_model.hh"
@@ -37,6 +39,12 @@ struct BenchContext
     obs::ResumeLog resume;
     bool resumeActive = false;
     unsigned retries = 0;
+    //! --event-trace: per-cell event traces collected by runCells.
+    bool traceRequested = false;
+    std::vector<obs::TraceCell> traceCells;
+    //! --profile: sweep-wide simulator self-profile totals.
+    bool profileRequested = false;
+    obs::ProfileRegistry profileTotal;
 };
 
 BenchContext g_bench;
@@ -69,18 +77,7 @@ secondsSince(std::chrono::steady_clock::time_point t0)
         .count();
 }
 
-/** Span label for one experiment cell. */
-std::string
-cellLabel(const core::RunOptions &run)
-{
-    std::string label =
-        run.workload + "/" + core::designName(run.design);
-    if (run.timing == sim::TlbTimingMode::PerfectL2)
-        label += "/perfect-l2";
-    else if (run.timing == sim::TlbTimingMode::PerfectL1)
-        label += "/perfect-l1";
-    return label;
-}
+using core::cellLabel;
 
 } // namespace
 
@@ -90,6 +87,8 @@ initBench(const std::string &name, const FigOptions &opts)
     g_bench.name = name;
     g_bench.start = std::chrono::steady_clock::now();
     g_bench.retries = opts.retries;
+    g_bench.traceRequested = !opts.eventTracePath.empty();
+    g_bench.profileRequested = opts.profile;
     if (!opts.tracePath.empty() || opts.progress) {
         obs::SweepMonitor::Config mcfg;
         mcfg.bench = name;
@@ -154,6 +153,38 @@ finishBench(const FigOptions &opts)
         g_bench.monitor->writeTrace(opts.tracePath);
         std::fprintf(stderr, "wrote sweep trace to %s\n",
                      opts.tracePath.c_str());
+    }
+    if (!opts.eventTracePath.empty()) {
+        std::lock_guard<std::mutex> lock(g_bench.mu);
+        if (g_bench.traceCells.empty()) {
+            tps_warn("--event-trace=%s: no cells were traced (resumed "
+                     "cells and speedup pipelines record no events); "
+                     "writing an empty container",
+                     opts.eventTracePath.c_str());
+        }
+        size_t n = g_bench.traceCells.size();
+        obs::writeTraceFile(opts.eventTracePath,
+                            std::move(g_bench.traceCells));
+        std::fprintf(stderr, "wrote %zu-cell event trace to %s\n", n,
+                     opts.eventTracePath.c_str());
+    }
+    if (opts.profile) {
+        // Host wall-clock numbers: informative, never deterministic,
+        // never part of any manifest.
+        std::lock_guard<std::mutex> lock(g_bench.mu);
+        std::fprintf(stderr, "simulator self-profile (host time):\n");
+        for (unsigned i = 0; i < obs::kProfPhaseCount; ++i) {
+            auto phase = static_cast<obs::ProfPhase>(i);
+            const auto &e = g_bench.profileTotal.entry(phase);
+            if (e.calls == 0)
+                continue;
+            std::fprintf(stderr,
+                         "  %-14s %12llu calls %10.3f ms  %8.1f ns/call\n",
+                         obs::profPhaseName(phase),
+                         static_cast<unsigned long long>(e.calls),
+                         e.ns / 1e6,
+                         e.calls ? double(e.ns) / double(e.calls) : 0.0);
+        }
     }
 }
 
@@ -263,12 +294,19 @@ parseArgs(int argc, char **argv)
             opts.retries = static_cast<unsigned>(retries);
         } else if (std::strcmp(arg, "--resume") == 0) {
             opts.resume = true;
+        } else if (std::strncmp(arg, "--event-trace=", 14) == 0) {
+            opts.eventTracePath = arg + 14;
+            if (opts.eventTracePath.empty())
+                tps_fatal("--event-trace needs a path");
+        } else if (std::strcmp(arg, "--profile") == 0) {
+            opts.profile = true;
         } else if (std::strcmp(arg, "--help") == 0) {
             std::printf(
                 "options: --scale=<f> --phys-gb=<n> --csv --jobs=<n> "
                 "--benchmarks=a,b,c --epochs=<n> --stats-json=<path> "
                 "--trace=<path> --progress --paranoid --check-every=<n> "
-                "--cell-timeout=<sec> --retries=<n> --resume\n");
+                "--cell-timeout=<sec> --retries=<n> --resume "
+                "--event-trace=<path> --profile\n");
             std::exit(0);
         } else {
             tps_fatal("unknown option '%s' (try --help)", arg);
@@ -399,6 +437,8 @@ runCells(const FigOptions &opts,
     runner.setMonitor(sweepMonitor());
     core::SweepPolicy policy;
     policy.retries = opts.retries;
+    policy.eventTrace = g_bench.traceRequested;
+    policy.profile = g_bench.profileRequested;
     std::vector<core::CellOutcome> outcomes =
         runner.runGuarded(to_run, policy);
     for (size_t j = 0; j < outcomes.size(); ++j) {
@@ -417,6 +457,21 @@ runCells(const FigOptions &opts,
                          cellLabel(cell.options).c_str(),
                          core::cellStatusName(cell.status),
                          cell.attempts, cell.error.c_str());
+        }
+        // Collect per-cell observability; the container writer sorts
+        // cells by (label, seed), so the on-disk trace is byte-stable
+        // across --jobs counts and sweep scheduling.  (Cells restored
+        // by --resume were not re-run, so they contribute no trace.)
+        if (out.trace || out.profile) {
+            std::lock_guard<std::mutex> lock(g_bench.mu);
+            if (out.trace) {
+                g_bench.traceCells.push_back(
+                    obs::TraceCell{cellLabel(to_run[j]),
+                                   core::runSeed(to_run[j]),
+                                   out.trace->takeEvents()});
+            }
+            if (out.profile)
+                g_bench.profileTotal.merge(*out.profile);
         }
     }
 

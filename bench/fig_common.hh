@@ -38,13 +38,16 @@ struct FigOptions
     double cellTimeout = 0.0;  //!< per-cell wall-clock budget (seconds)
     unsigned retries = 0;      //!< extra attempts for a failed cell
     bool resume = false;       //!< skip cells already in --stats-json
+    std::string eventTracePath; //!< write a binary event trace here
+    bool profile = false;      //!< dump simulator self-profile to stderr
 };
 
 /**
  * Parse common flags: --scale=<f>, --phys-gb=<n>, --csv, --jobs=<n>,
  * --benchmarks=a,b,c, --epochs=<n>, --stats-json=<path>,
  * --trace=<path>, --progress, --paranoid, --check-every=<n>,
- * --cell-timeout=<sec>, --retries=<n>, --resume.  Values are parsed
+ * --cell-timeout=<sec>, --retries=<n>, --resume,
+ * --event-trace=<path>, --profile.  Values are parsed
  * strictly (trailing garbage, out-of-range, or nonsensical values like
  * --jobs=0 are rejected with a one-line error); unknown flags are fatal.
  */
@@ -69,7 +72,8 @@ void recordArtifact(obs::CellArtifact cell);
 
 /**
  * Write the artifacts the command line asked for (--stats-json
- * manifest, --trace Chrome trace).  Call once at the end of main.
+ * manifest, --trace Chrome trace, --event-trace event-trace container,
+ * --profile stderr report).  Call once at the end of main.
  */
 void finishBench(const FigOptions &opts);
 

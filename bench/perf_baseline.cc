@@ -1,0 +1,322 @@
+/**
+ * @file
+ * Simulator throughput baseline: measures simulated accesses per host
+ * second for a fixed set of (workload, design) cells and writes a
+ * BENCH_<date>.json snapshot.  CI runs it on a smoke configuration and
+ * compares against the committed BENCH_baseline.json, failing on a
+ * >20% geomean-or-per-cell regression, so a change that silently makes
+ * the simulator much slower is caught in review, not in a sweep that
+ * suddenly takes all night.
+ *
+ *   perf_baseline [--out=<path>] [--compare=<path>] [--tolerance=<f>]
+ *                 [--scale=<f>] [--benchmarks=a,b,c] [--repeat=<n>]
+ *                 [--trace-overhead]
+ *
+ * Each cell is measured --repeat times (default 3) and the fastest run
+ * is kept: best-of-N converges on the machine's ceiling, so scheduler
+ * noise mostly cancels between a baseline and a comparison run.
+ * --compare gates on the *geomean* across the cells both files share
+ * (per-cell changes are printed but informative only: single cells
+ * swing tens of percent on a loaded host, and a real simulator
+ * regression moves all of them).  It refuses to compare across
+ * different --scale values (throughput depends on the workload size).
+ * --trace-overhead additionally runs every cell with an event trace
+ * attached and reports the recording overhead.
+ *
+ * Output schema ("tps-perf-baseline", version 1):
+ *   { "format": "tps-perf-baseline", "version": 1, "scale": <f>,
+ *     "cells": [ { "workload": "...", "design": "...",
+ *                  "accesses": <n>, "seconds": <f>,
+ *                  "accessesPerSec": <f> }, ... ],
+ *     "geomeanAccessesPerSec": <f> }
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <string>
+#include <vector>
+
+#include "core/tps_system.hh"
+#include "obs/event_trace.hh"
+#include "obs/json.hh"
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+using namespace tps;
+
+namespace {
+
+struct Args
+{
+    std::string out;
+    std::string compare;
+    double tolerance = 0.2;
+    double scale = 1.0;
+    std::vector<std::string> benchmarks;
+    unsigned repeat = 3;
+    bool traceOverhead = false;
+};
+
+bool
+parseU64(const char *s, uint64_t *out)
+{
+    if (*s == '\0')
+        return false;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(s, &end, 10);
+    if (end == s || *end != '\0')
+        return false;
+    *out = v;
+    return true;
+}
+
+bool
+parseF64(const char *s, double *out)
+{
+    if (*s == '\0')
+        return false;
+    char *end = nullptr;
+    double v = std::strtod(s, &end);
+    if (end == s || *end != '\0')
+        return false;
+    *out = v;
+    return true;
+}
+
+Args
+parseArgs(int argc, char **argv)
+{
+    Args args;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strncmp(arg, "--out=", 6) == 0) {
+            args.out = arg + 6;
+        } else if (std::strncmp(arg, "--compare=", 10) == 0) {
+            args.compare = arg + 10;
+        } else if (std::strncmp(arg, "--tolerance=", 12) == 0) {
+            if (!parseF64(arg + 12, &args.tolerance) ||
+                args.tolerance <= 0 || args.tolerance >= 1) {
+                tps_fatal("bad --tolerance value '%s'", arg + 12);
+            }
+        } else if (std::strncmp(arg, "--scale=", 8) == 0) {
+            if (!parseF64(arg + 8, &args.scale) || args.scale <= 0)
+                tps_fatal("bad --scale value '%s'", arg + 8);
+        } else if (std::strncmp(arg, "--benchmarks=", 13) == 0) {
+            std::string list = arg + 13;
+            size_t pos = 0;
+            while (pos != std::string::npos) {
+                size_t comma = list.find(',', pos);
+                std::string name =
+                    list.substr(pos, comma == std::string::npos
+                                         ? std::string::npos
+                                         : comma - pos);
+                if (!name.empty())
+                    args.benchmarks.push_back(name);
+                pos = comma == std::string::npos ? comma : comma + 1;
+            }
+        } else if (std::strncmp(arg, "--repeat=", 9) == 0) {
+            uint64_t repeat = 0;
+            if (!parseU64(arg + 9, &repeat) || repeat == 0 ||
+                repeat > 100) {
+                tps_fatal("bad --repeat value '%s'", arg + 9);
+            }
+            args.repeat = static_cast<unsigned>(repeat);
+        } else if (std::strcmp(arg, "--trace-overhead") == 0) {
+            args.traceOverhead = true;
+        } else if (std::strcmp(arg, "--help") == 0) {
+            std::printf(
+                "options: --out=<path> --compare=<path> "
+                "--tolerance=<f> --scale=<f> --benchmarks=a,b,c "
+                "--repeat=<n> --trace-overhead\n");
+            std::exit(0);
+        } else {
+            tps_fatal("unknown option '%s' (try --help)", arg);
+        }
+    }
+    if (args.benchmarks.empty())
+        args.benchmarks = {"gups", "mcf", "xsbench"};
+    if (args.out.empty()) {
+        char date[16];
+        std::time_t now = std::time(nullptr);
+        std::tm tm_buf{};
+        localtime_r(&now, &tm_buf);
+        std::strftime(date, sizeof(date), "%Y-%m-%d", &tm_buf);
+        args.out = std::string("BENCH_") + date + ".json";
+    }
+    return args;
+}
+
+struct CellPerf
+{
+    std::string workload;
+    std::string design;
+    uint64_t accesses = 0;
+    double seconds = 0.0;
+    double accessesPerSec = 0.0;
+};
+
+/**
+ * Run one cell @p repeat times, keeping the fastest run.  Accesses are
+ * the total simulated count (warmup included -- warmup costs host time
+ * like any other access).
+ */
+CellPerf
+measure(const std::string &wl, core::Design design, double scale,
+        unsigned repeat, obs::EventTrace *trace)
+{
+    core::RunOptions run;
+    run.workload = wl;
+    run.design = design;
+    run.scale = scale;
+    core::RunHooks hooks;
+    hooks.trace = trace;
+
+    CellPerf perf;
+    perf.workload = wl;
+    perf.design = core::designName(design);
+    for (unsigned i = 0; i < repeat; ++i) {
+        if (trace)
+            trace->clear();
+        auto t0 = std::chrono::steady_clock::now();
+        sim::SimStats stats = core::runExperiment(run, hooks);
+        double seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+        if (i == 0 || seconds < perf.seconds) {
+            perf.accesses = stats.accesses + stats.warmup.accesses;
+            perf.seconds = seconds;
+        }
+    }
+    perf.accessesPerSec =
+        perf.seconds > 0
+            ? static_cast<double>(perf.accesses) / perf.seconds
+            : 0;
+    return perf;
+}
+
+/** Baseline lookup: accessesPerSec for (workload, design), or 0. */
+double
+baselineRate(const obs::Json &base, const CellPerf &cell)
+{
+    const obs::Json *cells = base.find("cells");
+    if (!cells)
+        return 0.0;
+    for (size_t i = 0; i < cells->size(); ++i) {
+        const obs::Json &c = cells->at(i);
+        if (c.at("workload").asString() == cell.workload &&
+            c.at("design").asString() == cell.design) {
+            return c.at("accessesPerSec").asDouble();
+        }
+    }
+    return 0.0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Args args = parseArgs(argc, argv);
+
+    static const core::Design kDesigns[] = {core::Design::Thp,
+                                            core::Design::Tps};
+
+    std::vector<CellPerf> cells;
+    Summary rates;
+    for (const std::string &wl : args.benchmarks) {
+        for (core::Design design : kDesigns) {
+            CellPerf perf =
+                measure(wl, design, args.scale, args.repeat, nullptr);
+            std::printf("%-12s %-10s %12llu accesses  %8.3f s  "
+                        "%12.0f acc/s\n",
+                        perf.workload.c_str(), perf.design.c_str(),
+                        static_cast<unsigned long long>(perf.accesses),
+                        perf.seconds, perf.accessesPerSec);
+            if (args.traceOverhead) {
+                obs::EventTrace trace;
+                CellPerf traced = measure(wl, design, args.scale,
+                                          args.repeat, &trace);
+                double overhead =
+                    perf.seconds > 0
+                        ? 100.0 * (traced.seconds - perf.seconds) /
+                              perf.seconds
+                        : 0.0;
+                std::printf("%-12s %-10s   with tracing: %8.3f s "
+                            "(%+.1f%%, %zu events)\n",
+                            perf.workload.c_str(), perf.design.c_str(),
+                            traced.seconds, overhead, trace.size());
+            }
+            rates.add(perf.accessesPerSec);
+            cells.push_back(std::move(perf));
+        }
+    }
+
+    obs::Json j = obs::Json::object();
+    j["format"] = std::string("tps-perf-baseline");
+    j["version"] = uint64_t(1);
+    j["scale"] = args.scale;
+    obs::Json arr = obs::Json::array();
+    for (const CellPerf &perf : cells) {
+        obs::Json c = obs::Json::object();
+        c["workload"] = perf.workload;
+        c["design"] = perf.design;
+        c["accesses"] = perf.accesses;
+        c["seconds"] = perf.seconds;
+        c["accessesPerSec"] = perf.accessesPerSec;
+        arr.push(std::move(c));
+    }
+    j["cells"] = std::move(arr);
+    j["geomeanAccessesPerSec"] = rates.geomean();
+    obs::writeJsonFile(args.out, j);
+    std::printf("wrote %s (geomean %.0f acc/s)\n", args.out.c_str(),
+                rates.geomean());
+
+    if (args.compare.empty())
+        return 0;
+
+    obs::Json base = obs::readJsonFile(args.compare);
+    if (!base.find("format") ||
+        base.at("format").asString() != "tps-perf-baseline") {
+        tps_fatal("%s is not a tps-perf-baseline file",
+                  args.compare.c_str());
+    }
+    if (base.at("scale").asDouble() != args.scale) {
+        tps_fatal("baseline %s was measured at --scale=%g, not %g; "
+                  "throughput is not comparable across scales",
+                  args.compare.c_str(), base.at("scale").asDouble(),
+                  args.scale);
+    }
+
+    // The gate is the geomean over the cells both files measured, so
+    // adding or dropping a benchmark doesn't skew the comparison.
+    Summary shared_now, shared_base;
+    for (const CellPerf &perf : cells) {
+        double ref = baselineRate(base, perf);
+        if (ref <= 0)
+            continue;
+        shared_now.add(perf.accessesPerSec);
+        shared_base.add(ref);
+        double change = perf.accessesPerSec / ref - 1.0;
+        std::printf("compare %-12s %-10s %+7.1f%% vs baseline\n",
+                    perf.workload.c_str(), perf.design.c_str(),
+                    100.0 * change);
+    }
+    if (shared_now.empty())
+        tps_fatal("baseline %s shares no cells with this run",
+                  args.compare.c_str());
+    double change = shared_now.geomean() / shared_base.geomean() - 1.0;
+    bool failed = change < -args.tolerance;
+    std::printf("compare geomean %+18.1f%% vs baseline  %s\n",
+                100.0 * change, failed ? "REGRESSION" : "ok");
+    if (failed) {
+        std::fprintf(stderr,
+                     "perf regression beyond %.0f%% tolerance\n",
+                     100.0 * args.tolerance);
+        return 1;
+    }
+    std::printf("perf within %.0f%% of baseline\n",
+                100.0 * args.tolerance);
+    return 0;
+}

@@ -13,7 +13,7 @@ ExperimentRunner::run(const std::vector<RunOptions> &cells)
         cells,
         [](const RunOptions &opts) { return runExperiment(opts); },
         [](const RunOptions &opts, size_t) {
-            return opts.workload + "/" + designName(opts.design);
+            return cellLabel(opts);
         });
 }
 
@@ -21,16 +21,25 @@ std::vector<CellOutcome>
 ExperimentRunner::runGuarded(const std::vector<RunOptions> &cells,
                              const SweepPolicy &policy)
 {
-    unsigned retries = policy.retries;
     return map(
         cells,
-        [retries](const RunOptions &opts) {
+        [policy](const RunOptions &opts) {
             CellOutcome out;
+            if (policy.eventTrace)
+                out.trace = std::make_unique<obs::EventTrace>();
+            if (policy.profile)
+                out.profile = std::make_unique<obs::ProfileRegistry>();
+            RunHooks hooks{out.trace.get(), out.profile.get()};
             auto start = std::chrono::steady_clock::now();
-            for (unsigned attempt = 0; attempt <= retries; ++attempt) {
+            for (unsigned attempt = 0; attempt <= policy.retries;
+                 ++attempt) {
                 out.attempts = attempt + 1;
+                // A retry re-records from scratch; on final failure the
+                // partial trace is kept for post-mortem inspection.
+                if (out.trace)
+                    out.trace->clear();
                 try {
-                    out.stats = runExperiment(opts);
+                    out.stats = runExperiment(opts, hooks);
                     out.status = CellStatus::Ok;
                     out.error.clear();
                     out.errorKind.clear();
@@ -56,7 +65,7 @@ ExperimentRunner::runGuarded(const std::vector<RunOptions> &cells,
             return out;
         },
         [](const RunOptions &opts, size_t) {
-            return opts.workload + "/" + designName(opts.design);
+            return cellLabel(opts);
         });
 }
 

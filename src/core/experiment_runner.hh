@@ -15,10 +15,13 @@
 #define TPS_CORE_EXPERIMENT_RUNNER_HH
 
 #include <future>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/tps_system.hh"
+#include "obs/event_trace.hh"
+#include "obs/profile.hh"
 #include "obs/sweep_monitor.hh"
 #include "util/task_pool.hh"
 
@@ -34,6 +37,18 @@ struct SweepPolicy
      * loaded machine; a deterministic failure will simply fail again.
      */
     unsigned retries = 0;
+
+    /**
+     * Allocate a per-cell EventTrace and record the cell's run into it
+     * (CellOutcome::trace).  Per-worker by construction -- each cell's
+     * trace is owned by the one task running that cell -- so the hot
+     * path stays lock-free.  A retried attempt clears the trace first;
+     * a failed cell keeps its partial trace for post-mortems.
+     */
+    bool eventTrace = false;
+
+    /** Allocate a per-cell ProfileRegistry (CellOutcome::profile). */
+    bool profile = false;
 };
 
 /** Outcome of one cell of a guarded sweep. */
@@ -45,6 +60,10 @@ struct CellOutcome
     std::string errorKind;   //!< SimError taxonomy name, or "exception"
     unsigned attempts = 1;   //!< executions performed
     double seconds = 0.0;    //!< wall time across all attempts
+    //! the cell's event trace (SweepPolicy::eventTrace), else null
+    std::unique_ptr<obs::EventTrace> trace;
+    //! the cell's self-profile (SweepPolicy::profile), else null
+    std::unique_ptr<obs::ProfileRegistry> profile;
 };
 
 class ExperimentRunner

@@ -98,6 +98,17 @@ runSeed(const RunOptions &opts)
     return cellSeed(opts.workload, designName(opts.design), opts.scale);
 }
 
+std::string
+cellLabel(const RunOptions &opts)
+{
+    std::string label = opts.workload + "/" + designName(opts.design);
+    if (opts.timing == sim::TlbTimingMode::PerfectL2)
+        label += "/perfect-l2";
+    else if (opts.timing == sim::TlbTimingMode::PerfectL1)
+        label += "/perfect-l1";
+    return label;
+}
+
 sim::EngineConfig
 makeEngineConfig(const RunOptions &opts)
 {
@@ -127,6 +138,12 @@ makeEngineConfig(const RunOptions &opts)
 sim::SimStats
 runExperiment(const RunOptions &opts)
 {
+    return runExperiment(opts, RunHooks{});
+}
+
+sim::SimStats
+runExperiment(const RunOptions &opts, const RunHooks &hooks)
+{
     os::PhysMemory pm(opts.physBytes);
 
     std::optional<os::Fragmenter> fragmenter;
@@ -142,6 +159,12 @@ runExperiment(const RunOptions &opts)
 
     sim::Engine engine(pm, makePolicy(opts.design, opts.tpsThreshold),
                        ecfg);
+    // Hooks attach before run() so setup-time OS events (the
+    // workload's mmaps) land in the trace at time 0.
+    if (hooks.trace)
+        engine.setEventTrace(hooks.trace);
+    if (hooks.profile)
+        engine.setProfile(hooks.profile);
     engine.addWorkload(*primary);
 
     std::unique_ptr<workloads::Workload> competitor;

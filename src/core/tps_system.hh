@@ -19,6 +19,11 @@
 #include "sim/engine.hh"
 #include "workloads/registry.hh"
 
+namespace tps::obs {
+class EventTrace;
+class ProfileRegistry;
+} // namespace tps::obs
+
 namespace tps::core {
 
 /** The designs every figure compares. */
@@ -87,6 +92,26 @@ const char *cellStatusName(CellStatus status);
 uint64_t runSeed(const RunOptions &opts);
 
 /**
+ * The canonical display label for one cell: "workload/design", with a
+ * "/perfect-l1" or "/perfect-l2" suffix when the timing mode is not
+ * Real.  Sweep-monitor spans, event-trace cells and run-manifest cells
+ * all use this one label, so the three artifact kinds of a sweep join
+ * on (label, seed) without heuristics.
+ */
+std::string cellLabel(const RunOptions &opts);
+
+/**
+ * Optional per-run observability attachments for runExperiment():
+ * an event trace (obs/event_trace.hh) and a simulator self-profile
+ * (obs/profile.hh), both recorded by the cell's engine when non-null.
+ */
+struct RunHooks
+{
+    obs::EventTrace *trace = nullptr;
+    obs::ProfileRegistry *profile = nullptr;
+};
+
+/**
  * The exact EngineConfig runExperiment() assembles for @p opts,
  * including the workload-specific instruction mix -- exposed so run
  * manifests can record the hardware configuration a cell used.
@@ -100,6 +125,10 @@ sim::EngineConfig makeEngineConfig(const RunOptions &opts);
  * never from global state).
  */
 sim::SimStats runExperiment(const RunOptions &opts);
+
+/** runExperiment() with observability hooks attached to the engine. */
+sim::SimStats runExperiment(const RunOptions &opts,
+                            const RunHooks &hooks);
 
 /**
  * An assembled system for direct API use (the examples): mmap memory,

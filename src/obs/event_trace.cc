@@ -1,0 +1,272 @@
+#include "obs/event_trace.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hh"
+#include "util/sim_error.hh"
+
+namespace tps::obs {
+
+namespace {
+
+constexpr char kMagic[] = {'T', 'P', 'S', 'E', 'V', 'T'};
+constexpr uint64_t kFormatVersion = 1;
+
+} // namespace
+
+unsigned
+eventFieldCount(EventType t)
+{
+    switch (t) {
+      case EventType::TlbMiss:
+        return 5;
+      case EventType::Walk:
+        return 5;
+      case EventType::OsMap:
+        return 3;
+      case EventType::OsUnmap:
+        return 2;
+      case EventType::OsFault:
+        return 2;
+      case EventType::OsReserve:
+        return 2;
+      case EventType::OsPromote:
+        return 2;
+      case EventType::OsCompactMove:
+        return 3;
+      case EventType::TlbShootdown:
+        return 1;
+      case EventType::TlbFlush:
+        return 0;
+      case EventType::Mark:
+        return 1;
+    }
+    tps_panic("eventFieldCount: bad event type %u",
+              static_cast<unsigned>(t));
+}
+
+const char *
+eventTypeName(EventType t)
+{
+    switch (t) {
+      case EventType::TlbMiss:
+        return "tlb-miss";
+      case EventType::Walk:
+        return "walk";
+      case EventType::OsMap:
+        return "os-map";
+      case EventType::OsUnmap:
+        return "os-unmap";
+      case EventType::OsFault:
+        return "os-fault";
+      case EventType::OsReserve:
+        return "os-reserve";
+      case EventType::OsPromote:
+        return "os-promote";
+      case EventType::OsCompactMove:
+        return "os-compact-move";
+      case EventType::TlbShootdown:
+        return "tlb-shootdown";
+      case EventType::TlbFlush:
+        return "tlb-flush";
+      case EventType::Mark:
+        return "mark";
+    }
+    return "?";
+}
+
+void
+appendVarint(std::string &out, uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<char>((v & 0x7f) | 0x80));
+        v >>= 7;
+    }
+    out.push_back(static_cast<char>(v));
+}
+
+bool
+readVarint(std::string_view buf, size_t &pos, uint64_t &v)
+{
+    uint64_t result = 0;
+    for (unsigned i = 0; i < 10; ++i) {
+        if (pos >= buf.size())
+            return false;
+        uint8_t byte = static_cast<uint8_t>(buf[pos++]);
+        // Byte 10 may only contribute the 64th bit.
+        if (i == 9 && (byte & 0xfe) != 0)
+            return false;
+        result |= static_cast<uint64_t>(byte & 0x7f) << (7 * i);
+        if ((byte & 0x80) == 0) {
+            v = result;
+            return true;
+        }
+    }
+    return false;
+}
+
+const TraceCell *
+TraceFile::find(std::string_view label, uint64_t seed) const
+{
+    for (const TraceCell &cell : cells)
+        if (cell.label == label && cell.seed == seed)
+            return &cell;
+    return nullptr;
+}
+
+std::string
+encodeEvents(const std::vector<Event> &events)
+{
+    std::string out;
+    // Rough reserve: tag + small delta + a few operand bytes per event.
+    out.reserve(events.size() * 8);
+    uint64_t prev_time = 0;
+    for (const Event &e : events) {
+        tps_assert(e.time >= prev_time);
+        appendVarint(out, static_cast<uint64_t>(e.type));
+        appendVarint(out, e.time - prev_time);
+        prev_time = e.time;
+        unsigned nf = eventFieldCount(e.type);
+        const uint64_t fields[5] = {e.va, e.a, e.b, e.c, e.d};
+        for (unsigned i = 0; i < nf; ++i)
+            appendVarint(out, fields[i]);
+    }
+    return out;
+}
+
+bool
+decodeEvents(std::string_view blob, std::vector<Event> &out)
+{
+    out.clear();
+    size_t pos = 0;
+    uint64_t time = 0;
+    while (pos < blob.size()) {
+        uint64_t tag = 0, delta = 0;
+        if (!readVarint(blob, pos, tag) ||
+            !readVarint(blob, pos, delta)) {
+            return false;
+        }
+        if (tag == 0 || tag > kMaxEventType)
+            return false;
+        Event e;
+        e.type = static_cast<EventType>(tag);
+        time += delta;
+        e.time = time;
+        unsigned nf = eventFieldCount(e.type);
+        uint64_t fields[5] = {0, 0, 0, 0, 0};
+        for (unsigned i = 0; i < nf; ++i)
+            if (!readVarint(blob, pos, fields[i]))
+                return false;
+        e.va = fields[0];
+        e.a = fields[1];
+        e.b = fields[2];
+        e.c = fields[3];
+        e.d = fields[4];
+        out.push_back(e);
+    }
+    return true;
+}
+
+std::string
+encodeTraceFile(std::vector<TraceCell> cells)
+{
+    std::sort(cells.begin(), cells.end(),
+              [](const TraceCell &a, const TraceCell &b) {
+                  if (a.label != b.label)
+                      return a.label < b.label;
+                  return a.seed < b.seed;
+              });
+
+    std::string out(kMagic, sizeof(kMagic));
+    appendVarint(out, kFormatVersion);
+    appendVarint(out, cells.size());
+    for (const TraceCell &cell : cells) {
+        appendVarint(out, cell.label.size());
+        out += cell.label;
+        appendVarint(out, cell.seed);
+        appendVarint(out, cell.events.size());
+        std::string blob = encodeEvents(cell.events);
+        appendVarint(out, blob.size());
+        out += blob;
+    }
+    return out;
+}
+
+TraceFile
+decodeTraceFile(std::string_view data)
+{
+    auto bad = [](const char *what) -> void {
+        throwSimError(ErrorKind::InvalidArgument,
+                      "malformed event trace: %s", what);
+    };
+
+    if (data.size() < sizeof(kMagic) ||
+        data.compare(0, sizeof(kMagic),
+                     std::string_view(kMagic, sizeof(kMagic))) != 0) {
+        bad("missing TPSEVT magic");
+    }
+    size_t pos = sizeof(kMagic);
+    uint64_t version = 0, ncells = 0;
+    if (!readVarint(data, pos, version))
+        bad("truncated header");
+    if (version != kFormatVersion)
+        bad("unsupported format version");
+    if (!readVarint(data, pos, ncells))
+        bad("truncated cell count");
+
+    TraceFile file;
+    for (uint64_t i = 0; i < ncells; ++i) {
+        TraceCell cell;
+        uint64_t label_len = 0;
+        if (!readVarint(data, pos, label_len) ||
+            pos + label_len > data.size()) {
+            bad("truncated cell label");
+        }
+        cell.label.assign(data.substr(pos, label_len));
+        pos += label_len;
+        uint64_t nevents = 0, blob_len = 0;
+        if (!readVarint(data, pos, cell.seed) ||
+            !readVarint(data, pos, nevents) ||
+            !readVarint(data, pos, blob_len) ||
+            pos + blob_len > data.size()) {
+            bad("truncated cell header");
+        }
+        if (!decodeEvents(data.substr(pos, blob_len), cell.events))
+            bad("corrupt cell event stream");
+        pos += blob_len;
+        if (cell.events.size() != nevents)
+            bad("cell event count mismatch");
+        file.cells.push_back(std::move(cell));
+    }
+    if (pos != data.size())
+        bad("trailing garbage after last cell");
+    return file;
+}
+
+void
+writeTraceFile(const std::string &path, std::vector<TraceCell> cells)
+{
+    std::string data = encodeTraceFile(std::move(cells));
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        tps_fatal("cannot open %s for writing", path.c_str());
+    out.write(data.data(),
+              static_cast<std::streamsize>(data.size()));
+    if (!out)
+        tps_fatal("short write to %s", path.c_str());
+}
+
+TraceFile
+readTraceFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        tps_fatal("cannot open %s", path.c_str());
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return decodeTraceFile(ss.str());
+}
+
+} // namespace tps::obs

@@ -1,0 +1,64 @@
+#include "obs/profile.hh"
+
+#include "obs/stat_registry.hh"
+
+namespace tps::obs {
+
+const char *
+profPhaseName(ProfPhase p)
+{
+    switch (p) {
+      case ProfPhase::Setup:
+        return "setup";
+      case ProfPhase::WorkloadNext:
+        return "workload-next";
+      case ProfPhase::Translate:
+        return "translate";
+      case ProfPhase::Walk:
+        return "walk";
+      case ProfPhase::OsFault:
+        return "os-fault";
+      case ProfPhase::MemAccess:
+        return "mem-access";
+      case ProfPhase::CycleModel:
+        return "cycle-model";
+    }
+    return "?";
+}
+
+void
+ProfileRegistry::merge(const ProfileRegistry &other)
+{
+    for (unsigned i = 0; i < kProfPhaseCount; ++i) {
+        entries_[i].calls += other.entries_[i].calls;
+        entries_[i].ns += other.entries_[i].ns;
+    }
+}
+
+void
+ProfileRegistry::registerStats(StatRegistry &reg,
+                               const std::string &prefix)
+{
+    for (unsigned i = 0; i < kProfPhaseCount; ++i) {
+        std::string name =
+            prefix + "." + profPhaseName(static_cast<ProfPhase>(i));
+        reg.addCounter(name + ".calls", &entries_[i].calls,
+                       "times the phase ran");
+        reg.addCounter(name + ".ns", &entries_[i].ns,
+                       "host nanoseconds spent in the phase");
+    }
+}
+
+Json
+ProfileRegistry::toJson() const
+{
+    Json j = Json::object();
+    for (unsigned i = 0; i < kProfPhaseCount; ++i) {
+        Json &e = j[profPhaseName(static_cast<ProfPhase>(i))];
+        e["calls"] = entries_[i].calls;
+        e["ns"] = entries_[i].ns;
+    }
+    return j;
+}
+
+} // namespace tps::obs

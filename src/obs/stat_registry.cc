@@ -175,6 +175,14 @@ StatRegistry::printText(std::ostream &os) const
             for (const auto &[key, count] : h.buckets())
                 line(name + "." + std::to_string(key),
                      std::to_string(count), {});
+            // Only range-limited histograms have these; emitting them
+            // conditionally keeps unlimited dumps byte-identical.
+            if (h.underflow() || h.overflow()) {
+                line(name + ".underflow", std::to_string(h.underflow()),
+                     {});
+                line(name + ".overflow", std::to_string(h.overflow()),
+                     {});
+            }
             break;
           }
         }
@@ -214,6 +222,10 @@ StatRegistry::statJson(const Stat &stat)
         for (const auto &[key, count] : h.buckets())
             buckets[std::to_string(key)] = Json(count);
         j["buckets"] = std::move(buckets);
+        if (h.underflow() || h.overflow()) {
+            j["underflow"] = Json(h.underflow());
+            j["overflow"] = Json(h.overflow());
+        }
         return j;
       }
     }

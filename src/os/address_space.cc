@@ -1,5 +1,6 @@
 #include "os/address_space.hh"
 
+#include "obs/event_trace.hh"
 #include "obs/stat_registry.hh"
 #include "obs/stats_bindings.hh"
 #include "util/bitops.hh"
@@ -44,8 +45,12 @@ AddressSpace::mmap(uint64_t length, bool writable)
     // Leave a guard page so adjacent VMAs never share an aligned block.
     mmapCursor_ = start + length + vm::kBasePageBytes;
 
-    auto [it, inserted] = vmas_.emplace(start, Vma{start, length, writable});
+    Vma vma{start, length, writable};
+    vma.id = ++nextVmaId_;
+    auto [it, inserted] = vmas_.emplace(start, vma);
     tps_assert(inserted);
+    if (trace_)
+        trace_->osMap(start, length, it->second.id);
     policy_->onMmap(*this, it->second);
     return start;
 }
@@ -58,6 +63,8 @@ AddressSpace::munmap(vm::Vaddr start)
         throwSimError(ErrorKind::InvalidArgument,
                       "munmap of unmapped region %#llx",
                       static_cast<unsigned long long>(start));
+    if (trace_)
+        trace_->osUnmap(start, it->second.id);
     policy_->onMunmap(*this, it->second);
     vmas_.erase(it);
 }
@@ -72,6 +79,8 @@ AddressSpace::handleFault(vm::Vaddr va, bool write)
         return false;
     osWork_.faultCycles += oscost::kFaultEntry;
     ++osWork_.faults;
+    if (trace_)
+        trace_->osFault(va, write);
     // Copy-on-write resolution comes first: the page exists but is
     // write-protected, which the paging policy must not reinterpret
     // as a demand fault.
@@ -86,7 +95,13 @@ AddressSpace::insertVma(const Vma &vma)
 {
     auto [it, inserted] = vmas_.emplace(vma.start, vma);
     tps_assert(inserted);
-    (void)it;
+    if (it->second.id == 0)
+        it->second.id = ++nextVmaId_;
+    else if (it->second.id > nextVmaId_)
+        nextVmaId_ = it->second.id;
+    if (trace_)
+        trace_->osMap(it->second.start, it->second.length,
+                      it->second.id);
 }
 
 const Vma *

@@ -25,6 +25,7 @@
 #include "vm/page_table.hh"
 
 namespace tps::obs {
+class EventTrace;
 class StatRegistry;
 } // namespace tps::obs
 
@@ -144,6 +145,14 @@ class AddressSpace
     void registerStats(obs::StatRegistry &reg,
                        const std::string &prefix);
 
+    /**
+     * Attach an event trace.  OS events (map/unmap/fault/reservation/
+     * promotion/compaction merge) are recorded there; policies reach
+     * the same stream through eventTrace().  nullptr disables.
+     */
+    void setEventTrace(obs::EventTrace *trace) { trace_ = trace; }
+    obs::EventTrace *eventTrace() const { return trace_; }
+
   private:
     PhysMemory &phys_;
     std::unique_ptr<PagingPolicy> policy_;
@@ -152,6 +161,8 @@ class AddressSpace
     ReservationTable reservations_;
     std::map<vm::Vaddr, Vma> vmas_;
     vm::Vaddr mmapCursor_;
+    uint64_t nextVmaId_ = 0;
+    obs::EventTrace *trace_ = nullptr;
     OsWork osWork_;
     uint64_t touchedBasePages_ = 0;
     std::function<void(vm::Vaddr)> shootdownFn_;

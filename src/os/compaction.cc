@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/event_trace.hh"
 #include "util/bitops.hh"
 #include "util/logging.hh"
 
@@ -32,6 +33,9 @@ CompactionDaemon::compact(std::vector<MovableBlock> &movable,
             continue;
         }
         relocate(block.pfn, *dest, block.order);
+        if (trace_)
+            trace_->osCompactMove(block.pfn, *dest,
+                                  1ull << block.order);
         buddy_.free(block.pfn, block.order);
         block.pfn = *dest;
         ++moves;
@@ -120,6 +124,12 @@ mergeReservationPass(AddressSpace &as, uint64_t max_merges)
         as.phys().freeReservationBlock(a->pfnBase(), order, half_pages);
         as.phys().freeReservationBlock(b->pfnBase(), order, half_pages);
         as.phys().commitReserved(2 * half_pages);
+
+        if (obs::EventTrace *trace = as.eventTrace()) {
+            trace->osCompactMove(a->pfnBase(), *dest, half_pages);
+            trace->osCompactMove(b->pfnBase(), *dest + half_pages,
+                                 half_pages);
+        }
 
         vm::Vaddr base = p.aBase;
         as.reservations().remove(p.aBase);

@@ -22,6 +22,10 @@
 #include "os/address_space.hh"
 #include "os/buddy_allocator.hh"
 
+namespace tps::obs {
+class EventTrace;
+} // namespace tps::obs
+
 namespace tps::os {
 
 /** A movable physical block (owner can relocate it on request). */
@@ -45,6 +49,9 @@ class CompactionDaemon
   public:
     explicit CompactionDaemon(BuddyAllocator &buddy) : buddy_(buddy) {}
 
+    /** Record an OsCompactMove event per migration (nullptr = off). */
+    void setEventTrace(obs::EventTrace *trace) { trace_ = trace; }
+
     /**
      * Migrate movable blocks downward to defragment free space.
      *
@@ -65,6 +72,7 @@ class CompactionDaemon
   private:
     BuddyAllocator &buddy_;
     CompactionStats stats_;
+    obs::EventTrace *trace_ = nullptr;
 };
 
 /**

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/event_trace.hh"
 #include "util/bitops.hh"
 #include "util/logging.hh"
 #include "util/sim_error.hh"
@@ -81,6 +82,8 @@ ReservationPolicyBase::ensureReservation(AddressSpace &as, const Vma &vma,
             ++work.reservationsMissed;
         work.allocCycles += oscost::kReservationOp;
         ++work.reservationsCreated;
+        if (obs::EventTrace *trace = as.eventTrace())
+            trace->osReserve(base, bits);
         return &as.reservations().create(base, order, *pfn);
     }
     return nullptr;
@@ -181,6 +184,8 @@ ReservationPolicyBase::tryPromote(AddressSpace &as, const Vma &vma,
         work.pteCycles += oscost::kPteWrite * slots;
         work.zeroCycles += oscost::kZeroPerBasePage * newly;
         ++work.promotions;
+        if (obs::EventTrace *trace = as.eventTrace())
+            trace->osPromote(region, target);
         // Per Sec. III-C2, no shootdown is required: stale smaller-page
         // TLB entries still translate their portion correctly.
     }

@@ -19,6 +19,12 @@ struct Vma
     vm::Vaddr start = 0;
     uint64_t length = 0;      //!< bytes, multiple of the base page size
     bool writable = true;
+    /**
+     * Stable per-address-space ordinal (1-based, in creation order; 0 =
+     * unassigned).  Event traces attribute misses to VMAs by this id,
+     * which is deterministic because VMA creation order is.
+     */
+    uint64_t id = 0;
 
     vm::Vaddr end() const { return start + length; }
 

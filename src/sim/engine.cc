@@ -4,6 +4,8 @@
 #include <optional>
 
 #include "check/invariant_checker.hh"
+#include "obs/event_trace.hh"
+#include "obs/profile.hh"
 #include "obs/stat_registry.hh"
 #include "obs/stats_bindings.hh"
 #include "util/logging.hh"
@@ -115,6 +117,21 @@ Engine::munmap(vm::Vaddr start)
 }
 
 void
+Engine::setEventTrace(obs::EventTrace *trace)
+{
+    trace_ = trace;
+    mmu_->setEventTrace(trace);
+    as_->setEventTrace(trace);
+}
+
+void
+Engine::setProfile(obs::ProfileRegistry *profile)
+{
+    profile_ = profile;
+    mmu_->setProfile(profile);
+}
+
+void
 Engine::registerStats(obs::StatRegistry &reg)
 {
     obs::bindEngineStats(reg, "engine", &stats_);
@@ -128,8 +145,11 @@ SimStats
 Engine::run()
 {
     tps_assert(!workloads_.empty());
-    for (auto *w : workloads_)
-        w->setup(*this);
+    {
+        obs::ScopedTimer timer(profile_, obs::ProfPhase::Setup);
+        for (auto *w : workloads_)
+            w->setup(*this);
+    }
 
     stats_ = SimStats{};
     SimStats &stats = stats_;
@@ -198,6 +218,7 @@ Engine::run()
     }
     uint64_t accesses_since_check = 0;
     uint64_t accesses_since_clock = 0;
+    uint64_t trace_time = 0;
     std::chrono::steady_clock::time_point deadline{};
     if (cfg_.timeoutSeconds > 0.0) {
         deadline = std::chrono::steady_clock::now() +
@@ -213,14 +234,35 @@ Engine::run()
             if (done[t])
                 continue;
             MemAccess acc;
-            if (!workloads_[t]->next(acc)) {
+            bool more;
+            {
+                obs::ScopedTimer timer(profile_,
+                                       obs::ProfPhase::WorkloadNext);
+                more = workloads_[t]->next(acc);
+            }
+            if (!more) {
                 done[t] = true;
                 if (t == 0)
                     running = false;
                 continue;
             }
-            MmuAccessResult res = mmu_->access(acc.va, acc.write);
-            unsigned mem_cycles = memsys_.access(res.pa);
+            // The trace clock is the global access ordinal (any
+            // thread), 1-based, and keeps counting across the warmup
+            // boundary.
+            if (trace_)
+                trace_->setTime(++trace_time);
+            MmuAccessResult res;
+            {
+                obs::ScopedTimer timer(profile_,
+                                       obs::ProfPhase::Translate);
+                res = mmu_->access(acc.va, acc.write);
+            }
+            unsigned mem_cycles;
+            {
+                obs::ScopedTimer timer(profile_,
+                                       obs::ProfPhase::MemAccess);
+                mem_cycles = memsys_.access(res.pa);
+            }
 
             unsigned translation = res.translationCycles;
             switch (cfg_.timing) {
@@ -235,7 +277,12 @@ Engine::run()
                                   : cfg_.mmu.stlbHitPenalty;
                 break;
             }
-            cycle_.onAccess(translation, mem_cycles, acc.dependsOnPrev);
+            {
+                obs::ScopedTimer timer(profile_,
+                                       obs::ProfPhase::CycleModel);
+                cycle_.onAccess(translation, mem_cycles,
+                                acc.dependsOnPrev);
+            }
 
             if (t == 0) {
                 ++primary_accesses;
@@ -268,6 +315,10 @@ Engine::run()
                     mmu_->clearStats();
                     memsys_.clearStats();
                     cycle_.reset();
+                    // Post-Mark events are the measured phase; the
+                    // trace clock itself is not reset.
+                    if (trace_)
+                        trace_->mark(obs::kMarkWarmupEnd);
                     // Epoch deltas restart at the measured phase;
                     // osWork is not reset, so carry its baseline.
                     eprev = EpochPrev{};

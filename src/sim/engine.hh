@@ -22,6 +22,8 @@
 #include "workloads/workload.hh"
 
 namespace tps::obs {
+class EventTrace;
+class ProfileRegistry;
 class StatRegistry;
 } // namespace tps::obs
 
@@ -190,6 +192,19 @@ class Engine : public AllocApi
     /** The statistics of the last completed run(). */
     const SimStats &lastStats() const { return stats_; }
 
+    /**
+     * Attach an event trace (nullptr = off) to the engine, its MMU
+     * (TLBs + walker) and address space (OS policies).  The engine
+     * drives the trace clock -- one tick per simulated access, never
+     * reset -- and emits a Mark{kindWarmupEnd} at the warmup boundary,
+     * right after clearing the hardware statistics, so post-Mark
+     * TlbMiss events reconcile exactly with the measured counters.
+     */
+    void setEventTrace(obs::EventTrace *trace);
+
+    /** Attach simulator self-profiling (nullptr = off). */
+    void setProfile(obs::ProfileRegistry *profile);
+
     os::AddressSpace &addressSpace() { return *as_; }
     Mmu &mmu() { return *mmu_; }
     MemSys &memsys() { return memsys_; }
@@ -207,6 +222,8 @@ class Engine : public AllocApi
     std::vector<workloads::Workload *> workloads_;
     uint64_t mmapCalls_ = 0;
     uint64_t munmapCalls_ = 0;
+    obs::EventTrace *trace_ = nullptr;
+    obs::ProfileRegistry *profile_ = nullptr;
     //! run() accumulates here so registered stat probes stay valid.
     SimStats stats_;
 };

@@ -1,5 +1,7 @@
 #include "sim/mmu.hh"
 
+#include "obs/event_trace.hh"
+#include "obs/profile.hh"
 #include "obs/stat_registry.hh"
 #include "obs/stats_bindings.hh"
 #include "util/logging.hh"
@@ -192,6 +194,13 @@ Mmu::fillColt(vm::Vaddr va, const vm::LeafInfo &leaf,
     }
 }
 
+uint64_t
+Mmu::traceVmaId(vm::Vaddr va) const
+{
+    const os::Vma *vma = as_.findVma(va);
+    return vma ? vma->id : 0;
+}
+
 MmuAccessResult
 Mmu::access(vm::Vaddr va, bool write)
 {
@@ -208,7 +217,12 @@ Mmu::accessInternal(vm::Vaddr va, bool write, bool retried)
     // exists but is read-only; raise the fault and retry once.
     auto write_fault = [&]() -> MmuAccessResult {
         ++stats_.writeProtFaults;
-        if (retried || !as_.handleFault(va, true)) {
+        bool resolved = false;
+        if (!retried) {
+            obs::ScopedTimer timer(profile_, obs::ProfPhase::OsFault);
+            resolved = as_.handleFault(va, true);
+        }
+        if (!resolved) {
             throwSimError(ErrorKind::InvalidAccess,
                           "unresolvable write to read-only va %#llx",
                           static_cast<unsigned long long>(va));
@@ -231,8 +245,16 @@ Mmu::accessInternal(vm::Vaddr va, bool write, bool retried)
     }
     ++stats_.l1Misses;
     if (hit.level == tlb::TlbHitLevel::L2) {
-        if (write && hit.entry && !hit.entry->writable)
+        if (write && hit.entry && !hit.entry->writable) {
+            // The retried access re-misses and records its own event,
+            // so this miss must be attributed now (latency lands on
+            // the retry).
+            if (trace_) {
+                trace_->tlbMiss(va, 0, hit.entry->pageBits,
+                                traceVmaId(va), 0);
+            }
             return write_fault();
+        }
         ++stats_.l2Hits;
         updateAd(hit.entry, va, write);
         // CoLT re-coalesces on L2-hit refills too: the neighbouring
@@ -241,6 +263,11 @@ Mmu::accessInternal(vm::Vaddr va, bool write, bool retried)
             auto leaf = as_.pageTable().lookup(va);
             if (leaf && leaf->leaf.pageBits == vm::kBasePageBits)
                 fillColt(va, leaf->leaf, 0, false);
+        }
+        if (trace_) {
+            trace_->tlbMiss(va, 0,
+                            hit.entry ? hit.entry->pageBits : 0,
+                            traceVmaId(va), cfg_.stlbHitPenalty);
         }
         res.pa = hit.paddr;
         res.level = hit.level;
@@ -251,31 +278,51 @@ Mmu::accessInternal(vm::Vaddr va, bool write, bool retried)
 
     // Full miss: hardware page walk (servicing a demand fault if the
     // mapping does not exist yet, then re-walking).
-    vm::WalkResult walk = walker_.walk(va);
+    vm::WalkResult walk = [&] {
+        obs::ScopedTimer timer(profile_, obs::ProfPhase::Walk);
+        return walker_.walk(va);
+    }();
     if (walk.fault) {
         stats_.faultWalkMemRefs += walk.accesses;
         stats_.nestedWalkRefs += walk.nestedAccesses;
         ++stats_.faults;
-        if (!as_.handleFault(va, write)) {
+        bool mapped;
+        {
+            obs::ScopedTimer timer(profile_, obs::ProfPhase::OsFault);
+            mapped = as_.handleFault(va, write);
+        }
+        if (!mapped) {
             throwSimError(ErrorKind::InvalidAccess,
                           "segfault: access to unmapped va %#llx",
                           static_cast<unsigned long long>(va));
         }
-        walk = walker_.walk(va);
+        {
+            obs::ScopedTimer timer(profile_, obs::ProfPhase::Walk);
+            walk = walker_.walk(va);
+        }
         if (walk.fault)
             throwSimError(ErrorKind::InvalidAccess,
                           "fault handler failed to map va %#llx",
                           static_cast<unsigned long long>(va));
         res.faulted = true;
     }
-    if (write && !walk.leaf.writable)
+    if (write && !walk.leaf.writable) {
+        if (trace_) {
+            trace_->tlbMiss(va, 1, walk.leaf.pageBits, traceVmaId(va),
+                            0);
+        }
         return write_fault();
+    }
     ++stats_.walks;
     stats_.walkMemRefs += walk.accesses;
     stats_.nestedWalkRefs += walk.nestedAccesses;
     unsigned walk_cycles = chargeWalk(walk);
     stats_.walkCycles += walk_cycles;
     res.translationCycles = walk_cycles;
+    if (trace_) {
+        trace_->tlbMiss(va, 1, walk.leaf.pageBits, traceVmaId(va),
+                        walk_cycles);
+    }
 
     // Hardware A-bit update on fill.
     bool need_a = !walk.leaf.accessed;

@@ -21,6 +21,8 @@
 #include "vm/walker.hh"
 
 namespace tps::obs {
+class EventTrace;
+class ProfileRegistry;
 class StatRegistry;
 } // namespace tps::obs
 
@@ -105,6 +107,23 @@ class Mmu
     void registerStats(obs::StatRegistry &reg,
                        const std::string &prefix);
 
+    /**
+     * Attach an event trace (nullptr = off) to this MMU and the TLB
+     * hierarchy + walker it owns.  Exactly one TlbMiss event is
+     * recorded per MmuStats::l1Misses increment, so the trace's miss
+     * count reconciles with the stat counter event-for-event.
+     */
+    void
+    setEventTrace(obs::EventTrace *trace)
+    {
+        trace_ = trace;
+        tlb_.setEventTrace(trace);
+        walker_.setEventTrace(trace);
+    }
+
+    /** Attach self-profiling for the walk/fault phases (nullptr = off). */
+    void setProfile(obs::ProfileRegistry *profile) { profile_ = profile; }
+
     tlb::TlbHierarchy &tlbs() { return tlb_; }
     const tlb::TlbHierarchy &tlbs() const { return tlb_; }
     vm::PageWalker &walker() { return walker_; }
@@ -146,8 +165,13 @@ class Mmu
     void fillColt(vm::Vaddr va, const vm::LeafInfo &leaf,
                   vm::Paddr true_pte_paddr, bool fill_stlb);
 
+    /** VMA id for miss attribution (0 when @p va is unmapped). */
+    uint64_t traceVmaId(vm::Vaddr va) const;
+
     os::AddressSpace &as_;
     MemSys *memsys_;
+    obs::EventTrace *trace_ = nullptr;
+    obs::ProfileRegistry *profile_ = nullptr;
     MmuConfig cfg_;
     tlb::TlbHierarchy tlb_;
     vm::MmuCache mmuCache_;

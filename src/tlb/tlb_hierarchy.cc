@@ -1,5 +1,6 @@
 #include "tlb/tlb_hierarchy.hh"
 
+#include "obs/event_trace.hh"
 #include "obs/stats_bindings.hh"
 #include "util/logging.hh"
 
@@ -212,6 +213,8 @@ TlbHierarchy::fill(Vaddr va, const TlbEntry &entry)
 void
 TlbHierarchy::shootdown(Vaddr va)
 {
+    if (trace_)
+        trace_->tlbShootdown(va);
     if (l1Small_)
         l1Small_->invalidate(va);
     if (coltL1_)
@@ -233,6 +236,8 @@ TlbHierarchy::shootdown(Vaddr va)
 void
 TlbHierarchy::flushAll()
 {
+    if (trace_)
+        trace_->tlbFlush();
     if (l1Small_)
         l1Small_->flush();
     if (coltL1_)

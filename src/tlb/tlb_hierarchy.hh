@@ -35,6 +35,7 @@
 #include "tlb/tlb_entry.hh"
 
 namespace tps::obs {
+class EventTrace;
 class StatRegistry;
 } // namespace tps::obs
 
@@ -130,6 +131,9 @@ class TlbHierarchy
     void registerStats(obs::StatRegistry &reg,
                        const std::string &prefix);
 
+    /** Record shootdown/flush events into @p trace (nullptr = off). */
+    void setEventTrace(obs::EventTrace *trace) { trace_ = trace; }
+
     TlbDesign design() const { return cfg_.design; }
     const TlbHierarchyConfig &config() const { return cfg_; }
 
@@ -204,6 +208,7 @@ class TlbHierarchy
     std::unique_ptr<FullyAssocTlb> stlbHuge_;
     std::unique_ptr<RangeTlb> rangeTlb_;
     TlbHierarchyStats stats_;
+    obs::EventTrace *trace_ = nullptr;
 };
 
 } // namespace tps::tlb

@@ -68,8 +68,27 @@ Summary::geomean() const
 void
 Histogram::add(uint64_t key, uint64_t n)
 {
+    if (limited_) {
+        if (key < lo_) {
+            underflow_ += n;
+            return;
+        }
+        if (key > hi_) {
+            overflow_ += n;
+            return;
+        }
+    }
     buckets_[key] += n;
     total_ += n;
+}
+
+void
+Histogram::setLimits(uint64_t lo, uint64_t hi)
+{
+    tps_assert(lo <= hi);
+    limited_ = true;
+    lo_ = lo;
+    hi_ = hi;
 }
 
 uint64_t
@@ -102,6 +121,8 @@ Histogram::clear()
 {
     buckets_.clear();
     total_ = 0;
+    underflow_ = 0;
+    overflow_ = 0;
 }
 
 double

@@ -65,8 +65,30 @@ class Histogram
     /** Count in bucket @p key (0 if absent). */
     uint64_t at(uint64_t key) const;
 
-    /** Total count across all buckets. */
+    /** Total count across in-range buckets (see setLimits()). */
     uint64_t total() const { return total_; }
+
+    /**
+     * Constrain the tracked key range to [lo, hi]: samples added
+     * outside it land in explicit underflow/overflow buckets instead
+     * of creating per-key entries, bounding memory against wild keys
+     * (e.g. a pathological walk latency).  Unlimited by default, so
+     * existing histograms behave -- and serialize -- exactly as before.
+     * Quantiles and total() cover the in-range samples only.
+     */
+    void setLimits(uint64_t lo, uint64_t hi);
+
+    /** Samples below the setLimits() lower bound. */
+    uint64_t underflow() const { return underflow_; }
+
+    /** Samples above the setLimits() upper bound. */
+    uint64_t overflow() const { return overflow_; }
+
+    /** Every sample ever added: total() + underflow() + overflow(). */
+    uint64_t grandTotal() const
+    {
+        return total_ + underflow_ + overflow_;
+    }
 
     /** Buckets in ascending key order. */
     const std::map<uint64_t, uint64_t> &buckets() const { return buckets_; }
@@ -87,12 +109,17 @@ class Histogram
     /** 99th-percentile bucket key. */
     uint64_t p99() const { return quantile(0.99); }
 
-    /** Remove all contents. */
+    /** Remove all contents (keeps any configured limits). */
     void clear();
 
   private:
     std::map<uint64_t, uint64_t> buckets_;
     uint64_t total_ = 0;
+    bool limited_ = false;
+    uint64_t lo_ = 0;
+    uint64_t hi_ = ~0ull;
+    uint64_t underflow_ = 0;
+    uint64_t overflow_ = 0;
 };
 
 /** Safe ratio a/b returning 0 when b == 0. */

@@ -1,5 +1,6 @@
 #include "vm/walker.hh"
 
+#include "obs/event_trace.hh"
 #include "obs/stats_bindings.hh"
 #include "util/logging.hh"
 
@@ -63,6 +64,7 @@ PageWalker::walk(Vaddr va)
     unsigned level;
     unsigned hit_level =
         cache_ ? cache_->lookup(va, table_.generation(), node) : 0;
+    res.hitLevel = hit_level;
     if (hit_level) {
         level = hit_level - 1;
     } else {
@@ -126,6 +128,10 @@ PageWalker::walk(Vaddr va)
     stats_.nestedAccesses += res.nestedAccesses;
     if (res.fault)
         ++stats_.faults;
+    if (trace_) {
+        trace_->walk(va, res.accesses, res.hitLevel, res.fault,
+                     res.fault ? 0 : res.leaf.pageBits);
+    }
     return res;
 }
 

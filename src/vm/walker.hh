@@ -24,6 +24,7 @@
 #include "vm/pte.hh"
 
 namespace tps::obs {
+class EventTrace;
 class StatRegistry;
 } // namespace tps::obs
 
@@ -49,6 +50,7 @@ struct WalkResult
     unsigned accesses = 0;      //!< page-walk memory references issued
     unsigned aliasExtra = 0;    //!< accesses that were alias re-reads
     unsigned nestedAccesses = 0; //!< nested-dimension references (2-D mode)
+    unsigned hitLevel = 0;      //!< MMU-cache hit depth (0 = from root)
 
     /** Addresses of the guest-dimension references, for cache charging. */
     std::array<Paddr, 8> refs{};
@@ -92,6 +94,9 @@ class PageWalker
     void registerStats(obs::StatRegistry &reg,
                        const std::string &prefix);
 
+    /** Record a Walk event per walk() into @p trace (nullptr = off). */
+    void setEventTrace(obs::EventTrace *trace) { trace_ = trace; }
+
   private:
     /** Charge the nested cost of touching guest-physical @p pa. */
     unsigned nestedCost(Paddr pa);
@@ -100,6 +105,7 @@ class PageWalker
     MmuCache *cache_;
     WalkerConfig cfg_;
     WalkerStats stats_;
+    obs::EventTrace *trace_ = nullptr;
 
     /** Tiny LRU nested-translation cache keyed by 2 MB guest frame. */
     struct NestedEntry

@@ -343,6 +343,42 @@ TEST(Histogram, QuantileSingleBucket)
     EXPECT_EQ(h.p99(), 21u);
 }
 
+TEST(Histogram, LimitsRouteOutliersToOverflowBuckets)
+{
+    Histogram h;
+    h.setLimits(10, 100);
+    h.add(9);          // below lo
+    h.add(10);         // inclusive bounds
+    h.add(100);
+    h.add(101, 3);     // above hi
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 3u);
+    EXPECT_EQ(h.total(), 2u);       // in-range only
+    EXPECT_EQ(h.grandTotal(), 6u);
+    EXPECT_EQ(h.at(9), 0u);         // outliers never become buckets
+    EXPECT_EQ(h.at(101), 0u);
+    EXPECT_EQ(h.buckets().size(), 2u);
+    // Quantiles are over in-range values only.
+    EXPECT_EQ(h.p99(), 100u);
+
+    h.clear();  // clears counts, keeps the limits
+    EXPECT_EQ(h.underflow(), 0u);
+    EXPECT_EQ(h.overflow(), 0u);
+    h.add(5);
+    EXPECT_EQ(h.underflow(), 1u);
+}
+
+TEST(Histogram, UnlimitedByDefault)
+{
+    Histogram h;
+    h.add(0);
+    h.add(~0ull);
+    EXPECT_EQ(h.total(), 2u);
+    EXPECT_EQ(h.underflow(), 0u);
+    EXPECT_EQ(h.overflow(), 0u);
+    EXPECT_EQ(h.grandTotal(), 2u);
+}
+
 TEST(Ratios, SafeDivision)
 {
     EXPECT_EQ(ratio(1, 0), 0.0);

@@ -1,0 +1,297 @@
+/**
+ * @file
+ * tps-analyze: offline miss-attribution reports from event traces.
+ *
+ *   tps-analyze summary <trace>
+ *       List every cell in the container (label, seed, event counts).
+ *
+ *   tps-analyze report <trace> [--cell=<label>] [--seed=<n>]
+ *                      [--manifest=<path>] [--top=<n>] [--json]
+ *       Full attribution report for one cell: measured totals, the
+ *       residual-miss table (which page sizes the surviving misses
+ *       charge), per-VMA breakdown, top-N hot 4 KB regions, and
+ *       walk-latency / miss-interarrival histograms.  --manifest joins
+ *       the trace with a tps-run-manifest by (label, seed) and verifies
+ *       the trace's measured miss count against the manifest's
+ *       mmu.l1.misses counter -- a mismatch is a hard error.
+ *
+ *   tps-analyze dump <trace> [--cell=<label>] [--seed=<n>]
+ *       Print the raw event stream as text.
+ */
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "obs/event_trace.hh"
+#include "obs/json.hh"
+#include "obs/trace_analyze.hh"
+#include "util/logging.hh"
+
+using namespace tps;
+
+namespace {
+
+struct Args
+{
+    std::string command;
+    std::string tracePath;
+    std::string manifestPath;
+    std::string cell;
+    bool haveSeed = false;
+    uint64_t seed = 0;
+    size_t top = 20;
+    bool json = false;
+};
+
+bool
+parseU64(const char *s, uint64_t *out)
+{
+    if (*s == '\0')
+        return false;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(s, &end, 10);
+    if (end == s || *end != '\0')
+        return false;
+    *out = v;
+    return true;
+}
+
+void
+usage()
+{
+    std::printf(
+        "usage: tps-analyze <summary|report|dump> <trace-file>\n"
+        "  [--cell=<label>] [--seed=<n>] [--manifest=<path>]\n"
+        "  [--top=<n>] [--json]\n");
+}
+
+Args
+parseArgs(int argc, char **argv)
+{
+    Args args;
+    std::vector<const char *> positional;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strncmp(arg, "--cell=", 7) == 0) {
+            args.cell = arg + 7;
+        } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+            if (!parseU64(arg + 7, &args.seed))
+                tps_fatal("bad --seed value '%s'", arg + 7);
+            args.haveSeed = true;
+        } else if (std::strncmp(arg, "--manifest=", 11) == 0) {
+            args.manifestPath = arg + 11;
+        } else if (std::strncmp(arg, "--top=", 6) == 0) {
+            uint64_t top = 0;
+            if (!parseU64(arg + 6, &top) || top == 0)
+                tps_fatal("bad --top value '%s'", arg + 6);
+            args.top = static_cast<size_t>(top);
+        } else if (std::strcmp(arg, "--json") == 0) {
+            args.json = true;
+        } else if (std::strcmp(arg, "--help") == 0) {
+            usage();
+            std::exit(0);
+        } else if (arg[0] == '-') {
+            tps_fatal("unknown option '%s' (try --help)", arg);
+        } else {
+            positional.push_back(arg);
+        }
+    }
+    if (positional.size() != 2) {
+        usage();
+        std::exit(2);
+    }
+    args.command = positional[0];
+    args.tracePath = positional[1];
+    return args;
+}
+
+/** Select the cell the flags name (the only cell when unambiguous). */
+const obs::TraceCell &
+selectCell(const obs::TraceFile &file, const Args &args)
+{
+    if (file.cells.empty())
+        tps_fatal("%s contains no cells", args.tracePath.c_str());
+    std::vector<const obs::TraceCell *> matches;
+    for (const obs::TraceCell &cell : file.cells) {
+        if (!args.cell.empty() && cell.label != args.cell)
+            continue;
+        if (args.haveSeed && cell.seed != args.seed)
+            continue;
+        matches.push_back(&cell);
+    }
+    if (matches.empty())
+        tps_fatal("no cell matches --cell=%s%s", args.cell.c_str(),
+                  args.haveSeed ? " with that --seed" : "");
+    if (matches.size() > 1) {
+        std::fprintf(stderr, "ambiguous cell; candidates:\n");
+        for (const obs::TraceCell *cell : matches)
+            std::fprintf(stderr, "  --cell=%s --seed=%" PRIu64 "\n",
+                         cell->label.c_str(), cell->seed);
+        tps_fatal("pick one with --cell/--seed");
+    }
+    return *matches[0];
+}
+
+void
+cmdSummary(const obs::TraceFile &file)
+{
+    std::printf("%-40s %20s %12s %12s %12s\n", "cell", "seed", "events",
+                "misses", "walks");
+    for (const obs::TraceCell &cell : file.cells) {
+        obs::CellAnalysis a = obs::analyzeCell(cell);
+        std::printf("%-40s %20" PRIu64 " %12zu %12" PRIu64
+                    " %12" PRIu64 "\n",
+                    cell.label.c_str(), cell.seed, cell.events.size(),
+                    a.tlbMisses, a.walkEvents);
+    }
+}
+
+void
+cmdDump(const obs::TraceCell &cell)
+{
+    std::printf("# cell %s seed %" PRIu64 " (%zu events)\n",
+                cell.label.c_str(), cell.seed, cell.events.size());
+    for (const obs::Event &e : cell.events) {
+        std::printf("%12" PRIu64 " %-14s va=0x%" PRIx64 " a=%" PRIu64
+                    " b=%" PRIu64 " c=%" PRIu64 " d=%" PRIu64 "\n",
+                    e.time, obs::eventTypeName(e.type), e.va, e.a, e.b,
+                    e.c, e.d);
+    }
+}
+
+void
+printHistogram(const char *name, const Histogram &h)
+{
+    if (h.total() == 0) {
+        std::printf("%s: empty\n", name);
+        return;
+    }
+    std::printf("%s: n=%" PRIu64 " p50=%" PRIu64 " p95=%" PRIu64
+                " p99=%" PRIu64,
+                name, h.total(), h.p50(), h.p95(), h.p99());
+    if (h.underflow() || h.overflow())
+        std::printf(" underflow=%" PRIu64 " overflow=%" PRIu64,
+                    h.underflow(), h.overflow());
+    std::printf("\n");
+}
+
+void
+cmdReport(const obs::TraceCell &cell, const Args &args)
+{
+    obs::CellAnalysis a = obs::analyzeCell(cell);
+
+    const obs::Json *mcell = nullptr;
+    obs::Json manifest;
+    if (!args.manifestPath.empty()) {
+        manifest = obs::readJsonFile(args.manifestPath);
+        mcell = obs::findManifestCell(manifest, a.label, a.seed);
+        if (!mcell)
+            tps_fatal("manifest %s has no cell %s seed %" PRIu64,
+                      args.manifestPath.c_str(), a.label.c_str(),
+                      a.seed);
+    }
+    // Throws on a trace/manifest miss-count mismatch.
+    std::vector<obs::ResidualRow> residual =
+        obs::residualMisses(a, mcell);
+
+    if (args.json) {
+        obs::Json j = obs::analysisToJson(a, args.top);
+        obs::Json res = obs::Json::array();
+        for (const obs::ResidualRow &row : residual) {
+            obs::Json r = obs::Json::object();
+            r["pageBits"] = row.pageBits;
+            r["misses"] = row.misses;
+            r["shareOfMisses"] = row.shareOfMisses;
+            r["walkRefShare"] = row.walkRefShare;
+            res.push(std::move(r));
+        }
+        j["residualMisses"] = std::move(res);
+        j["manifestVerified"] = mcell != nullptr;
+        std::printf("%s\n", j.dump(2).c_str());
+        return;
+    }
+
+    std::printf("== %s (seed %" PRIu64 ") ==\n", a.label.c_str(),
+                a.seed);
+    std::printf("measured accesses:     %" PRIu64 "\n", a.accesses);
+    std::printf("L1 TLB misses:         %" PRIu64 "%s\n", a.tlbMisses,
+                mcell ? "  (matches manifest mmu.l1.misses)" : "");
+    std::printf("  L2/range hits:       %" PRIu64 "\n", a.l2Hits);
+    std::printf("  full walks:          %" PRIu64 "\n", a.walks);
+    std::printf("walk memory refs:      %" PRIu64 "\n", a.walkMemRefs);
+    std::printf("walk faults:           %" PRIu64 "\n", a.walkFaults);
+    std::printf("os: maps=%" PRIu64 " unmaps=%" PRIu64 " faults=%" PRIu64
+                " reserves=%" PRIu64 " promotes=%" PRIu64
+                " compact-moves=%" PRIu64 "\n",
+                a.osMaps, a.osUnmaps, a.osFaults, a.osReserves,
+                a.osPromotes, a.osCompactMoves);
+    std::printf("tlb: shootdowns=%" PRIu64 " flushes=%" PRIu64 "\n\n",
+                a.tlbShootdowns, a.tlbFlushes);
+
+    std::printf("residual misses by page size:\n");
+    std::printf("  %10s %12s %8s %10s\n", "page", "misses", "share",
+                "walk-refs");
+    for (const obs::ResidualRow &row : residual) {
+        std::string page =
+            row.pageBits ? std::to_string(1ull << (row.pageBits - 10)) +
+                               " KiB"
+                         : "unknown";
+        std::printf("  %10s %12" PRIu64 " %7.2f%% %9.2f%%\n",
+                    page.c_str(), row.misses,
+                    100.0 * row.shareOfMisses,
+                    100.0 * row.walkRefShare);
+    }
+    std::printf("\n");
+
+    std::printf("misses by VMA:\n");
+    std::printf("  %6s %18s %14s %12s %12s\n", "vma", "base", "bytes",
+                "misses", "walks");
+    for (const obs::VmaBreakdown &v : a.perVma) {
+        if (v.misses == 0)
+            continue;
+        std::printf("  %6" PRIu64 " 0x%016" PRIx64 " %14" PRIu64
+                    " %12" PRIu64 " %12" PRIu64 "\n",
+                    v.vmaId, v.base, v.bytes, v.misses, v.walks);
+    }
+    std::printf("\n");
+
+    size_t n = std::min(args.top, a.hotRegions.size());
+    std::printf("top %zu hot 4 KiB regions (of %zu with misses):\n", n,
+                a.hotRegions.size());
+    std::printf("  %18s %12s %12s\n", "region", "misses", "walks");
+    for (size_t i = 0; i < n; ++i) {
+        const obs::HotRegion &r = a.hotRegions[i];
+        std::printf("  0x%016" PRIx64 " %12" PRIu64 " %12" PRIu64 "\n",
+                    r.base, r.misses, r.walks);
+    }
+    std::printf("\n");
+
+    printHistogram("walk latency (cycles)", a.walkLatency);
+    printHistogram("miss interarrival (accesses)", a.missInterarrival);
+    printHistogram("walk MMU-cache hit depth", a.walkHitDepth);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Args args = parseArgs(argc, argv);
+    obs::TraceFile file = obs::readTraceFile(args.tracePath);
+
+    if (args.command == "summary") {
+        cmdSummary(file);
+    } else if (args.command == "dump") {
+        cmdDump(selectCell(file, args));
+    } else if (args.command == "report") {
+        cmdReport(selectCell(file, args), args);
+    } else {
+        tps_fatal("unknown command '%s' (try --help)",
+                  args.command.c_str());
+    }
+    return 0;
+}
