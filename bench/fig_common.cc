@@ -300,13 +300,15 @@ parseArgs(int argc, char **argv)
                 tps_fatal("--event-trace needs a path");
         } else if (std::strcmp(arg, "--profile") == 0) {
             opts.profile = true;
+        } else if (std::strcmp(arg, "--reference-path") == 0) {
+            opts.referencePath = true;
         } else if (std::strcmp(arg, "--help") == 0) {
             std::printf(
                 "options: --scale=<f> --phys-gb=<n> --csv --jobs=<n> "
                 "--benchmarks=a,b,c --epochs=<n> --stats-json=<path> "
                 "--trace=<path> --progress --paranoid --check-every=<n> "
                 "--cell-timeout=<sec> --retries=<n> --resume "
-                "--event-trace=<path> --profile\n");
+                "--event-trace=<path> --profile --reference-path\n");
             std::exit(0);
         } else {
             tps_fatal("unknown option '%s' (try --help)", arg);
@@ -355,6 +357,7 @@ makeRun(const FigOptions &opts, const std::string &wl,
     run.paranoid = opts.paranoid;
     run.checkEvery = opts.checkEvery;
     run.cellTimeoutSeconds = opts.cellTimeout;
+    run.referencePath = opts.referencePath;
     return run;
 }
 

@@ -13,8 +13,11 @@
 #include "os/phys_memory.hh"
 #include "os/policy_common.hh"
 #include "sim/mmu.hh"
+#include "tlb/colt_tlb.hh"
 #include "tlb/fully_assoc_tlb.hh"
+#include "tlb/range_tlb.hh"
 #include "tlb/set_assoc_tlb.hh"
+#include "tlb/skewed_assoc_tlb.hh"
 #include "util/rng.hh"
 #include "vm/page_table.hh"
 #include "vm/pte.hh"
@@ -79,6 +82,103 @@ BM_FullyAssocTlbLookup(benchmark::State &state)
     }
 }
 BENCHMARK(BM_FullyAssocTlbLookup);
+
+// Lookup-only throughput of each TLB structure the fast translate path
+// dispatches to, under a hit-heavy random stream.  Together with
+// BM_SetAssocTlbLookup and BM_FullyAssocTlbLookup above these cover all
+// six structures, so a perf-baseline regression can be attributed to
+// one structure's probe loop before reaching for a profiler.
+
+void
+BM_SetAssocTlbLookupMultiSize(benchmark::State &state)
+{
+    // The TPS STLB configuration: one physical structure probed once
+    // per live page size.  Resident sizes span the tailored range, so
+    // this measures the multi-probe (liveMask) path, not the
+    // degenerate single-size one.
+    std::vector<unsigned> sizes;
+    for (unsigned pb = 12; pb <= 24; ++pb)
+        sizes.push_back(pb);
+    tlb::SetAssocTlb tlb("bm", 1024, 8, sizes);
+    for (int i = 0; i < 256; ++i) {
+        unsigned pb = 12 + (i % 13);
+        vm::Vaddr va = uint64_t(i) << 25;
+        tlb.fill(makeEntry(va, (va >> 12) + 1, pb));
+    }
+    Pcg32 rng(5);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            tlb.lookup(uint64_t(rng.below(256)) << 25));
+}
+BENCHMARK(BM_SetAssocTlbLookupMultiSize);
+
+void
+BM_SkewedAssocTlbLookup(benchmark::State &state)
+{
+    // The skewed-associative TPS TLB variant with mixed sizes resident.
+    tlb::SkewedAssocTlb tlb("bm", 64, 4);
+    for (int i = 0; i < 48; ++i) {
+        unsigned pb = 13 + (i % 8);
+        vm::Vaddr va = (1ull << 32) + (uint64_t(i) << 21);
+        tlb.fill(makeEntry(va, (va >> 12) + 1, pb));
+    }
+    Pcg32 rng(6);
+    for (auto _ : state) {
+        vm::Vaddr va = (1ull << 32) + (uint64_t(rng.below(48)) << 21);
+        benchmark::DoNotOptimize(tlb.lookup(va));
+    }
+}
+BENCHMARK(BM_SkewedAssocTlbLookup);
+
+void
+BM_RangeTlbLookup(benchmark::State &state)
+{
+    // RMM's L2 range TLB at paper scale (32 ranges), hit-heavy.
+    tlb::RangeTlb tlb(32);
+    for (int i = 0; i < 32; ++i) {
+        tlb::RangeEntry r;
+        r.valid = true;
+        r.baseVpn = uint64_t(i) << 16;
+        r.limitVpn = r.baseVpn + (1 << 14) - 1;
+        r.offset = i + 1;
+        r.writable = true;
+        r.user = true;
+        tlb.fill(r);
+    }
+    Pcg32 rng(7);
+    for (auto _ : state) {
+        vm::Vaddr va = (uint64_t(rng.below(32)) << (16 + 12)) +
+                       (uint64_t(rng.below(1 << 14)) << 12);
+        benchmark::DoNotOptimize(tlb.lookup(va));
+    }
+}
+BENCHMARK(BM_RangeTlbLookup);
+
+void
+BM_ColtTlbLookup(benchmark::State &state)
+{
+    // Coalesced TLB with full 8-page runs resident (best-case
+    // coalescing, the configuration the Colt design targets).
+    tlb::ColtTlb tlb(256, 4);
+    for (int i = 0; i < 128; ++i) {
+        tlb::ColtEntry e;
+        e.valid = true;
+        e.startVpn = uint64_t(i) * tlb::ColtTlb::kClusterPages;
+        e.length = tlb::ColtTlb::kClusterPages;
+        e.startPfn = e.startVpn + 42;
+        e.writable = true;
+        e.user = true;
+        tlb.fill(e);
+    }
+    Pcg32 rng(8);
+    for (auto _ : state) {
+        vm::Vaddr va =
+            uint64_t(rng.below(128 * tlb::ColtTlb::kClusterPages))
+            << 12;
+        benchmark::DoNotOptimize(tlb.lookup(va));
+    }
+}
+BENCHMARK(BM_ColtTlbLookup);
 
 void
 BM_PageWalk4k(benchmark::State &state)

@@ -96,8 +96,9 @@ parseArgs(int argc, char **argv)
         } else if (std::strncmp(arg, "--compare=", 10) == 0) {
             args.compare = arg + 10;
         } else if (std::strncmp(arg, "--tolerance=", 12) == 0) {
+            // 0 is a valid ratchet: fail on any geomean below baseline.
             if (!parseF64(arg + 12, &args.tolerance) ||
-                args.tolerance <= 0 || args.tolerance >= 1) {
+                args.tolerance < 0 || args.tolerance >= 1) {
                 tps_fatal("bad --tolerance value '%s'", arg + 12);
             }
         } else if (std::strncmp(arg, "--scale=", 8) == 0) {

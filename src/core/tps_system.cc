@@ -126,6 +126,9 @@ makeEngineConfig(const RunOptions &opts)
     ecfg.epochAccesses = opts.epochAccesses;
     ecfg.checkEveryAccesses = opts.checkEvery;
     ecfg.timeoutSeconds = opts.cellTimeoutSeconds;
+    ecfg.referencePath = opts.referencePath;
+    if (opts.chunkAccesses != 0)
+        ecfg.chunkAccesses = opts.chunkAccesses;
     // Workload construction is cheap (simulated memory is only mapped
     // at setup), so resolving the instruction mix here is fine.
     ecfg.cycle.instsPerAccess =

@@ -91,6 +91,10 @@ runOptionsJson(const core::RunOptions &opts)
     j["paranoid"] = opts.paranoid;
     j["checkEvery"] = opts.checkEvery;
     j["cellTimeoutSeconds"] = opts.cellTimeoutSeconds;
+    // referencePath and chunkAccesses are deliberately absent: they
+    // select how the translate loop executes, never what it computes
+    // (the differential suite proves this), and leaving them out keeps
+    // fast-path and reference-path manifests byte-identical.
     return j;
 }
 

@@ -66,6 +66,8 @@ AddressSpace::munmap(vm::Vaddr start)
     if (trace_)
         trace_->osUnmap(start, it->second.id);
     policy_->onMunmap(*this, it->second);
+    if (cachedVma_ == &it->second)
+        cachedVma_ = nullptr;
     vmas_.erase(it);
 }
 
@@ -107,11 +109,16 @@ AddressSpace::insertVma(const Vma &vma)
 const Vma *
 AddressSpace::findVma(vm::Vaddr va) const
 {
+    if (cachedVma_ && cachedVma_->contains(va))
+        return cachedVma_;
     auto it = vmas_.upper_bound(va);
     if (it == vmas_.begin())
         return nullptr;
     --it;
-    return it->second.contains(va) ? &it->second : nullptr;
+    if (!it->second.contains(va))
+        return nullptr;
+    cachedVma_ = &it->second;
+    return cachedVma_;
 }
 
 void

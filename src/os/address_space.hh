@@ -160,6 +160,13 @@ class AddressSpace
     vm::PageTable pageTable_;
     ReservationTable reservations_;
     std::map<vm::Vaddr, Vma> vmas_;
+    /**
+     * Last VMA findVma() returned.  Map nodes are stable and VMAs
+     * never overlap, so "still contains the address" means "is the
+     * unique answer"; fault streams with locality hit this nearly
+     * every time.  Cleared by munmap().
+     */
+    mutable const Vma *cachedVma_ = nullptr;
     vm::Vaddr mmapCursor_;
     uint64_t nextVmaId_ = 0;
     obs::EventTrace *trace_ = nullptr;

@@ -130,12 +130,7 @@ ReservationPolicyBase::mapWhole(AddressSpace &as, const Vma &vma,
                                 unsigned bits)
 {
     uint64_t pages = 1ull << (bits - vm::kBasePageBits);
-    auto removed = resv.eraseMappedWithin(base, bits);
-    uint64_t mapped_pages = 0;
-    for (const auto &[b, pb] : removed) {
-        (void)b;
-        mapped_pages += 1ull << (pb - vm::kBasePageBits);
-    }
+    uint64_t mapped_pages = resv.eraseMappedPages(base, bits);
     uint64_t newly = pages - mapped_pages;
     as.pageTable().map(base, resv.pfnFor(base), bits, vma.writable, true);
     resv.recordMapped(base, bits);
@@ -168,12 +163,7 @@ ReservationPolicyBase::tryPromote(AddressSpace &as, const Vma &vma,
             break;
 
         // Promote: fold the constituent mappings into one page.
-        auto removed = resv.eraseMappedWithin(region, target);
-        uint64_t mapped_pages = 0;
-        for (const auto &[b, pb] : removed) {
-            (void)b;
-            mapped_pages += 1ull << (pb - vm::kBasePageBits);
-        }
+        uint64_t mapped_pages = resv.eraseMappedPages(region, target);
         tps_assert(mapped_pages <= pages);
         uint64_t newly = pages - mapped_pages;
         as.pageTable().map(region, resv.pfnFor(region), target,

@@ -80,12 +80,29 @@ Reservation::touchedIn(Vaddr base, unsigned page_bits) const
 std::optional<unsigned>
 Reservation::mappedSizeAt(Vaddr va) const
 {
-    auto it = mapped_.upper_bound(va);
-    if (it == mapped_.begin())
+    // The hint remembers the last upper-bound position; a fault's
+    // commit immediately precedes its promotion checks on the same
+    // region, so the position is usually still right and the binary
+    // search is skipped.
+    size_t n = mapped_.size();
+    size_t i = mapHint_;
+    bool valid = i <= n && (i == 0 || mapped_[i - 1].first <= va) &&
+                 (i == n || mapped_[i].first > va);
+    if (!valid) {
+        i = static_cast<size_t>(
+            std::upper_bound(
+                mapped_.begin(), mapped_.end(), va,
+                [](Vaddr v, const std::pair<Vaddr, unsigned> &m) {
+                    return v < m.first;
+                }) -
+            mapped_.begin());
+        mapHint_ = i;
+    }
+    if (i == 0)
         return std::nullopt;
-    --it;
-    if (va < it->first + (1ull << it->second))
-        return it->second;
+    const auto &m = mapped_[i - 1];
+    if (va < m.first + (1ull << m.second))
+        return m.second;
     return std::nullopt;
 }
 
@@ -94,7 +111,18 @@ Reservation::recordMapped(Vaddr base, unsigned page_bits)
 {
     tps_assert(isAligned(base, 1ull << page_bits));
     tps_assert(covers(base));
-    mapped_[base] = page_bits;
+    auto it = std::lower_bound(
+        mapped_.begin(), mapped_.end(), base,
+        [](const std::pair<Vaddr, unsigned> &m, Vaddr v) {
+            return m.first < v;
+        });
+    if (it != mapped_.end() && it->first == base)
+        it->second = page_bits;
+    else
+        it = mapped_.insert(it, {base, page_bits});
+    // Position the lookup hint just past the new entry: the promotion
+    // checks that follow a commit probe this same neighbourhood.
+    mapHint_ = static_cast<size_t>(it - mapped_.begin()) + 1;
     mappedBytes_ += 1ull << page_bits;
 }
 
@@ -102,15 +130,44 @@ std::vector<std::pair<Vaddr, unsigned>>
 Reservation::eraseMappedWithin(Vaddr base, unsigned page_bits)
 {
     Vaddr end = base + (1ull << page_bits);
+    auto first = std::lower_bound(
+        mapped_.begin(), mapped_.end(), base,
+        [](const std::pair<Vaddr, unsigned> &m, Vaddr v) {
+            return m.first < v;
+        });
+    auto last = first;
     std::vector<std::pair<Vaddr, unsigned>> removed;
-    auto it = mapped_.lower_bound(base);
-    while (it != mapped_.end() && it->first < end) {
-        tps_assert(it->first + (1ull << it->second) <= end);
-        removed.emplace_back(it->first, it->second);
-        mappedBytes_ -= 1ull << it->second;
-        it = mapped_.erase(it);
+    while (last != mapped_.end() && last->first < end) {
+        tps_assert(last->first + (1ull << last->second) <= end);
+        removed.emplace_back(*last);
+        mappedBytes_ -= 1ull << last->second;
+        ++last;
     }
+    mapHint_ = static_cast<size_t>(first - mapped_.begin());
+    mapped_.erase(first, last);
     return removed;
+}
+
+uint64_t
+Reservation::eraseMappedPages(Vaddr base, unsigned page_bits)
+{
+    Vaddr end = base + (1ull << page_bits);
+    auto first = std::lower_bound(
+        mapped_.begin(), mapped_.end(), base,
+        [](const std::pair<Vaddr, unsigned> &m, Vaddr v) {
+            return m.first < v;
+        });
+    auto last = first;
+    uint64_t pages = 0;
+    while (last != mapped_.end() && last->first < end) {
+        tps_assert(last->first + (1ull << last->second) <= end);
+        mappedBytes_ -= 1ull << last->second;
+        pages += 1ull << (last->second - vm::kBasePageBits);
+        ++last;
+    }
+    mapHint_ = static_cast<size_t>(first - mapped_.begin());
+    mapped_.erase(first, last);
+    return pages;
 }
 
 Reservation &
@@ -134,11 +191,16 @@ ReservationTable::create(Vaddr va_base, unsigned order, Pfn pfn_base)
 Reservation *
 ReservationTable::find(Vaddr va)
 {
+    if (cached_ && cached_->covers(va))
+        return cached_;
     auto it = table_.upper_bound(va);
     if (it == table_.begin())
         return nullptr;
     --it;
-    return it->second.covers(va) ? &it->second : nullptr;
+    if (!it->second.covers(va))
+        return nullptr;
+    cached_ = &it->second;
+    return cached_;
 }
 
 const Reservation *
@@ -152,6 +214,8 @@ ReservationTable::remove(Vaddr va_base)
 {
     auto it = table_.find(va_base);
     tps_assert(it != table_.end());
+    if (cached_ == &it->second)
+        cached_ = nullptr;
     table_.erase(it);
 }
 

@@ -15,6 +15,7 @@
 #define TPS_OS_RESERVATION_HH
 
 #include <cstdint>
+#include <algorithm>
 #include <map>
 #include <optional>
 #include <vector>
@@ -119,11 +120,24 @@ class Reservation
     std::vector<std::pair<Vaddr, unsigned>>
     eraseMappedWithin(Vaddr base, unsigned page_bits);
 
+    /**
+     * As eraseMappedWithin, but returns only the base-page total of the
+     * removed records -- the promotion path needs just the committed
+     * count, and skipping the list avoids an allocation per promotion.
+     */
+    uint64_t eraseMappedPages(Vaddr base, unsigned page_bits);
+
     /** Bytes currently mapped (committed), including promotion bloat. */
     uint64_t mappedBytes() const { return mappedBytes_; }
 
-    /** Mapped regions: base -> log2 size (inspection/census). */
-    const std::map<Vaddr, unsigned> &mappedRegions() const
+    /**
+     * Mapped regions as (base, log2 size), sorted by base
+     * (inspection/census).  A sorted vector, not a map: commits insert
+     * at the sequential-fault frontier (cheap tail insert) and
+     * promotions erase contiguous runs, where node-based maps pay an
+     * allocation per committed base page.
+     */
+    const std::vector<std::pair<Vaddr, unsigned>> &mappedRegions() const
     {
         return mapped_;
     }
@@ -133,7 +147,10 @@ class Reservation
     unsigned order_;
     Pfn pfnBase_;
     BitCounter touched_;
-    std::map<Vaddr, unsigned> mapped_;
+    std::vector<std::pair<Vaddr, unsigned>> mapped_;
+    //! mappedSizeAt()'s last upper-bound index into mapped_; kept in
+    //! step by recordMapped and the erase paths, validated before use.
+    mutable size_t mapHint_ = 0;
     uint64_t mappedBytes_ = 0;
 };
 
@@ -156,10 +173,24 @@ class ReservationTable
 
     /** Iteration (census, teardown). */
     const std::map<Vaddr, Reservation> &all() const { return table_; }
-    std::map<Vaddr, Reservation> &all() { return table_; }
+
+    /** Mutable iteration; drops the find() cache as callers may edit. */
+    std::map<Vaddr, Reservation> &
+    all()
+    {
+        cached_ = nullptr;
+        return table_;
+    }
 
   private:
     std::map<Vaddr, Reservation> table_;
+    /**
+     * Last reservation find() returned.  Map nodes are stable and
+     * ranges never overlap, so "still covers the address" means "is
+     * the unique answer"; sequential fault streams hit this nearly
+     * every time.  Cleared by remove() and the mutable all().
+     */
+    Reservation *cached_ = nullptr;
 };
 
 } // namespace tps::os

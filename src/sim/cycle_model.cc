@@ -18,30 +18,6 @@ CycleModel::CycleModel(const CycleModelConfig &cfg)
     robRing_.assign(robWindowOps_, 0);
 }
 
-void
-CycleModel::onAccess(unsigned translation_cycles, unsigned mem_cycles,
-                     bool depends_on_prev)
-{
-    instructions_ += cfg_.instsPerAccess + 1;   // the access + filler ops
-
-    // Nominal issue time set by the front end.
-    uint64_t issue = instructions_ / cfg_.width;
-
-    // Structural limits: MSHRs and the ROB window.
-    issue = std::max(issue,
-                     inflightRing_[accessCount_ % cfg_.maxInflight]);
-    issue = std::max(issue, robRing_[accessCount_ % robWindowOps_]);
-    if (depends_on_prev)
-        issue = std::max(issue, prevCompletion_);
-
-    uint64_t completion = issue + translation_cycles + mem_cycles;
-    inflightRing_[accessCount_ % cfg_.maxInflight] = completion;
-    robRing_[accessCount_ % robWindowOps_] = completion;
-    prevCompletion_ = completion;
-    lastCompletion_ = std::max(lastCompletion_, completion);
-    ++accessCount_;
-}
-
 uint64_t
 CycleModel::cycles() const
 {
@@ -52,7 +28,8 @@ void
 CycleModel::reset()
 {
     instructions_ = 0;
-    accessCount_ = 0;
+    inflightIdx_ = 0;
+    robIdx_ = 0;
     prevCompletion_ = 0;
     lastCompletion_ = 0;
     std::fill(inflightRing_.begin(), inflightRing_.end(), 0);

@@ -20,6 +20,7 @@
 #ifndef TPS_SIM_CYCLE_MODEL_HH
 #define TPS_SIM_CYCLE_MODEL_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -52,8 +53,31 @@ class CycleModel
      * @param mem_cycles          Data-access latency from the caches.
      * @param depends_on_prev     Serialized against the previous access.
      */
-    void onAccess(unsigned translation_cycles, unsigned mem_cycles,
-                  bool depends_on_prev);
+    void
+    onAccess(unsigned translation_cycles, unsigned mem_cycles,
+             bool depends_on_prev)
+    {
+        instructions_ += cfg_.instsPerAccess + 1; // the access + filler
+
+        // Nominal issue time set by the front end.
+        uint64_t issue = instructions_ / cfg_.width;
+
+        // Structural limits: MSHRs and the ROB window.
+        issue = std::max(issue, inflightRing_[inflightIdx_]);
+        issue = std::max(issue, robRing_[robIdx_]);
+        if (depends_on_prev)
+            issue = std::max(issue, prevCompletion_);
+
+        uint64_t completion = issue + translation_cycles + mem_cycles;
+        inflightRing_[inflightIdx_] = completion;
+        robRing_[robIdx_] = completion;
+        prevCompletion_ = completion;
+        lastCompletion_ = std::max(lastCompletion_, completion);
+        if (++inflightIdx_ == cfg_.maxInflight)
+            inflightIdx_ = 0;
+        if (++robIdx_ == robWindowOps_)
+            robIdx_ = 0;
+    }
 
     /** Total execution cycles so far. */
     uint64_t cycles() const;
@@ -72,7 +96,8 @@ class CycleModel
     CycleModelConfig cfg_;
     unsigned robWindowOps_;    //!< accesses resident in the ROB window
     uint64_t instructions_ = 0;
-    uint64_t accessCount_ = 0;
+    unsigned inflightIdx_ = 0; //!< rolling cursor into inflightRing_
+    unsigned robIdx_ = 0;      //!< rolling cursor into robRing_
     uint64_t prevCompletion_ = 0;
     uint64_t lastCompletion_ = 0;
     std::vector<uint64_t> inflightRing_;

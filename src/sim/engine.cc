@@ -1,5 +1,6 @@
 #include "sim/engine.hh"
 
+#include <algorithm>
 #include <chrono>
 #include <optional>
 
@@ -13,6 +14,28 @@
 #include "util/stats.hh"
 
 namespace tps::sim {
+
+namespace {
+
+/**
+ * Cumulative counter values at the last epoch boundary; the epoch
+ * snapshot pushes the deltas since then.  Reads only, so sampling never
+ * perturbs the simulation.
+ */
+struct EpochPrev
+{
+    uint64_t accesses = 0;
+    uint64_t l1TlbMisses = 0;
+    uint64_t l2TlbHits = 0;
+    uint64_t walks = 0;
+    uint64_t walkMemRefs = 0;
+    uint64_t walkCycles = 0;
+    uint64_t faults = 0;
+    uint64_t cycles = 0;
+    uint64_t osCycles = 0;
+};
+
+} // namespace
 
 double
 EpochSample::mpki() const
@@ -151,6 +174,18 @@ Engine::run()
             w->setup(*this);
     }
 
+    // The fast path handles the common single-thread configuration;
+    // SMT round-robin, self-profiling (which wants the per-phase
+    // timers inside the loop) and non-batchable generators keep the
+    // reference loop.
+    bool fast = !cfg_.referencePath && workloads_.size() == 1 &&
+                !profile_ && workloads_[0]->batchable();
+    return fast ? runFast() : runReference();
+}
+
+SimStats
+Engine::runReference()
+{
     stats_ = SimStats{};
     SimStats &stats = stats_;
     stats.epochInterval = cfg_.epochAccesses;
@@ -165,21 +200,9 @@ Engine::run()
     uint64_t warmup_target = workloads_[0]->warmupAccesses();
     bool in_warmup = warmup_target > 0;
 
-    // Epoch sampling: cumulative counter values at the last epoch
-    // boundary; take_epoch() pushes the deltas since then.  Reads only,
-    // so sampling never perturbs the simulation.
-    struct EpochPrev
-    {
-        uint64_t accesses = 0;
-        uint64_t l1TlbMisses = 0;
-        uint64_t l2TlbHits = 0;
-        uint64_t walks = 0;
-        uint64_t walkMemRefs = 0;
-        uint64_t walkCycles = 0;
-        uint64_t faults = 0;
-        uint64_t cycles = 0;
-        uint64_t osCycles = 0;
-    } eprev;
+    // Epoch sampling: take_epoch() pushes the deltas since the last
+    // boundary.
+    EpochPrev eprev;
     auto take_epoch = [&]() {
         uint64_t walk_refs = mmu_->stats().walkMemRefs;
         uint64_t os_cycles = as_->osWork().totalCycles();
@@ -374,6 +397,263 @@ Engine::run()
         stats.walkMemRefs = static_cast<uint64_t>(
             share * static_cast<double>(stats.mmu.walkMemRefs));
     }
+    return stats;
+}
+
+template <bool HasColt, bool HasSmall, int TpsKind, bool HasLarge,
+          bool Traced>
+void
+Engine::translateChunk(const MemAccess *acc, size_t count,
+                       uint64_t &trace_time, ChunkDelta &d)
+{
+    const TlbTimingMode timing = cfg_.timing;
+    const unsigned stlb_penalty = cfg_.mmu.stlbHitPenalty;
+    for (size_t i = 0; i < count; ++i) {
+        // Same trace-clock semantics as the reference loop: one tick
+        // per access, advanced only while a trace is attached.
+        if constexpr (Traced)
+            trace_->setTime(++trace_time);
+        MmuAccessResult res =
+            mmu_->accessFast<HasColt, HasSmall, TpsKind, HasLarge>(
+                acc[i].va, acc[i].write);
+        unsigned mem_cycles = memsys_.access(res.pa);
+        unsigned translation = res.translationCycles;
+        if (timing == TlbTimingMode::PerfectL1)
+            translation = 0;
+        else if (timing == TlbTimingMode::PerfectL2)
+            translation = res.level == tlb::TlbHitLevel::L1
+                              ? 0
+                              : stlb_penalty;
+        cycle_.onAccess(translation, mem_cycles, acc[i].dependsOnPrev);
+        if (res.level != tlb::TlbHitLevel::L1) {
+            ++d.l1TlbMisses;
+            if (res.level == tlb::TlbHitLevel::L2) {
+                ++d.l2TlbHits;
+                d.stlbPenaltyCycles += translation;
+            } else {
+                ++d.tlbMisses;
+                d.walkCycles += translation;
+            }
+        }
+        if (res.faulted) [[unlikely]]
+            ++d.faults;
+    }
+}
+
+void
+Engine::dispatchChunk(const MemAccess *acc, size_t count,
+                      uint64_t &trace_time, ChunkDelta &d)
+{
+    // One instantiation per (L1 structure set, traced) combination;
+    // the selection runs once per chunk, not per access.
+    bool traced = trace_ != nullptr;
+    switch (mmu_->tlbs().design()) {
+      case tlb::TlbDesign::Colt:
+        if (traced)
+            translateChunk<true, false, 0, true, true>(acc, count,
+                                                       trace_time, d);
+        else
+            translateChunk<true, false, 0, true, false>(acc, count,
+                                                        trace_time, d);
+        break;
+      case tlb::TlbDesign::Tps:
+        if (cfg_.mmu.tlb.tpsTlbSkewed) {
+            if (traced)
+                translateChunk<false, true, 2, false, true>(
+                    acc, count, trace_time, d);
+            else
+                translateChunk<false, true, 2, false, false>(
+                    acc, count, trace_time, d);
+        } else {
+            if (traced)
+                translateChunk<false, true, 1, false, true>(
+                    acc, count, trace_time, d);
+            else
+                translateChunk<false, true, 1, false, false>(
+                    acc, count, trace_time, d);
+        }
+        break;
+      case tlb::TlbDesign::Baseline:
+      case tlb::TlbDesign::Rmm:
+        if (traced)
+            translateChunk<false, true, 0, true, true>(acc, count,
+                                                       trace_time, d);
+        else
+            translateChunk<false, true, 0, true, false>(acc, count,
+                                                        trace_time, d);
+        break;
+    }
+}
+
+SimStats
+Engine::runFast()
+{
+    stats_ = SimStats{};
+    SimStats &stats = stats_;
+    stats.epochInterval = cfg_.epochAccesses;
+    workloads::Workload &wl = *workloads_[0];
+    unsigned primary_ipa = wl.info().instsPerAccess;
+    uint64_t primary_accesses = 0;
+
+    uint64_t warmup_target = wl.warmupAccesses();
+    bool in_warmup = warmup_target > 0;
+
+    EpochPrev eprev;
+    auto take_epoch = [&]() {
+        uint64_t walk_refs = mmu_->stats().walkMemRefs;
+        uint64_t os_cycles = as_->osWork().totalCycles();
+        EpochSample e;
+        e.accesses = primary_accesses - eprev.accesses;
+        e.instructions = e.accesses * (primary_ipa + 1);
+        e.cycles = cycle_.cycles() - eprev.cycles;
+        e.l1TlbMisses = stats.l1TlbMisses - eprev.l1TlbMisses;
+        e.l2TlbHits = stats.l2TlbHits - eprev.l2TlbHits;
+        e.walks = stats.tlbMisses - eprev.walks;
+        e.walkMemRefs = walk_refs - eprev.walkMemRefs;
+        e.walkCycles = stats.walkCycles - eprev.walkCycles;
+        e.faults = stats.faults - eprev.faults;
+        e.osCycles = os_cycles - eprev.osCycles;
+        stats.epochs.push_back(e);
+        eprev = EpochPrev{primary_accesses, stats.l1TlbMisses,
+                          stats.l2TlbHits, stats.tlbMisses, walk_refs,
+                          stats.walkCycles, stats.faults,
+                          cycle_.cycles(), os_cycles};
+    };
+
+    std::optional<check::InvariantChecker> checker;
+    if (cfg_.checkEveryAccesses != 0) {
+        check::InvariantChecker::Targets targets;
+        targets.as = as_.get();
+        targets.phys = &as_->phys();
+        targets.tlb = &mmu_->tlbs();
+        targets.exemptFrames =
+            check::InvariantChecker::externallyHeldFrames(as_->phys());
+        checker.emplace(targets);
+    }
+    uint64_t accesses_since_check = 0;
+    uint64_t trace_time = 0;
+    std::chrono::steady_clock::time_point deadline{};
+    if (cfg_.timeoutSeconds > 0.0) {
+        deadline = std::chrono::steady_clock::now() +
+                   std::chrono::duration_cast<
+                       std::chrono::steady_clock::duration>(
+                       std::chrono::duration<double>(
+                           cfg_.timeoutSeconds));
+    }
+
+    uint64_t chunk_cap = cfg_.chunkAccesses != 0 ? cfg_.chunkAccesses : 1;
+    std::vector<MemAccess> buf(chunk_cap);
+
+    bool running = true;
+    while (running) {
+        // Clamp the chunk so every boundary action -- the warmup stat
+        // reset, maxAccesses stop, epoch snapshot and checker sweep --
+        // lands on the exact access ordinal at which the reference
+        // loop, which tests after every access, would take it.
+        uint64_t limit = chunk_cap;
+        if (in_warmup) {
+            limit = std::min(limit, warmup_target - primary_accesses);
+        } else {
+            // >= comparison in the stop test: when the cap is already
+            // met (maxAccesses == 0), the reference loop still runs
+            // one access before stopping.
+            uint64_t rem = cfg_.maxAccesses > primary_accesses
+                               ? cfg_.maxAccesses - primary_accesses
+                               : 1;
+            limit = std::min(limit, rem);
+            if (cfg_.epochAccesses != 0)
+                limit = std::min(
+                    limit, cfg_.epochAccesses -
+                               (primary_accesses - eprev.accesses));
+        }
+        if (checker)
+            limit = std::min(limit, cfg_.checkEveryAccesses -
+                                        accesses_since_check);
+
+        size_t got;
+        {
+            obs::ScopedTimer timer(profile_,
+                                   obs::ProfPhase::WorkloadNext);
+            got = wl.nextBatch(buf.data(),
+                               static_cast<size_t>(limit));
+        }
+        if (got == 0)
+            break;
+
+        ChunkDelta d;
+        dispatchChunk(buf.data(), got, trace_time, d);
+        primary_accesses += got;
+        stats.l1TlbMisses += d.l1TlbMisses;
+        stats.l2TlbHits += d.l2TlbHits;
+        stats.stlbPenaltyCycles += d.stlbPenaltyCycles;
+        stats.tlbMisses += d.tlbMisses;
+        stats.walkCycles += d.walkCycles;
+        stats.faults += d.faults;
+
+        if (in_warmup && primary_accesses >= warmup_target) {
+            in_warmup = false;
+            stats.warmup.accesses = primary_accesses;
+            stats.warmup.cycles = cycle_.cycles();
+            stats.warmup.osCycles = as_->osWork().totalCycles();
+            stats.warmup.faults = stats.faults;
+            primary_accesses = 0;
+            stats.l1TlbMisses = 0;
+            stats.l2TlbHits = 0;
+            stats.tlbMisses = 0;
+            stats.stlbPenaltyCycles = 0;
+            stats.walkCycles = 0;
+            stats.faults = 0;
+            mmu_->clearStats();
+            memsys_.clearStats();
+            cycle_.reset();
+            // Post-Mark events are the measured phase; the trace clock
+            // itself is not reset.
+            if (trace_)
+                trace_->mark(obs::kMarkWarmupEnd);
+            // Epoch deltas restart at the measured phase; osWork is
+            // not reset, so carry its baseline.
+            eprev = EpochPrev{};
+            eprev.osCycles = stats.warmup.osCycles;
+        } else if (!in_warmup &&
+                   primary_accesses >= cfg_.maxAccesses) {
+            running = false;
+        }
+        if (cfg_.epochAccesses != 0 && !in_warmup &&
+            primary_accesses - eprev.accesses >= cfg_.epochAccesses) {
+            take_epoch();
+        }
+        if (checker) {
+            accesses_since_check += got;
+            if (accesses_since_check >= cfg_.checkEveryAccesses) {
+                accesses_since_check = 0;
+                checker->throwIfBad();
+            }
+        }
+        // The wall-clock budget is inherently non-deterministic; the
+        // fast path checks it at chunk ends instead of every 0x1000
+        // accesses.
+        if (cfg_.timeoutSeconds > 0.0 &&
+            std::chrono::steady_clock::now() > deadline) {
+            throwSimError(ErrorKind::Timeout,
+                          "cell exceeded its %.3g s wall-clock "
+                          "budget", cfg_.timeoutSeconds);
+        }
+    }
+
+    // Flush the final (possibly short) epoch.
+    if (cfg_.epochAccesses != 0 && primary_accesses > eprev.accesses)
+        take_epoch();
+
+    stats.accesses = primary_accesses;
+    stats.instructions = primary_accesses * (primary_ipa + 1);
+    stats.cycles = cycle_.cycles();
+    stats.mmu = mmu_->stats();
+    stats.walker = mmu_->walker().stats();
+    stats.memsys = memsys_.stats();
+    stats.osWork = as_->osWork();
+    stats.mmapCalls = mmapCalls_;
+    stats.munmapCalls = munmapCalls_;
+    stats.walkMemRefs = stats.mmu.walkMemRefs;
     return stats;
 }
 

@@ -66,6 +66,24 @@ struct EngineConfig
      * of hanging.
      */
     double timeoutSeconds = 0.0;
+    /**
+     * Force the per-access reference loop (virtual TLB dispatch, every
+     * guard tested on every access) instead of the devirtualized
+     * batched fast path.  The two produce bit-identical statistics,
+     * manifests and event traces (tests/differential_test.cc); the
+     * reference path survives as the oracle.  Deliberately excluded
+     * from manifest serialization so artifacts from either path
+     * compare byte-for-byte.
+     */
+    bool referencePath = false;
+    /**
+     * Fast-path batch size: accesses translated per workload batch.
+     * Chunks are clamped so warmup, epoch, checker and maxAccesses
+     * boundaries land on the exact access where the reference path
+     * takes them; the value therefore affects performance only, never
+     * results.  Also excluded from manifest serialization.
+     */
+    uint64_t chunkAccesses = 4096;
 };
 
 /**
@@ -214,6 +232,38 @@ class Engine : public AllocApi
     void munmap(vm::Vaddr start) override;
 
   private:
+    /** Primary-thread stat deltas accumulated over one fast-path chunk. */
+    struct ChunkDelta
+    {
+        uint64_t l1TlbMisses = 0;
+        uint64_t l2TlbHits = 0;
+        uint64_t stlbPenaltyCycles = 0;
+        uint64_t tlbMisses = 0;
+        uint64_t walkCycles = 0;
+        uint64_t faults = 0;
+    };
+
+    /** The historical per-access loop (the differential-test oracle). */
+    SimStats runReference();
+
+    /** The chunked, devirtualized loop; bit-identical to the above. */
+    SimStats runFast();
+
+    /**
+     * Translate @p count batched accesses through the devirtualized
+     * MMU path (template parameters as in TlbHierarchy::lookupFast;
+     * @p Traced hoists the trace check out of the loop).  Defined in
+     * engine.cc; all instantiations live there.
+     */
+    template <bool HasColt, bool HasSmall, int TpsKind, bool HasLarge,
+              bool Traced>
+    void translateChunk(const MemAccess *acc, size_t count,
+                        uint64_t &trace_time, ChunkDelta &delta);
+
+    /** Select the translateChunk instantiation for the active design. */
+    void dispatchChunk(const MemAccess *acc, size_t count,
+                       uint64_t &trace_time, ChunkDelta &delta);
+
     EngineConfig cfg_;
     MemSys memsys_;
     std::unique_ptr<os::AddressSpace> as_;

@@ -14,33 +14,9 @@ MemSys::Level::init(uint64_t bytes, unsigned w, unsigned line)
     tps_assert(lines % ways == 0);
     sets = static_cast<unsigned>(lines / ways);
     tps_assert(isPowerOfTwo(sets));
-    tags.assign(lines, 0);
+    setShift = log2Floor(sets);
+    tags.assign(lines, kInvalidTag);
     lastUse.assign(lines, 0);
-    valid.assign(lines, false);
-}
-
-bool
-MemSys::Level::lookupFill(uint64_t line_addr, uint64_t tick)
-{
-    unsigned set = static_cast<unsigned>(line_addr & (sets - 1));
-    uint64_t tag = line_addr >> log2Floor(sets);
-    unsigned base = set * ways;
-    unsigned victim = base;
-    for (unsigned w = 0; w < ways; ++w) {
-        unsigned i = base + w;
-        if (valid[i] && tags[i] == tag) {
-            lastUse[i] = tick;
-            return true;
-        }
-        if (!valid[i])
-            victim = i;
-        else if (valid[victim] && lastUse[i] < lastUse[victim])
-            victim = i;
-    }
-    valid[victim] = true;
-    tags[victim] = tag;
-    lastUse[victim] = tick;
-    return false;
 }
 
 MemSys::MemSys(const MemSysConfig &cfg)
@@ -48,24 +24,8 @@ MemSys::MemSys(const MemSysConfig &cfg)
 {
     l1_.init(cfg_.l1Bytes, cfg_.l1Ways, cfg_.lineBytes);
     llc_.init(cfg_.llcBytes, cfg_.llcWays, cfg_.lineBytes);
-}
-
-unsigned
-MemSys::access(vm::Paddr pa)
-{
-    ++stats_.accesses;
-    ++tick_;
-    uint64_t line = pa / cfg_.lineBytes;
-    if (l1_.lookupFill(line, tick_)) {
-        ++stats_.l1Hits;
-        return cfg_.l1LatencyCycles;
-    }
-    if (llc_.lookupFill(line, tick_)) {
-        ++stats_.llcHits;
-        return cfg_.llcLatencyCycles;
-    }
-    ++stats_.dramAccesses;
-    return cfg_.dramLatencyCycles;
+    lineIsPow2_ = isPowerOfTwo(uint64_t(cfg_.lineBytes));
+    lineShift_ = lineIsPow2_ ? log2Floor(cfg_.lineBytes) : 0;
 }
 
 void

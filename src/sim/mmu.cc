@@ -123,15 +123,21 @@ Mmu::updateAd(tlb::TlbEntry *entry, vm::Vaddr va, bool write)
         updateAdVector(entry->pageBase(), entry->pageBits, va, write,
                        entry->truePtePaddr + sizeof(uint64_t));
     }
-    if (!entry->accessed) {
-        as_.pageTable().setAccessed(va);
+    bool set_a = !entry->accessed;
+    bool set_d = write && !entry->dirty;
+    if (set_a || set_d) {
+        // Single leaf traversal for both bits; the per-bit PTE-write
+        // accounting and memory references below match the separate
+        // setAccessed/setDirty sequence exactly.
+        as_.pageTable().setAccessedDirty(va, set_a, set_d);
+    }
+    if (set_a) {
         entry->accessed = true;
         ++stats_.adPteWrites;
         if (memsys_)
             memsys_->access(entry->truePtePaddr);
     }
-    if (write && !entry->dirty) {
-        as_.pageTable().setDirty(va);
+    if (set_d) {
         entry->dirty = true;
         ++stats_.adPteWrites;
         if (memsys_)
@@ -210,29 +216,41 @@ Mmu::access(vm::Vaddr va, bool write)
 MmuAccessResult
 Mmu::accessInternal(vm::Vaddr va, bool write, bool retried)
 {
-    MmuAccessResult res;
     ++stats_.accesses;
+    tlb::TlbLookupResult hit = tlb_.lookup(va);
+    return finishAccess(hit, va, write, retried);
+}
 
+MmuAccessResult
+Mmu::writeFaultRetry(vm::Vaddr va, bool retried)
+{
     // Write-permission fault path (copy-on-write): the translation
     // exists but is read-only; raise the fault and retry once.
+    ++stats_.writeProtFaults;
+    bool resolved = false;
+    if (!retried) {
+        obs::ScopedTimer timer(profile_, obs::ProfPhase::OsFault);
+        resolved = as_.handleFault(va, true);
+    }
+    if (!resolved) {
+        throwSimError(ErrorKind::InvalidAccess,
+                      "unresolvable write to read-only va %#llx",
+                      static_cast<unsigned long long>(va));
+    }
+    MmuAccessResult inner = accessInternal(va, true, true);
+    inner.faulted = true;
+    return inner;
+}
+
+MmuAccessResult
+Mmu::finishAccess(const tlb::TlbLookupResult &hit, vm::Vaddr va,
+                  bool write, bool retried)
+{
+    MmuAccessResult res;
     auto write_fault = [&]() -> MmuAccessResult {
-        ++stats_.writeProtFaults;
-        bool resolved = false;
-        if (!retried) {
-            obs::ScopedTimer timer(profile_, obs::ProfPhase::OsFault);
-            resolved = as_.handleFault(va, true);
-        }
-        if (!resolved) {
-            throwSimError(ErrorKind::InvalidAccess,
-                          "unresolvable write to read-only va %#llx",
-                          static_cast<unsigned long long>(va));
-        }
-        MmuAccessResult inner = accessInternal(va, true, true);
-        inner.faulted = true;
-        return inner;
+        return writeFaultRetry(va, retried);
     };
 
-    tlb::TlbLookupResult hit = tlb_.lookup(va);
     if (hit.level == tlb::TlbHitLevel::L1) {
         if (write && hit.entry && !hit.entry->writable)
             return write_fault();
@@ -327,10 +345,8 @@ Mmu::accessInternal(vm::Vaddr va, bool write, bool retried)
     // Hardware A-bit update on fill.
     bool need_a = !walk.leaf.accessed;
     bool need_d = write && !walk.leaf.dirty;
-    if (need_a)
-        as_.pageTable().setAccessed(va);
-    if (need_d)
-        as_.pageTable().setDirty(va);
+    if (need_a || need_d)
+        as_.pageTable().setAccessedDirty(va, need_a, need_d);
     if (need_a || need_d) {
         stats_.adPteWrites += (need_a ? 1 : 0) + (need_d ? 1 : 0);
         if (memsys_)

@@ -95,7 +95,59 @@ class Mmu
     MmuAccessResult accessInternal(vm::Vaddr va, bool write,
                                    bool retried);
 
+    /**
+     * Everything after the TLB probe: L1-hit bookkeeping, L2-hit
+     * refills, the walk/fault path.  Shared verbatim between the
+     * reference path (accessInternal) and the fast path (accessFast),
+     * which differ only in how the probe itself is dispatched.
+     */
+    MmuAccessResult finishAccess(const tlb::TlbLookupResult &hit,
+                                 vm::Vaddr va, bool write,
+                                 bool retried);
+
+    /** CoW fault-and-retry (cold); @p retried guards the one retry. */
+    MmuAccessResult writeFaultRetry(vm::Vaddr va, bool retried);
+
   public:
+    /**
+     * Fast-path translate: same observable behaviour as access(), with
+     * the L1 probe chain devirtualized at compile time (template
+     * parameters as in TlbHierarchy::lookupFast) and the common case
+     * -- an L1 hit needing no A/D maintenance and no CoW fault --
+     * handled entirely inline.  Everything else falls through to the
+     * shared finishAccess() tail.
+     */
+    template <bool HasColt, bool HasSmall, int TpsKind, bool HasLarge>
+    MmuAccessResult
+    accessFast(vm::Vaddr va, bool write)
+    {
+        ++stats_.accesses;
+        tlb::TlbLookupResult hit =
+            tlb_.lookupFast<HasColt, HasSmall, TpsKind, HasLarge>(va);
+        if (hit.level == tlb::TlbHitLevel::L1) [[likely]] {
+            tlb::TlbEntry *e = hit.entry;
+            if (write && e && !e->writable) [[unlikely]]
+                return finishAccess(hit, va, write, false);
+            ++stats_.l1Hits;
+            if (e) {
+                // updateAd() is a no-op unless the A bit is unset, a
+                // write finds the D bit unset, or the entry is a
+                // tailored page under fine-grained A/D tracking; only
+                // then take the cold call.
+                bool vector = cfg_.adBitVector &&
+                              e->pageBits > vm::kBasePageBits &&
+                              !vm::isConventional(e->pageBits);
+                if (vector || !e->accessed || (write && !e->dirty))
+                    updateAd(e, va, write);
+            }
+            MmuAccessResult res;
+            res.pa = hit.paddr;
+            res.level = hit.level;
+            res.translationCycles = 0;
+            return res;
+        }
+        return finishAccess(hit, va, write, false);
+    }
 
     const MmuStats &stats() const { return stats_; }
     void clearStats();

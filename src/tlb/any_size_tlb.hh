@@ -31,8 +31,23 @@ class AnySizeTlb
     /** Mutable probe without stats (A/D updates after a fill). */
     virtual TlbEntry *findMutable(Vaddr va) = 0;
 
-    /** Install @p entry. @return true if a valid entry was evicted. */
-    virtual bool fill(const TlbEntry &entry) = 0;
+    /** Install @p entry. @return the slot it now occupies. */
+    virtual TlbEntry *fill(const TlbEntry &entry) = 0;
+
+    /**
+     * fill(@p entry) followed by findMutable(@p base) as one operation:
+     * the returned slot is the first in probe order covering @p base
+     * after the install, which may be a stale smaller entry shadowing
+     * the new fill (the A/D-target subtlety in installL1).  Structures
+     * override this to fuse the two scans; semantics are exactly the
+     * two calls in sequence.
+     */
+    virtual TlbEntry *
+    fillAndFind(const TlbEntry &entry, Vaddr base)
+    {
+        fill(entry);
+        return findMutable(base);
+    }
 
     /** Invalidate any entry whose page contains @p va. */
     virtual void invalidate(Vaddr va) = 0;

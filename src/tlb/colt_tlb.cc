@@ -13,33 +13,6 @@ ColtTlb::ColtTlb(unsigned entries, unsigned ways)
     entries_.resize(entries);
 }
 
-unsigned
-ColtTlb::setIndex(Vpn vpn) const
-{
-    // Index by cluster number so a whole coalesced run lives in one set.
-    return static_cast<unsigned>((vpn / kClusterPages) & (sets_ - 1));
-}
-
-ColtEntry *
-ColtTlb::lookup(Vaddr va)
-{
-    ++stats_.lookups;
-    ++tick_;
-    Vpn vpn = vm::vpnOf(va);
-    unsigned set = setIndex(vpn);
-    ColtEntry *base = &entries_[set * ways_];
-    for (unsigned w = 0; w < ways_; ++w) {
-        ColtEntry &e = base[w];
-        if (e.covers(vpn)) {
-            e.lastUse = tick_;
-            ++stats_.hits;
-            return &e;
-        }
-    }
-    ++stats_.misses;
-    return nullptr;
-}
-
 const ColtEntry *
 ColtTlb::probe(Vaddr va) const
 {
@@ -113,16 +86,6 @@ ColtTlb::flush()
     for (auto &e : entries_)
         e.valid = false;
     ++stats_.invalidations;
-}
-
-Paddr
-ColtTlb::translate(Vaddr va, const ColtEntry &entry)
-{
-    Vpn vpn = vm::vpnOf(va);
-    tps_assert(entry.covers(vpn));
-    Pfn pfn = entry.startPfn + (vpn - entry.startVpn);
-    return (pfn << vm::kBasePageBits) +
-           vm::pageOffset(va, vm::kBasePageBits);
 }
 
 unsigned

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "tlb/tlb_entry.hh"
+#include "util/logging.hh"
 
 namespace tps::tlb {
 
@@ -57,7 +58,25 @@ class ColtTlb
     ColtTlb(unsigned entries, unsigned ways);
 
     /** Look up @p va; stats + LRU updated. */
-    ColtEntry *lookup(Vaddr va);
+    ColtEntry *
+    lookup(Vaddr va)
+    {
+        ++stats_.lookups;
+        ++tick_;
+        Vpn vpn = vm::vpnOf(va);
+        unsigned set = setIndex(vpn);
+        ColtEntry *base = &entries_[set * ways_];
+        for (unsigned w = 0; w < ways_; ++w) {
+            ColtEntry &e = base[w];
+            if (e.covers(vpn)) {
+                e.lastUse = tick_;
+                ++stats_.hits;
+                return &e;
+            }
+        }
+        ++stats_.misses;
+        return nullptr;
+    }
 
     /** Probe without disturbing state. */
     const ColtEntry *probe(Vaddr va) const;
@@ -72,7 +91,15 @@ class ColtTlb
     void flush();
 
     /** Translate @p va through @p entry (must cover it). */
-    static Paddr translate(Vaddr va, const ColtEntry &entry);
+    static Paddr
+    translate(Vaddr va, const ColtEntry &entry)
+    {
+        Vpn vpn = vm::vpnOf(va);
+        tps_assert(entry.covers(vpn));
+        Pfn pfn = entry.startPfn + (vpn - entry.startVpn);
+        return (pfn << vm::kBasePageBits) +
+               vm::pageOffset(va, vm::kBasePageBits);
+    }
 
     const TlbStats &stats() const { return stats_; }
     void clearStats() { stats_ = TlbStats{}; }
@@ -92,7 +119,14 @@ class ColtTlb
     }
 
   private:
-    unsigned setIndex(Vpn vpn) const;
+    unsigned
+    setIndex(Vpn vpn) const
+    {
+        // Index by cluster number so a whole coalesced run lives in
+        // one set.
+        return static_cast<unsigned>((vpn / kClusterPages) &
+                                     (sets_ - 1));
+    }
 
     unsigned sets_;
     unsigned ways_;

@@ -9,23 +9,9 @@ FullyAssocTlb::FullyAssocTlb(std::string name, unsigned entries)
 {
     tps_assert(entries > 0);
     entries_.resize(entries);
-}
-
-TlbEntry *
-FullyAssocTlb::lookup(Vaddr va)
-{
-    ++stats_.lookups;
-    ++tick_;
-    Vpn vpn = vm::vpnOf(va);
-    for (auto &e : entries_) {
-        if (e.matches(vpn)) {
-            e.lastUse = tick_;
-            ++stats_.hits;
-            return &e;
-        }
-    }
-    ++stats_.misses;
-    return nullptr;
+    masks_.assign(entries, 0);
+    tags_.assign(entries, kInvalidTag);
+    lastUses_.assign(entries, 0);
 }
 
 const TlbEntry *
@@ -38,47 +24,102 @@ FullyAssocTlb::probe(Vaddr va) const
     return nullptr;
 }
 
-bool
+TlbEntry *
 FullyAssocTlb::fill(const TlbEntry &entry)
 {
     tps_assert(entry.valid);
     ++tick_;
 
-    // Refill over a duplicate (same page) if present.
-    for (auto &e : entries_) {
-        if (e.valid && e.vpnTag == entry.vpnTag &&
-            e.pageBits == entry.pageBits) {
+    // One pass over the packed shadows finds a duplicate (refill in
+    // place) and the victim.  A tag match is necessary but not
+    // sufficient for a duplicate (aligned pages of different sizes can
+    // share a tag), so candidates confirm pageBits in the entry.
+    // Invalid slots carry stamp 0, below every valid stamp, so the
+    // first minimum over lastUses_ is the first invalid slot when one
+    // exists and the first least-recently-used slot otherwise -- the
+    // same choice the separate scans made.
+    size_t n = tags_.size();
+    size_t vi = 0;
+    uint64_t best = lastUses_[0];
+    for (size_t i = 0; i < n; ++i) {
+        if (tags_[i] == entry.vpnTag &&
+            entries_[i].pageBits == entry.pageBits) {
+            TlbEntry &e = entries_[i];
             e = entry;
             e.lastUse = tick_;
-            return false;
+            syncSlot(i);
+            return &e;
         }
+        bool older = lastUses_[i] < best;
+        vi = older ? i : vi;
+        best = older ? lastUses_[i] : best;
     }
-
-    TlbEntry *victim = &entries_[0];
-    for (auto &e : entries_) {
-        if (!e.valid) {
-            victim = &e;
-            break;
-        }
-        if (e.lastUse < victim->lastUse)
-            victim = &e;
-    }
-    bool evicted = victim->valid;
-    if (evicted)
+    TlbEntry *victim = &entries_[vi];
+    if (victim->valid)
         ++stats_.evictions;
     *victim = entry;
     victim->lastUse = tick_;
+    syncSlot(vi);
     ++stats_.fills;
-    return evicted;
+    return victim;
+}
+
+TlbEntry *
+FullyAssocTlb::fillAndFind(const TlbEntry &entry, Vaddr base)
+{
+    tps_assert(entry.valid);
+    ++tick_;
+
+    // The fill pass from fill() above, extended to also record the
+    // first probe-order slot covering @p base -- fusing the
+    // findMutable() scan installL1 would otherwise run right after.
+    Vpn vpn = vm::vpnOf(base);
+    size_t n = tags_.size();
+    size_t vi = 0;
+    uint64_t best = lastUses_[0];
+    size_t match = n;
+    for (size_t i = 0; i < n; ++i) {
+        if (match == n && (vpn & ~masks_[i]) == tags_[i])
+            match = i;
+        if (tags_[i] == entry.vpnTag &&
+            entries_[i].pageBits == entry.pageBits) {
+            // Refill in place.  The slot's (mask, tag) identity is
+            // unchanged, and the new entry covers base, so the probe
+            // predicate holds here -- match is already <= i and final.
+            TlbEntry &e = entries_[i];
+            e = entry;
+            e.lastUse = tick_;
+            syncSlot(i);
+            return &entries_[match];
+        }
+        bool older = lastUses_[i] < best;
+        vi = older ? i : vi;
+        best = older ? lastUses_[i] : best;
+    }
+    TlbEntry *victim = &entries_[vi];
+    if (victim->valid)
+        ++stats_.evictions;
+    *victim = entry;
+    victim->lastUse = tick_;
+    syncSlot(vi);
+    ++stats_.fills;
+    // Post-install, every slot except the victim kept its pre-scan
+    // predicate value and the victim always matches (the new entry
+    // covers base), so the first probe-order match is min(match, vi) --
+    // a pre-scan match at the victim slot was overwritten, and
+    // min(vi, vi) still lands on the (now refilled) victim.
+    return &entries_[match < vi ? match : vi];
 }
 
 void
 FullyAssocTlb::invalidate(Vaddr va)
 {
     Vpn vpn = vm::vpnOf(va);
-    for (auto &e : entries_) {
+    for (size_t i = 0; i < entries_.size(); ++i) {
+        TlbEntry &e = entries_[i];
         if (e.matches(vpn)) {
             e.valid = false;
+            syncSlot(i);
             ++stats_.invalidations;
         }
     }
@@ -87,8 +128,10 @@ FullyAssocTlb::invalidate(Vaddr va)
 void
 FullyAssocTlb::flush()
 {
-    for (auto &e : entries_)
-        e.valid = false;
+    for (size_t i = 0; i < entries_.size(); ++i) {
+        entries_[i].valid = false;
+        syncSlot(i);
+    }
     ++stats_.invalidations;
 }
 

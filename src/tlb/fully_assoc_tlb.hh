@@ -30,7 +30,28 @@ class FullyAssocTlb : public AnySizeTlb
     FullyAssocTlb(std::string name, unsigned entries);
 
     /** Look up @p va; stats updated, LRU touched on hit. */
-    TlbEntry *lookup(Vaddr va) override;
+    TlbEntry *
+    lookup(Vaddr va) override
+    {
+        ++stats_.lookups;
+        ++tick_;
+        Vpn vpn = vm::vpnOf(va);
+        // Hot compare over the packed (mask, tag) arrays; invalid
+        // slots carry the unreachable sentinel tag so no valid bit
+        // is consulted here.
+        size_t n = tags_.size();
+        for (size_t i = 0; i < n; ++i) {
+            if ((vpn & ~masks_[i]) == tags_[i]) {
+                TlbEntry &e = entries_[i];
+                e.lastUse = tick_;
+                lastUses_[i] = tick_;
+                ++stats_.hits;
+                return &e;
+            }
+        }
+        ++stats_.misses;
+        return nullptr;
+    }
 
     /** Probe without disturbing LRU or stats. */
     const TlbEntry *probe(Vaddr va) const override;
@@ -45,9 +66,12 @@ class FullyAssocTlb : public AnySizeTlb
 
     /**
      * Install @p entry, replacing the LRU entry if full.
-     * @return true if a valid entry was evicted.
+     * @return the slot it now occupies.
      */
-    bool fill(const TlbEntry &entry) override;
+    TlbEntry *fill(const TlbEntry &entry) override;
+
+    /** Single-pass fused fill + probe (see AnySizeTlb::fillAndFind). */
+    TlbEntry *fillAndFind(const TlbEntry &entry, Vaddr base) override;
 
     /** Invalidate any entry whose page contains @p va. */
     void invalidate(Vaddr va) override;
@@ -76,8 +100,32 @@ class FullyAssocTlb : public AnySizeTlb
     }
 
   private:
+    /** Sentinel tag no VPN can equal (VPNs use < 64 bits). */
+    static constexpr Vpn kInvalidTag = ~Vpn(0);
+
+    /**
+     * Mirror entries_[i]'s tag state into the packed arrays.  Invalid
+     * slots get stamp 0 -- below every valid stamp (ticks start at 1)
+     * -- so the fill victim scan is a plain first-minimum over
+     * lastUses_ with no separate invalid check.
+     */
+    void
+    syncSlot(size_t i)
+    {
+        const TlbEntry &e = entries_[i];
+        masks_[i] = e.valid ? e.vpnMask : 0;
+        tags_[i] = e.valid ? e.vpnTag : kInvalidTag;
+        lastUses_[i] = e.valid ? e.lastUse : 0;
+    }
+
     std::string name_;
     std::vector<TlbEntry> entries_;
+    // Structure-of-arrays shadow of (vpnMask, vpnTag) for the CAM
+    // compare; kept in sync by fill/invalidate/flush.
+    std::vector<uint64_t> masks_;
+    std::vector<Vpn> tags_;
+    //! LRU-stamp shadow for the fill victim scan (valid slots only).
+    std::vector<uint64_t> lastUses_;
     uint64_t tick_ = 0;
     TlbStats stats_;
 };

@@ -19,51 +19,21 @@ SetAssocTlb::SetAssocTlb(std::string name, unsigned entries, unsigned ways,
     tps_assert(!pageBitsList_.empty());
     std::sort(pageBitsList_.begin(), pageBitsList_.end());
     entries_.resize(entries);
+    keys_.assign(entries, kInvalidKey);
+    lastUses_.assign(entries, 0);
+    for (unsigned pb : pageBitsList_) {
+        tps_assert(pb >= vm::kBasePageBits &&
+                   pb - vm::kBasePageBits < 32);
+        supportMask_ |= 1u << (pb - vm::kBasePageBits);
+    }
 }
 
 bool
 SetAssocTlb::supports(unsigned page_bits) const
 {
-    return std::find(pageBitsList_.begin(), pageBitsList_.end(),
-                     page_bits) != pageBitsList_.end();
-}
-
-unsigned
-SetAssocTlb::setIndex(Vaddr va, unsigned page_bits) const
-{
-    return static_cast<unsigned>((va >> page_bits) & (sets_ - 1));
-}
-
-TlbEntry *
-SetAssocTlb::findInSet(unsigned set, Vpn vpn, unsigned page_bits)
-{
-    TlbEntry *base = &entries_[set * ways_];
-    for (unsigned w = 0; w < ways_; ++w) {
-        TlbEntry &e = base[w];
-        if (e.valid && e.pageBits == page_bits && e.matches(vpn))
-            return &e;
-    }
-    return nullptr;
-}
-
-TlbEntry *
-SetAssocTlb::lookup(Vaddr va)
-{
-    ++stats_.lookups;
-    ++tick_;
-    Vpn vpn = vm::vpnOf(va);
-    for (unsigned pb : pageBitsList_) {
-        if (livePerSize_[pb] == 0)
-            continue;
-        TlbEntry *e = findInSet(setIndex(va, pb), vpn, pb);
-        if (e) {
-            e->lastUse = tick_;
-            ++stats_.hits;
-            return e;
-        }
-    }
-    ++stats_.misses;
-    return nullptr;
+    unsigned shift = page_bits - vm::kBasePageBits;
+    return page_bits >= vm::kBasePageBits && shift < 32 &&
+           ((supportMask_ >> shift) & 1u) != 0;
 }
 
 const TlbEntry *
@@ -84,46 +54,51 @@ SetAssocTlb::probe(Vaddr va) const
     return nullptr;
 }
 
-bool
+TlbEntry *
 SetAssocTlb::fill(const TlbEntry &entry)
 {
     tps_assert(entry.valid);
     tps_assert(supports(entry.pageBits));
     ++tick_;
     unsigned set = setIndex(entry.pageBase(), entry.pageBits);
-    TlbEntry *base = &entries_[set * ways_];
+    size_t slot0 = static_cast<size_t>(set) * ways_;
 
-    // Refill over a duplicate if present.
+    // One pass over the packed shadows finds a duplicate (refill in
+    // place; its identity is exactly key equality) and the victim.
+    // Invalid slots carry stamp 0, below every valid stamp, so the
+    // first minimum over lastUses_ is the first invalid way when one
+    // exists and the first least-recently-used way otherwise -- the
+    // same choice the separate scans made.
+    uint64_t needle = keyOf(entry.pageBits, entry.vpnTag);
+    size_t vi = slot0;
+    uint64_t best = lastUses_[slot0];
     for (unsigned w = 0; w < ways_; ++w) {
-        TlbEntry &e = base[w];
-        if (e.valid && e.pageBits == entry.pageBits &&
-            e.vpnTag == entry.vpnTag) {
+        size_t i = slot0 + w;
+        if (keys_[i] == needle) {
+            TlbEntry &e = entries_[i];
             e = entry;
             e.lastUse = tick_;
-            return false;
+            syncKey(i);
+            return &e;
         }
+        bool older = lastUses_[i] < best;
+        vi = older ? i : vi;
+        best = older ? lastUses_[i] : best;
     }
-
-    TlbEntry *victim = &base[0];
-    for (unsigned w = 0; w < ways_; ++w) {
-        TlbEntry &e = base[w];
-        if (!e.valid) {
-            victim = &e;
-            break;
-        }
-        if (e.lastUse < victim->lastUse)
-            victim = &e;
-    }
-    bool evicted = victim->valid;
-    if (evicted) {
-        --livePerSize_[victim->pageBits];
+    TlbEntry *victim = &entries_[vi];
+    if (victim->valid) {
+        if (--livePerSize_[victim->pageBits] == 0)
+            liveMask_ &=
+                ~(1u << (victim->pageBits - vm::kBasePageBits));
         ++stats_.evictions;
     }
     *victim = entry;
     victim->lastUse = tick_;
+    syncKey(vi);
     ++livePerSize_[entry.pageBits];
+    liveMask_ |= 1u << (entry.pageBits - vm::kBasePageBits);
     ++stats_.fills;
-    return evicted;
+    return victim;
 }
 
 void
@@ -136,7 +111,9 @@ SetAssocTlb::invalidate(Vaddr va)
         TlbEntry *e = findInSet(setIndex(va, pb), vpn, pb);
         if (e) {
             e->valid = false;
-            --livePerSize_[pb];
+            syncKey(static_cast<size_t>(e - entries_.data()));
+            if (--livePerSize_[pb] == 0)
+                liveMask_ &= ~(1u << (pb - vm::kBasePageBits));
             ++stats_.invalidations;
         }
     }
@@ -147,7 +124,10 @@ SetAssocTlb::flush()
 {
     for (auto &e : entries_)
         e.valid = false;
+    std::fill(keys_.begin(), keys_.end(), kInvalidKey);
+    std::fill(lastUses_.begin(), lastUses_.end(), 0);
     std::fill(livePerSize_.begin(), livePerSize_.end(), 0);
+    liveMask_ = 0;
     ++stats_.invalidations;
 }
 

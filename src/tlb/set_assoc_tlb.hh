@@ -14,6 +14,7 @@
 #ifndef TPS_TLB_SET_ASSOC_TLB_HH
 #define TPS_TLB_SET_ASSOC_TLB_HH
 
+#include <bit>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -40,7 +41,48 @@ class SetAssocTlb
      * Look up @p va.
      * @return matching entry or nullptr; stats updated, LRU touched.
      */
-    TlbEntry *lookup(Vaddr va);
+    TlbEntry *
+    lookup(Vaddr va)
+    {
+        ++stats_.lookups;
+        ++tick_;
+        Vpn vpn = vm::vpnOf(va);
+        // Kick off the key-line fetches for every live size before
+        // probing any of them: the per-size sets scatter across the
+        // key array, and issuing the loads together overlaps their
+        // latencies.
+        for (uint32_t m = liveMask_; m != 0; m &= m - 1) {
+            unsigned pb = vm::kBasePageBits +
+                          static_cast<unsigned>(std::countr_zero(m));
+            __builtin_prefetch(&keys_[setIndex(va, pb) * ways_]);
+        }
+        // Iterate only the live page sizes, ascending (bit i of the
+        // mask = size kBasePageBits + i), preserving the smallest-
+        // size-first match order of the supported-size list.
+        for (uint32_t m = liveMask_; m != 0; m &= m - 1) {
+            unsigned pb = vm::kBasePageBits +
+                          static_cast<unsigned>(std::countr_zero(m));
+            // One packed-key compare per way: a set probe reads 8
+            // bytes/way instead of a whole TlbEntry, so the 13-size
+            // TPS STLB scan stays within a cache line or two per size.
+            uint64_t needle =
+                keyOf(pb, vpn & ~lowMask(pb - vm::kBasePageBits));
+            unsigned set = setIndex(va, pb);
+            const uint64_t *keys = &keys_[set * ways_];
+            for (unsigned w = 0; w < ways_; ++w) {
+                if (keys[w] == needle) {
+                    size_t i = set * ways_ + w;
+                    TlbEntry &e = entries_[i];
+                    e.lastUse = tick_;
+                    lastUses_[i] = tick_;
+                    ++stats_.hits;
+                    return &e;
+                }
+            }
+        }
+        ++stats_.misses;
+        return nullptr;
+    }
 
     /** Probe without disturbing LRU or stats (for tests/inspection). */
     const TlbEntry *probe(Vaddr va) const;
@@ -55,9 +97,9 @@ class SetAssocTlb
 
     /**
      * Install @p entry (its pageBits must be supported).
-     * @return true if an existing valid entry was evicted.
+     * @return the slot it now occupies.
      */
-    bool fill(const TlbEntry &entry);
+    TlbEntry *fill(const TlbEntry &entry);
 
     /** Invalidate any entry mapping @p va. */
     void invalidate(Vaddr va);
@@ -87,15 +129,62 @@ class SetAssocTlb
     }
 
   private:
-    unsigned setIndex(Vaddr va, unsigned page_bits) const;
-    TlbEntry *findInSet(unsigned set, Vpn vpn, unsigned page_bits);
+    unsigned
+    setIndex(Vaddr va, unsigned page_bits) const
+    {
+        return static_cast<unsigned>((va >> page_bits) & (sets_ - 1));
+    }
+
+    TlbEntry *
+    findInSet(unsigned set, Vpn vpn, unsigned page_bits)
+    {
+        TlbEntry *base = &entries_[set * ways_];
+        for (unsigned w = 0; w < ways_; ++w) {
+            TlbEntry &e = base[w];
+            if (e.valid && e.pageBits == page_bits && e.matches(vpn))
+                return &e;
+        }
+        return nullptr;
+    }
+
+    /** Key no valid entry can produce (pageBits < 256, VPN < 2^52). */
+    static constexpr uint64_t kInvalidKey = ~0ull;
+
+    /** Packed (pageBits, masked VPN tag) identity of a valid entry. */
+    static constexpr uint64_t
+    keyOf(unsigned page_bits, Vpn tag)
+    {
+        return (static_cast<uint64_t>(page_bits) << 56) | tag;
+    }
+
+    /**
+     * Mirror entries_[i]'s identity into the packed key array.
+     * Invalid slots get stamp 0 -- below every valid stamp (ticks
+     * start at 1) -- so the fill victim scan is a plain first-minimum
+     * over lastUses_ with no separate invalid check.
+     */
+    void
+    syncKey(size_t i)
+    {
+        const TlbEntry &e = entries_[i];
+        keys_[i] = e.valid ? keyOf(e.pageBits, e.vpnTag) : kInvalidKey;
+        lastUses_[i] = e.valid ? e.lastUse : 0;
+    }
 
     std::string name_;
     unsigned sets_;
     unsigned ways_;
     std::vector<unsigned> pageBitsList_;
+    //! Bit (pb - kBasePageBits) set iff pb is in pageBitsList_.
+    uint32_t supportMask_ = 0;
     std::vector<TlbEntry> entries_;   //!< sets_ x ways_, row-major
+    //! Packed identity shadow of entries_ for the hot probe loop.
+    std::vector<uint64_t> keys_;
+    //! LRU-stamp shadow for the fill victim scan (valid slots only).
+    std::vector<uint64_t> lastUses_;
     std::vector<uint64_t> livePerSize_; //!< indexed by page_bits
+    //! Bit (pb - kBasePageBits) set iff livePerSize_[pb] > 0.
+    uint32_t liveMask_ = 0;
     uint64_t tick_ = 0;
     TlbStats stats_;
 };

@@ -6,19 +6,6 @@
 
 namespace tps::tlb {
 
-namespace {
-
-/** Cheap strong mix (splitmix64 finalizer). */
-constexpr uint64_t
-mix(uint64_t x)
-{
-    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-    return x ^ (x >> 31);
-}
-
-} // namespace
-
 SkewedAssocTlb::SkewedAssocTlb(std::string name, unsigned entries,
                                unsigned ways)
     : name_(std::move(name)), ways_(ways),
@@ -28,39 +15,6 @@ SkewedAssocTlb::SkewedAssocTlb(std::string name, unsigned entries,
     sets_ = entries / ways_;
     tps_assert(isPowerOfTwo(sets_));
     entries_.resize(entries);
-}
-
-unsigned
-SkewedAssocTlb::indexOf(unsigned way, Vaddr va,
-                        unsigned page_bits) const
-{
-    uint64_t key = (va >> page_bits) * (vm::kMaxPageBits + 1) +
-                   page_bits;
-    return static_cast<unsigned>(
-        mix(key + way * 0x9e3779b97f4a7c15ull) & (sets_ - 1));
-}
-
-TlbEntry *
-SkewedAssocTlb::lookup(Vaddr va)
-{
-    ++stats_.lookups;
-    ++tick_;
-    Vpn vpn = vm::vpnOf(va);
-    for (unsigned pb = vm::kBasePageBits; pb <= vm::kMaxPageBits;
-         ++pb) {
-        if (livePerSize_[pb] == 0)
-            continue;
-        for (unsigned w = 0; w < ways_; ++w) {
-            TlbEntry &e = slot(w, indexOf(w, va, pb));
-            if (e.valid && e.pageBits == pb && e.matches(vpn)) {
-                e.lastUse = tick_;
-                ++stats_.hits;
-                return &e;
-            }
-        }
-    }
-    ++stats_.misses;
-    return nullptr;
 }
 
 const TlbEntry *
@@ -87,7 +41,7 @@ SkewedAssocTlb::findMutable(Vaddr va)
         static_cast<const SkewedAssocTlb *>(this)->probe(va));
 }
 
-bool
+TlbEntry *
 SkewedAssocTlb::fill(const TlbEntry &entry)
 {
     tps_assert(entry.valid);
@@ -101,7 +55,7 @@ SkewedAssocTlb::fill(const TlbEntry &entry)
             e.vpnTag == entry.vpnTag) {
             e = entry;
             e.lastUse = tick_;
-            return false;
+            return &e;
         }
     }
 
@@ -116,8 +70,7 @@ SkewedAssocTlb::fill(const TlbEntry &entry)
         if (!victim || e.lastUse < victim->lastUse)
             victim = &e;
     }
-    bool evicted = victim->valid;
-    if (evicted) {
+    if (victim->valid) {
         --livePerSize_[victim->pageBits];
         ++stats_.evictions;
     }
@@ -125,7 +78,7 @@ SkewedAssocTlb::fill(const TlbEntry &entry)
     victim->lastUse = tick_;
     ++livePerSize_[entry.pageBits];
     ++stats_.fills;
-    return evicted;
+    return victim;
 }
 
 void

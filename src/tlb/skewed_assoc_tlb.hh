@@ -34,10 +34,32 @@ class SkewedAssocTlb : public AnySizeTlb
      */
     SkewedAssocTlb(std::string name, unsigned entries, unsigned ways);
 
-    TlbEntry *lookup(Vaddr va) override;
+    TlbEntry *
+    lookup(Vaddr va) override
+    {
+        ++stats_.lookups;
+        ++tick_;
+        Vpn vpn = vm::vpnOf(va);
+        for (unsigned pb = vm::kBasePageBits; pb <= vm::kMaxPageBits;
+             ++pb) {
+            if (livePerSize_[pb] == 0)
+                continue;
+            for (unsigned w = 0; w < ways_; ++w) {
+                TlbEntry &e = slot(w, indexOf(w, va, pb));
+                if (e.valid && e.pageBits == pb && e.matches(vpn)) {
+                    e.lastUse = tick_;
+                    ++stats_.hits;
+                    return &e;
+                }
+            }
+        }
+        ++stats_.misses;
+        return nullptr;
+    }
+
     const TlbEntry *probe(Vaddr va) const override;
     TlbEntry *findMutable(Vaddr va) override;
-    bool fill(const TlbEntry &entry) override;
+    TlbEntry *fill(const TlbEntry &entry) override;
     void invalidate(Vaddr va) override;
     void flush() override;
 
@@ -61,8 +83,24 @@ class SkewedAssocTlb : public AnySizeTlb
     }
 
   private:
+    /** Cheap strong mix (splitmix64 finalizer). */
+    static constexpr uint64_t
+    mix(uint64_t x)
+    {
+        x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+        x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+        return x ^ (x >> 31);
+    }
+
     /** Way-specific index hash for a page of 2^@p page_bits at @p va. */
-    unsigned indexOf(unsigned way, Vaddr va, unsigned page_bits) const;
+    unsigned
+    indexOf(unsigned way, Vaddr va, unsigned page_bits) const
+    {
+        uint64_t key = (va >> page_bits) * (vm::kMaxPageBits + 1) +
+                       page_bits;
+        return static_cast<unsigned>(
+            mix(key + way * 0x9e3779b97f4a7c15ull) & (sets_ - 1));
+    }
 
     /** Slot reference for (way, index). */
     TlbEntry &slot(unsigned way, unsigned idx)

@@ -129,22 +129,19 @@ TlbHierarchy::installL1(const TlbEntry &entry)
         coltL1_->fill(ce);
         return nullptr;
     }
-    if (entry.pageBits == vm::kBasePageBits && l1Small_) {
-        l1Small_->fill(entry);
-        return l1Small_->findMutable(base);
-    }
+    if (entry.pageBits == vm::kBasePageBits && l1Small_)
+        return l1Small_->fill(entry);
     if (tpsL1_) {
-        tpsL1_->fill(entry);
-        return tpsL1_->findMutable(base);
+        // Any-size structure: a stale smaller entry covering the same
+        // page may shadow the new fill in probe order, so the A/D
+        // target must come from a probe, not the fill slot.  The fused
+        // call does both in one scan.
+        return tpsL1_->fillAndFind(entry, base);
     }
-    if (entry.pageBits == vm::kPageBits2M) {
-        l1Large_->fill(entry);
-        return l1Large_->findMutable(base);
-    }
-    if (entry.pageBits == vm::kPageBits1G && l1Huge_) {
-        l1Huge_->fill(entry);
-        return l1Huge_->findMutable(base);
-    }
+    if (entry.pageBits == vm::kPageBits2M)
+        return l1Large_->fill(entry);
+    if (entry.pageBits == vm::kPageBits1G && l1Huge_)
+        return l1Huge_->fill(entry);
     // No L1 structure supports this page size (e.g. tailored pages on a
     // design without the TPS TLB): the translation lives only in the
     // L2 structures, exactly as hardware without the support would
@@ -162,7 +159,12 @@ TlbHierarchy::lookup(Vaddr va)
         return res;
     }
     ++stats_.l1Misses;
+    return lookupL2Tail(va, res);
+}
 
+TlbLookupResult
+TlbHierarchy::lookupL2Tail(Vaddr va, TlbLookupResult res)
+{
     // L2: STLB (and, for RMM, the range TLB in parallel).
     TlbEntry *stlb_hit = nullptr;
     if (stlb_)

@@ -113,6 +113,86 @@ class TlbHierarchy
     TlbLookupResult lookup(Vaddr va);
 
     /**
+     * Compile-time-specialized lookup for the engine's fast path.
+     *
+     * The template parameters mirror which L1 structures the active
+     * design instantiates, so the probe chain compiles down to direct
+     * calls with the null checks and virtual dispatch of lookup()
+     * removed.  The L2 tail (STLB / range TLB, rarely taken) is shared
+     * with the reference path, so the two paths are identical by
+     * construction everywhere except the devirtualized L1 probes.
+     *
+     * @tparam HasColt   design has the coalesced L1 (Colt)
+     * @tparam HasSmall  design has the 4 KB set-associative L1
+     * @tparam TpsKind   0 = no TPS L1, 1 = fully associative,
+     *                   2 = skewed associative
+     * @tparam HasLarge  design has the split 2 MB / 1 GB L1s
+     */
+    template <bool HasColt, bool HasSmall, int TpsKind, bool HasLarge>
+    TlbLookupResult
+    lookupFast(Vaddr va)
+    {
+        ++stats_.accesses;
+        TlbLookupResult res;
+        if constexpr (HasColt) {
+            if (ColtEntry *ce = coltL1_->lookup(va)) {
+                res.level = TlbHitLevel::L1;
+                res.fromColt = true;
+                res.paddr = ColtTlb::translate(va, *ce);
+                ++stats_.l1Hits;
+                return res;
+            }
+        }
+        if constexpr (HasSmall) {
+            if (TlbEntry *e = l1Small_->lookup(va)) {
+                res.level = TlbHitLevel::L1;
+                res.entry = e;
+                res.paddr = e->translate(va);
+                ++stats_.l1Hits;
+                return res;
+            }
+        }
+        if constexpr (TpsKind == 1) {
+            auto *tps = static_cast<FullyAssocTlb *>(tpsL1_.get());
+            if (TlbEntry *e = tps->lookup(va)) {
+                res.level = TlbHitLevel::L1;
+                res.entry = e;
+                res.paddr = e->translate(va);
+                ++stats_.l1Hits;
+                return res;
+            }
+        } else if constexpr (TpsKind == 2) {
+            auto *tps = static_cast<SkewedAssocTlb *>(tpsL1_.get());
+            if (TlbEntry *e = tps->lookup(va)) {
+                res.level = TlbHitLevel::L1;
+                res.entry = e;
+                res.paddr = e->translate(va);
+                ++stats_.l1Hits;
+                return res;
+            }
+        }
+        if constexpr (HasLarge) {
+            if (TlbEntry *e = l1Large_->lookup(va)) {
+                res.level = TlbHitLevel::L1;
+                res.entry = e;
+                res.paddr = e->translate(va);
+                ++stats_.l1Hits;
+                return res;
+            }
+            if (TlbEntry *e = l1Huge_->lookup(va)) {
+                res.level = TlbHitLevel::L1;
+                res.entry = e;
+                res.paddr = e->translate(va);
+                ++stats_.l1Hits;
+                return res;
+            }
+        }
+        res.level = TlbHitLevel::Miss;
+        ++stats_.l1Misses;
+        return lookupL2Tail(va, res);
+    }
+
+    /**
      * Install a walked translation into L1 and the STLB.
      * @return pointer to the L1-resident copy.
      */
@@ -194,6 +274,13 @@ class TlbHierarchy
   private:
     /** Probe only the L1 structures. */
     TlbLookupResult lookupL1(Vaddr va);
+
+    /**
+     * The L2 half of a lookup: STLB/range probe, L1 install, counter
+     * updates.  @p res is the L1-miss result being completed.  Shared
+     * by lookup() and lookupFast().
+     */
+    TlbLookupResult lookupL2Tail(Vaddr va, TlbLookupResult res);
 
     /** Route @p entry to the right L1 structure and return its copy. */
     TlbEntry *installL1(const TlbEntry &entry);

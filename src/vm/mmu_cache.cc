@@ -7,9 +7,9 @@ namespace tps::vm {
 
 MmuCache::MmuCache(const MmuCacheConfig &cfg)
 {
-    levels_[4].entries.resize(cfg.pml4Entries);
-    levels_[3].entries.resize(cfg.pdpteEntries);
-    levels_[2].entries.resize(cfg.pdeEntries);
+    levels_[4].resize(cfg.pml4Entries);
+    levels_[3].resize(cfg.pdpteEntries);
+    levels_[2].resize(cfg.pdeEntries);
 }
 
 uint64_t
@@ -25,11 +25,16 @@ MmuCache::lookup(Vaddr va, uint64_t generation, PageTableNode *&node)
     ++stats_.lookups;
     ++tick_;
     // Probe deepest first: a PDE-cache hit saves the most accesses.
+    // The scan compares the packed (prefix, generation) arrays only;
+    // the 40-byte entries are touched just on a hit.
     for (unsigned level = 2; level <= kLevels; ++level) {
         uint64_t prefix = prefixOf(va, level);
-        for (auto &e : levels_[level].entries) {
-            if (e.valid && e.prefix == prefix &&
-                e.generation == generation) {
+        LevelCache &lc = levels_[level];
+        size_t n = lc.prefixes.size();
+        for (size_t i = 0; i < n; ++i) {
+            if (lc.prefixes[i] == prefix &&
+                lc.gens[i] == generation) {
+                Entry &e = lc.entries[i];
                 e.lastUse = tick_;
                 node = e.node;
                 ++stats_.hits[level];
@@ -48,7 +53,8 @@ MmuCache::fill(Vaddr va, unsigned level, uint64_t generation,
     tps_assert(node != nullptr);
     ++tick_;
     uint64_t prefix = prefixOf(va, level);
-    auto &entries = levels_[level].entries;
+    LevelCache &lc = levels_[level];
+    auto &entries = lc.entries;
     if (entries.empty())
         return;
     Entry *victim = &entries[0];
@@ -70,15 +76,20 @@ MmuCache::fill(Vaddr va, unsigned level, uint64_t generation,
     victim->generation = generation;
     victim->node = node;
     victim->lastUse = tick_;
+    lc.sync(static_cast<size_t>(victim - entries.data()));
     ++stats_.fills;
 }
 
 void
 MmuCache::invalidateAll()
 {
-    for (unsigned level = 2; level <= kLevels; ++level)
-        for (auto &e : levels_[level].entries)
-            e.valid = false;
+    for (unsigned level = 2; level <= kLevels; ++level) {
+        LevelCache &lc = levels_[level];
+        for (size_t i = 0; i < lc.entries.size(); ++i) {
+            lc.entries[i].valid = false;
+            lc.sync(i);
+        }
+    }
     ++stats_.invalidations;
 }
 
@@ -87,9 +98,14 @@ MmuCache::invalidate(Vaddr va)
 {
     for (unsigned level = 2; level <= kLevels; ++level) {
         uint64_t prefix = prefixOf(va, level);
-        for (auto &e : levels_[level].entries)
-            if (e.valid && e.prefix == prefix)
+        LevelCache &lc = levels_[level];
+        for (size_t i = 0; i < lc.entries.size(); ++i) {
+            Entry &e = lc.entries[i];
+            if (e.valid && e.prefix == prefix) {
                 e.valid = false;
+                lc.sync(i);
+            }
+        }
     }
     ++stats_.invalidations;
 }

@@ -103,10 +103,34 @@ class MmuCache
     /** The index-prefix tag of @p va for the level-@p level cache. */
     static uint64_t prefixOf(Vaddr va, unsigned level);
 
+    /** Prefix no VA can produce (index prefixes use < 52 bits). */
+    static constexpr uint64_t kInvalidPrefix = ~0ull;
+
     /** Cache for one level. */
     struct LevelCache
     {
         std::vector<Entry> entries;
+        // SoA shadow of (prefix, generation) for the hot probe loop;
+        // invalid slots carry kInvalidPrefix so no valid bit is read.
+        std::vector<uint64_t> prefixes;
+        std::vector<uint64_t> gens;
+
+        void
+        resize(size_t n)
+        {
+            entries.resize(n);
+            prefixes.assign(n, kInvalidPrefix);
+            gens.assign(n, 0);
+        }
+
+        /** Mirror entries[i]'s tag state into the packed arrays. */
+        void
+        sync(size_t i)
+        {
+            const Entry &e = entries[i];
+            prefixes[i] = e.valid ? e.prefix : kInvalidPrefix;
+            gens[i] = e.generation;
+        }
     };
 
     //! Caches indexed by level (2..kLevels); slots 0/1 unused.

@@ -203,15 +203,21 @@ PageTable::setLeafBit(Vaddr va, uint64_t bit)
     auto leaf = findLeaf(va);
     if (!leaf)
         return;
-    Pte &true_pte = leaf->node->ptes[leaf->trueIdx];
+    applyLeafBit(*leaf, bit);
+}
+
+void
+PageTable::applyLeafBit(const LeafRef &leaf, uint64_t bit)
+{
+    Pte &true_pte = leaf.node->ptes[leaf.trueIdx];
     if ((true_pte.raw() & bit) == bit)
         return;   // sticky; already set
     true_pte = Pte(true_pte.raw() | bit);
     ++stats_.pteWrites;
     if (alias_ == AliasMode::FullCopy) {
-        unsigned slots = 1u << leaf->span;
+        unsigned slots = 1u << leaf.span;
         for (unsigned s = 1; s < slots; ++s) {
-            Pte &a = leaf->node->ptes[leaf->trueIdx + s];
+            Pte &a = leaf.node->ptes[leaf.trueIdx + s];
             a = Pte(a.raw() | bit);
             ++stats_.pteWrites;
             ++stats_.aliasWrites;
@@ -277,6 +283,18 @@ void
 PageTable::setAccessed(Vaddr va)
 {
     setLeafBit(va, Pte::kAccessed);
+}
+
+void
+PageTable::setAccessedDirty(Vaddr va, bool accessed, bool dirty)
+{
+    auto leaf = findLeaf(va);
+    if (!leaf)
+        return;
+    if (accessed)
+        applyLeafBit(*leaf, Pte::kAccessed);
+    if (dirty)
+        applyLeafBit(*leaf, Pte::kDirty | Pte::kAccessed);
 }
 
 void

@@ -157,6 +157,14 @@ class PageTable
     void setDirty(Vaddr va);
 
     /**
+     * Apply the requested A/D updates with a single leaf traversal.
+     * Equivalent to setAccessed(va) if @p accessed then setDirty(va)
+     * if @p dirty, including the per-bit sticky checks and write
+     * accounting.
+     */
+    void setAccessedDirty(Vaddr va, bool accessed, bool dirty);
+
+    /**
      * Set or clear the Writable bit of the page containing @p va
      * (copy-on-write arming/disarming).
      * @return false if the page is not mapped.
@@ -230,6 +238,9 @@ class PageTable
 
     /** Apply @p bit to the true PTE (and aliases in FullCopy mode). */
     void setLeafBit(Vaddr va, uint64_t bit);
+
+    /** setLeafBit's body, for callers that already hold the leaf. */
+    void applyLeafBit(const LeafRef &leaf, uint64_t bit);
 
     /** Recursive worker for the leaf visitors. */
     void visitNode(const PageTableNode *node, unsigned level,

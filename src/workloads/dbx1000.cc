@@ -46,7 +46,7 @@ Dbx1000::setup(sim::AllocApi &api)
 }
 
 void
-Dbx1000::emitTxn()
+Dbx1000::refillPending()
 {
     for (unsigned op = 0; op < kOpsPerTxn; ++op) {
         uint64_t key = zipf_.sample(rng_);
@@ -63,23 +63,6 @@ Dbx1000::emitTxn()
             {row + 8 * (1 + (key % ((cfg_.tupleBytes / 8) - 1))), write,
              false});
     }
-}
-
-bool
-Dbx1000::next(sim::MemAccess &out)
-{
-    if (emitInit(out))
-        return true;
-    if (emitted_ >= info_.defaultAccesses)
-        return false;
-    while (pendingPos_ >= pending_.size()) {
-        pending_.clear();
-        pendingPos_ = 0;
-        emitTxn();
-    }
-    out = pending_[pendingPos_++];
-    ++emitted_;
-    return true;
 }
 
 } // namespace tps::workloads

@@ -35,10 +35,10 @@ class Dbx1000 : public WorkloadBase
     explicit Dbx1000(Dbx1000Config cfg = Dbx1000Config{});
 
     void setup(sim::AllocApi &api) override;
-    bool next(sim::MemAccess &out) override;
 
   private:
-    void emitTxn();
+    /** One transaction: kOpsPerTxn index probes + tuple accesses. */
+    void refillPending() override;
 
     Dbx1000Config cfg_;
     ZipfSampler zipf_;
@@ -47,9 +47,6 @@ class Dbx1000 : public WorkloadBase
     vm::Vaddr indexBase_ = 0;  //!< bucket heads (8 B each)
     vm::Vaddr nodeBase_ = 0;   //!< chain nodes (32 B each)
     vm::Vaddr tupleBase_ = 0;  //!< row storage
-
-    std::vector<sim::MemAccess> pending_;
-    size_t pendingPos_ = 0;
 };
 
 } // namespace tps::workloads

@@ -168,21 +168,4 @@ Graph500::step()
     return true;
 }
 
-bool
-Graph500::next(sim::MemAccess &out)
-{
-    if (emitInit(out))
-        return true;
-    if (emitted_ >= info_.defaultAccesses)
-        return false;
-    while (pendingPos_ >= pending_.size()) {
-        pending_.clear();
-        pendingPos_ = 0;
-        step();
-    }
-    out = pending_[pendingPos_++];
-    ++emitted_;
-    return true;
-}
-
 } // namespace tps::workloads

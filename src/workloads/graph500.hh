@@ -54,7 +54,6 @@ class Graph500 : public WorkloadBase
     explicit Graph500(Graph500Config cfg = Graph500Config{});
 
     void setup(sim::AllocApi &api) override;
-    bool next(sim::MemAccess &out) override;
 
     uint64_t
     warmupAccesses() const override
@@ -81,6 +80,8 @@ class Graph500 : public WorkloadBase
     /** Advance the BFS one vertex; pushes accesses to pending_. */
     bool step();
 
+    void refillPending() override { step(); }
+
     Graph500Config cfg_;
     uint64_t n_ = 0;
 
@@ -94,10 +95,6 @@ class Graph500 : public WorkloadBase
     vm::Vaddr xadjBase_ = 0;
     vm::Vaddr adjBase_ = 0;
     vm::Vaddr visitedBase_ = 0;
-
-    // Pending accesses produced by the current BFS step.
-    std::vector<sim::MemAccess> pending_;
-    size_t pendingPos_ = 0;
 };
 
 } // namespace tps::workloads

@@ -23,31 +23,17 @@ Gups::setup(sim::AllocApi &api)
     registerInit(table_, cfg_.tableBytes);
 }
 
-bool
-Gups::next(sim::MemAccess &out)
+void
+Gups::refillPending()
 {
-    if (emitInit(out))
-        return true;
-    if (havePending_) {
-        // The write half of the read-modify-write.
-        out.va = pendingWrite_;
-        out.write = true;
-        out.dependsOnPrev = true;   // XOR of the value just read
-        havePending_ = false;
-        ++emitted_;
-        return true;
-    }
-    if (emitted_ >= info_.defaultAccesses)
-        return false;
+    // One read-modify-write update: the index is generated, not loaded,
+    // so the read is independent; the write-back of the XORed value
+    // depends on it.  defaultAccesses is even, so runs always end at an
+    // update boundary.
     uint64_t words = cfg_.tableBytes / 8;
     vm::Vaddr va = table_ + rng_.below64(words) * 8;
-    out.va = va;
-    out.write = false;
-    out.dependsOnPrev = false;   // indices are generated, not loaded
-    pendingWrite_ = va;
-    havePending_ = true;
-    ++emitted_;
-    return true;
+    pending_.push_back({va, false, false});
+    pending_.push_back({va, true, true});
 }
 
 } // namespace tps::workloads

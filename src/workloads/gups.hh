@@ -30,13 +30,12 @@ class Gups : public WorkloadBase
     explicit Gups(GupsConfig cfg = GupsConfig{});
 
     void setup(sim::AllocApi &api) override;
-    bool next(sim::MemAccess &out) override;
 
   private:
+    void refillPending() override;
+
     GupsConfig cfg_;
     vm::Vaddr table_ = 0;
-    vm::Vaddr pendingWrite_ = 0;  //!< write half of the current update
-    bool havePending_ = false;
 };
 
 } // namespace tps::workloads

@@ -324,7 +324,7 @@ SpecLike::emitHotPool()
 }
 
 void
-SpecLike::emitBatch()
+SpecLike::refillPending()
 {
     switch (cfg_.pattern) {
       case AccessPattern::PointerChase:
@@ -349,23 +349,6 @@ SpecLike::emitBatch()
         emitHotPool();
         break;
     }
-}
-
-bool
-SpecLike::next(sim::MemAccess &out)
-{
-    if (emitInit(out))
-        return true;
-    if (emitted_ >= info_.defaultAccesses)
-        return false;
-    while (pendingPos_ >= pending_.size()) {
-        pending_.clear();
-        pendingPos_ = 0;
-        emitBatch();
-    }
-    out = pending_[pendingPos_++];
-    ++emitted_;
-    return true;
 }
 
 namespace {

@@ -74,10 +74,10 @@ class SpecLike : public WorkloadBase
     explicit SpecLike(SpecLikeConfig cfg);
 
     void setup(sim::AllocApi &api) override;
-    bool next(sim::MemAccess &out) override;
 
   private:
-    void emitBatch();
+    /** Dispatch one burst of the configured pattern into pending_. */
+    void refillPending() override;
 
     // Pattern workers, each appending to pending_.
     void emitPointerChase();
@@ -105,9 +105,6 @@ class SpecLike : public WorkloadBase
     //! ClusteredPool: touched runs (base, bytes) and their sampler.
     std::vector<std::pair<vm::Vaddr, uint64_t>> runs_;
     std::unique_ptr<ZipfSampler> runZipf_;
-
-    std::vector<sim::MemAccess> pending_;
-    size_t pendingPos_ = 0;
 };
 
 /** @name Named benchmark factories (TLB-intensive set, Fig. 8 cut) */

@@ -49,6 +49,30 @@ class Workload
     virtual bool next(sim::MemAccess &out) = 0;
 
     /**
+     * Produce up to @p max accesses into @p out and return the count.
+     * A short batch is not the end of the run: only a return of zero
+     * means the generator is exhausted.  The default implementation
+     * drains next(), so any workload is batch-drivable; generators
+     * whose batching provably preserves the per-access interleaving
+     * advertise it via batchable().
+     */
+    virtual size_t
+    nextBatch(sim::MemAccess *out, size_t max)
+    {
+        size_t n = 0;
+        while (n < max && next(out[n]))
+            ++n;
+        return n;
+    }
+
+    /**
+     * True when nextBatch() emits the exact access/allocation
+     * interleaving of repeated next() calls, making the generator
+     * eligible for the engine's batched fast path.
+     */
+    virtual bool batchable() const { return false; }
+
+    /**
      * Number of leading accesses that belong to the initialization
      * phase (the program writing its data structures before the
      * measured kernel).  The engine clears statistics after these so
@@ -78,6 +102,68 @@ class WorkloadBase : public Workload
             pages += (bytes + 4095) / 4096;
         return pages;
     }
+
+    /**
+     * Generic pattern driver: drain the init sweep, then serve from the
+     * pending buffer, refilling via refillPending() whenever it runs
+     * dry.
+     */
+    bool
+    next(sim::MemAccess &out) override
+    {
+        if (emitInit(out))
+            return true;
+        if (emitted_ >= info_.defaultAccesses)
+            return false;
+        while (pendingPos_ >= pending_.size()) {
+            pending_.clear();
+            pendingPos_ = 0;
+            refillPending();
+        }
+        out = pending_[pendingPos_++];
+        ++emitted_;
+        return true;
+    }
+
+    /**
+     * Batched driver, bit-identical to repeated next() calls: the
+     * pending buffer is refilled only at batch starts, which is exactly
+     * when the per-access path would refill (the buffer only empties
+     * after its last access has been consumed), so generators that
+     * allocate during refills (SpecLike's MixedAlloc mmap/munmap churn)
+     * see the identical interleaving of allocation calls and translated
+     * accesses either way.  A batch never mixes init-sweep and pattern
+     * accesses, and a dry buffer ends the batch early.
+     */
+    size_t
+    nextBatch(sim::MemAccess *out, size_t max) override
+    {
+        size_t n = 0;
+        while (n < max && emitInit(out[n]))
+            ++n;
+        if (n > 0)
+            return n;
+        if (emitted_ >= info_.defaultAccesses)
+            return 0;
+        while (pendingPos_ >= pending_.size()) {
+            pending_.clear();
+            pendingPos_ = 0;
+            refillPending();
+        }
+        while (n < max && emitted_ < info_.defaultAccesses &&
+               pendingPos_ < pending_.size()) {
+            out[n++] = pending_[pendingPos_++];
+            ++emitted_;
+        }
+        return n;
+    }
+
+    /**
+     * next() and nextBatch() are driven from the same refillPending()
+     * stream above, so batching is always exact.  A subclass that
+     * overrides next() directly must also override this back to false.
+     */
+    bool batchable() const override { return true; }
 
   protected:
     WorkloadBase(WorkloadInfo info, uint64_t seed)
@@ -110,9 +196,19 @@ class WorkloadBase : public Workload
         return false;
     }
 
+    /**
+     * Append the next pattern burst (>= 1 access) to pending_.  Called
+     * with the buffer already cleared; the RNG draws and any AllocApi
+     * calls made here happen at the same stream positions whether the
+     * workload is driven by next() or nextBatch().
+     */
+    virtual void refillPending() {}
+
     WorkloadInfo info_;
     Pcg32 rng_;
     uint64_t emitted_ = 0;   //!< pattern accesses produced so far
+    std::vector<sim::MemAccess> pending_;  //!< current pattern burst
+    size_t pendingPos_ = 0;  //!< consumption cursor into pending_
 
   private:
     std::vector<std::pair<vm::Vaddr, uint64_t>> initRegions_;

@@ -42,7 +42,7 @@ XsBench::setup(sim::AllocApi &api)
 }
 
 void
-XsBench::emitLookup()
+XsBench::refillPending()
 {
     // Binary search over the sorted unionized grid: lg(n) dependent
     // probes converging on a random energy.
@@ -73,23 +73,6 @@ XsBench::emitLookup()
     // Accumulate the macroscopic XS into the verification buffer.
     pending_.push_back(
         {resultBase_ + (lookupCount_++ % 8192) * 8, true, true});
-}
-
-bool
-XsBench::next(sim::MemAccess &out)
-{
-    if (emitInit(out))
-        return true;
-    if (emitted_ >= info_.defaultAccesses)
-        return false;
-    while (pendingPos_ >= pending_.size()) {
-        pending_.clear();
-        pendingPos_ = 0;
-        emitLookup();
-    }
-    out = pending_[pendingPos_++];
-    ++emitted_;
-    return true;
 }
 
 } // namespace tps::workloads

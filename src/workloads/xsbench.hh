@@ -34,10 +34,10 @@ class XsBench : public WorkloadBase
     explicit XsBench(XsBenchConfig cfg = XsBenchConfig{});
 
     void setup(sim::AllocApi &api) override;
-    bool next(sim::MemAccess &out) override;
 
   private:
-    void emitLookup();
+    /** One full lookup: binary search + per-nuclide gathers. */
+    void refillPending() override;
 
     XsBenchConfig cfg_;
     uint64_t unionizedPoints_ = 0;
@@ -47,9 +47,6 @@ class XsBench : public WorkloadBase
     vm::Vaddr nuclideBase_ = 0;  //!< nuclide grid (6 doubles per point)
     vm::Vaddr resultBase_ = 0;   //!< verification accumulator buffer
     uint64_t lookupCount_ = 0;
-
-    std::vector<sim::MemAccess> pending_;
-    size_t pendingPos_ = 0;
 };
 
 } // namespace tps::workloads

@@ -261,6 +261,49 @@ TEST(TraceGolden, TracingDoesNotChangeStats)
 }
 
 /**
+ * With tracing ON, the fast translate path takes its slower traced
+ * instantiation -- and must still emit the exact byte sequence the
+ * reference loop emits: same events, same operands, same trace-clock
+ * times, across every design.
+ */
+TEST(TraceGolden, FastPathTraceByteIdenticalToReference)
+{
+    std::vector<core::RunOptions> cells = {
+        tinyCell("gups", core::Design::Base4k),
+        tinyCell("gups", core::Design::Thp),
+        tinyCell("gups", core::Design::Tps),
+        tinyCell("gups", core::Design::TpsEager),
+        tinyCell("gups", core::Design::Rmm),
+        tinyCell("gups", core::Design::Colt),
+        tinyCell("xsbench", core::Design::Tps),
+        tinyCell("mcf", core::Design::Thp),
+    };
+    core::SweepPolicy policy;
+    policy.eventTrace = true;
+
+    auto traceBytes = [&](bool reference_path) {
+        std::vector<core::RunOptions> runs = cells;
+        for (core::RunOptions &run : runs)
+            run.referencePath = reference_path;
+        core::ExperimentRunner runner(2);
+        std::vector<core::CellOutcome> outcomes =
+            runner.runGuarded(runs, policy);
+        std::vector<TraceCell> tcells;
+        for (size_t i = 0; i < outcomes.size(); ++i) {
+            EXPECT_TRUE(outcomes[i].trace != nullptr);
+            tcells.push_back({core::cellLabel(cells[i]),
+                              core::runSeed(cells[i]),
+                              outcomes[i].trace->takeEvents()});
+        }
+        return encodeTraceFile(std::move(tcells));
+    };
+
+    std::string fast = traceBytes(false);
+    EXPECT_FALSE(fast.empty());
+    EXPECT_EQ(fast, traceBytes(true));
+}
+
+/**
  * The invariant tps-analyze's manifest reconciliation rests on: the
  * measured phase of the trace carries exactly one TlbMiss event per
  * MmuStats::l1Misses tick, and the Walk events match walker.walks.
