@@ -10,6 +10,7 @@
 
 #include "fig_common.hh"
 
+#include "obs/mem_telemetry.hh"
 #include "os/fragmenter.hh"
 
 using namespace tps;
@@ -57,6 +58,22 @@ main(int argc, char **argv)
     }
     std::printf("buddyinfo-style free lists:\n");
     printTable(opts, lists);
+
+    if (opts.memTelemetry) {
+        // Per-size-class extfrag: 0 means a block of that size is
+        // available (or memory is merely short); near 1 means the free
+        // memory exists but is shattered below that size.
+        Table frag({"page size", "extfrag index"});
+        for (unsigned order = 0; order <= 12; ++order) {
+            uint64_t bytes = vm::kBasePageBytes << order;
+            frag.addRow({fmtSize(bytes),
+                         fmtDouble(obs::extFragIndex(counts, order), 3)});
+        }
+        std::printf("extfrag index by page-size class:\n");
+        printTable(opts, frag);
+        std::printf("contiguity score: %.3f\n\n",
+                    obs::contiguityScore(counts));
+    }
     finishBench(opts);
     return 0;
 }

@@ -10,6 +10,8 @@
 
 #include "fig_common.hh"
 
+#include "obs/mem_telemetry.hh"
+
 using namespace tps;
 using namespace tps::bench;
 
@@ -52,6 +54,38 @@ main(int argc, char **argv)
     }
     table.addRow({"mean", "", "", fmtPercent(sum.mean())});
     printTable(opts, table);
+
+    if (opts.memTelemetry) {
+        // End-of-run memory state per cell: how fragmented the 2 MB
+        // class ended up, overall contiguity, and the largest page the
+        // design actually mapped.  This is the fragmentation story
+        // behind the elimination numbers above.
+        constexpr unsigned kOrder2M = 9;
+        Table mem({"benchmark", "design", "extfrag@2M", "contiguity",
+                   "reservations", "largest page"});
+        for (size_t i = 0; i < cells.size(); ++i) {
+            const obs::MemTelemetryData &m = stats[i].mem;
+            if (!m.enabled || m.samples.empty())
+                continue;
+            const obs::MemEpochSample &last = m.samples.back();
+            uint64_t largest_bits = 0;
+            for (const auto &[bits, pages] : last.census) {
+                if (pages > 0 && bits > largest_bits)
+                    largest_bits = bits;
+            }
+            mem.addRow(
+                {cells[i].workload, core::designName(cells[i].design),
+                 fmtDouble(last.extFrag.size() > kOrder2M
+                               ? last.extFrag[kOrder2M]
+                               : 0.0,
+                           3),
+                 fmtDouble(last.contiguity, 3),
+                 fmtCount(last.reservations),
+                 largest_bits ? fmtSize(1ull << largest_bits) : "-"});
+        }
+        std::printf("end-of-run memory telemetry (final sample):\n");
+        printTable(opts, mem);
+    }
     finishBench(opts);
     return 0;
 }

@@ -12,6 +12,7 @@
 #include <iostream>
 
 #include "obs/event_trace.hh"
+#include "obs/mem_telemetry.hh"
 #include "obs/profile.hh"
 #include "obs/resume.hh"
 #include "obs/stats_bindings.hh"
@@ -302,13 +303,16 @@ parseArgs(int argc, char **argv)
             opts.profile = true;
         } else if (std::strcmp(arg, "--reference-path") == 0) {
             opts.referencePath = true;
+        } else if (std::strcmp(arg, "--mem-telemetry") == 0) {
+            opts.memTelemetry = true;
         } else if (std::strcmp(arg, "--help") == 0) {
             std::printf(
                 "options: --scale=<f> --phys-gb=<n> --csv --jobs=<n> "
                 "--benchmarks=a,b,c --epochs=<n> --stats-json=<path> "
                 "--trace=<path> --progress --paranoid --check-every=<n> "
                 "--cell-timeout=<sec> --retries=<n> --resume "
-                "--event-trace=<path> --profile --reference-path\n");
+                "--event-trace=<path> --profile --reference-path "
+                "--mem-telemetry\n");
             std::exit(0);
         } else {
             tps_fatal("unknown option '%s' (try --help)", arg);
@@ -358,6 +362,7 @@ makeRun(const FigOptions &opts, const std::string &wl,
     run.checkEvery = opts.checkEvery;
     run.cellTimeoutSeconds = opts.cellTimeout;
     run.referencePath = opts.referencePath;
+    run.memTelemetry = opts.memTelemetry;
     return run;
 }
 
@@ -396,8 +401,15 @@ runWithCensus(const core::RunOptions &opts)
     auto workload = workloads::makeWorkload(opts.workload, opts.scale,
                                             core::runSeed(opts));
 
+    // Census runs bypass core::runExperiment, so attach the telemetry
+    // probe here.  Declared before the engine (teardown unmaps still
+    // fire the hooks) and attached before addWorkload so eager-policy
+    // reservations get birth stamps.
+    std::optional<obs::MemTelemetry> tel;
     sim::Engine engine(
         pm, core::makePolicy(opts.design, opts.tpsThreshold), ecfg);
+    if (opts.memTelemetry)
+        engine.setMemTelemetry(&tel.emplace());
     engine.addWorkload(*workload);
 
     CensusRun out;
@@ -535,6 +547,8 @@ runCellsWithCensus(const FigOptions &opts,
                 }
             }
             r.cell.wallSeconds = secondsSince(t0);
+            if (obs::SweepMonitor *monitor = sweepMonitor())
+                monitor->annotate(r.cell.attempts, r.cell.errorKind);
             return r;
         },
         [](const core::RunOptions &cell, size_t) {

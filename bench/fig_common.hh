@@ -41,6 +41,7 @@ struct FigOptions
     std::string eventTracePath; //!< write a binary event trace here
     bool profile = false;      //!< dump simulator self-profile to stderr
     bool referencePath = false; //!< force the reference translate loop
+    bool memTelemetry = false;  //!< record physical-memory telemetry
 };
 
 /**
@@ -48,7 +49,8 @@ struct FigOptions
  * --benchmarks=a,b,c, --epochs=<n>, --stats-json=<path>,
  * --trace=<path>, --progress, --paranoid, --check-every=<n>,
  * --cell-timeout=<sec>, --retries=<n>, --resume,
- * --event-trace=<path>, --profile, --reference-path.  Values are parsed
+ * --event-trace=<path>, --profile, --reference-path,
+ * --mem-telemetry.  Values are parsed
  * strictly (trailing garbage, out-of-range, or nonsensical values like
  * --jobs=0 are rejected with a one-line error); unknown flags are fatal.
  */

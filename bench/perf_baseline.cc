@@ -42,6 +42,7 @@
 #include "obs/event_trace.hh"
 #include "obs/json.hh"
 #include "util/logging.hh"
+#include "util/sim_error.hh"
 #include "util/stats.hh"
 
 using namespace tps;
@@ -277,7 +278,17 @@ main(int argc, char **argv)
     if (args.compare.empty())
         return 0;
 
-    obs::Json base = obs::readJsonFile(args.compare);
+    obs::Json base;
+    try {
+        base = obs::readJsonFile(args.compare);
+    } catch (const SimError &e) {
+        tps_fatal("cannot read baseline %s: %s\n"
+                  "  (generate one first with: perf_baseline "
+                  "--out=%s --scale=%g, typically from the main branch "
+                  "you want to compare against)",
+                  args.compare.c_str(), e.what(), args.compare.c_str(),
+                  args.scale);
+    }
     if (!base.find("format") ||
         base.at("format").asString() != "tps-perf-baseline") {
         tps_fatal("%s is not a tps-perf-baseline file",

@@ -21,9 +21,10 @@ std::vector<CellOutcome>
 ExperimentRunner::runGuarded(const std::vector<RunOptions> &cells,
                              const SweepPolicy &policy)
 {
+    obs::SweepMonitor *monitor = monitor_;
     return map(
         cells,
-        [policy](const RunOptions &opts) {
+        [policy, monitor](const RunOptions &opts) {
             CellOutcome out;
             if (policy.eventTrace)
                 out.trace = std::make_unique<obs::EventTrace>();
@@ -62,6 +63,10 @@ ExperimentRunner::runGuarded(const std::vector<RunOptions> &cells,
                 std::chrono::duration<double>(
                     std::chrono::steady_clock::now() - start)
                     .count();
+            // Still inside the map() span: stamp its trace-event args
+            // so retried/failed cells stand out in the timeline.
+            if (monitor)
+                monitor->annotate(out.attempts, out.errorKind);
             return out;
         },
         [](const RunOptions &opts, size_t) {

@@ -1,6 +1,7 @@
 #include "core/tps_system.hh"
 
 #include "check/invariant_checker.hh"
+#include "obs/mem_telemetry.hh"
 #include "os/policy_rmm.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
@@ -160,6 +161,11 @@ runExperiment(const RunOptions &opts, const RunHooks &hooks)
     auto primary =
         workloads::makeWorkload(opts.workload, opts.scale, seed);
 
+    // Declared before the engine: the address-space destructor unmaps
+    // surviving VMAs, and those unmaps still fire the telemetry hooks,
+    // so the probe must outlive the engine.
+    std::optional<obs::MemTelemetry> local_tel;
+
     sim::Engine engine(pm, makePolicy(opts.design, opts.tpsThreshold),
                        ecfg);
     // Hooks attach before run() so setup-time OS events (the
@@ -168,6 +174,14 @@ runExperiment(const RunOptions &opts, const RunHooks &hooks)
         engine.setEventTrace(hooks.trace);
     if (hooks.profile)
         engine.setProfile(hooks.profile);
+    // Telemetry likewise attaches before setup so reservations created
+    // by eager policies at mmap time get birth stamps.  An external
+    // probe wins; otherwise a local one feeds SimStats::mem.
+    obs::MemTelemetry *tel = hooks.memTelemetry;
+    if (!tel && opts.memTelemetry)
+        tel = &local_tel.emplace();
+    if (tel)
+        engine.setMemTelemetry(tel);
     engine.addWorkload(*primary);
 
     std::unique_ptr<workloads::Workload> competitor;

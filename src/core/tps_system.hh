@@ -21,6 +21,7 @@
 
 namespace tps::obs {
 class EventTrace;
+class MemTelemetry;
 class ProfileRegistry;
 } // namespace tps::obs
 
@@ -72,6 +73,10 @@ struct RunOptions
     bool referencePath = false;    //!< force the reference translate loop
     uint64_t chunkAccesses = 0;    //!< fast-path batch size (0 = default)
     double cellTimeoutSeconds = 0; //!< per-cell wall-clock budget (0 = none)
+    //! Record physical-memory telemetry (obs/mem_telemetry.hh) into
+    //! SimStats::mem.  Part of cell identity: it adds a "mem" section
+    //! to the stat tree, so manifests distinguish telemetry runs.
+    bool memTelemetry = false;
 };
 
 /** How one sweep cell ended (recorded in run manifests). */
@@ -104,13 +109,18 @@ std::string cellLabel(const RunOptions &opts);
 
 /**
  * Optional per-run observability attachments for runExperiment():
- * an event trace (obs/event_trace.hh) and a simulator self-profile
- * (obs/profile.hh), both recorded by the cell's engine when non-null.
+ * an event trace (obs/event_trace.hh), a simulator self-profile
+ * (obs/profile.hh) and a physical-memory telemetry probe
+ * (obs/mem_telemetry.hh), each recorded by the cell's engine when
+ * non-null.  When RunOptions::memTelemetry is set and no external
+ * probe is supplied, runExperiment() attaches a local one -- either
+ * way the recorded data lands in SimStats::mem.
  */
 struct RunHooks
 {
     obs::EventTrace *trace = nullptr;
     obs::ProfileRegistry *profile = nullptr;
+    obs::MemTelemetry *memTelemetry = nullptr;
 };
 
 /**

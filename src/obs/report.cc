@@ -1,0 +1,405 @@
+#include "obs/report.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "obs/mem_telemetry.hh"
+#include "util/sim_error.hh"
+#include "util/stats.hh"
+
+namespace tps::obs {
+
+namespace {
+
+/** One grid cell gathered from the manifests. */
+struct CellRec
+{
+    std::string status;      //!< "ok", "failed", "timeout"
+    const Json *stats = nullptr;
+};
+
+using GridKey = std::pair<std::string, std::string>;  // workload, design
+
+/** The design label a cell reports under: design[/timing]. */
+std::string
+designLabelOf(const Json &options)
+{
+    std::string label = options.at("design").asString();
+    std::string timing = options.at("timing").asString();
+    if (timing != "real")
+        label += "/" + timing;
+    return label;
+}
+
+/** Shortest-round-trip double text, identical to Json serialization. */
+std::string
+num(double v)
+{
+    return Json(v).dump();
+}
+
+std::string
+fixed(double v, int places)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", places, v);
+    return buf;
+}
+
+uint64_t
+counter(const Json &stats, std::initializer_list<const char *> path)
+{
+    const Json *node = &stats;
+    for (const char *key : path) {
+        node = node->find(key);
+        if (!node) {
+            throwSimError(ErrorKind::InvalidArgument,
+                          "manifest stats tree is missing '%s'", key);
+        }
+    }
+    return node->asUInt();
+}
+
+double
+mpkiOf(const Json &stats)
+{
+    uint64_t insts = counter(stats, {"engine", "instructions"});
+    uint64_t misses = counter(stats, {"engine", "l1TlbMisses"});
+    return insts == 0 ? 0.0
+                      : 1000.0 * static_cast<double>(misses) /
+                            static_cast<double>(insts);
+}
+
+/** "p50/p95/p99" over a rebuilt histogram, or "-" when empty. */
+std::string
+quantiles(const Histogram &h)
+{
+    if (h.total() == 0)
+        return "-";
+    return std::to_string(h.p50()) + "/" + std::to_string(h.p95()) +
+           "/" + std::to_string(h.p99());
+}
+
+void
+csvRow(std::string &csv, const std::string &section,
+       const std::string &workload, const std::string &design,
+       const std::string &metric, const std::string &index,
+       const std::string &value)
+{
+    csv += section;
+    csv += ',';
+    csv += workload;
+    csv += ',';
+    csv += design;
+    csv += ',';
+    csv += metric;
+    csv += ',';
+    csv += index;
+    csv += ',';
+    csv += value;
+    csv += '\n';
+}
+
+} // namespace
+
+Report
+buildReport(const std::vector<Json> &manifests,
+            const std::vector<std::string> &sources,
+            const ReportOptions &opts)
+{
+    // ---- Join: gather cells, first ok occurrence per key wins. ----
+    std::map<GridKey, CellRec> cells;
+    std::set<std::string> workloads;
+    std::set<std::string> designSet;
+    for (const Json &m : manifests) {
+        const Json *format = m.find("format");
+        if (!format || format->asString() != "tps-run-manifest") {
+            throwSimError(ErrorKind::InvalidArgument,
+                          "input is not a tps-run-manifest file");
+        }
+        const Json &list = m.at("cells");
+        for (size_t i = 0; i < list.size(); ++i) {
+            const Json &cell = list.at(i);
+            const Json &options = cell.at("options");
+            GridKey key{options.at("workload").asString(),
+                        designLabelOf(options)};
+            workloads.insert(key.first);
+            designSet.insert(key.second);
+            CellRec rec;
+            rec.status = cell.at("status").asString();
+            rec.stats = cell.find("stats");
+            auto [it, inserted] = cells.emplace(key, rec);
+            // A later ok cell fills a hole an earlier manifest left.
+            if (!inserted && it->second.status != "ok" &&
+                rec.status == "ok") {
+                it->second = rec;
+            }
+        }
+    }
+
+    // Display order: baseline design first, the rest lexicographic.
+    std::vector<std::string> designs(designSet.begin(), designSet.end());
+    std::string baseline = opts.baselineDesign;
+    if (!designSet.count(baseline) && !designs.empty())
+        baseline = designs.front();
+    auto base_it = std::find(designs.begin(), designs.end(), baseline);
+    if (base_it != designs.end())
+        std::rotate(designs.begin(), base_it, base_it + 1);
+
+    auto okStats = [&](const std::string &wl,
+                       const std::string &dn) -> const Json * {
+        auto it = cells.find({wl, dn});
+        if (it == cells.end() || it->second.status != "ok" ||
+            !it->second.stats) {
+            return nullptr;
+        }
+        return it->second.stats;
+    };
+
+    Report rep;
+    std::string &csv = rep.csv;
+    csv = "section,workload,design,metric,index,value\n";
+    std::string &md = rep.markdown;
+    md = "# TPS cross-design report\n\n";
+    md += "Sources:";
+    for (const std::string &src : sources)
+        md += " `" + src + "`";
+    md += "\n";
+
+    // ---- Summary: MPKI and speedup tables. ----
+    auto table = [&](const char *title,
+                     auto &&cellText) {
+        md += "\n## ";
+        md += title;
+        md += "\n\n| workload |";
+        for (const std::string &dn : designs)
+            md += " " + dn + " |";
+        md += "\n|---|";
+        for (size_t i = 0; i < designs.size(); ++i)
+            md += "---:|";
+        md += "\n";
+        for (const std::string &wl : workloads) {
+            md += "| " + wl + " |";
+            for (const std::string &dn : designs)
+                md += " " + cellText(wl, dn) + " |";
+            md += "\n";
+        }
+    };
+
+    for (const std::string &wl : workloads) {
+        const Json *base = okStats(wl, baseline);
+        for (const std::string &dn : designs) {
+            const Json *stats = okStats(wl, dn);
+            if (!stats)
+                continue;
+            uint64_t cycles = counter(*stats, {"engine", "cycles"});
+            csvRow(csv, "summary", wl, dn, "accesses", "",
+                   std::to_string(counter(*stats,
+                                          {"engine", "accesses"})));
+            csvRow(csv, "summary", wl, dn, "instructions", "",
+                   std::to_string(
+                       counter(*stats, {"engine", "instructions"})));
+            csvRow(csv, "summary", wl, dn, "cycles", "",
+                   std::to_string(cycles));
+            csvRow(csv, "summary", wl, dn, "l1TlbMisses", "",
+                   std::to_string(
+                       counter(*stats, {"engine", "l1TlbMisses"})));
+            csvRow(csv, "summary", wl, dn, "walks", "",
+                   std::to_string(counter(*stats, {"engine", "walks"})));
+            csvRow(csv, "summary", wl, dn, "mpki", "",
+                   num(mpkiOf(*stats)));
+            if (base && cycles > 0) {
+                double speedup =
+                    static_cast<double>(
+                        counter(*base, {"engine", "cycles"})) /
+                    static_cast<double>(cycles);
+                csvRow(csv, "summary", wl, dn, "speedup", "",
+                       num(speedup));
+            }
+        }
+    }
+
+    table("MPKI (L1 DTLB misses per kilo-instruction)",
+          [&](const std::string &wl, const std::string &dn) {
+              const Json *stats = okStats(wl, dn);
+              return stats ? fixed(mpkiOf(*stats), 3)
+                           : std::string("-");
+          });
+    table(("Speedup vs " + baseline + " (cycle ratio)").c_str(),
+          [&](const std::string &wl, const std::string &dn) {
+              const Json *stats = okStats(wl, dn);
+              const Json *base = okStats(wl, baseline);
+              if (!stats || !base)
+                  return std::string("-");
+              uint64_t cycles = counter(*stats, {"engine", "cycles"});
+              if (cycles == 0)
+                  return std::string("-");
+              return fixed(static_cast<double>(
+                               counter(*base, {"engine", "cycles"})) /
+                               static_cast<double>(cycles),
+                           3);
+          });
+
+    // ---- Memory telemetry: series, census, lifecycle, yield. ----
+    // The headline fragmentation index is the 2 MB class (order 9).
+    constexpr unsigned kHeadlineOrder = 9;
+    bool any_mem = false;
+    for (const std::string &wl : workloads) {
+        for (const std::string &dn : designs) {
+            const Json *stats = okStats(wl, dn);
+            if (!stats)
+                continue;
+            const Json *mem = stats->find("mem");
+            if (!mem || mem->isNull())
+                continue;
+            any_mem = true;
+            MemTelemetryData data = MemTelemetryData::fromJson(*mem);
+            for (size_t i = 0; i < data.samples.size(); ++i) {
+                const MemEpochSample &s = data.samples[i];
+                std::string idx = std::to_string(i);
+                csvRow(csv, "memSeries", wl, dn, "accesses", idx,
+                       std::to_string(s.accesses));
+                csvRow(csv, "memSeries", wl, dn, "freeFrames", idx,
+                       std::to_string(s.freeFrames));
+                csvRow(csv, "memSeries", wl, dn, "contiguity", idx,
+                       num(s.contiguity));
+                if (s.extFrag.size() > kHeadlineOrder) {
+                    csvRow(csv, "memSeries", wl, dn, "extFrag2M", idx,
+                           num(s.extFrag[kHeadlineOrder]));
+                }
+                csvRow(csv, "memSeries", wl, dn, "reservations", idx,
+                       std::to_string(s.reservations));
+            }
+            if (!data.samples.empty()) {
+                for (const auto &[bits, pages] :
+                     data.samples.back().census) {
+                    csvRow(csv, "census", wl, dn, "pages",
+                           std::to_string(bits),
+                           std::to_string(pages));
+                }
+            }
+            const MemLifecycle &life = data.lifecycle;
+            csvRow(csv, "lifecycle", wl, dn, "created", "",
+                   std::to_string(life.created));
+            csvRow(csv, "lifecycle", wl, dn, "promoted", "",
+                   std::to_string(life.promoted));
+            csvRow(csv, "lifecycle", wl, dn, "broken", "",
+                   std::to_string(life.broken));
+            for (const auto &[bucket, count] :
+                 life.ageAtPromotion.buckets()) {
+                csvRow(csv, "lifecycle", wl, dn, "ageAtPromotion",
+                       std::to_string(bucket), std::to_string(count));
+            }
+            for (const auto &[bucket, count] :
+                 life.ageAtBreak.buckets()) {
+                csvRow(csv, "lifecycle", wl, dn, "ageAtBreak",
+                       std::to_string(bucket), std::to_string(count));
+            }
+            for (const auto &[bucket, count] :
+                 life.fillAtPromotion.buckets()) {
+                csvRow(csv, "lifecycle", wl, dn, "fillAtPromotion",
+                       std::to_string(bucket), std::to_string(count));
+            }
+            const MemCompactionYield &cy = data.compaction;
+            csvRow(csv, "compaction", wl, dn, "passes", "",
+                   std::to_string(cy.passes));
+            csvRow(csv, "compaction", wl, dn, "movedFrames", "",
+                   std::to_string(cy.movedFrames));
+            csvRow(csv, "compaction", wl, dn, "mergedPages", "",
+                   std::to_string(cy.mergedPages));
+            csvRow(csv, "compaction", wl, dn, "contiguityRecovered",
+                   "", num(cy.contiguityRecovered));
+        }
+    }
+
+    if (any_mem) {
+        md += "\n## Memory telemetry (final sample)\n\n"
+              "| workload | design | samples | free frames | "
+              "contiguity | extfrag@2M | reservations | "
+              "largest page |\n"
+              "|---|---|---:|---:|---:|---:|---:|---:|\n";
+        for (const std::string &wl : workloads) {
+            for (const std::string &dn : designs) {
+                const Json *stats = okStats(wl, dn);
+                const Json *mem = stats ? stats->find("mem") : nullptr;
+                if (!mem || mem->isNull())
+                    continue;
+                MemTelemetryData data =
+                    MemTelemetryData::fromJson(*mem);
+                if (data.samples.empty())
+                    continue;
+                const MemEpochSample &s = data.samples.back();
+                unsigned largest = 0;
+                for (const auto &[bits, pages] : s.census) {
+                    if (pages > 0 && bits > largest)
+                        largest = bits;
+                }
+                md += "| " + wl + " | " + dn + " | " +
+                      std::to_string(data.samples.size()) + " | " +
+                      std::to_string(s.freeFrames) + " | " +
+                      fixed(s.contiguity, 3) + " | " +
+                      (s.extFrag.size() > kHeadlineOrder
+                           ? fixed(s.extFrag[kHeadlineOrder], 3)
+                           : std::string("-")) +
+                      " | " + std::to_string(s.reservations) + " | " +
+                      (largest ? "2^" + std::to_string(largest)
+                               : std::string("-")) +
+                      " |\n";
+            }
+        }
+
+        md += "\n## Reservation lifecycle "
+              "(ages in log2 fault-clock buckets)\n\n"
+              "| workload | design | created | promoted | broken | "
+              "age@promotion p50/p95/p99 | fill% p50/p95/p99 |\n"
+              "|---|---|---:|---:|---:|---:|---:|\n";
+        for (const std::string &wl : workloads) {
+            for (const std::string &dn : designs) {
+                const Json *stats = okStats(wl, dn);
+                const Json *mem = stats ? stats->find("mem") : nullptr;
+                if (!mem || mem->isNull())
+                    continue;
+                MemTelemetryData data =
+                    MemTelemetryData::fromJson(*mem);
+                const MemLifecycle &life = data.lifecycle;
+                md += "| " + wl + " | " + dn + " | " +
+                      std::to_string(life.created) + " | " +
+                      std::to_string(life.promoted) + " | " +
+                      std::to_string(life.broken) + " | " +
+                      quantiles(life.ageAtPromotion) + " | " +
+                      quantiles(life.fillAtPromotion) + " |\n";
+            }
+        }
+    }
+
+    // ---- Holes: the grid cross product minus the ok cells. ----
+    std::vector<std::pair<GridKey, std::string>> holes;
+    for (const std::string &wl : workloads) {
+        for (const std::string &dn : designs) {
+            auto it = cells.find({wl, dn});
+            if (it == cells.end())
+                holes.push_back({{wl, dn}, "missing"});
+            else if (it->second.status != "ok")
+                holes.push_back({{wl, dn}, it->second.status});
+            else
+                ++rep.cells;
+        }
+    }
+    rep.holes = holes.size();
+    md += "\n## Holes\n\n";
+    if (holes.empty()) {
+        md += "None: the workload x design grid is complete.\n";
+    } else {
+        for (const auto &[key, status] : holes) {
+            csvRow(csv, "hole", key.first, key.second, "status", "",
+                   status);
+            md += "- `" + key.first + "/" + key.second + "`: " +
+                  status + "\n";
+        }
+    }
+    return rep;
+}
+
+} // namespace tps::obs

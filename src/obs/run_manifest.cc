@@ -91,6 +91,12 @@ runOptionsJson(const core::RunOptions &opts)
     j["paranoid"] = opts.paranoid;
     j["checkEvery"] = opts.checkEvery;
     j["cellTimeoutSeconds"] = opts.cellTimeoutSeconds;
+    // Emitted only when set: telemetry changes the recorded stat tree
+    // (a "mem" section appears), so it is part of cell identity -- but
+    // a telemetry-off manifest stays byte-identical to one written
+    // before the option existed.
+    if (opts.memTelemetry)
+        j["memTelemetry"] = true;
     // referencePath and chunkAccesses are deliberately absent: they
     // select how the translate loop executes, never what it computes
     // (the differential suite proves this), and leaving them out keeps

@@ -155,6 +155,34 @@ bindOsWork(StatRegistry &reg, const std::string &prefix,
 }
 
 void
+bindBuddyStats(StatRegistry &reg, const std::string &prefix,
+               const os::BuddyStats *s)
+{
+    const std::string p = prefix + ".";
+    reg.addCounter(p + "allocs", &s->allocs, "block allocations");
+    reg.addCounter(p + "frees", &s->frees, "block frees");
+    reg.addCounter(p + "splits", &s->splits,
+                   "blocks split to satisfy allocations");
+    reg.addCounter(p + "merges", &s->merges,
+                   "buddy pairs merged on free");
+    reg.addCounter(p + "failedAllocs", &s->failedAllocs,
+                   "allocations that found no block");
+}
+
+void
+bindCompactionStats(StatRegistry &reg, const std::string &prefix,
+                    const os::CompactionStats *s)
+{
+    const std::string p = prefix + ".";
+    reg.addCounter(p + "migratedBlocks", &s->migratedBlocks,
+                   "physical blocks migrated");
+    reg.addCounter(p + "migratedFrames", &s->migratedFrames,
+                   "frames copied during migration");
+    reg.addCounter(p + "mergedPages", &s->mergedPages,
+                   "reservation pairs merged into larger pages");
+}
+
+void
 bindSimStats(StatRegistry &reg, const sim::SimStats *s)
 {
     bindEngineStats(reg, "engine", s);
@@ -162,6 +190,8 @@ bindSimStats(StatRegistry &reg, const sim::SimStats *s)
     bindWalkerStats(reg, "mmu.walker", &s->walker);
     bindMemSysStats(reg, "memsys", &s->memsys);
     bindOsWork(reg, "os.work", &s->osWork);
+    bindBuddyStats(reg, "os.buddy", &s->buddy);
+    bindCompactionStats(reg, "os.compaction", &s->compaction);
 }
 
 namespace {
@@ -177,6 +207,23 @@ counterAt(const Json &j, std::initializer_list<const char *> path)
             throwSimError(ErrorKind::InvalidArgument,
                           "stats tree is missing counter '%s'", key);
         }
+    }
+    return node->asUInt();
+}
+
+/**
+ * The counter at @p path below @p j, or 0 when absent -- for counters
+ * added after manifest v2 shipped, so a pre-existing partial manifest
+ * still resumes.
+ */
+uint64_t
+counterOr0(const Json &j, std::initializer_list<const char *> path)
+{
+    const Json *node = &j;
+    for (const char *key : path) {
+        node = node->find(key);
+        if (!node)
+            return 0;
     }
     return node->asUInt();
 }
@@ -251,6 +298,21 @@ simStatsFromJson(const Json &j)
     s.osWork.reservationsMissed =
         counterAt(j, {"os", "work", "reservationsMissed"});
 
+    // Added after manifest v2 first shipped: absent from older
+    // manifests, so default to 0 instead of rejecting the resume.
+    s.buddy.allocs = counterOr0(j, {"os", "buddy", "allocs"});
+    s.buddy.frees = counterOr0(j, {"os", "buddy", "frees"});
+    s.buddy.splits = counterOr0(j, {"os", "buddy", "splits"});
+    s.buddy.merges = counterOr0(j, {"os", "buddy", "merges"});
+    s.buddy.failedAllocs =
+        counterOr0(j, {"os", "buddy", "failedAllocs"});
+    s.compaction.migratedBlocks =
+        counterOr0(j, {"os", "compaction", "migratedBlocks"});
+    s.compaction.migratedFrames =
+        counterOr0(j, {"os", "compaction", "migratedFrames"});
+    s.compaction.mergedPages =
+        counterOr0(j, {"os", "compaction", "mergedPages"});
+
     if (const Json *epochs = j.find("epochs");
         epochs && !epochs->isNull()) {
         s.epochInterval = counterAt(*epochs, {"interval"});
@@ -271,6 +333,9 @@ simStatsFromJson(const Json &j)
             s.epochs.push_back(e);
         }
     }
+
+    if (const Json *mem = j.find("mem"); mem && !mem->isNull())
+        s.mem = MemTelemetryData::fromJson(*mem);
     return s;
 }
 

@@ -47,10 +47,19 @@ void bindTlbStats(StatRegistry &reg, const std::string &prefix,
 void bindOsWork(StatRegistry &reg, const std::string &prefix,
                 const os::OsWork *s);
 
+/** Buddy-allocator operation counters. */
+void bindBuddyStats(StatRegistry &reg, const std::string &prefix,
+                    const os::BuddyStats *s);
+
+/** Compaction/merge-pass counters. */
+void bindCompactionStats(StatRegistry &reg, const std::string &prefix,
+                         const os::CompactionStats *s);
+
 /**
  * Bind a whole SimStats snapshot: engine.*, mmu.* (including
- * mmu.walker.*), memsys.* and os.work.* -- the same names the live
- * modules register, minus live-only structures (mmu.tlb.*, cycle.*).
+ * mmu.walker.*), memsys.*, os.work.*, os.buddy.* and os.compaction.*
+ * -- the same names the live modules register, minus live-only
+ * structures (mmu.tlb.*, cycle.*).
  */
 void bindSimStats(StatRegistry &reg, const sim::SimStats *s);
 

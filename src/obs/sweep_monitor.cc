@@ -75,6 +75,23 @@ SweepMonitor::end(uint64_t id)
         printProgress(spans_[id]);
 }
 
+void
+SweepMonitor::annotate(unsigned attempts, const std::string &errorKind)
+{
+    int worker = util::TaskPool::currentWorkerIndex();
+    std::lock_guard<std::mutex> lock(mu_);
+    // The caller's open span is the newest not-yet-done one on its own
+    // worker: spans nest LIFO within a thread, so reverse scan finds it.
+    for (size_t i = spans_.size(); i-- > 0;) {
+        Span &span = spans_[i];
+        if (span.done || span.worker != worker)
+            continue;
+        span.attempts = attempts;
+        span.errorKind = errorKind;
+        return;
+    }
+}
+
 size_t
 SweepMonitor::planned() const
 {
@@ -155,6 +172,11 @@ SweepMonitor::traceJson() const
         ev["tid"] = uint64_t(span.worker + 1);
         ev["ts"] = span.startUs;
         ev["dur"] = span.endUs - span.startUs;
+        if (span.attempts != 0) {
+            ev["args"]["attempts"] = uint64_t(span.attempts);
+            if (!span.errorKind.empty())
+                ev["args"]["errorKind"] = span.errorKind;
+        }
         events.push(std::move(ev));
     }
     root["traceEvents"] = std::move(events);

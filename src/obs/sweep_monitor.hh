@@ -53,6 +53,15 @@ class SweepMonitor
     void end(uint64_t id);
 
     /**
+     * Attach cell-outcome details to the calling worker's open span:
+     * how many attempts the cell took and (when it failed) the
+     * manifest-v2 errorKind.  Emitted as Chrome trace event args, so a
+     * retried or failed cell is visible right in the trace timeline.
+     * No-op when the caller has no open span.
+     */
+    void annotate(unsigned attempts, const std::string &errorKind);
+
+    /**
      * RAII span guard; a null monitor makes it a no-op, so callers can
      * wrap work unconditionally.
      */
@@ -100,6 +109,8 @@ class SweepMonitor
         uint64_t startUs = 0;
         uint64_t endUs = 0;
         bool done = false;
+        unsigned attempts = 0;  //!< 0 = not annotated
+        std::string errorKind;  //!< empty = cell succeeded
     };
 
     /** Microseconds since construction. */

@@ -164,6 +164,10 @@ AddressSpace::registerStats(obs::StatRegistry &reg,
                             const std::string &prefix)
 {
     obs::bindOsWork(reg, prefix + ".work", &osWork_);
+    obs::bindBuddyStats(reg, prefix + ".buddy",
+                        &phys_.buddy().stats());
+    obs::bindCompactionStats(reg, prefix + ".compaction",
+                             &compaction_);
     reg.addCounter(prefix + ".touchedBasePages", &touchedBasePages_,
                    "base pages demand-touched");
     policy_->registerStats(reg, prefix + ".policy");

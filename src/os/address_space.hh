@@ -17,6 +17,7 @@
 #include <map>
 #include <memory>
 
+#include "os/compaction_stats.hh"
 #include "os/phys_memory.hh"
 #include "os/policy.hh"
 #include "os/reservation.hh"
@@ -26,6 +27,7 @@
 
 namespace tps::obs {
 class EventTrace;
+class MemTelemetry;
 class StatRegistry;
 } // namespace tps::obs
 
@@ -84,6 +86,7 @@ class AddressSpace
     ReservationTable &reservations() { return reservations_; }
     const ReservationTable &reservations() const { return reservations_; }
     PhysMemory &phys() { return phys_; }
+    const PhysMemory &phys() const { return phys_; }
     PagingPolicy &policy() { return *policy_; }
     const PagingPolicy &policy() const { return *policy_; }
     OsWork &osWork() { return osWork_; }
@@ -153,6 +156,23 @@ class AddressSpace
     void setEventTrace(obs::EventTrace *trace) { trace_ = trace; }
     obs::EventTrace *eventTrace() const { return trace_; }
 
+    /**
+     * Attach a physical-memory telemetry probe.  Policies and the
+     * merge pass reach it through memTelemetry() to report reservation
+     * lifecycle and compaction-yield events.  nullptr disables.  The
+     * probe must outlive this address space: the destructor's unmaps
+     * fire the release hooks too.
+     */
+    void setMemTelemetry(obs::MemTelemetry *tel) { memTel_ = tel; }
+    obs::MemTelemetry *memTelemetry() const { return memTel_; }
+
+    /**
+     * Per-process compaction totals, accumulated by the merge pass
+     * (CompactionDaemon moves driven through it included).
+     */
+    CompactionStats &compactionStats() { return compaction_; }
+    const CompactionStats &compactionStats() const { return compaction_; }
+
   private:
     PhysMemory &phys_;
     std::unique_ptr<PagingPolicy> policy_;
@@ -170,6 +190,8 @@ class AddressSpace
     vm::Vaddr mmapCursor_;
     uint64_t nextVmaId_ = 0;
     obs::EventTrace *trace_ = nullptr;
+    obs::MemTelemetry *memTel_ = nullptr;
+    CompactionStats compaction_;
     OsWork osWork_;
     uint64_t touchedBasePages_ = 0;
     std::function<void(vm::Vaddr)> shootdownFn_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/event_trace.hh"
+#include "obs/mem_telemetry.hh"
 #include "util/bitops.hh"
 #include "util/logging.hh"
 
@@ -87,6 +88,11 @@ mergeReservationPass(AddressSpace &as, uint64_t max_merges)
     }
 
     OsWork &work = as.osWork();
+    obs::MemTelemetry *tel = as.memTelemetry();
+    double contig_before =
+        tel ? obs::contiguityScore(as.phys().buddy().freeListCounts())
+            : 0.0;
+    uint64_t moved_frames = 0;
     uint64_t merges = 0;
     for (const Pair &p : pairs) {
         if (merges >= max_merges)
@@ -138,7 +144,18 @@ mergeReservationPass(AddressSpace &as, uint64_t max_merges)
             as.reservations().create(base, order + 1, *dest);
         merged.recordMapped(base, merged_bits);
         work.allocCycles += oscost::kReservationOp;
+        CompactionStats &cstats = as.compactionStats();
+        cstats.migratedBlocks += 2;
+        cstats.migratedFrames += 2 * half_pages;
+        ++cstats.mergedPages;
+        moved_frames += 2 * half_pages;
         ++merges;
+    }
+    if (tel) {
+        double contig_after =
+            obs::contiguityScore(as.phys().buddy().freeListCounts());
+        tel->onCompactionPass(moved_frames, merges, contig_before,
+                              contig_after);
     }
     return merges;
 }

@@ -21,6 +21,7 @@
 
 #include "os/address_space.hh"
 #include "os/buddy_allocator.hh"
+#include "os/compaction_stats.hh"
 
 namespace tps::obs {
 class EventTrace;
@@ -33,14 +34,6 @@ struct MovableBlock
 {
     Pfn pfn;
     unsigned order;
-};
-
-/** Compaction results. */
-struct CompactionStats
-{
-    uint64_t migratedBlocks = 0;
-    uint64_t migratedFrames = 0;
-    uint64_t mergedPages = 0;
 };
 
 /** The compaction daemon. */

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "obs/event_trace.hh"
+#include "obs/mem_telemetry.hh"
 #include "util/bitops.hh"
 #include "util/logging.hh"
 #include "util/sim_error.hh"
@@ -84,6 +85,8 @@ ReservationPolicyBase::ensureReservation(AddressSpace &as, const Vma &vma,
         ++work.reservationsCreated;
         if (obs::EventTrace *trace = as.eventTrace())
             trace->osReserve(base, bits);
+        if (obs::MemTelemetry *tel = as.memTelemetry())
+            tel->onReservationCreated(base, work.faults);
         return &as.reservations().create(base, order, *pfn);
     }
     return nullptr;
@@ -176,6 +179,11 @@ ReservationPolicyBase::tryPromote(AddressSpace &as, const Vma &vma,
         ++work.promotions;
         if (obs::EventTrace *trace = as.eventTrace())
             trace->osPromote(region, target);
+        if (obs::MemTelemetry *tel = as.memTelemetry()) {
+            tel->onPromotion(resv.vaBase(),
+                             resv.touchedIn(region, target), pages,
+                             work.faults);
+        }
         // Per Sec. III-C2, no shootdown is required: stale smaller-page
         // TLB entries still translate their portion correctly.
     }
@@ -245,6 +253,8 @@ ReservationPolicyBase::onMunmap(AddressSpace &as, const Vma &vma)
             resv->pfnBase(), resv->order(),
             resv->mappedBytes() >> vm::kBasePageBits);
         work.allocCycles += oscost::kBuddyOp + oscost::kReservationOp;
+        if (obs::MemTelemetry *tel = as.memTelemetry())
+            tel->onReservationReleased(base, work.faults);
         as.reservations().remove(base);
     }
 }

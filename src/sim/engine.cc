@@ -106,6 +106,8 @@ SimStats::toJson() const
     obs::Json j = reg.toJson();
     if (epochInterval)
         j["epochs"] = obs::epochsJson(*this);
+    if (mem.enabled)
+        j["mem"] = mem.toJson();
     return j;
 }
 
@@ -152,6 +154,13 @@ Engine::setProfile(obs::ProfileRegistry *profile)
 {
     profile_ = profile;
     mmu_->setProfile(profile);
+}
+
+void
+Engine::setMemTelemetry(obs::MemTelemetry *tel)
+{
+    memTel_ = tel;
+    as_->setMemTelemetry(tel);
 }
 
 void
@@ -222,6 +231,10 @@ Engine::runReference()
                           stats.l2TlbHits, stats.tlbMisses, walk_refs,
                           stats.walkCycles, stats.faults,
                           cycle_.cycles(), os_cycles};
+        // Physical-memory telemetry rides the same boundary ordinals,
+        // so its series is identical across the fast/reference paths.
+        if (memTel_)
+            memTel_->sample(*as_, primary_accesses);
     };
 
     // Paranoid-mode support: periodic invariant sweeps and a
@@ -346,6 +359,9 @@ Engine::runReference()
                     // osWork is not reset, so carry its baseline.
                     eprev = EpochPrev{};
                     eprev.osCycles = stats.warmup.osCycles;
+                    // Baseline telemetry sample at the seam.
+                    if (memTel_)
+                        memTel_->sample(*as_, 0);
                 } else if (!in_warmup &&
                            primary_accesses >= cfg_.maxAccesses) {
                     running = false;
@@ -383,8 +399,14 @@ Engine::runReference()
     stats.walker = mmu_->walker().stats();
     stats.memsys = memsys_.stats();
     stats.osWork = as_->osWork();
+    stats.buddy = as_->phys().buddy().stats();
+    stats.compaction = as_->compactionStats();
     stats.mmapCalls = mmapCalls_;
     stats.munmapCalls = munmapCalls_;
+    if (memTel_) {
+        memTel_->sampleIfNew(*as_, primary_accesses);
+        stats.mem = memTel_->data();
+    }
 
     // Primary-thread walk references: in single-thread runs this is the
     // MMU total; under SMT we approximate by scaling with the primary's
@@ -518,6 +540,10 @@ Engine::runFast()
                           stats.l2TlbHits, stats.tlbMisses, walk_refs,
                           stats.walkCycles, stats.faults,
                           cycle_.cycles(), os_cycles};
+        // Physical-memory telemetry rides the same boundary ordinals,
+        // so its series is identical across the fast/reference paths.
+        if (memTel_)
+            memTel_->sample(*as_, primary_accesses);
     };
 
     std::optional<check::InvariantChecker> checker;
@@ -614,6 +640,9 @@ Engine::runFast()
             // not reset, so carry its baseline.
             eprev = EpochPrev{};
             eprev.osCycles = stats.warmup.osCycles;
+            // Baseline telemetry sample at the seam.
+            if (memTel_)
+                memTel_->sample(*as_, 0);
         } else if (!in_warmup &&
                    primary_accesses >= cfg_.maxAccesses) {
             running = false;
@@ -651,8 +680,14 @@ Engine::runFast()
     stats.walker = mmu_->walker().stats();
     stats.memsys = memsys_.stats();
     stats.osWork = as_->osWork();
+    stats.buddy = as_->phys().buddy().stats();
+    stats.compaction = as_->compactionStats();
     stats.mmapCalls = mmapCalls_;
     stats.munmapCalls = munmapCalls_;
+    if (memTel_) {
+        memTel_->sampleIfNew(*as_, primary_accesses);
+        stats.mem = memTel_->data();
+    }
     stats.walkMemRefs = stats.mmu.walkMemRefs;
     return stats;
 }

@@ -13,7 +13,10 @@
 #include <vector>
 
 #include "obs/json.hh"
+#include "obs/mem_telemetry.hh"
 #include "os/address_space.hh"
+#include "os/buddy_allocator.hh"
+#include "os/compaction_stats.hh"
 #include "os/phys_memory.hh"
 #include "sim/access.hh"
 #include "sim/cycle_model.hh"
@@ -142,12 +145,18 @@ struct SimStats
     vm::WalkerStats walker;
     MemSysStats memsys;
     os::OsWork osWork;
+    os::BuddyStats buddy;
+    os::CompactionStats compaction;
     uint64_t mmapCalls = 0;
     uint64_t munmapCalls = 0;
 
     // Epoch time series (empty unless EngineConfig::epochAccesses > 0).
     uint64_t epochInterval = 0;
     std::vector<EpochSample> epochs;
+
+    //! Physical-memory telemetry (empty unless a MemTelemetry probe
+    //! was attached; see Engine::setMemTelemetry).
+    obs::MemTelemetryData mem;
 
     /** L1 DTLB misses per thousand instructions. */
     double mpki() const;
@@ -223,6 +232,20 @@ class Engine : public AllocApi
     /** Attach simulator self-profiling (nullptr = off). */
     void setProfile(obs::ProfileRegistry *profile);
 
+    /**
+     * Attach a physical-memory telemetry probe (nullptr = off), also
+     * forwarded to the address space so OS policies can report
+     * reservation lifecycle events.  The engine samples it at every
+     * epoch boundary (the exact ordinals the epoch series uses, on
+     * both the fast and reference paths), at the warmup/measured seam
+     * and at end of run; the recorded data is copied into
+     * SimStats::mem.  Purely passive: simulated counters are never
+     * perturbed.  The probe must outlive the engine: the address-space
+     * destructor unmaps surviving VMAs, which still fires the
+     * reservation-release hooks.
+     */
+    void setMemTelemetry(obs::MemTelemetry *tel);
+
     os::AddressSpace &addressSpace() { return *as_; }
     Mmu &mmu() { return *mmu_; }
     MemSys &memsys() { return memsys_; }
@@ -274,6 +297,7 @@ class Engine : public AllocApi
     uint64_t munmapCalls_ = 0;
     obs::EventTrace *trace_ = nullptr;
     obs::ProfileRegistry *profile_ = nullptr;
+    obs::MemTelemetry *memTel_ = nullptr;
     //! run() accumulates here so registered stat probes stay valid.
     SimStats stats_;
 };

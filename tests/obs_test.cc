@@ -478,6 +478,39 @@ TEST(SweepMonitor, TraceJsonShape)
     EXPECT_TRUE(sawCallerName);
 }
 
+TEST(SweepMonitor, AnnotateAttachesTraceEventArgs)
+{
+    SweepMonitor mon;
+    {
+        SweepMonitor::Scope span(&mon, "flaky/cell");
+        mon.annotate(3, "Timeout");
+    }
+    {
+        SweepMonitor::Scope span(&mon, "clean/cell");
+        // Unannotated spans must stay args-free.
+    }
+    Json trace = mon.traceJson();
+    const Json &events = trace.at("traceEvents");
+    bool sawAnnotated = false, sawClean = false;
+    for (size_t i = 0; i < events.size(); ++i) {
+        const Json &ev = events.at(i);
+        if (ev.at("ph").asString() != "X")
+            continue;
+        if (ev.at("name").asString() == "flaky/cell") {
+            sawAnnotated = true;
+            EXPECT_EQ(ev.at("args").at("attempts").asUInt(), 3u);
+            EXPECT_EQ(ev.at("args").at("errorKind").asString(),
+                      "Timeout");
+        }
+        if (ev.at("name").asString() == "clean/cell") {
+            sawClean = true;
+            EXPECT_EQ(ev.find("args"), nullptr);
+        }
+    }
+    EXPECT_TRUE(sawAnnotated);
+    EXPECT_TRUE(sawClean);
+}
+
 TEST(SweepMonitor, AttributesSpansToPoolWorkers)
 {
     SweepMonitor mon;
