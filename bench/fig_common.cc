@@ -210,6 +210,35 @@ parseU64(const char *s, uint64_t *out)
     return true;
 }
 
+/**
+ * Strict byte-size parse: digits with an optional single k/m/g/t
+ * suffix (binary units, case-insensitive).  "1t" = 1 TiB.
+ */
+bool
+parseSize(const char *s, uint64_t *out)
+{
+    size_t len = std::strlen(s);
+    if (len == 0)
+        return false;
+    unsigned shift = 0;
+    char last = s[len - 1];
+    switch (last | 0x20) {
+      case 'k': shift = 10; break;
+      case 'm': shift = 20; break;
+      case 'g': shift = 30; break;
+      case 't': shift = 40; break;
+      default: break;
+    }
+    std::string digits(s, shift ? len - 1 : len);
+    uint64_t v = 0;
+    if (!parseU64(digits.c_str(), &v))
+        return false;
+    if (shift && v > (~0ull >> shift))
+        return false;
+    *out = v << shift;
+    return true;
+}
+
 /** Strict finite-double parse: whole string, no trailing garbage. */
 bool
 parseF64(const char *s, double *out)
@@ -305,6 +334,14 @@ parseArgs(int argc, char **argv)
             opts.referencePath = true;
         } else if (std::strcmp(arg, "--mem-telemetry") == 0) {
             opts.memTelemetry = true;
+        } else if (std::strncmp(arg, "--footprint=", 12) == 0) {
+            if (!parseSize(arg + 12, &opts.footprintBytes) ||
+                opts.footprintBytes == 0) {
+                tps_fatal("bad --footprint value '%s' (want e.g. "
+                          "512m, 64g, 1t)", arg + 12);
+            }
+        } else if (std::strcmp(arg, "--dense-state") == 0) {
+            opts.denseState = true;
         } else if (std::strcmp(arg, "--help") == 0) {
             std::printf(
                 "options: --scale=<f> --phys-gb=<n> --csv --jobs=<n> "
@@ -312,7 +349,8 @@ parseArgs(int argc, char **argv)
                 "--trace=<path> --progress --paranoid --check-every=<n> "
                 "--cell-timeout=<sec> --retries=<n> --resume "
                 "--event-trace=<path> --profile --reference-path "
-                "--mem-telemetry\n");
+                "--mem-telemetry --footprint=<size[kmgt]> "
+                "--dense-state\n");
             std::exit(0);
         } else {
             tps_fatal("unknown option '%s' (try --help)", arg);
@@ -363,6 +401,8 @@ makeRun(const FigOptions &opts, const std::string &wl,
     run.cellTimeoutSeconds = opts.cellTimeout;
     run.referencePath = opts.referencePath;
     run.memTelemetry = opts.memTelemetry;
+    run.footprintBytes = opts.footprintBytes;
+    run.denseState = opts.denseState;
     return run;
 }
 
@@ -387,7 +427,7 @@ elimPercent(uint64_t baseline, uint64_t with)
 CensusRun
 runWithCensus(const core::RunOptions &opts)
 {
-    os::PhysMemory pm(opts.physBytes);
+    os::PhysMemory pm(core::effectivePhysBytes(opts), opts.denseState);
     std::optional<os::Fragmenter> fragmenter;
     if (opts.fragmented) {
         fragmenter.emplace(pm, opts.fragmenter);
@@ -399,7 +439,8 @@ runWithCensus(const core::RunOptions &opts)
     // Same per-cell seed as core::runExperiment so a census run and a
     // stats run of the same cell see the same access stream.
     auto workload = workloads::makeWorkload(opts.workload, opts.scale,
-                                            core::runSeed(opts));
+                                            core::runSeed(opts),
+                                            opts.footprintBytes);
 
     // Census runs bypass core::runExperiment, so attach the telemetry
     // probe here.  Declared before the engine (teardown unmaps still

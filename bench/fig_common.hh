@@ -42,6 +42,10 @@ struct FigOptions
     bool profile = false;      //!< dump simulator self-profile to stderr
     bool referencePath = false; //!< force the reference translate loop
     bool memTelemetry = false;  //!< record physical-memory telemetry
+    //! Workload footprint override in bytes (0 = workload default);
+    //! physical capacity grows to fit automatically.
+    uint64_t footprintBytes = 0;
+    bool denseState = false;    //!< dense simulator-state oracle
 };
 
 /**
@@ -50,7 +54,8 @@ struct FigOptions
  * --trace=<path>, --progress, --paranoid, --check-every=<n>,
  * --cell-timeout=<sec>, --retries=<n>, --resume,
  * --event-trace=<path>, --profile, --reference-path,
- * --mem-telemetry.  Values are parsed
+ * --mem-telemetry, --footprint=<size[kmgt]>, --dense-state.
+ * Values are parsed
  * strictly (trailing garbage, out-of-range, or nonsensical values like
  * --jobs=0 are rejected with a one-line error); unknown flags are fatal.
  */

@@ -9,7 +9,9 @@
  * suddenly takes all night.
  *
  *   perf_baseline [--out=<path>] [--compare=<path>] [--tolerance=<f>]
- *                 [--scale=<f>] [--benchmarks=a,b,c] [--repeat=<n>]
+ *                 [--rss-tolerance=<f>] [--scale=<f>]
+ *                 [--benchmarks=a,b,c] [--repeat=<n>]
+ *                 [--footprint=<size[kmgt]>] [--rss-budget=<size[kmgt]>]
  *                 [--trace-overhead]
  *
  * Each cell is measured --repeat times (default 3) and the fastest run
@@ -23,12 +25,26 @@
  * --trace-overhead additionally runs every cell with an event trace
  * attached and reports the recording overhead.
  *
+ * Every cell also self-measures its peak host RSS (the kernel's VmHWM
+ * high-water mark, reset per cell via /proc/self/clear_refs), so the
+ * snapshot doubles as a memory baseline: --compare gates the geomean
+ * RSS across shared cells at --rss-tolerance (growth allowed up to the
+ * tolerance; cells whose baseline lacks RSS keys are skipped), and
+ * --rss-budget fails the run outright if any cell's peak RSS exceeds
+ * the budget -- the CI guard for the sparse simulator state.
+ * --footprint overrides each workload's footprint, as in the figure
+ * benches.
+ *
  * Output schema ("tps-perf-baseline", version 1):
  *   { "format": "tps-perf-baseline", "version": 1, "scale": <f>,
  *     "cells": [ { "workload": "...", "design": "...",
  *                  "accesses": <n>, "seconds": <f>,
- *                  "accessesPerSec": <f> }, ... ],
+ *                  "accessesPerSec": <f>,
+ *                  "hostRssBytes": <n> } ], ... ],
  *     "geomeanAccessesPerSec": <f> }
+ * hostRssBytes (and the optional top-level "footprintBytes") are
+ * host-side measurements, never part of run manifests; they appear
+ * only when the platform can measure them (Linux procfs).
  */
 
 #include <chrono>
@@ -37,6 +53,8 @@
 #include <ctime>
 #include <string>
 #include <vector>
+
+#include <sys/resource.h>
 
 #include "core/tps_system.hh"
 #include "obs/event_trace.hh"
@@ -54,10 +72,13 @@ struct Args
     std::string out;
     std::string compare;
     double tolerance = 0.2;
+    double rssTolerance = 0.25;
     double scale = 1.0;
     std::vector<std::string> benchmarks;
     unsigned repeat = 3;
     bool traceOverhead = false;
+    uint64_t footprintBytes = 0;
+    uint64_t rssBudgetBytes = 0;
 };
 
 bool
@@ -84,6 +105,70 @@ parseF64(const char *s, double *out)
         return false;
     *out = v;
     return true;
+}
+
+/** Byte size with an optional k/m/g/t (binary) suffix. */
+bool
+parseSize(const char *s, uint64_t *out)
+{
+    size_t len = std::strlen(s);
+    if (len == 0)
+        return false;
+    unsigned shift = 0;
+    switch (s[len - 1] | 0x20) {
+      case 'k': shift = 10; break;
+      case 'm': shift = 20; break;
+      case 'g': shift = 30; break;
+      case 't': shift = 40; break;
+      default: break;
+    }
+    std::string digits(s, shift ? len - 1 : len);
+    uint64_t v = 0;
+    if (!parseU64(digits.c_str(), &v))
+        return false;
+    if (shift && v > (~0ull >> shift))
+        return false;
+    *out = v << shift;
+    return true;
+}
+
+/**
+ * Reset the process's peak-RSS high-water mark so the next
+ * readPeakRssBytes() reflects only allocations from here on.  Linux
+ * only ("5" to /proc/self/clear_refs); harmless elsewhere.
+ */
+void
+resetPeakRss()
+{
+    if (FILE *f = std::fopen("/proc/self/clear_refs", "w")) {
+        std::fputs("5", f);
+        std::fclose(f);
+    }
+}
+
+/**
+ * Peak host RSS in bytes: VmHWM from /proc/self/status (resettable,
+ * the per-cell measurement), falling back to getrusage's lifetime
+ * ru_maxrss; 0 when neither is available.
+ */
+uint64_t
+readPeakRssBytes()
+{
+    if (FILE *f = std::fopen("/proc/self/status", "r")) {
+        char line[256];
+        while (std::fgets(line, sizeof line, f)) {
+            unsigned long long kb = 0;
+            if (std::sscanf(line, "VmHWM: %llu", &kb) == 1) {
+                std::fclose(f);
+                return kb * 1024ull;
+            }
+        }
+        std::fclose(f);
+    }
+    struct rusage ru{};
+    if (getrusage(RUSAGE_SELF, &ru) == 0)
+        return static_cast<uint64_t>(ru.ru_maxrss) * 1024ull;
+    return 0;
 }
 
 Args
@@ -127,11 +212,30 @@ parseArgs(int argc, char **argv)
             args.repeat = static_cast<unsigned>(repeat);
         } else if (std::strcmp(arg, "--trace-overhead") == 0) {
             args.traceOverhead = true;
+        } else if (std::strncmp(arg, "--rss-tolerance=", 16) == 0) {
+            if (!parseF64(arg + 16, &args.rssTolerance) ||
+                args.rssTolerance < 0 || args.rssTolerance >= 10) {
+                tps_fatal("bad --rss-tolerance value '%s'", arg + 16);
+            }
+        } else if (std::strncmp(arg, "--footprint=", 12) == 0) {
+            if (!parseSize(arg + 12, &args.footprintBytes) ||
+                args.footprintBytes == 0) {
+                tps_fatal("bad --footprint value '%s' (want e.g. "
+                          "512m, 64g, 1t)", arg + 12);
+            }
+        } else if (std::strncmp(arg, "--rss-budget=", 13) == 0) {
+            if (!parseSize(arg + 13, &args.rssBudgetBytes) ||
+                args.rssBudgetBytes == 0) {
+                tps_fatal("bad --rss-budget value '%s' (want e.g. "
+                          "8g)", arg + 13);
+            }
         } else if (std::strcmp(arg, "--help") == 0) {
             std::printf(
                 "options: --out=<path> --compare=<path> "
-                "--tolerance=<f> --scale=<f> --benchmarks=a,b,c "
-                "--repeat=<n> --trace-overhead\n");
+                "--tolerance=<f> --rss-tolerance=<f> --scale=<f> "
+                "--benchmarks=a,b,c --repeat=<n> "
+                "--footprint=<size[kmgt]> --rss-budget=<size[kmgt]> "
+                "--trace-overhead\n");
             std::exit(0);
         } else {
             tps_fatal("unknown option '%s' (try --help)", arg);
@@ -157,21 +261,27 @@ struct CellPerf
     uint64_t accesses = 0;
     double seconds = 0.0;
     double accessesPerSec = 0.0;
+    uint64_t hostRssBytes = 0;  //!< best-of-N peak RSS (0 = unmeasured)
 };
 
 /**
  * Run one cell @p repeat times, keeping the fastest run.  Accesses are
  * the total simulated count (warmup included -- warmup costs host time
- * like any other access).
+ * like any other access).  Peak RSS is reset and read around every
+ * iteration, keeping the smallest peak: like best-of-N timing, the
+ * minimum converges on the cell's real requirement (first iterations
+ * can carry allocator warmup from earlier cells).
  */
 CellPerf
 measure(const std::string &wl, core::Design design, double scale,
-        unsigned repeat, obs::EventTrace *trace)
+        uint64_t footprint_bytes, unsigned repeat,
+        obs::EventTrace *trace)
 {
     core::RunOptions run;
     run.workload = wl;
     run.design = design;
     run.scale = scale;
+    run.footprintBytes = footprint_bytes;
     core::RunHooks hooks;
     hooks.trace = trace;
 
@@ -181,15 +291,19 @@ measure(const std::string &wl, core::Design design, double scale,
     for (unsigned i = 0; i < repeat; ++i) {
         if (trace)
             trace->clear();
+        resetPeakRss();
         auto t0 = std::chrono::steady_clock::now();
         sim::SimStats stats = core::runExperiment(run, hooks);
         double seconds = std::chrono::duration<double>(
                              std::chrono::steady_clock::now() - t0)
                              .count();
+        uint64_t rss = readPeakRssBytes();
         if (i == 0 || seconds < perf.seconds) {
             perf.accesses = stats.accesses + stats.warmup.accesses;
             perf.seconds = seconds;
         }
+        if (i == 0 || rss < perf.hostRssBytes)
+            perf.hostRssBytes = rss;
     }
     perf.accessesPerSec =
         perf.seconds > 0
@@ -198,21 +312,40 @@ measure(const std::string &wl, core::Design design, double scale,
     return perf;
 }
 
-/** Baseline lookup: accessesPerSec for (workload, design), or 0. */
-double
-baselineRate(const obs::Json &base, const CellPerf &cell)
+/** Baseline cell JSON for (workload, design), or nullptr. */
+const obs::Json *
+baselineCell(const obs::Json &base, const CellPerf &cell)
 {
     const obs::Json *cells = base.find("cells");
     if (!cells)
-        return 0.0;
+        return nullptr;
     for (size_t i = 0; i < cells->size(); ++i) {
         const obs::Json &c = cells->at(i);
         if (c.at("workload").asString() == cell.workload &&
             c.at("design").asString() == cell.design) {
-            return c.at("accessesPerSec").asDouble();
+            return &c;
         }
     }
-    return 0.0;
+    return nullptr;
+}
+
+/** Baseline lookup: accessesPerSec for (workload, design), or 0. */
+double
+baselineRate(const obs::Json &base, const CellPerf &cell)
+{
+    const obs::Json *c = baselineCell(base, cell);
+    return c ? c->at("accessesPerSec").asDouble() : 0.0;
+}
+
+/** Baseline lookup: hostRssBytes for (workload, design), or 0. */
+uint64_t
+baselineRss(const obs::Json &base, const CellPerf &cell)
+{
+    const obs::Json *c = baselineCell(base, cell);
+    if (!c)
+        return 0;
+    const obs::Json *rss = c->find("hostRssBytes");
+    return rss ? rss->asUInt() : 0;
 }
 
 } // namespace
@@ -227,18 +360,35 @@ main(int argc, char **argv)
 
     std::vector<CellPerf> cells;
     Summary rates;
+    bool over_budget = false;
     for (const std::string &wl : args.benchmarks) {
         for (core::Design design : kDesigns) {
-            CellPerf perf =
-                measure(wl, design, args.scale, args.repeat, nullptr);
+            CellPerf perf = measure(wl, design, args.scale,
+                                    args.footprintBytes, args.repeat,
+                                    nullptr);
             std::printf("%-12s %-10s %12llu accesses  %8.3f s  "
-                        "%12.0f acc/s\n",
+                        "%12.0f acc/s  %8.1f MB peak\n",
                         perf.workload.c_str(), perf.design.c_str(),
                         static_cast<unsigned long long>(perf.accesses),
-                        perf.seconds, perf.accessesPerSec);
+                        perf.seconds, perf.accessesPerSec,
+                        static_cast<double>(perf.hostRssBytes) /
+                            (1 << 20));
+            if (args.rssBudgetBytes != 0 &&
+                perf.hostRssBytes > args.rssBudgetBytes) {
+                std::fprintf(stderr,
+                             "%s/%s peak RSS %.1f MB exceeds the "
+                             "%.1f MB budget\n",
+                             perf.workload.c_str(), perf.design.c_str(),
+                             static_cast<double>(perf.hostRssBytes) /
+                                 (1 << 20),
+                             static_cast<double>(args.rssBudgetBytes) /
+                                 (1 << 20));
+                over_budget = true;
+            }
             if (args.traceOverhead) {
                 obs::EventTrace trace;
                 CellPerf traced = measure(wl, design, args.scale,
+                                          args.footprintBytes,
                                           args.repeat, &trace);
                 double overhead =
                     perf.seconds > 0
@@ -267,13 +417,22 @@ main(int argc, char **argv)
         c["accesses"] = perf.accesses;
         c["seconds"] = perf.seconds;
         c["accessesPerSec"] = perf.accessesPerSec;
+        if (perf.hostRssBytes != 0)
+            c["hostRssBytes"] = perf.hostRssBytes;
         arr.push(std::move(c));
     }
     j["cells"] = std::move(arr);
     j["geomeanAccessesPerSec"] = rates.geomean();
+    if (args.footprintBytes != 0)
+        j["footprintBytes"] = args.footprintBytes;
     obs::writeJsonFile(args.out, j);
     std::printf("wrote %s (geomean %.0f acc/s)\n", args.out.c_str(),
                 rates.geomean());
+
+    if (over_budget) {
+        std::fprintf(stderr, "peak RSS over --rss-budget\n");
+        return 1;
+    }
 
     if (args.compare.empty())
         return 0;
@@ -322,12 +481,48 @@ main(int argc, char **argv)
     bool failed = change < -args.tolerance;
     std::printf("compare geomean %+18.1f%% vs baseline  %s\n",
                 100.0 * change, failed ? "REGRESSION" : "ok");
+
+    // RSS rides the same gate in the other direction: growth beyond
+    // --rss-tolerance fails.  Cells without RSS on both sides are
+    // skipped, so comparing against a pre-RSS baseline degrades to the
+    // throughput gate alone.
+    Summary rss_now, rss_base;
+    for (const CellPerf &perf : cells) {
+        uint64_t ref = baselineRss(base, perf);
+        if (ref == 0 || perf.hostRssBytes == 0)
+            continue;
+        rss_now.add(static_cast<double>(perf.hostRssBytes));
+        rss_base.add(static_cast<double>(ref));
+        double delta =
+            static_cast<double>(perf.hostRssBytes) / ref - 1.0;
+        std::printf("compare %-12s %-10s %+7.1f%% RSS (%.1f MB vs "
+                    "%.1f MB)\n",
+                    perf.workload.c_str(), perf.design.c_str(),
+                    100.0 * delta,
+                    static_cast<double>(perf.hostRssBytes) / (1 << 20),
+                    static_cast<double>(ref) / (1 << 20));
+    }
+    bool rss_failed = false;
+    if (!rss_now.empty()) {
+        double growth = rss_now.geomean() / rss_base.geomean() - 1.0;
+        rss_failed = growth > args.rssTolerance;
+        std::printf("compare geomean RSS %+14.1f%% vs baseline  %s\n",
+                    100.0 * growth,
+                    rss_failed ? "REGRESSION" : "ok");
+        if (rss_failed) {
+            std::fprintf(stderr,
+                         "RSS regression beyond %.0f%% tolerance\n",
+                         100.0 * args.rssTolerance);
+        }
+    }
+
     if (failed) {
         std::fprintf(stderr,
                      "perf regression beyond %.0f%% tolerance\n",
                      100.0 * args.tolerance);
-        return 1;
     }
+    if (failed || rss_failed)
+        return 1;
     std::printf("perf within %.0f%% of baseline\n",
                 100.0 * args.tolerance);
     return 0;

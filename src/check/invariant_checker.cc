@@ -140,9 +140,16 @@ InvariantChecker::scanNode(const vm::PageTableNode *node, unsigned level,
         bool is_leaf = (level == 1) || pte.pageSize();
         if (!is_leaf) {
             if (!child) {
-                r.add(kCls, fmt("level-%u directory at va %#llx has no "
-                                "child node", level,
-                                (unsigned long long)base));
+                // In the sparse table a present directory with no host
+                // object is a released empty subtree -- legitimate, and
+                // there is nothing below it to scan.  Only the dense
+                // oracle guarantees resident children.
+                if (pt.dense()) {
+                    r.add(kCls,
+                          fmt("level-%u directory at va %#llx has no "
+                              "child node", level,
+                              (unsigned long long)base));
+                }
             } else {
                 if (pte.rawPfn() != child->framePfn) {
                     r.add(kCls,
@@ -354,7 +361,7 @@ InvariantChecker::checkFrameAccounting(CheckReport &r) const
     for (unsigned order = 0; order <= os::BuddyAllocator::kMaxOrder;
          ++order) {
         uint64_t frames = 1ull << order;
-        for (Pfn pfn : buddy.freeList(order)) {
+        buddy.forEachFreeBlock(order, [&](Pfn pfn) {
             if (pfn % frames != 0) {
                 r.add(kCls, fmt("free order-%u block at frame %#llx is "
                                 "not naturally aligned", order,
@@ -367,7 +374,7 @@ InvariantChecker::checkFrameAccounting(CheckReport &r) const
             }
             blocks.emplace_back(pfn, frames);
             free_sum += frames;
-        }
+        });
     }
     std::sort(blocks.begin(), blocks.end());
     for (size_t i = 1; i < blocks.size(); ++i) {

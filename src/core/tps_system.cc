@@ -1,5 +1,7 @@
 #include "core/tps_system.hh"
 
+#include <algorithm>
+
 #include "check/invariant_checker.hh"
 #include "obs/mem_telemetry.hh"
 #include "os/policy_rmm.hh"
@@ -122,6 +124,7 @@ makeEngineConfig(const RunOptions &opts)
     ecfg.mmu.tlb.tpsTlbSkewed = opts.tpsTlbSkewed;
     ecfg.addressSpace.aliasMode = opts.aliasMode;
     ecfg.addressSpace.encoding = opts.encoding;
+    ecfg.addressSpace.denseState = opts.denseState;
     ecfg.timing = opts.timing;
     ecfg.maxAccesses = opts.maxAccesses;
     ecfg.epochAccesses = opts.epochAccesses;
@@ -133,10 +136,26 @@ makeEngineConfig(const RunOptions &opts)
     // Workload construction is cheap (simulated memory is only mapped
     // at setup), so resolving the instruction mix here is fine.
     ecfg.cycle.instsPerAccess =
-        workloads::makeWorkload(opts.workload, opts.scale, runSeed(opts))
+        workloads::makeWorkload(opts.workload, opts.scale, runSeed(opts),
+                                opts.footprintBytes)
             ->info()
             .instsPerAccess;
     return ecfg;
+}
+
+uint64_t
+effectivePhysBytes(const RunOptions &opts)
+{
+    if (opts.footprintBytes == 0)
+        return opts.physBytes;
+    // Fit the footprint itself (twice under SMT: two instances) plus
+    // headroom for page tables, reservations and buddy fragmentation:
+    // +1/8 covers eager-THP reservation slop and table frames with
+    // room to spare, and the 1 GB floor keeps small overrides from
+    // starving the allocator.
+    uint64_t fp = opts.footprintBytes * (opts.smt ? 2 : 1);
+    uint64_t need = fp + fp / 8 + (1ull << 30);
+    return std::max(opts.physBytes, need);
 }
 
 sim::SimStats
@@ -148,7 +167,7 @@ runExperiment(const RunOptions &opts)
 sim::SimStats
 runExperiment(const RunOptions &opts, const RunHooks &hooks)
 {
-    os::PhysMemory pm(opts.physBytes);
+    os::PhysMemory pm(effectivePhysBytes(opts), opts.denseState);
 
     std::optional<os::Fragmenter> fragmenter;
     if (opts.fragmented) {
@@ -158,8 +177,8 @@ runExperiment(const RunOptions &opts, const RunHooks &hooks)
 
     sim::EngineConfig ecfg = makeEngineConfig(opts);
     uint64_t seed = runSeed(opts);
-    auto primary =
-        workloads::makeWorkload(opts.workload, opts.scale, seed);
+    auto primary = workloads::makeWorkload(opts.workload, opts.scale,
+                                           seed, opts.footprintBytes);
 
     // Declared before the engine: the address-space destructor unmaps
     // surviving VMAs, and those unmaps still fire the telemetry hooks,
@@ -186,8 +205,9 @@ runExperiment(const RunOptions &opts, const RunHooks &hooks)
 
     std::unique_ptr<workloads::Workload> competitor;
     if (opts.smt) {
-        competitor = workloads::makeWorkload(opts.workload, opts.scale,
-                                             seed + 1000);
+        competitor = workloads::makeWorkload(
+            opts.workload, opts.scale, seed + 1000,
+            opts.footprintBytes);
         engine.addWorkload(*competitor);
     }
     sim::SimStats stats = engine.run();
@@ -212,12 +232,14 @@ runExperiment(const RunOptions &opts, const RunHooks &hooks)
 }
 
 TpsSystem::TpsSystem(const Config &cfg)
-    : cfg_(cfg), phys_(std::make_unique<os::PhysMemory>(cfg.physBytes))
+    : cfg_(cfg), phys_(std::make_unique<os::PhysMemory>(cfg.physBytes,
+                                                        cfg.denseState))
 {
     sim::EngineConfig ecfg;
     ecfg.mmu.tlb = designTlbConfig(cfg.design);
     ecfg.addressSpace.aliasMode = cfg.aliasMode;
     ecfg.addressSpace.encoding = cfg.encoding;
+    ecfg.addressSpace.denseState = cfg.denseState;
     engine_ = std::make_unique<sim::Engine>(
         *phys_, makePolicy(cfg.design, cfg.tpsThreshold), ecfg);
 }

@@ -77,6 +77,19 @@ struct RunOptions
     //! SimStats::mem.  Part of cell identity: it adds a "mem" section
     //! to the stat tree, so manifests distinguish telemetry runs.
     bool memTelemetry = false;
+    //! Override the workload's nominal memory footprint in bytes
+    //! (gups table, graph500 edge arrays, dbx1000 buffer pool);
+    //! 0 = workload default.  When set, runExperiment() also grows the
+    //! physical capacity to fit (physBytes acts as a floor), letting a
+    //! terabyte-footprint cell run on a default command line.  Part of
+    //! cell identity when nonzero.
+    uint64_t footprintBytes = 0;
+    //! Use the dense simulator state (fully materialized buddy free
+    //! lists, resident page-table nodes) instead of the sparse default
+    //! -- the oracle side of the sparse/dense golden tests.  Host-only
+    //! representation switch: stats and manifests are bit-identical
+    //! either way, so it is never serialized into manifests.
+    bool denseState = false;
 };
 
 /** How one sweep cell ended (recorded in run manifests). */
@@ -131,6 +144,14 @@ struct RunHooks
 sim::EngineConfig makeEngineConfig(const RunOptions &opts);
 
 /**
+ * The physical capacity runExperiment() actually provisions for
+ * @p opts: physBytes, grown when a footprint override needs more room
+ * (the footprint itself plus headroom for page tables, reservations
+ * and fragmentation).
+ */
+uint64_t effectivePhysBytes(const RunOptions &opts);
+
+/**
  * Run one experiment configuration end to end.  Deterministic: the same
  * options always produce the same statistics, whether cells execute
  * serially or on an ExperimentRunner pool (seeds come from runSeed(),
@@ -157,6 +178,7 @@ class TpsSystem
         double tpsThreshold = 1.0;
         vm::AliasMode aliasMode = vm::AliasMode::Pointer;
         vm::SizeEncoding encoding = vm::SizeEncoding::Napot;
+        bool denseState = false;  //!< dense simulator-state oracle
     };
 
     explicit TpsSystem(const Config &cfg);

@@ -97,10 +97,18 @@ runOptionsJson(const core::RunOptions &opts)
     // before the option existed.
     if (opts.memTelemetry)
         j["memTelemetry"] = true;
+    // Likewise footprintBytes: a nonzero override changes the workload
+    // (so it must be recorded), while footprint-off manifests stay
+    // byte-identical to pre-option ones.
+    if (opts.footprintBytes != 0)
+        j["footprintBytes"] = opts.footprintBytes;
     // referencePath and chunkAccesses are deliberately absent: they
     // select how the translate loop executes, never what it computes
     // (the differential suite proves this), and leaving them out keeps
-    // fast-path and reference-path manifests byte-identical.
+    // fast-path and reference-path manifests byte-identical.  The same
+    // goes for denseState: sparse and dense are alternate host
+    // representations of identical simulated state (the sparse golden
+    // suite proves bit-identical stats), so it is never serialized.
     return j;
 }
 
@@ -190,7 +198,8 @@ cellJson(const CellArtifact &cell, bool includeHost)
 
     auto workload =
         workloads::makeWorkload(opts.workload, opts.scale,
-                                core::runSeed(opts));
+                                core::runSeed(opts),
+                                opts.footprintBytes);
     Json &w = j["workload"];
     w["name"] = workload->info().name;
     w["description"] = workload->info().description;

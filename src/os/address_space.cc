@@ -13,7 +13,7 @@ AddressSpace::AddressSpace(PhysMemory &pm,
                            std::unique_ptr<PagingPolicy> policy,
                            Config cfg)
     : phys_(pm), policy_(std::move(policy)), cfg_(cfg),
-      pageTable_(pm, cfg.encoding, cfg.aliasMode),
+      pageTable_(pm, cfg.encoding, cfg.aliasMode, cfg.denseState),
       mmapCursor_(cfg.mmapBase)
 {
     tps_assert(policy_ != nullptr);
@@ -66,6 +66,8 @@ AddressSpace::munmap(vm::Vaddr start)
     if (trace_)
         trace_->osUnmap(start, it->second.id);
     policy_->onMunmap(*this, it->second);
+    if (unmapFn_)
+        unmapFn_(start, start + it->second.length);
     if (cachedVma_ == &it->second)
         cachedVma_ = nullptr;
     vmas_.erase(it);

@@ -43,6 +43,9 @@ class AddressSpace
         vm::SizeEncoding encoding = vm::SizeEncoding::Napot;
         vm::AliasMode aliasMode = vm::AliasMode::Pointer;
         vm::Vaddr mmapBase = 0x10000000000ull;  //!< first mmap VA (1 TB)
+        //! Dense page-table node residency (the sparse/dense oracle
+        //! switch); host-only, never serialized into manifests.
+        bool denseState = false;
     };
 
     /**
@@ -124,6 +127,19 @@ class AddressSpace
     }
 
     /**
+     * Register an observer fired by munmap() with the VMA's [start,
+     * end) range after its pages are gone.  Host-side bookkeeping
+     * keyed by VA (the MMU's A/D shadow vectors) uses this to drop
+     * per-range payloads; mmap never reuses addresses, so dropping is
+     * invisible to the simulation.
+     */
+    void
+    setUnmapListener(std::function<void(vm::Vaddr, vm::Vaddr)> fn)
+    {
+        unmapFn_ = std::move(fn);
+    }
+
+    /**
      * Insert a VMA verbatim (used when cloning an address space for
      * copy-on-write; ordinary mappings should use mmap()).
      */
@@ -196,6 +212,7 @@ class AddressSpace
     uint64_t touchedBasePages_ = 0;
     std::function<void(vm::Vaddr)> shootdownFn_;
     std::function<void()> flushFn_;
+    std::function<void(vm::Vaddr, vm::Vaddr)> unmapFn_;
     std::function<bool(AddressSpace &, vm::Vaddr, bool)> cowFn_;
 };
 

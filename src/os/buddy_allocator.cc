@@ -1,30 +1,60 @@
 #include "os/buddy_allocator.hh"
 
+#include <bit>
+
 #include "util/bitops.hh"
 #include "util/logging.hh"
 
 namespace tps::os {
 
-BuddyAllocator::BuddyAllocator(uint64_t total_frames)
+BuddyAllocator::BuddyAllocator(uint64_t total_frames, bool dense)
     : totalFrames_(total_frames), freeFrames_(total_frames),
       freeLists_(kMaxOrder + 1)
 {
     tps_assert(total_frames > 0);
-    // Seed the free lists with the maximal aligned blocks covering
-    // [0, total_frames), largest-first.
-    Pfn pfn = 0;
-    uint64_t remaining = total_frames;
+    // The initial free state is a run of maximal aligned blocks covering
+    // [0, runEnd_) plus a descending power-of-two tail [runEnd_, total).
+    // The run stays implicit; the tail (at most one block per order
+    // below kMaxOrder) is materialized eagerly.
+    runEnd_ = alignDown(total_frames, 1ull << kMaxOrder);
+    Pfn pfn = runEnd_;
+    uint64_t remaining = total_frames - runEnd_;
     while (remaining > 0) {
         uint64_t block = largestAlignedPow2(pfn, remaining);
         unsigned order = log2Floor(block);
-        if (order > kMaxOrder) {
-            order = kMaxOrder;
-            block = 1ull << order;
-        }
-        freeLists_[order].insert(pfn);
+        tps_assert(order < kMaxOrder);
+        insertFree(pfn, order);
         pfn += block;
         remaining -= block;
     }
+    if (dense) {
+        while (runStart_ < runEnd_)
+            materializeOne();
+    }
+}
+
+void
+BuddyAllocator::insertFree(Pfn pfn, unsigned order)
+{
+    freeLists_[order].insert(pfn);
+    nonEmptyOrders_ |= 1u << order;
+}
+
+void
+BuddyAllocator::materializeOne()
+{
+    tps_assert(runStart_ < runEnd_);
+    insertFree(runStart_, kMaxOrder);
+    runStart_ += 1ull << kMaxOrder;
+}
+
+void
+BuddyAllocator::materializeThrough(Pfn pfn)
+{
+    // Explicit blocks must stay below runStart_, so every implicit block
+    // up to and including pfn's becomes explicit.
+    while (runStart_ < runEnd_ && runStart_ <= pfn)
+        materializeOne();
 }
 
 std::optional<Pfn>
@@ -32,20 +62,30 @@ BuddyAllocator::alloc(unsigned order)
 {
     tps_assert(order <= kMaxOrder);
     ++stats_.allocs;
-    unsigned o = order;
-    while (o <= kMaxOrder && freeLists_[o].empty())
-        ++o;
-    if (o > kMaxOrder) {
+    // Smallest populated order >= `order`.  The implicit run contributes
+    // only maximal blocks, and any explicit maximal block sits below
+    // runStart_, so an explicit candidate (when one exists) is always
+    // the block the dense allocator would pick.
+    unsigned o;
+    uint32_t mask = nonEmptyOrders_ >> order;
+    if (mask != 0) {
+        o = order + static_cast<unsigned>(std::countr_zero(mask));
+    } else if (runStart_ < runEnd_) {
+        materializeOne();
+        o = kMaxOrder;
+    } else {
         ++stats_.failedAllocs;
         return std::nullopt;
     }
     Pfn pfn = *freeLists_[o].begin();
     freeLists_[o].erase(freeLists_[o].begin());
+    if (freeLists_[o].empty())
+        nonEmptyOrders_ &= ~(1u << o);
     // Split down to the requested order, returning upper halves.
     while (o > order) {
         --o;
         ++stats_.splits;
-        freeLists_[o].insert(pfn + (1ull << o));
+        insertFree(pfn + (1ull << o), o);
     }
     freeFrames_ -= 1ull << order;
     return pfn;
@@ -58,12 +98,19 @@ BuddyAllocator::removeFree(Pfn pfn, unsigned order)
     if (it == freeLists_[order].end())
         return false;
     freeLists_[order].erase(it);
+    if (freeLists_[order].empty())
+        nonEmptyOrders_ &= ~(1u << order);
     return true;
 }
 
 bool
 BuddyAllocator::isFree(Pfn pfn, unsigned order) const
 {
+    // A block of order <= kMaxOrder lies within one maximal-block
+    // window, and the run bounds are window-aligned, so a block either
+    // sits entirely inside the implicit run or not at all.
+    if (pfn >= runStart_ && pfn + (1ull << order) <= runEnd_)
+        return true;
     // The block is free iff it is covered by exactly one free block of
     // order >= `order`, or tiled by free sub-blocks.  Walk up first:
     // any enclosing free block covers it.
@@ -86,6 +133,11 @@ BuddyAllocator::allocSpecific(Pfn pfn, unsigned order)
     tps_assert(isAligned(pfn, 1ull << order));
     if (!isFree(pfn, order))
         return false;
+    // If the target lies in the implicit run, make it (and every run
+    // block below it, which must stay ahead of runStart_) explicit; the
+    // dense carve-out below then applies unchanged.
+    if (pfn >= runStart_ && pfn < runEnd_)
+        materializeThrough(pfn);
     ++stats_.allocs;
 
     // Find the enclosing free block and split it until the target block
@@ -101,10 +153,10 @@ BuddyAllocator::allocSpecific(Pfn pfn, unsigned order)
             Pfn lower = base;
             Pfn upper = base + (1ull << o);
             if (pfn < upper) {
-                freeLists_[o].insert(upper);
+                insertFree(upper, o);
                 base = lower;
             } else {
-                freeLists_[o].insert(lower);
+                insertFree(lower, o);
                 base = upper;
             }
         }
@@ -127,6 +179,9 @@ BuddyAllocator::allocSpecific(Pfn pfn, unsigned order)
 void
 BuddyAllocator::insertAndMerge(Pfn pfn, unsigned order)
 {
+    // Merges cannot reach into the implicit run: maximal blocks never
+    // merge further (the kMaxOrder cap below), and any smaller merge
+    // stays inside one window-aligned region outside the run.
     while (order < kMaxOrder) {
         Pfn buddy = pfn ^ (1ull << order);
         if (!removeFree(buddy, order))
@@ -135,7 +190,7 @@ BuddyAllocator::insertAndMerge(Pfn pfn, unsigned order)
         pfn = pfn < buddy ? pfn : buddy;
         ++order;
     }
-    freeLists_[order].insert(pfn);
+    insertFree(pfn, order);
 }
 
 void
@@ -156,14 +211,14 @@ BuddyAllocator::largestAvailable(unsigned max_order) const
     // A free block of any order o can satisfy requests up to min(o, cap)
     // (larger blocks split down), so the answer is the largest free
     // order anywhere, clamped to the cap.
-    for (int o = static_cast<int>(kMaxOrder); o >= 0; --o) {
-        if (!freeLists_[o].empty()) {
-            return static_cast<unsigned>(o) < cap
-                       ? static_cast<unsigned>(o)
-                       : cap;
-        }
-    }
-    return std::nullopt;
+    unsigned best;
+    if (runStart_ < runEnd_)
+        best = kMaxOrder;
+    else if (nonEmptyOrders_ != 0)
+        best = log2Floor(nonEmptyOrders_);
+    else
+        return std::nullopt;
+    return best < cap ? best : cap;
 }
 
 std::vector<uint64_t>
@@ -172,6 +227,7 @@ BuddyAllocator::freeListCounts() const
     std::vector<uint64_t> counts(kMaxOrder + 1);
     for (unsigned o = 0; o <= kMaxOrder; ++o)
         counts[o] = freeLists_[o].size();
+    counts[kMaxOrder] += implicitBlocks();
     return counts;
 }
 
@@ -183,6 +239,8 @@ BuddyAllocator::coverageAt(unsigned order) const
     uint64_t usable = 0;
     for (unsigned o = order; o <= kMaxOrder; ++o)
         usable += freeLists_[o].size() << o;
+    if (order <= kMaxOrder)
+        usable += runEnd_ - runStart_;
     return static_cast<double>(usable) /
            static_cast<double>(freeFrames_);
 }
@@ -192,20 +250,30 @@ BuddyAllocator::fragmentationIndex() const
 {
     if (freeFrames_ == 0)
         return 0.0;
-    for (int o = kMaxOrder; o >= 0; --o) {
-        if (!freeLists_[o].empty()) {
-            return 1.0 - static_cast<double>(1ull << o) /
-                             static_cast<double>(freeFrames_);
-        }
-    }
-    return 0.0;
+    unsigned best;
+    if (runStart_ < runEnd_)
+        best = kMaxOrder;
+    else if (nonEmptyOrders_ != 0)
+        best = log2Floor(nonEmptyOrders_);
+    else
+        return 0.0;
+    return 1.0 - static_cast<double>(1ull << best) /
+                     static_cast<double>(freeFrames_);
 }
 
-const std::set<Pfn> &
-BuddyAllocator::freeList(unsigned order) const
+void
+BuddyAllocator::forEachFreeBlock(
+    unsigned order, const std::function<void(Pfn)> &visit) const
 {
     tps_assert(order <= kMaxOrder);
-    return freeLists_[order];
+    // Explicit maximal blocks all sit below runStart_ (the tail never
+    // holds one), so explicit-then-run preserves ascending order.
+    for (Pfn pfn : freeLists_[order])
+        visit(pfn);
+    if (order == kMaxOrder) {
+        for (Pfn pfn = runStart_; pfn < runEnd_; pfn += 1ull << kMaxOrder)
+            visit(pfn);
+    }
 }
 
 } // namespace tps::os

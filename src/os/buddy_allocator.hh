@@ -16,12 +16,29 @@
  *
  * Ordered free lists make allocation deterministic (lowest address
  * first), which the reproducibility of every figure depends on.
+ *
+ * Sparse representation.  A fresh allocator's free lists are a pure
+ * function of capacity: a run of maximal (order kMaxOrder) blocks
+ * followed by a descending power-of-two tail.  The never-touched part
+ * of that run is therefore kept *implicit* -- a single [runStart_,
+ * runEnd_) interval instead of one container node per gigabyte -- and
+ * blocks materialize into the explicit lists only when an operation
+ * actually reaches them.  Materialization moves a block between two
+ * equivalent encodings of the same state, so every query and every
+ * statistic is bit-identical to the dense allocator; the dense mode
+ * (materialize everything up front) survives as the oracle the golden
+ * sparse-vs-dense suite compares against.  Because allocation prefers
+ * the lowest address and buddy merges never cross the run boundary
+ * (the run start is always kMaxOrder-aligned and maximal blocks never
+ * merge further), the explicit region evolves exactly as the dense
+ * allocator's would.
  */
 
 #ifndef TPS_OS_BUDDY_ALLOCATOR_HH
 #define TPS_OS_BUDDY_ALLOCATOR_HH
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <set>
 #include <vector>
@@ -52,8 +69,11 @@ class BuddyAllocator
     /**
      * @param total_frames  Physical frames managed; the initial state is
      *                      one big free region [0, total_frames).
+     * @param dense         Materialize every free block up front (the
+     *                      oracle mode) instead of keeping the untouched
+     *                      maximal-block run implicit.
      */
-    explicit BuddyAllocator(uint64_t total_frames);
+    explicit BuddyAllocator(uint64_t total_frames, bool dense = false);
 
     /**
      * Allocate a naturally aligned block of 2^@p order frames.
@@ -106,8 +126,19 @@ class BuddyAllocator
     const BuddyStats &stats() const { return stats_; }
     void clearStats() { stats_ = BuddyStats{}; }
 
-    /** Ordered set of free blocks at @p order (tests / analyses). */
-    const std::set<Pfn> &freeList(unsigned order) const;
+    /**
+     * Visit every free block of @p order in ascending address order
+     * (tests / invariant sweeps).  Implicit run blocks are visited
+     * arithmetically, without being materialized.
+     */
+    void forEachFreeBlock(unsigned order,
+                          const std::function<void(Pfn)> &visit) const;
+
+    /** Number of still-implicit maximal blocks (tests/introspection). */
+    uint64_t implicitBlocks() const
+    {
+        return (runEnd_ - runStart_) >> kMaxOrder;
+    }
 
   private:
     /** Remove a specific block from its free list; false if absent. */
@@ -116,9 +147,30 @@ class BuddyAllocator
     /** Insert a block, merging with its buddy as far as possible. */
     void insertAndMerge(Pfn pfn, unsigned order);
 
+    /** Insert into a free list, keeping the non-empty bitmask in step. */
+    void insertFree(Pfn pfn, unsigned order);
+
+    /** Move the first implicit run block onto the explicit lists. */
+    void materializeOne();
+
+    /** Materialize implicit blocks up to and including @p pfn's. */
+    void materializeThrough(Pfn pfn);
+
     uint64_t totalFrames_;
     uint64_t freeFrames_;
     std::vector<std::set<Pfn>> freeLists_;  //!< index = order
+    /**
+     * Bitmask of orders whose *explicit* list is non-empty, so the
+     * alloc() fallback and largestAvailable() find the next populated
+     * order with one bit scan instead of a linear walk (hot under
+     * reservation churn).
+     */
+    uint32_t nonEmptyOrders_ = 0;
+    //! Implicit free run [runStart_, runEnd_): untouched maximal
+    //! (kMaxOrder) blocks not yet present in the explicit lists.  Both
+    //! bounds are kMaxOrder-aligned; empty in dense mode.
+    Pfn runStart_ = 0;
+    Pfn runEnd_ = 0;
     BuddyStats stats_;
 };
 

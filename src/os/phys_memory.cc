@@ -5,8 +5,8 @@
 
 namespace tps::os {
 
-PhysMemory::PhysMemory(uint64_t bytes)
-    : buddy_(bytes >> vm::kBasePageBits)
+PhysMemory::PhysMemory(uint64_t bytes, bool dense)
+    : buddy_(bytes >> vm::kBasePageBits, dense)
 {
 }
 

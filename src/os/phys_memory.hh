@@ -27,8 +27,13 @@ struct PhysMemoryStats
 class PhysMemory : public vm::FrameProvider
 {
   public:
-    /** @param bytes  Physical capacity; rounded down to whole frames. */
-    explicit PhysMemory(uint64_t bytes);
+    /**
+     * @param bytes  Physical capacity; rounded down to whole frames.
+     * @param dense  Use the dense (fully materialized) buddy free-list
+     *               representation instead of the sparse default; the
+     *               oracle side of the sparse/dense golden tests.
+     */
+    explicit PhysMemory(uint64_t bytes, bool dense = false);
 
     /** The underlying buddy allocator. */
     BuddyAllocator &buddy() { return buddy_; }

@@ -6,7 +6,7 @@
 namespace tps::os {
 
 BitCounter::BitCounter(uint64_t n)
-    : n_(n), tree_(n + 1, 0), bits_(n, false)
+    : n_(n), words_((n + 63) / 64, 0), tree_((n + 63) / 64 + 1, 0)
 {
 }
 
@@ -14,11 +14,13 @@ void
 BitCounter::set(uint64_t i)
 {
     tps_assert(i < n_);
-    if (bits_[i])
+    uint64_t word = i >> 6;
+    uint64_t bit = 1ull << (i & 63);
+    if (words_[word] & bit)
         return;
-    bits_[i] = true;
+    words_[word] |= bit;
     ++total_;
-    for (uint64_t x = i + 1; x <= n_; x += x & (~x + 1))
+    for (uint64_t x = word + 1; x < tree_.size(); x += x & (~x + 1))
         ++tree_[x];
 }
 
@@ -26,15 +28,18 @@ bool
 BitCounter::test(uint64_t i) const
 {
     tps_assert(i < n_);
-    return bits_[i];
+    return (words_[i >> 6] >> (i & 63)) & 1;
 }
 
 uint64_t
 BitCounter::prefix(uint64_t n) const
 {
     uint64_t sum = 0;
-    for (uint64_t x = n; x > 0; x -= x & (~x + 1))
+    for (uint64_t x = n >> 6; x > 0; x -= x & (~x + 1))
         sum += tree_[x];
+    if (n & 63)
+        sum += static_cast<uint64_t>(
+            std::popcount(words_[n >> 6] & lowMask(n & 63)));
     return sum;
 }
 

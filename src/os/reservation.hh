@@ -27,7 +27,17 @@ namespace tps::os {
 using vm::Pfn;
 using vm::Vaddr;
 
-/** Fenwick (binary indexed) tree counting set bits over page indices. */
+/**
+ * Fenwick (binary indexed) tree counting set bits over page indices.
+ *
+ * The bits live in a packed word bitmap and the Fenwick tree indexes
+ * *words* (64 pages each), summing per-word popcounts: range queries
+ * combine a word-level prefix with popcounts of the partial edge
+ * words.  This keeps the footprint at 2 bits per tracked page (bitmap
+ * + tree) instead of the 8+ bytes a per-page tree costs -- the
+ * difference between a terabyte-footprint cell fitting in host memory
+ * or not, since every reservation carries one of these.
+ */
 class BitCounter
 {
   public:
@@ -53,8 +63,8 @@ class BitCounter
 
     uint64_t n_;
     uint64_t total_ = 0;
-    std::vector<uint64_t> tree_;
-    std::vector<bool> bits_;
+    std::vector<uint64_t> words_;  //!< packed bitmap, 64 pages per word
+    std::vector<uint64_t> tree_;   //!< Fenwick over per-word popcounts
 };
 
 /** One reserved physical block bound to a virtual range. */

@@ -22,6 +22,18 @@ Mmu::Mmu(os::AddressSpace &as, MemSys *memsys, MmuConfig cfg)
         tlb_.flushAll();
         mmuCache_.invalidateAll();
     });
+    // Follow sparse page-table node objects across release and
+    // rematerialization so cached node pointers stay live (host-only;
+    // no simulated cache state moves).
+    as_.pageTable().setReleaseListener([this](const vm::PageTableNode *n) {
+        mmuCache_.onNodeReleased(n);
+    });
+    as_.pageTable().setMaterializeListener([this](vm::PageTableNode *n) {
+        mmuCache_.onNodeMaterialized(n);
+    });
+    as_.setUnmapListener([this](vm::Vaddr start, vm::Vaddr end) {
+        releaseAdRange(start, end);
+    });
 }
 
 Mmu::~Mmu()
@@ -30,6 +42,9 @@ Mmu::~Mmu()
     // dangle on the next shootdown.
     as_.setShootdownListener(nullptr);
     as_.setFlushListener(nullptr);
+    as_.setUnmapListener(nullptr);
+    as_.pageTable().setReleaseListener(nullptr);
+    as_.pageTable().setMaterializeListener(nullptr);
 }
 
 unsigned
@@ -92,6 +107,18 @@ Mmu::updateAdVector(vm::Vaddr page_base, unsigned page_bits,
         if (memsys_)
             memsys_->access(alias_paddr);
     }
+}
+
+void
+Mmu::releaseAdRange(vm::Vaddr start, vm::Vaddr end)
+{
+    // Tracked pages never straddle a VMA, so erasing entries based in
+    // [start, end) removes exactly the unmapped VMA's vectors.
+    auto first = adVectors_.lower_bound(start);
+    auto last = first;
+    while (last != adVectors_.end() && last->first < end)
+        ++last;
+    adVectors_.erase(first, last);
 }
 
 uint64_t

@@ -206,6 +206,14 @@ class Mmu
                         vm::Paddr alias_paddr);
 
     /**
+     * Drop A/D vectors whose pages lie in [start, end) -- fired by
+     * munmap.  mmap never reuses virtual addresses, so the payloads
+     * can never be consulted again; releasing them keeps host memory
+     * proportional to *live* tailored pages.
+     */
+    void releaseAdRange(vm::Vaddr start, vm::Vaddr end);
+
+    /**
      * CoLT: build the maximal coalesced run around @p va and fill the
      * coalesced TLB.  The candidate PTEs share the just-fetched PTE's
      * cache line, so the probes cost no extra memory reference; the

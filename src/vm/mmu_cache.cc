@@ -2,6 +2,7 @@
 
 #include "obs/stat_registry.hh"
 #include "util/logging.hh"
+#include "vm/page_table.hh"
 
 namespace tps::vm {
 
@@ -61,6 +62,7 @@ MmuCache::fill(Vaddr va, unsigned level, uint64_t generation,
     for (auto &e : entries) {
         if (e.valid && e.prefix == prefix && e.generation == generation) {
             e.node = node;
+            e.standIn.reset();
             e.lastUse = tick_;
             return;
         }
@@ -75,6 +77,7 @@ MmuCache::fill(Vaddr va, unsigned level, uint64_t generation,
     victim->prefix = prefix;
     victim->generation = generation;
     victim->node = node;
+    victim->standIn.reset();
     victim->lastUse = tick_;
     lc.sync(static_cast<size_t>(victim - entries.data()));
     ++stats_.fills;
@@ -108,6 +111,44 @@ MmuCache::invalidate(Vaddr va)
         }
     }
     ++stats_.invalidations;
+}
+
+void
+MmuCache::onNodeReleased(const PageTableNode *node)
+{
+    // The released node holds no present PTEs, so a walk that hits an
+    // entry pointing at it reads one all-zero slot at the node's frame
+    // and faults.  An owned empty copy with the same framePfn serves
+    // exactly those bytes and addresses; tags, generation, and LRU
+    // state are untouched, keeping hit/miss behavior identical to the
+    // dense table.  Bounded: at most one stand-in per cache entry.
+    for (unsigned level = 2; level <= kLevels; ++level) {
+        for (Entry &e : levels_[level].entries) {
+            if (e.valid && e.node == node) {
+                auto copy = std::make_unique<PageTableNode>();
+                copy->framePfn = node->framePfn;
+                e.node = copy.get();
+                e.standIn = std::move(copy);
+            }
+        }
+    }
+}
+
+void
+MmuCache::onNodeMaterialized(PageTableNode *node)
+{
+    // Match by frame, via the owned stand-in only (e.node may dangle
+    // for generation-stale entries; the stand-in is always safe to
+    // read).  Frames are unique while allocated, so a match is the
+    // released node this one resurrects.
+    for (unsigned level = 2; level <= kLevels; ++level) {
+        for (Entry &e : levels_[level].entries) {
+            if (e.standIn && e.standIn->framePfn == node->framePfn) {
+                e.node = node;
+                e.standIn.reset();
+            }
+        }
+    }
 }
 
 void

@@ -18,6 +18,7 @@
 #define TPS_VM_MMU_CACHE_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -84,6 +85,24 @@ class MmuCache
     /** Drop entries whose prefix covers @p va (INVLPG-style). */
     void invalidate(Vaddr va);
 
+    /**
+     * The sparse page table is about to release @p node's host object
+     * (its PTEs are all zero).  Entries pointing at it are repointed to
+     * an owned empty stand-in with the same frame, so later hits read
+     * the very bytes the dense table would serve -- no tag, stat, or
+     * LRU state moves.
+     */
+    void onNodeReleased(const PageTableNode *node);
+
+    /**
+     * The sparse page table rematerialized a released node as a fresh
+     * host object (same frame).  Entries parked on the matching
+     * stand-in are repointed to @p node so later walks read the PTEs
+     * the table is about to install, as a dense table's entries
+     * (whose node object never changed identity) would.
+     */
+    void onNodeMaterialized(PageTableNode *node);
+
     const MmuCacheStats &stats() const { return stats_; }
 
     /** Register the caches' live counters under @p prefix. */
@@ -98,6 +117,9 @@ class MmuCache
         uint64_t generation = 0;
         uint64_t lastUse = 0;
         PageTableNode *node = nullptr;
+        //! Owned empty stand-in for a released node (see
+        //! onNodeReleased); at most one per entry, replaced on fill.
+        std::unique_ptr<PageTableNode> standIn;
     };
 
     /** The index-prefix tag of @p va for the level-@p level cache. */

@@ -5,8 +5,8 @@
 namespace tps::vm {
 
 PageTable::PageTable(FrameProvider &provider, SizeEncoding enc,
-                     AliasMode alias)
-    : provider_(provider), enc_(enc), alias_(alias),
+                     AliasMode alias, bool dense)
+    : provider_(provider), enc_(enc), alias_(alias), dense_(dense),
       root_(std::make_unique<PageTableNode>())
 {
     root_->framePfn = provider_.allocTableFrame();
@@ -16,22 +16,75 @@ PageTable::PageTable(FrameProvider &provider, SizeEncoding enc,
 PageTable::~PageTable()
 {
     // Return every table frame, including the root's.
-    for (auto &child : root_->children)
-        freeSubtree(std::move(child));
+    for (unsigned idx = 0; idx < kPtesPerNode; ++idx) {
+        if (root_->children[idx]) {
+            freeSubtree(std::move(root_->children[idx]), kLevels - 1);
+        } else if (root_->ptes[idx].present() &&
+                   !root_->ptes[idx].pageSize()) {
+            freeZombie(root_->ptes[idx].rawPfn());
+        }
+    }
     provider_.freeTableFrame(root_->framePfn);
 }
 
 void
-PageTable::freeSubtree(std::unique_ptr<PageTableNode> node)
+PageTable::freeZombie(Pfn frame_pfn)
+{
+    // A released empty subtree is one simulated node with no
+    // descendants (children keep a directory PTE present, so a node
+    // with any is never released); freeing it matches the dense table
+    // freeing the resident empty node exactly.
+    provider_.freeTableFrame(frame_pfn);
+    ++stats_.nodesFreed;
+    --liveNodes_;
+    ++generation_;
+}
+
+void
+PageTable::freeSubtree(std::unique_ptr<PageTableNode> node, unsigned level)
 {
     if (!node)
         return;
-    for (auto &child : node->children)
-        freeSubtree(std::move(child));
+    for (unsigned idx = 0; idx < kPtesPerNode; ++idx) {
+        if (node->children[idx]) {
+            freeSubtree(std::move(node->children[idx]), level - 1);
+        } else if (level > 1 && node->ptes[idx].present() &&
+                   !node->ptes[idx].pageSize()) {
+            freeZombie(node->ptes[idx].rawPfn());
+        }
+    }
     provider_.freeTableFrame(node->framePfn);
     ++stats_.nodesFreed;
     --liveNodes_;
     ++generation_;
+}
+
+PageTableNode *
+PageTable::materializeChild(PageTableNode *node, unsigned idx)
+{
+    const Pte &pte = node->ptes[idx];
+    tps_assert(!node->children[idx]);
+    tps_assert(pte.present() && !pte.pageSize());
+    auto child = std::make_unique<PageTableNode>();
+    child->framePfn = pte.rawPfn();
+    child->parent = node;
+    child->parentIdx = idx;
+    node->children[idx] = std::move(child);
+    if (materializeListener_)
+        materializeListener_(node->children[idx].get());
+    return node->children[idx].get();
+}
+
+void
+PageTable::releaseIfEmpty(PageTableNode *node)
+{
+    if (dense_ || node->presentCount != 0 || !node->parent)
+        return;
+    if (releaseListener_)
+        releaseListener_(node);
+    // The parent's directory PTE stays present, carrying the node's
+    // frame; only the host object goes away.
+    node->parent->children[node->parentIdx].reset();
 }
 
 PageTableNode *
@@ -48,18 +101,27 @@ PageTable::ensureNode(Vaddr va, unsigned level)
                       l, static_cast<unsigned long long>(va));
         }
         if (!node->children[idx]) {
-            auto child = std::make_unique<PageTableNode>();
-            child->framePfn = provider_.allocTableFrame();
-            ++stats_.nodesAllocated;
-            ++liveNodes_;
-            Pte dir;
-            dir.setPresent(true);
-            dir.setWritable(true);
-            dir.setUser(true);
-            dir.setRawPfn(child->framePfn);
-            pte = dir;
-            ++stats_.pteWrites;
-            node->children[idx] = std::move(child);
+            if (pte.present()) {
+                // Present directory over a released empty subtree:
+                // bring the host object back, no simulated change.
+                materializeChild(node, idx);
+            } else {
+                auto child = std::make_unique<PageTableNode>();
+                child->framePfn = provider_.allocTableFrame();
+                child->parent = node;
+                child->parentIdx = idx;
+                ++stats_.nodesAllocated;
+                ++liveNodes_;
+                Pte dir;
+                dir.setPresent(true);
+                dir.setWritable(true);
+                dir.setUser(true);
+                dir.setRawPfn(child->framePfn);
+                pte = dir;
+                ++stats_.pteWrites;
+                ++node->presentCount;
+                node->children[idx] = std::move(child);
+            }
         }
         node = node->children[idx].get();
     }
@@ -110,6 +172,8 @@ PageTable::writeLeaf(PageTableNode *node, unsigned idx, unsigned span,
             }
             ++stats_.aliasWrites;
         }
+        if (!node->ptes[idx + s].present())
+            ++node->presentCount;
         node->ptes[idx + s] = slot_pte;
         ++stats_.pteWrites;
     }
@@ -130,10 +194,17 @@ PageTable::map(Vaddr va, Pfn pfn, unsigned page_bits, bool writable,
 
     // Promotion over finer-grained mappings: drop any child subtrees in
     // the covered slots before overwriting them with leaf entries.
+    // Released empty subtrees leave a present directory PTE with no
+    // host object; their frames go back the same way the dense table
+    // frees the resident empty node.
     unsigned slots = 1u << span;
     for (unsigned s = 0; s < slots; ++s) {
-        if (node->children[idx + s])
-            freeSubtree(std::move(node->children[idx + s]));
+        if (node->children[idx + s]) {
+            freeSubtree(std::move(node->children[idx + s]), level - 1);
+        } else if (level > 1 && node->ptes[idx + s].present() &&
+                   !node->ptes[idx + s].pageSize()) {
+            freeZombie(node->ptes[idx + s].rawPfn());
+        }
     }
 
     Pte leaf = makeLeafPte(pfn, page_bits, level, writable, user, enc_);
@@ -160,7 +231,10 @@ PageTable::findLeaf(Vaddr va) const
             unsigned true_idx = idx & ~lowMask(span);
             return LeafRef{node, l, true_idx, span};
         }
-        tps_assert(node->children[idx]);
+        // A present directory with no host object is a released empty
+        // subtree: nothing is mapped beneath it.
+        if (!node->children[idx])
+            return std::nullopt;
         node = node->children[idx].get();
     }
     return std::nullopt;
@@ -175,12 +249,15 @@ PageTable::unmap(Vaddr va)
     LeafInfo info =
         decodeLeafPte(leaf->node->ptes[leaf->trueIdx], leaf->level, enc_);
     unsigned slots = 1u << leaf->span;
+    tps_assert(leaf->node->presentCount >= slots);
     for (unsigned s = 0; s < slots; ++s) {
         tps_assert(!leaf->node->children[leaf->trueIdx + s]);
         leaf->node->ptes[leaf->trueIdx + s] = Pte();
         ++stats_.pteWrites;
     }
+    leaf->node->presentCount -= slots;
     ++stats_.unmapOps;
+    releaseIfEmpty(leaf->node);
     return info;
 }
 
@@ -332,7 +409,9 @@ PageTable::visitNode(const PageTableNode *node, unsigned level,
             // Skip the alias slots this page covers.
             unsigned span = pte.tailored() ? spanBits(info.pageBits) : 0;
             idx += (1u << span) - 1;
-        } else {
+        } else if (node->children[idx]) {
+            // Null child under a present directory = released empty
+            // subtree; no leaves to visit there.
             visitNode(node->children[idx].get(), level - 1, base, start,
                       end, visit);
         }

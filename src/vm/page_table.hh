@@ -82,6 +82,9 @@ struct PageTableNode
     std::array<Pte, kPtesPerNode> ptes{};
     std::array<std::unique_ptr<PageTableNode>, kPtesPerNode> children{};
     Pfn framePfn = 0;   //!< frame backing this node (for walk addresses)
+    PageTableNode *parent = nullptr;  //!< owner (null for the root)
+    unsigned parentIdx = 0;           //!< our slot in parent->children
+    unsigned presentCount = 0;        //!< present PTE slots in this node
 
     /** Physical address of the PTE slot @p idx within this node. */
     Paddr
@@ -121,10 +124,18 @@ class PageTable
      * @param provider  Source of frames for table nodes.
      * @param enc       Tailored-size encoding used in leaf PTEs.
      * @param alias     Alias-PTE maintenance mode.
+     * @param dense     Keep node objects resident even when every PTE
+     *                  in them has been zeroed.  The default (sparse)
+     *                  mode releases such host objects and
+     *                  rematerializes them on demand from the parent
+     *                  directory PTE; the simulated table -- frames,
+     *                  stats, generation -- is identical either way,
+     *                  which the sparse-vs-dense golden suite pins.
      */
     PageTable(FrameProvider &provider,
               SizeEncoding enc = SizeEncoding::Napot,
-              AliasMode alias = AliasMode::Pointer);
+              AliasMode alias = AliasMode::Pointer,
+              bool dense = false);
     ~PageTable();
 
     PageTable(const PageTable &) = delete;
@@ -190,7 +201,37 @@ class PageTable
 
     AliasMode aliasMode() const { return alias_; }
     SizeEncoding encoding() const { return enc_; }
+    bool dense() const { return dense_; }
     const PageTableStats &stats() const { return stats_; }
+
+    /**
+     * Recreate the host object for the empty subtree behind the present
+     * directory PTE at @p node / @p idx (sparse mode released it).  A
+     * host-only operation: the simulated node existed throughout, so no
+     * stats or generation change.  The walker uses this to descend
+     * through released subtrees exactly as the dense table would.
+     */
+    PageTableNode *materializeChild(PageTableNode *node, unsigned idx);
+
+    /**
+     * Observers for sparse-mode node identity changes, so
+     * pointer-holding caches (the MMU cache) can follow a node's host
+     * object across release and rematerialization without perturbing
+     * their simulated contents.  The release listener fires just before
+     * an empty node's object is destroyed; the materialize listener
+     * fires when materializeChild recreates one (same frame, new
+     * object).
+     */
+    using ReleaseListener = std::function<void(const PageTableNode *)>;
+    using MaterializeListener = std::function<void(PageTableNode *)>;
+    void setReleaseListener(ReleaseListener fn)
+    {
+        releaseListener_ = std::move(fn);
+    }
+    void setMaterializeListener(MaterializeListener fn)
+    {
+        materializeListener_ = std::move(fn);
+    }
 
     /**
      * Structural generation number; bumped whenever a node is freed so
@@ -219,8 +260,18 @@ class PageTable
     /** Walk to the node holding level-@p level entries, or nullptr. */
     PageTableNode *findNode(Vaddr va, unsigned level) const;
 
-    /** Recursively free a subtree hanging off @p node. */
-    void freeSubtree(std::unique_ptr<PageTableNode> node);
+    /**
+     * Recursively free a subtree of nodes rooted at level @p level,
+     * including the frames of released-but-still-present (zombie)
+     * children encountered along the way.
+     */
+    void freeSubtree(std::unique_ptr<PageTableNode> node, unsigned level);
+
+    /** Free the frame of a released empty subtree being overwritten. */
+    void freeZombie(Pfn frame_pfn);
+
+    /** Drop @p node's host object if it holds no present PTEs. */
+    void releaseIfEmpty(PageTableNode *node);
 
     /** Write the true + alias PTE slots of a tailored/conventional leaf. */
     void writeLeaf(PageTableNode *node, unsigned idx, unsigned span,
@@ -250,10 +301,13 @@ class PageTable
     FrameProvider &provider_;
     SizeEncoding enc_;
     AliasMode alias_;
+    bool dense_;
     std::unique_ptr<PageTableNode> root_;
     PageTableStats stats_;
     uint64_t liveNodes_ = 1;
     uint64_t generation_ = 0;
+    ReleaseListener releaseListener_;
+    MaterializeListener materializeListener_;
 };
 
 } // namespace tps::vm

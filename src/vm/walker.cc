@@ -116,8 +116,12 @@ PageWalker::walk(Vaddr va)
             break;
         }
 
-        tps_assert(node->children[idx]);
         PageTableNode *child = node->children[idx].get();
+        // A present directory whose host object was released (sparse
+        // table, empty subtree): bring it back so the walk reads the
+        // same frames the dense table would.
+        if (!child)
+            child = table_.materializeChild(node, idx);
         if (cache_)
             cache_->fill(va, level, table_.generation(), child);
         node = child;

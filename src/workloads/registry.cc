@@ -22,9 +22,12 @@ scaled(uint64_t v, double scale)
 }
 
 std::unique_ptr<Workload>
-makeSpecLike(SpecLikeConfig cfg, double scale, uint64_t seed_offset)
+makeSpecLike(SpecLikeConfig cfg, double scale, uint64_t seed_offset,
+             uint64_t footprint_bytes)
 {
     cfg.footprintBytes = scaled(cfg.footprintBytes, scale) & ~4095ull;
+    if (footprint_bytes != 0)
+        cfg.footprintBytes = footprint_bytes & ~4095ull;
     if (cfg.footprintBytes < (1ull << 20))
         cfg.footprintBytes = 1ull << 20;
     // PointerChase requires a power-of-two arena for its LCG period.
@@ -38,18 +41,43 @@ makeSpecLike(SpecLikeConfig cfg, double scale, uint64_t seed_offset)
 } // namespace
 
 std::unique_ptr<Workload>
-makeWorkload(const std::string &name, double scale, uint64_t seed_offset)
+makeWorkload(const std::string &name, double scale, uint64_t seed_offset,
+             uint64_t footprint_bytes)
 {
     if (name == "gups") {
         GupsConfig cfg;
         cfg.tableBytes = scaled(cfg.tableBytes, scale) & ~4095ull;
+        if (footprint_bytes != 0) {
+            cfg.tableBytes = footprint_bytes & ~4095ull;
+            if (cfg.tableBytes < (1ull << 20))
+                cfg.tableBytes = 1ull << 20;
+        }
         cfg.updates = scaled(cfg.updates, scale);
         cfg.seed += seed_offset;
         return std::make_unique<Gups>(cfg);
     }
     if (name == "graph500") {
         Graph500Config cfg;
-        if (scale < 1.0) {
+        if (footprint_bytes != 0) {
+            // Simulated bytes per vertex: 8 (xadj) + 16*edgeFactor
+            // (adjacency, each undirected edge stored both ways) + 8
+            // (visited flags).  Vertex ids are uint32, capping scale
+            // at 31.
+            uint64_t per_vertex = 16 + 16ull * cfg.edgeFactor;
+            uint64_t n = footprint_bytes / per_vertex;
+            unsigned s = n > 1 ? static_cast<unsigned>(log2Floor(n)) : 1;
+            cfg.scale = s < 10 ? 10 : (s > 31 ? 31 : s);
+            // The host-side CSR costs (8 + 8*edgeFactor) bytes per
+            // vertex -- about half the simulated footprint.  Flag
+            // overrides that would dwarf typical host memory.
+            uint64_t host =
+                (8 + 8ull * cfg.edgeFactor) * (1ull << cfg.scale);
+            if (host > (32ull << 30))
+                tps_warn("graph500 footprint override needs ~%llu GB "
+                         "of host memory for the CSR; consider gups "
+                         "for terabyte-footprint cells",
+                         static_cast<unsigned long long>(host >> 30));
+        } else if (scale < 1.0) {
             int drop = static_cast<int>(
                 std::round(-std::log2(scale)));
             cfg.scale = cfg.scale > static_cast<unsigned>(drop) + 10
@@ -67,6 +95,14 @@ makeWorkload(const std::string &name, double scale, uint64_t seed_offset)
     if (name == "xsbench") {
         XsBenchConfig cfg;
         cfg.gridPoints = scaled(cfg.gridPoints, scale);
+        if (footprint_bytes != 0) {
+            // Per grid point: isotopes * (8 egrid + 8 index + 48
+            // nuclide) simulated bytes.
+            uint64_t per_point = cfg.isotopes * 64;
+            cfg.gridPoints = footprint_bytes / per_point;
+            if (cfg.gridPoints < 1024)
+                cfg.gridPoints = 1024;
+        }
         cfg.lookups = scaled(cfg.lookups, scale);
         cfg.seed += seed_offset;
         return std::make_unique<XsBench>(cfg);
@@ -74,30 +110,36 @@ makeWorkload(const std::string &name, double scale, uint64_t seed_offset)
     if (name == "dbx1000") {
         Dbx1000Config cfg;
         cfg.rows = 1ull << log2Floor(scaled(cfg.rows, scale));
+        if (footprint_bytes != 0) {
+            // Per row: tuple + 32 B chain node + half a bucket head.
+            uint64_t per_row = cfg.tupleBytes + 32 + 4;
+            uint64_t rows = footprint_bytes / per_row;
+            cfg.rows = 1ull << log2Floor(rows < 1024 ? 1024 : rows);
+        }
         cfg.txns = scaled(cfg.txns, scale);
         cfg.seed += seed_offset;
         return std::make_unique<Dbx1000>(cfg);
     }
     if (name == "mcf")
-        return makeSpecLike(mcfLike(), scale, seed_offset);
+        return makeSpecLike(mcfLike(), scale, seed_offset, footprint_bytes);
     if (name == "omnetpp")
-        return makeSpecLike(omnetppLike(), scale, seed_offset);
+        return makeSpecLike(omnetppLike(), scale, seed_offset, footprint_bytes);
     if (name == "xalancbmk")
-        return makeSpecLike(xalancbmkLike(), scale, seed_offset);
+        return makeSpecLike(xalancbmkLike(), scale, seed_offset, footprint_bytes);
     if (name == "gcc")
-        return makeSpecLike(gccLike(), scale, seed_offset);
+        return makeSpecLike(gccLike(), scale, seed_offset, footprint_bytes);
     if (name == "cactuBSSN")
-        return makeSpecLike(cactuLike(), scale, seed_offset);
+        return makeSpecLike(cactuLike(), scale, seed_offset, footprint_bytes);
     if (name == "fotonik3d")
-        return makeSpecLike(fotonik3dLike(), scale, seed_offset);
+        return makeSpecLike(fotonik3dLike(), scale, seed_offset, footprint_bytes);
     if (name == "roms")
-        return makeSpecLike(romsLike(), scale, seed_offset);
+        return makeSpecLike(romsLike(), scale, seed_offset, footprint_bytes);
     if (name == "povray")
-        return makeSpecLike(povrayLike(), scale, seed_offset);
+        return makeSpecLike(povrayLike(), scale, seed_offset, footprint_bytes);
     if (name == "leela")
-        return makeSpecLike(leelaLike(), scale, seed_offset);
+        return makeSpecLike(leelaLike(), scale, seed_offset, footprint_bytes);
     if (name == "nab")
-        return makeSpecLike(nabLike(), scale, seed_offset);
+        return makeSpecLike(nabLike(), scale, seed_offset, footprint_bytes);
     throwSimError(ErrorKind::InvalidArgument, "unknown workload '%s'",
                   name.c_str());
 }

@@ -23,11 +23,22 @@ namespace tps::workloads {
  *                     defaults; smaller = faster runs for tests).
  * @param seed_offset  Added to the generator seed (use a nonzero value
  *                     for SMT competitor instances so streams differ).
+ * @param footprint_bytes
+ *                     When nonzero, override the workload's simulated
+ *                     footprint to approximately this many bytes
+ *                     (replacing the scale-derived size: gups table
+ *                     bytes, graph500 CSR arrays, dbx1000 buffer pool,
+ *                     xsbench grids, spec-like arenas).  Access counts
+ *                     still follow @p scale.  Sizes snap to each
+ *                     workload's granularity (power-of-two rows,
+ *                     whole grid points, ...), so the realized
+ *                     footprint can differ slightly.
  * @return the workload; fatal error on an unknown name.
  */
 std::unique_ptr<Workload> makeWorkload(const std::string &name,
                                        double scale = 1.0,
-                                       uint64_t seed_offset = 0);
+                                       uint64_t seed_offset = 0,
+                                       uint64_t footprint_bytes = 0);
 
 /** The paper's evaluated suite (TLB-intensive SPEC-like + big data). */
 const std::vector<std::string> &evaluationSuite();

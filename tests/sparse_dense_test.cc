@@ -1,0 +1,436 @@
+/**
+ * @file
+ * Sparse-vs-dense simulator-state golden suite.
+ *
+ * The simulator's sparse representations (implicit buddy free-list
+ * runs, lazily materialized page-table nodes, packed reservation
+ * bitmaps) exist purely to shrink host memory; the dense
+ * representations stay available behind a switch as the oracle.  This
+ * suite pins the contract that the two are indistinguishable from
+ * inside the simulation:
+ *
+ *  1. Property tests drive a BuddyAllocator pair (sparse vs dense)
+ *     through seeded random alloc/free/allocSpecific sequences and
+ *     require identical results from every query, including the exact
+ *     frame numbers alloc returns.
+ *  2. BitCounter agrees with a naive bitmap on random set/count
+ *     sequences.
+ *  3. Released ("zombie") page-table nodes rematerialize with the
+ *     same stats a dense table reports, and promotion over a zombie
+ *     frees its frame exactly as dense frees the resident node.
+ *  4. End-to-end: every design runs gups and mcf sparse and dense
+ *     with paranoid invariant checking, and the stats -- and the
+ *     run-manifest bytes, across --jobs counts -- are bit-identical.
+ *  5. The MmuCache stand-in path: map/access/unmap/remap sequences
+ *     that release and rematerialize nodes under live cache entries
+ *     translate identically in both modes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/experiment_runner.hh"
+#include "core/tps_system.hh"
+#include "obs/run_manifest.hh"
+#include "os/buddy_allocator.hh"
+#include "os/reservation.hh"
+#include "util/rng.hh"
+#include "vm/page_table.hh"
+
+namespace tps {
+namespace {
+
+// ---------------------------------------------------------------------
+// 1. Buddy allocator equivalence.
+
+/** Every observable of the two allocators agrees. */
+void
+expectBuddiesEqual(const os::BuddyAllocator &sparse,
+                   const os::BuddyAllocator &dense, Pcg32 &rng)
+{
+    ASSERT_EQ(sparse.totalFrames(), dense.totalFrames());
+    EXPECT_EQ(sparse.freeFrames(), dense.freeFrames());
+    EXPECT_EQ(sparse.usedFrames(), dense.usedFrames());
+    EXPECT_EQ(sparse.freeListCounts(), dense.freeListCounts());
+    EXPECT_EQ(sparse.fragmentationIndex(), dense.fragmentationIndex());
+    for (unsigned o = 0; o <= os::BuddyAllocator::kMaxOrder; ++o) {
+        EXPECT_EQ(sparse.largestAvailable(o), dense.largestAvailable(o))
+            << o;
+        EXPECT_EQ(sparse.coverageAt(o), dense.coverageAt(o)) << o;
+    }
+    // isFree must agree at random probe points and orders.
+    for (int i = 0; i < 64; ++i) {
+        os::Pfn pfn = rng.below64(sparse.totalFrames());
+        unsigned order = rng.below(os::BuddyAllocator::kMaxOrder + 1);
+        pfn &= ~((1ull << order) - 1);
+        EXPECT_EQ(sparse.isFree(pfn, order), dense.isFree(pfn, order))
+            << "pfn " << pfn << " order " << order;
+    }
+    // The union of explicit and implicit free blocks is identical.
+    for (unsigned o = 0; o <= os::BuddyAllocator::kMaxOrder; ++o) {
+        std::vector<os::Pfn> a, b;
+        sparse.forEachFreeBlock(o, [&](os::Pfn p) { a.push_back(p); });
+        dense.forEachFreeBlock(o, [&](os::Pfn p) { b.push_back(p); });
+        EXPECT_EQ(a, b) << "order " << o;
+    }
+}
+
+void
+runBuddySequence(uint64_t total_frames, uint64_t seed)
+{
+    os::BuddyAllocator sparse(total_frames, /*dense=*/false);
+    os::BuddyAllocator dense(total_frames, /*dense=*/true);
+    Pcg32 ops(seed, 0xb0ddf);
+    Pcg32 probes(seed, 0x9b0be);
+    std::vector<std::pair<os::Pfn, unsigned>> held;
+
+    for (int step = 0; step < 400; ++step) {
+        unsigned action = ops.below(10);
+        if (action < 5) {
+            // Biased toward small orders, with occasional huge ones.
+            unsigned order = ops.below(2) ? ops.below(4)
+                                          : ops.below(19);
+            auto s = sparse.alloc(order);
+            auto d = dense.alloc(order);
+            ASSERT_EQ(s.has_value(), d.has_value());
+            if (s) {
+                // Not just "both succeed": the same physical frame.
+                EXPECT_EQ(*s, *d);
+                held.emplace_back(*s, order);
+            }
+        } else if (action < 8 && !held.empty()) {
+            size_t pick = ops.below(static_cast<uint32_t>(held.size()));
+            auto [pfn, order] = held[pick];
+            held.erase(held.begin() + static_cast<long>(pick));
+            sparse.free(pfn, order);
+            dense.free(pfn, order);
+        } else {
+            // Carve a specific block out of the middle when free.
+            unsigned order = ops.below(8);
+            os::Pfn pfn = ops.below64(total_frames) &
+                          ~((1ull << order) - 1);
+            bool s_free = sparse.isFree(pfn, order);
+            ASSERT_EQ(s_free, dense.isFree(pfn, order));
+            if (s_free) {
+                EXPECT_TRUE(sparse.allocSpecific(pfn, order));
+                EXPECT_TRUE(dense.allocSpecific(pfn, order));
+                held.emplace_back(pfn, order);
+            }
+        }
+        if (step % 40 == 0)
+            expectBuddiesEqual(sparse, dense, probes);
+    }
+    expectBuddiesEqual(sparse, dense, probes);
+}
+
+TEST(SparseBuddy, RandomSequencesMatchDense)
+{
+    // An aligned total, a ragged tail, and a sub-run-size allocator.
+    runBuddySequence(1ull << 19, 1);
+    runBuddySequence((1ull << 19) + 12345, 2);
+    runBuddySequence((1ull << 18) - 7, 3);
+}
+
+TEST(SparseBuddy, ImplicitRunCountsInFreeLists)
+{
+    // A fresh sparse allocator reports the same full free lists dense
+    // does, without having materialized anything.
+    uint64_t frames = (8ull << 30) >> 12;  // 8 GB of 4 KB frames
+    os::BuddyAllocator sparse(frames);
+    os::BuddyAllocator dense(frames, /*dense=*/true);
+    EXPECT_EQ(sparse.freeListCounts(), dense.freeListCounts());
+    EXPECT_EQ(sparse.implicitBlocks(),
+              frames >> os::BuddyAllocator::kMaxOrder);
+}
+
+// ---------------------------------------------------------------------
+// 2. BitCounter equivalence.
+
+TEST(SparseBitCounter, MatchesNaiveBitmap)
+{
+    const uint64_t n = 5000;
+    os::BitCounter bits(n);
+    std::vector<bool> ref(n, false);
+    Pcg32 rng(99, 0xb175);
+    for (int i = 0; i < 3000; ++i) {
+        uint64_t bit = rng.below64(n);
+        bits.set(bit);
+        ref[bit] = true;
+
+        uint64_t first = rng.below64(n);
+        uint64_t count = rng.below64(n - first + 1);
+        uint64_t expect = 0;
+        for (uint64_t b = first; b < first + count; ++b)
+            expect += ref[b];
+        ASSERT_EQ(bits.countRange(first, count), expect)
+            << "[" << first << ", " << first + count << ")";
+    }
+    uint64_t total = 0;
+    for (uint64_t b = 0; b < n; ++b) {
+        total += ref[b];
+        ASSERT_EQ(bits.test(b), static_cast<bool>(ref[b]));
+    }
+    EXPECT_EQ(bits.count(), total);
+}
+
+// ---------------------------------------------------------------------
+// 3. Page-table zombie release and rematerialization.
+
+unsigned
+levelIndex(vm::Vaddr va, unsigned level)
+{
+    return (va >> (12 + 9 * (level - 1))) & 511;
+}
+
+TEST(SparsePageTable, EmptyNodeReleasesAndRematerializes)
+{
+    vm::SyntheticFrameProvider sp, dp;
+    vm::PageTable sparse(sp);
+    vm::PageTable dense(dp, vm::SizeEncoding::Napot,
+                        vm::AliasMode::Pointer, /*dense=*/true);
+    ASSERT_FALSE(sparse.dense());
+    ASSERT_TRUE(dense.dense());
+
+    const vm::Vaddr va = 0x7f12'3456'7000ull;
+    for (vm::PageTable *pt : {&sparse, &dense}) {
+        pt->map(va, 0x111, vm::kBasePageBits, true, true);
+        pt->unmap(va);
+    }
+
+    // Sparse: the leaf node is gone but its directory PTE survives
+    // (the simulated node still holds its frame).  Dense: resident.
+    const vm::PageTableNode *l2 = &sparse.root();
+    for (unsigned level = 4; level > 2; --level)
+        l2 = l2->children[levelIndex(va, level)].get();
+    ASSERT_NE(l2, nullptr);
+    unsigned idx = levelIndex(va, 2);
+    EXPECT_EQ(l2->children[idx], nullptr);
+    EXPECT_TRUE(l2->ptes[idx].present());
+    EXPECT_EQ(sp.live(), dp.live());  // zombie frame never freed
+
+    // Remapping in the same window rematerializes the node; stats
+    // (allocations, frees, PTE writes) match dense exactly.
+    for (vm::PageTable *pt : {&sparse, &dense}) {
+        pt->map(va + 0x1000, 0x222, vm::kBasePageBits, true, true);
+        auto res = pt->lookup(va + 0x1000);
+        ASSERT_TRUE(res.has_value());
+        EXPECT_EQ(res->leaf.pfn, 0x222u);
+        EXPECT_FALSE(pt->lookup(va).has_value());
+    }
+    EXPECT_EQ(sparse.stats().nodesAllocated,
+              dense.stats().nodesAllocated);
+    EXPECT_EQ(sparse.stats().nodesFreed, dense.stats().nodesFreed);
+    EXPECT_EQ(sparse.stats().pteWrites, dense.stats().pteWrites);
+    EXPECT_EQ(sp.live(), dp.live());
+}
+
+TEST(SparsePageTable, PromotionOverZombieMatchesDense)
+{
+    vm::SyntheticFrameProvider sp, dp;
+    vm::PageTable sparse(sp);
+    vm::PageTable dense(dp, vm::SizeEncoding::Napot,
+                        vm::AliasMode::Pointer, /*dense=*/true);
+
+    // Map and unmap a 4 KB page, leaving a zombie leaf node in sparse
+    // mode, then promote a 2 MB page over the whole window.  Dense
+    // frees the resident empty node; sparse must free the zombie's
+    // frame with the same stats motion.
+    const vm::Vaddr base = 0x5000'0000ull;  // 2 MB aligned
+    for (vm::PageTable *pt : {&sparse, &dense}) {
+        pt->map(base + 0x3000, 0x333, vm::kBasePageBits, true, true);
+        pt->unmap(base + 0x3000);
+        pt->map(base, 0x4000, vm::kPageBits2M, true, true);
+        auto res = pt->lookup(base + 0x1234);
+        ASSERT_TRUE(res.has_value());
+        EXPECT_EQ(res->leaf.pageBits, vm::kPageBits2M);
+    }
+    EXPECT_EQ(sparse.stats().nodesAllocated,
+              dense.stats().nodesAllocated);
+    EXPECT_EQ(sparse.stats().nodesFreed, dense.stats().nodesFreed);
+    EXPECT_EQ(sparse.stats().pteWrites, dense.stats().pteWrites);
+    EXPECT_EQ(sp.live(), dp.live());
+}
+
+// ---------------------------------------------------------------------
+// 4. End-to-end: every design, sparse == dense bit-for-bit.
+
+/** The stat fields the figures consume, compared with no tolerance. */
+void
+expectStatsIdentical(const sim::SimStats &a, const sim::SimStats &b,
+                     const std::string &what)
+{
+#define TPS_EQ(field) EXPECT_EQ(a.field, b.field) << what << ": " #field
+    TPS_EQ(warmup.accesses);
+    TPS_EQ(warmup.cycles);
+    TPS_EQ(warmup.osCycles);
+    TPS_EQ(warmup.faults);
+    TPS_EQ(accesses);
+    TPS_EQ(instructions);
+    TPS_EQ(cycles);
+    TPS_EQ(l1TlbMisses);
+    TPS_EQ(l2TlbHits);
+    TPS_EQ(tlbMisses);
+    TPS_EQ(walkMemRefs);
+    TPS_EQ(walkCycles);
+    TPS_EQ(stlbPenaltyCycles);
+    TPS_EQ(faults);
+    TPS_EQ(mmu.walks);
+    TPS_EQ(mmu.walkMemRefs);
+    TPS_EQ(mmu.faultWalkMemRefs);
+    TPS_EQ(mmu.writeProtFaults);
+    TPS_EQ(mmu.adPteWrites);
+    TPS_EQ(mmu.adVectorStores);
+    TPS_EQ(walker.walks);
+    TPS_EQ(walker.faults);
+    TPS_EQ(walker.accesses);
+    TPS_EQ(walker.aliasExtra);
+    TPS_EQ(memsys.accesses);
+    TPS_EQ(memsys.l1Hits);
+    TPS_EQ(memsys.llcHits);
+    TPS_EQ(memsys.dramAccesses);
+    TPS_EQ(osWork.faultCycles);
+    TPS_EQ(osWork.allocCycles);
+    TPS_EQ(osWork.pteCycles);
+    TPS_EQ(osWork.zeroCycles);
+    TPS_EQ(osWork.shootdownCycles);
+    TPS_EQ(osWork.faults);
+    TPS_EQ(osWork.promotions);
+    TPS_EQ(osWork.reservationsCreated);
+    TPS_EQ(osWork.reservationsMissed);
+    TPS_EQ(mmapCalls);
+    TPS_EQ(munmapCalls);
+#undef TPS_EQ
+}
+
+std::vector<core::RunOptions>
+designGrid(bool dense)
+{
+    std::vector<core::RunOptions> cells;
+    for (core::Design d :
+         {core::Design::Base4k, core::Design::Thp, core::Design::Tps,
+          core::Design::TpsEager, core::Design::Rmm,
+          core::Design::Colt}) {
+        for (const char *wl : {"gups", "mcf"}) {
+            core::RunOptions opts;
+            opts.workload = wl;
+            opts.design = d;
+            opts.scale = 0.01;
+            opts.physBytes = 512ull << 20;
+            opts.denseState = dense;
+            cells.push_back(opts);
+        }
+    }
+    return cells;
+}
+
+TEST(SparseDense, AllDesignsBitIdenticalWithParanoidChecks)
+{
+    // Paranoid mode runs the full InvariantChecker over the final
+    // sparse and dense states; runExperiment throws if either side's
+    // invariants fail, so the checker's agreement rides along.
+    std::vector<core::RunOptions> sparse = designGrid(false);
+    std::vector<core::RunOptions> dense = designGrid(true);
+    for (size_t i = 0; i < sparse.size(); ++i) {
+        sparse[i].paranoid = true;
+        dense[i].paranoid = true;
+        sim::SimStats s = core::runExperiment(sparse[i]);
+        sim::SimStats d = core::runExperiment(dense[i]);
+        expectStatsIdentical(
+            s, d, core::cellLabel(sparse[i]));
+    }
+}
+
+/** Host-free manifest bytes for the design grid. */
+std::string
+manifestBytes(bool dense, unsigned jobs)
+{
+    std::vector<core::RunOptions> cells = designGrid(dense);
+    core::ExperimentRunner runner(jobs);
+    std::vector<sim::SimStats> stats = runner.run(cells);
+    std::vector<obs::CellArtifact> artifacts;
+    for (size_t i = 0; i < cells.size(); ++i) {
+        obs::CellArtifact cell;
+        cell.options = cells[i];
+        cell.stats = stats[i];
+        artifacts.push_back(std::move(cell));
+    }
+    obs::ManifestInfo info;
+    info.bench = "sparse-dense";
+    info.jobs = jobs;
+    info.includeHost = false;
+    return obs::manifestJson(info, artifacts).dump(2);
+}
+
+TEST(SparseDense, ManifestBytesIdenticalAcrossModeAndJobs)
+{
+    // denseState is a host-only representation switch: it must not
+    // appear in the manifest, and the recorded stats must not move --
+    // so the whole artifact is byte-identical sparse vs dense, at any
+    // worker count.
+    std::string sparse1 = manifestBytes(false, 1);
+    EXPECT_EQ(sparse1, manifestBytes(true, 1));
+    EXPECT_EQ(sparse1, manifestBytes(false, 4));
+    EXPECT_EQ(sparse1, manifestBytes(true, 4));
+}
+
+// ---------------------------------------------------------------------
+// 5. MmuCache stand-ins under release/rematerialize churn.
+
+TEST(SparseDense, CachedNodesSurviveReleaseAndRemap)
+{
+    // Sequence designed to park MmuCache entries on nodes that are
+    // then released and rematerialized: map/touch/unmap in one 2 MB
+    // window, then map again inside the same window (the mmap cursor
+    // only skips a guard page) and touch a mix of old-window and
+    // fresh addresses.  Sparse and dense must translate identically,
+    // physical address by physical address.
+    for (core::Design d : {core::Design::Base4k, core::Design::Tps}) {
+        core::TpsSystem::Config scfg, dcfg;
+        scfg.design = dcfg.design = d;
+        scfg.physBytes = dcfg.physBytes = 256ull << 20;
+        dcfg.denseState = true;
+        core::TpsSystem sparse(scfg), dense(dcfg);
+
+        auto step = [&](auto fn) {
+            vm::Vaddr a = fn(sparse);
+            vm::Vaddr b = fn(dense);
+            EXPECT_EQ(a, b);
+            return a;
+        };
+
+        vm::Vaddr first = step([](core::TpsSystem &s) {
+            vm::Vaddr va = s.mmap(64 << 10);
+            s.touchRange(va, 64 << 10);
+            return va;
+        });
+        step([&](core::TpsSystem &s) {
+            s.munmap(first);
+            return vm::Vaddr(0);
+        });
+        // Second VMA lands in the same leaf-node window; its faults
+        // walk through the released node's directory PTE.
+        vm::Vaddr second = step([](core::TpsSystem &s) {
+            vm::Vaddr va = s.mmap(64 << 10);
+            s.touchRange(va, 64 << 10);
+            return va;
+        });
+        for (uint64_t off = 0; off < (64 << 10);
+             off += vm::kBasePageBytes) {
+            EXPECT_EQ(sparse.access(second + off, false),
+                      dense.access(second + off, false));
+        }
+        // The hardware saw the exact same walk/fault stream.
+        const sim::MmuStats &ms = sparse.mmu().stats();
+        const sim::MmuStats &md = dense.mmu().stats();
+        EXPECT_EQ(ms.walks, md.walks);
+        EXPECT_EQ(ms.walkMemRefs, md.walkMemRefs);
+        EXPECT_EQ(ms.faults, md.faults);
+        EXPECT_EQ(ms.l1Misses, md.l1Misses);
+        EXPECT_EQ(ms.l2Hits, md.l2Hits);
+    }
+}
+
+} // namespace
+} // namespace tps
