@@ -34,12 +34,16 @@ struct BenchContext
 {
     std::string name;
     std::chrono::steady_clock::time_point start;
+    //! Wall-clock start for the shard provenance's run span.
+    uint64_t startedUnixMs = 0;
     std::unique_ptr<obs::SweepMonitor> monitor;
     std::mutex mu;
     std::vector<obs::CellArtifact> artifacts;
     obs::ResumeLog resume;
     bool resumeActive = false;
     unsigned retries = 0;
+    //! --shard: the full planned grid plus this process's slice.
+    obs::ShardPlan plan;
     //! --event-trace: per-cell event traces collected by runCells.
     bool traceRequested = false;
     std::vector<obs::TraceCell> traceCells;
@@ -49,6 +53,22 @@ struct BenchContext
 };
 
 BenchContext g_bench;
+
+/**
+ * Push the (re)planned grid's shard identity into the monitor, so
+ * heartbeats and traces carry the current fingerprint.  Planning only
+ * happens on the submitting thread, between sweeps, so reading the
+ * plan here is race-free.
+ */
+void
+syncShardMonitor()
+{
+    const obs::ShardSpec &spec = g_bench.plan.spec();
+    if (g_bench.monitor && spec.active()) {
+        g_bench.monitor->setShard(spec.index, spec.count,
+                                  g_bench.plan.gridFingerprint());
+    }
+}
 
 /** The prior run's pure cell JSON for @p run, or nullptr. */
 const obs::Json *
@@ -87,14 +107,23 @@ initBench(const std::string &name, const FigOptions &opts)
 {
     g_bench.name = name;
     g_bench.start = std::chrono::steady_clock::now();
+    g_bench.startedUnixMs =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count();
     g_bench.retries = opts.retries;
+    g_bench.plan = obs::ShardPlan(opts.shard);
     g_bench.traceRequested = !opts.eventTracePath.empty();
     g_bench.profileRequested = opts.profile;
-    if (!opts.tracePath.empty() || opts.progress) {
+    if (!opts.tracePath.empty() || opts.progress ||
+        !opts.heartbeatPath.empty()) {
         obs::SweepMonitor::Config mcfg;
         mcfg.bench = name;
         mcfg.progress = opts.progress;
+        mcfg.heartbeatPath = opts.heartbeatPath;
+        mcfg.heartbeatIntervalSeconds = opts.heartbeatInterval;
         g_bench.monitor = std::make_unique<obs::SweepMonitor>(mcfg);
+        syncShardMonitor();
     }
     if (opts.resume) {
         if (opts.statsJson.empty())
@@ -119,6 +148,12 @@ sweepMonitor()
     return g_bench.monitor.get();
 }
 
+obs::ShardPlan &
+shardPlan()
+{
+    return g_bench.plan;
+}
+
 void
 recordRun(const core::RunOptions &run, const sim::SimStats &stats,
           double wallSeconds)
@@ -140,11 +175,27 @@ recordArtifact(obs::CellArtifact cell)
 void
 finishBench(const FigOptions &opts)
 {
+    if (opts.shard.active()) {
+        std::fprintf(stderr,
+                     "shard %u/%u: owned %zu of %zu planned units "
+                     "(grid %s)\n",
+                     opts.shard.index, opts.shard.count,
+                     g_bench.plan.ownedUnits(),
+                     g_bench.plan.plannedUnits(),
+                     g_bench.plan.gridFingerprint().c_str());
+    }
     if (!opts.statsJson.empty()) {
         obs::ManifestInfo info;
         info.bench = g_bench.name;
         info.jobs = opts.jobs;
         info.wallSeconds = secondsSince(g_bench.start);
+        if (opts.shard.active()) {
+            // Host-only provenance for tps-merge: which slice this
+            // partial manifest covers, and the run's wall-clock span.
+            info.shard = g_bench.plan.provenanceJson();
+            info.shard["startedUnixMs"] = g_bench.startedUnixMs;
+            info.shard["wallSeconds"] = info.wallSeconds;
+        }
         std::lock_guard<std::mutex> lock(g_bench.mu);
         obs::writeManifest(opts.statsJson, info, g_bench.artifacts);
         std::fprintf(stderr, "wrote %zu-cell manifest to %s\n",
@@ -342,6 +393,22 @@ parseArgs(int argc, char **argv)
             }
         } else if (std::strcmp(arg, "--dense-state") == 0) {
             opts.denseState = true;
+        } else if (std::strncmp(arg, "--shard=", 8) == 0) {
+            if (!obs::parseShardSpec(arg + 8, &opts.shard)) {
+                tps_fatal("bad --shard value '%s' (want i/N with "
+                          "0 <= i < N and N <= %u)",
+                          arg + 8, obs::kMaxShards);
+            }
+        } else if (std::strncmp(arg, "--heartbeat=", 12) == 0) {
+            opts.heartbeatPath = arg + 12;
+            if (opts.heartbeatPath.empty())
+                tps_fatal("--heartbeat needs a path");
+        } else if (std::strncmp(arg, "--heartbeat-interval=", 21) == 0) {
+            if (!parseF64(arg + 21, &opts.heartbeatInterval) ||
+                opts.heartbeatInterval <= 0) {
+                tps_fatal("bad --heartbeat-interval value '%s'",
+                          arg + 21);
+            }
         } else if (std::strcmp(arg, "--help") == 0) {
             std::printf(
                 "options: --scale=<f> --phys-gb=<n> --csv --jobs=<n> "
@@ -350,7 +417,8 @@ parseArgs(int argc, char **argv)
                 "--cell-timeout=<sec> --retries=<n> --resume "
                 "--event-trace=<path> --profile --reference-path "
                 "--mem-telemetry --footprint=<size[kmgt]> "
-                "--dense-state\n");
+                "--dense-state --shard=i/N --heartbeat=<path> "
+                "--heartbeat-interval=<sec>\n");
             std::exit(0);
         } else {
             tps_fatal("unknown option '%s' (try --help)", arg);
@@ -475,12 +543,23 @@ std::vector<sim::SimStats>
 runCells(const FigOptions &opts,
          const std::vector<core::RunOptions> &cells)
 {
+    // Plan every cell (all shards register the full grid, so the
+    // fingerprints match), then keep only the owned slice.  Unowned
+    // cells are skipped before the resume lookup: --resume + --shard
+    // restores only cells this shard owns.
+    std::vector<bool> owned(cells.size());
+    for (size_t i = 0; i < cells.size(); ++i)
+        owned[i] = g_bench.plan.planCell(cells[i]);
+    syncShardMonitor();
+
     // Restore completed cells from the prior manifest; only the rest
     // go to the pool.
     std::vector<obs::CellArtifact> arts(cells.size());
     std::vector<core::RunOptions> to_run;
     std::vector<size_t> to_run_idx;
     for (size_t i = 0; i < cells.size(); ++i) {
+        if (!owned[i])
+            continue;
         if (const obs::Json *pure = resumeLookup(cells[i])) {
             arts[i] = restoredArtifact(cells[i], *pure);
         } else {
@@ -533,11 +612,13 @@ runCells(const FigOptions &opts,
 
     // Record in input order so the manifest layout is independent of
     // pool scheduling (the golden test compares it across --jobs).
+    // Unowned cells contribute zeroed stats and no manifest entry.
     std::vector<sim::SimStats> stats;
     stats.reserve(cells.size());
-    for (obs::CellArtifact &cell : arts) {
-        stats.push_back(cell.stats);
-        recordArtifact(std::move(cell));
+    for (size_t i = 0; i < arts.size(); ++i) {
+        stats.push_back(arts[i].stats);
+        if (owned[i])
+            recordArtifact(std::move(arts[i]));
     }
     return stats;
 }
@@ -548,6 +629,19 @@ runCellsWithCensus(const FigOptions &opts,
 {
     // Census cells always execute, even with --resume: the manifest
     // stores only the stats, not the end-of-run page-table census.
+    std::vector<bool> owned(cells.size());
+    for (size_t i = 0; i < cells.size(); ++i)
+        owned[i] = g_bench.plan.planCell(cells[i]);
+    syncShardMonitor();
+    std::vector<core::RunOptions> to_run;
+    std::vector<size_t> to_run_idx;
+    for (size_t i = 0; i < cells.size(); ++i) {
+        if (owned[i]) {
+            to_run.push_back(cells[i]);
+            to_run_idx.push_back(i);
+        }
+    }
+
     core::ExperimentRunner runner(opts.jobs);
     runner.setMonitor(sweepMonitor());
     struct Guarded
@@ -557,7 +651,7 @@ runCellsWithCensus(const FigOptions &opts,
     };
     unsigned retries = opts.retries;
     auto out = runner.map(
-        cells,
+        to_run,
         [retries](const core::RunOptions &cell_opts) {
             auto t0 = std::chrono::steady_clock::now();
             Guarded r;
@@ -588,25 +682,27 @@ runCellsWithCensus(const FigOptions &opts,
                 }
             }
             r.cell.wallSeconds = secondsSince(t0);
-            if (obs::SweepMonitor *monitor = sweepMonitor())
-                monitor->annotate(r.cell.attempts, r.cell.errorKind);
+            if (obs::SweepMonitor *monitor = sweepMonitor()) {
+                monitor->annotate(r.cell.attempts, r.cell.errorKind,
+                                  r.cell.wallSeconds * 1e3);
+            }
             return r;
         },
         [](const core::RunOptions &cell, size_t) {
             return cellLabel(cell);
         });
-    std::vector<CensusRun> runs;
-    runs.reserve(cells.size());
-    for (size_t i = 0; i < cells.size(); ++i) {
-        if (out[i].cell.status != core::CellStatus::Ok) {
+    // Index-aligned with the input grid; unowned cells stay default.
+    std::vector<CensusRun> runs(cells.size());
+    for (size_t j = 0; j < out.size(); ++j) {
+        if (out[j].cell.status != core::CellStatus::Ok) {
             std::fprintf(stderr,
                          "cell %s %s after %u attempt(s): %s\n",
-                         cellLabel(cells[i]).c_str(),
-                         core::cellStatusName(out[i].cell.status),
-                         out[i].cell.attempts, out[i].cell.error.c_str());
+                         cellLabel(to_run[j]).c_str(),
+                         core::cellStatusName(out[j].cell.status),
+                         out[j].cell.attempts, out[j].cell.error.c_str());
         }
-        recordArtifact(std::move(out[i].cell));
-        runs.push_back(std::move(out[i].run));
+        recordArtifact(std::move(out[j].cell));
+        runs[to_run_idx[j]] = std::move(out[j].run);
     }
     return runs;
 }
@@ -616,7 +712,22 @@ computeAllSpeedups(const FigOptions &opts,
                    const std::vector<std::string> &wls, bool smt)
 {
     // Coarse-grained: one task per benchmark; each runs its own
-    // seven-configuration estimation pipeline serially.
+    // seven-configuration estimation pipeline serially.  For sharding,
+    // a whole pipeline is one atomic unit (its cells share
+    // intermediate results), so distribution happens per benchmark.
+    std::vector<bool> owned(wls.size());
+    for (size_t i = 0; i < wls.size(); ++i)
+        owned[i] = g_bench.plan.planGroup(wls[i]);
+    syncShardMonitor();
+    std::vector<std::string> to_run;
+    std::vector<size_t> to_run_idx;
+    for (size_t i = 0; i < wls.size(); ++i) {
+        if (owned[i]) {
+            to_run.push_back(wls[i]);
+            to_run_idx.push_back(i);
+        }
+    }
+
     core::ExperimentRunner runner(opts.jobs);
     runner.setMonitor(sweepMonitor());
     struct WlResult
@@ -625,7 +736,7 @@ computeAllSpeedups(const FigOptions &opts,
         std::vector<obs::CellArtifact> artifacts;
     };
     auto out = runner.map(
-        wls,
+        to_run,
         [&opts, smt](const std::string &wl) {
             WlResult r;
             try {
@@ -643,12 +754,15 @@ computeAllSpeedups(const FigOptions &opts,
             return r;
         },
         [](const std::string &wl, size_t) { return wl; });
-    std::vector<SpeedupRow> rows;
-    rows.reserve(wls.size());
-    for (WlResult &r : out) {
-        for (obs::CellArtifact &a : r.artifacts)
+    // Index-aligned with the input list: benchmarks other shards own
+    // report NaN rows (their numbers live in those shards' manifests).
+    double nan = std::nan("");
+    std::vector<SpeedupRow> rows(wls.size(),
+                                 SpeedupRow{nan, nan, nan, nan, nan});
+    for (size_t j = 0; j < out.size(); ++j) {
+        for (obs::CellArtifact &a : out[j].artifacts)
             recordArtifact(std::move(a));
-        rows.push_back(r.row);
+        rows[to_run_idx[j]] = out[j].row;
     }
     return rows;
 }

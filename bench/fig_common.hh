@@ -15,6 +15,7 @@
 #include "core/experiment_runner.hh"
 #include "core/tps_system.hh"
 #include "obs/run_manifest.hh"
+#include "obs/shard.hh"
 #include "obs/sweep_monitor.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
@@ -46,6 +47,11 @@ struct FigOptions
     //! physical capacity grows to fit automatically.
     uint64_t footprintBytes = 0;
     bool denseState = false;    //!< dense simulator-state oracle
+    //! --shard=i/N: execute only the cells this shard owns (partition
+    //! by canonical cell identity; see obs/shard.hh).
+    obs::ShardSpec shard;
+    std::string heartbeatPath;  //!< keep a tps-heartbeat file here
+    double heartbeatInterval = 5.0;  //!< heartbeat period in seconds
 };
 
 /**
@@ -54,7 +60,8 @@ struct FigOptions
  * --trace=<path>, --progress, --paranoid, --check-every=<n>,
  * --cell-timeout=<sec>, --retries=<n>, --resume,
  * --event-trace=<path>, --profile, --reference-path,
- * --mem-telemetry, --footprint=<size[kmgt]>, --dense-state.
+ * --mem-telemetry, --footprint=<size[kmgt]>, --dense-state,
+ * --shard=i/N, --heartbeat=<path>, --heartbeat-interval=<sec>.
  * Values are parsed
  * strictly (trailing garbage, out-of-range, or nonsensical values like
  * --jobs=0 are rejected with a one-line error); unknown flags are fatal.
@@ -68,8 +75,19 @@ FigOptions parseArgs(int argc, char **argv);
  */
 void initBench(const std::string &name, const FigOptions &opts);
 
-/** The bench-wide sweep monitor; nullptr without --trace/--progress. */
+/**
+ * The bench-wide sweep monitor; nullptr without
+ * --trace/--progress/--heartbeat.
+ */
 obs::SweepMonitor *sweepMonitor();
+
+/**
+ * The bench-wide shard plan: every unit the bench would run, in
+ * planning order, plus this process's owned slice.  runCells and
+ * friends register their work here before filtering, so every shard of
+ * one command line plans the identical grid.
+ */
+obs::ShardPlan &shardPlan();
 
 /** Record one completed run for the --stats-json manifest. */
 void recordRun(const core::RunOptions &run, const sim::SimStats &stats,
@@ -128,7 +146,10 @@ CensusRun runWithCensus(const core::RunOptions &opts);
  * failed/timed-out manifest entry (with opts.retries re-attempts) and
  * returns zeroed stats; the sweep continues.  With --resume, cells
  * already completed in the prior --stats-json manifest are restored
- * instead of re-run.
+ * instead of re-run.  With --shard=i/N, cells other shards own are
+ * skipped entirely (zeroed stats, no manifest entry, no resume
+ * lookup); the union of all shards' manifests is exactly the full
+ * grid.
  */
 std::vector<sim::SimStats> runCells(const FigOptions &opts,
                                     const std::vector<core::RunOptions> &cells);
@@ -164,7 +185,11 @@ SpeedupRow computeSpeedups(const FigOptions &opts, const std::string &wl,
                            std::vector<obs::CellArtifact> *artifacts =
                                nullptr);
 
-/** computeSpeedups for every benchmark in parallel, index-aligned. */
+/**
+ * computeSpeedups for every benchmark in parallel, index-aligned.
+ * With --shard=i/N each benchmark's whole pipeline is one atomic unit
+ * of distribution; benchmarks other shards own report NaN rows.
+ */
 std::vector<SpeedupRow>
 computeAllSpeedups(const FigOptions &opts,
                    const std::vector<std::string> &wls, bool smt);

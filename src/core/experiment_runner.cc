@@ -64,9 +64,11 @@ ExperimentRunner::runGuarded(const std::vector<RunOptions> &cells,
                     std::chrono::steady_clock::now() - start)
                     .count();
             // Still inside the map() span: stamp its trace-event args
-            // so retried/failed cells stand out in the timeline.
+            // so retried, failed and slow cells stand out in the
+            // timeline.
             if (monitor)
-                monitor->annotate(out.attempts, out.errorKind);
+                monitor->annotate(out.attempts, out.errorKind,
+                                  out.seconds * 1e3);
             return out;
         },
         [](const RunOptions &opts, size_t) {

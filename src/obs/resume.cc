@@ -1,42 +1,19 @@
 #include "obs/resume.hh"
 
 #include "obs/run_manifest.hh"
+#include "obs/shard.hh"
 #include "util/sim_error.hh"
 
 namespace tps::obs {
 
-namespace {
-
-/**
- * Overwrite the robustness-only knobs with fixed values so two runs of
- * the same cell under different checking/timeout settings share one
- * identity.  Older (v1) manifests lack the keys entirely; operator[]
- * appends them in the same order runOptionsJson() emits, so the
- * canonical dumps still line up.
- */
-Json
-canonicalOptions(const Json &options)
-{
-    Json j = options;
-    j["paranoid"] = false;
-    j["checkEvery"] = uint64_t(0);
-    j["cellTimeoutSeconds"] = 0.0;
-    return j;
-}
-
-/** True for per-cell keys that describe the host run, not the result. */
-bool
-isHostOnlyKey(const std::string &key)
-{
-    return key == "wallSeconds" || key == "resumed" || key == "attempts";
-}
-
-} // namespace
-
 std::string
 ResumeLog::key(const Json &options, uint64_t seed)
 {
-    return canonicalOptions(options).dump() + "#" + std::to_string(seed);
+    // The canonical identity shared with sweep sharding: the partition
+    // in obs/shard.cc and the resume index must agree on what "the
+    // same cell" means, or --resume + --shard would restore cells a
+    // shard does not own.
+    return cellIdentityFromJson(options, seed);
 }
 
 bool
@@ -77,12 +54,7 @@ ResumeLog::load(const std::string &path)
         if (!options || !seed || seed->kind() != Json::Kind::UInt)
             continue;
 
-        Json pure = Json::object();
-        for (const auto &[name, value] : cell.members()) {
-            if (!isHostOnlyKey(name))
-                pure[name] = value;
-        }
-        cells_[key(*options, seed->asUInt())] = std::move(pure);
+        cells_[key(*options, seed->asUInt())] = pureCellJson(cell);
     }
     return true;
 }

@@ -236,6 +236,8 @@ manifestJson(const ManifestInfo &info,
         Json &host = j["host"];
         host["jobs"] = info.jobs;
         host["wallSeconds"] = info.wallSeconds;
+        if (!info.shard.isNull())
+            host["shard"] = info.shard;
     }
     Json cellsJson = Json::array();
     for (const CellArtifact &cell : cells)

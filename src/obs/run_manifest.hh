@@ -57,6 +57,13 @@ struct ManifestInfo
      * results, never on the machine or schedule that produced them.
      */
     bool includeHost = true;
+    /**
+     * Shard provenance (ShardPlan::provenanceJson()) for a partial
+     * manifest from a --shard run.  Host-only: emitted under
+     * host.shard, so it never enters the byte-stable sections, and only
+     * when non-null -- unsharded manifests keep their exact prior shape.
+     */
+    Json shard;
 };
 
 /** Every RunOptions field as JSON (enums by name). */

@@ -1,12 +1,20 @@
 /**
  * @file
- * Sweep tracing and live progress for experiment grids.
+ * Sweep tracing, live progress, and heartbeats for experiment grids.
  *
  * The monitor records one span per cell (label, owning pool worker,
  * start/end time) as the ExperimentRunner executes it, renders the
  * whole sweep as Chrome trace-event JSON (load chrome://tracing or
  * https://ui.perfetto.dev) and optionally keeps a live progress/ETA
  * line on stderr while the sweep runs.
+ *
+ * For sharded sweeps the monitor is also the distributed-observability
+ * endpoint: with Config::heartbeatPath set it keeps a small
+ * "tps-heartbeat" JSON file up to date (atomic tmp+rename writes, on a
+ * background thread) with done/failed/retried counts, throughput, ETA
+ * and peak RSS, so `tps-merge --watch` on a shared filesystem can show
+ * cross-shard health.  Trace output stamps the shard index into the
+ * Chrome-trace pid so per-shard traces load side-by-side.
  *
  * Thread-safe: begin()/end() are called concurrently from pool
  * workers.  Worker attribution comes from
@@ -20,6 +28,7 @@
 #include <cstdint>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "obs/json.hh"
@@ -35,16 +44,39 @@ class SweepMonitor
     {
         std::string bench;      //!< name shown in progress lines
         bool progress = false;  //!< live per-cell progress on stderr
+        /**
+         * When non-empty, keep a tps-heartbeat JSON file at this path
+         * updated every heartbeatIntervalSeconds (plus once at start
+         * and once, with finished = true, at destruction).  Writes are
+         * atomic (tmp + rename) and tolerant: an unwritable heartbeat
+         * warns once and never aborts the sweep.
+         */
+        std::string heartbeatPath;
+        double heartbeatIntervalSeconds = 5.0;
     };
 
     SweepMonitor();
     explicit SweepMonitor(Config cfg);
+    ~SweepMonitor();
+
+    SweepMonitor(const SweepMonitor &) = delete;
+    SweepMonitor &operator=(const SweepMonitor &) = delete;
 
     /**
      * Announce @p cells upcoming spans (called once per submitted
      * grid), so the progress line's total and ETA are meaningful.
      */
     void addPlanned(size_t cells);
+
+    /**
+     * Declare which shard of a sharded sweep this process runs (called
+     * by fig_common after planning, when the grid fingerprint is
+     * known).  Flows into heartbeats and into Chrome-trace process
+     * metadata: pid = 1 + index, so per-shard trace files loaded into
+     * one viewer land on distinct, ordered process rows.
+     */
+    void setShard(unsigned index, unsigned count,
+                  const std::string &gridFingerprint);
 
     /** Open a span for one cell; returns its id. */
     uint64_t begin(const std::string &label);
@@ -54,12 +86,15 @@ class SweepMonitor
 
     /**
      * Attach cell-outcome details to the calling worker's open span:
-     * how many attempts the cell took and (when it failed) the
-     * manifest-v2 errorKind.  Emitted as Chrome trace event args, so a
-     * retried or failed cell is visible right in the trace timeline.
+     * how many attempts the cell took, (when it failed) the manifest-v2
+     * errorKind, and the cell's final wall time in milliseconds.
+     * Emitted as Chrome trace event args, so a retried, failed or slow
+     * cell is visible right in the trace timeline when triaging shard
+     * imbalance.  Also feeds the heartbeat's failed/retried counters.
      * No-op when the caller has no open span.
      */
-    void annotate(unsigned attempts, const std::string &errorKind);
+    void annotate(unsigned attempts, const std::string &errorKind,
+                  double wallMs = 0.0);
 
     /**
      * RAII span guard; a null monitor makes it a no-op, so callers can
@@ -101,6 +136,9 @@ class SweepMonitor
     /** Write traceJson() to @p path. */
     void writeTrace(const std::string &path) const;
 
+    /** The current heartbeat document (what the heartbeat file holds). */
+    Json heartbeatJson(bool finished) const;
+
   private:
     struct Span
     {
@@ -111,12 +149,14 @@ class SweepMonitor
         bool done = false;
         unsigned attempts = 0;  //!< 0 = not annotated
         std::string errorKind;  //!< empty = cell succeeded
+        double wallMs = 0.0;    //!< final cell wall time; 0 = unknown
     };
 
     /** Microseconds since construction. */
     uint64_t nowUs() const;
 
     void printProgress(const Span &last) const;
+    void writeHeartbeat(bool finished) const;
 
     mutable std::mutex mu_;
     Config cfg_;
@@ -124,6 +164,13 @@ class SweepMonitor
     std::vector<Span> spans_;
     size_t planned_ = 0;
     size_t done_ = 0;
+    size_t failed_ = 0;
+    size_t retried_ = 0;
+    std::string lastLabel_;
+    unsigned shardIndex_ = 0;
+    unsigned shardCount_ = 1;
+    std::string gridFingerprint_;
+    std::jthread beat_;  //!< heartbeat writer; joined in destructor
 };
 
 } // namespace tps::obs

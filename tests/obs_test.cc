@@ -483,7 +483,7 @@ TEST(SweepMonitor, AnnotateAttachesTraceEventArgs)
     SweepMonitor mon;
     {
         SweepMonitor::Scope span(&mon, "flaky/cell");
-        mon.annotate(3, "Timeout");
+        mon.annotate(3, "Timeout", 12.5);
     }
     {
         SweepMonitor::Scope span(&mon, "clean/cell");
@@ -501,6 +501,8 @@ TEST(SweepMonitor, AnnotateAttachesTraceEventArgs)
             EXPECT_EQ(ev.at("args").at("attempts").asUInt(), 3u);
             EXPECT_EQ(ev.at("args").at("errorKind").asString(),
                       "Timeout");
+            // Final per-cell wall-ms, for triaging shard imbalance.
+            EXPECT_EQ(ev.at("args").at("wallMs").asDouble(), 12.5);
         }
         if (ev.at("name").asString() == "clean/cell") {
             sawClean = true;
@@ -509,6 +511,39 @@ TEST(SweepMonitor, AnnotateAttachesTraceEventArgs)
     }
     EXPECT_TRUE(sawAnnotated);
     EXPECT_TRUE(sawClean);
+}
+
+TEST(SweepMonitor, ShardedTraceCarriesShardProcessMetadata)
+{
+    SweepMonitor mon;
+    mon.setShard(2, 4, "0123456789abcdef");
+    {
+        SweepMonitor::Scope span(&mon, "wl/design");
+    }
+    Json trace = mon.traceJson();
+    const Json &events = trace.at("traceEvents");
+    bool sawName = false, sawSort = false, sawSpan = false;
+    for (size_t i = 0; i < events.size(); ++i) {
+        const Json &ev = events.at(i);
+        // Every event lives on pid 1 + shard index, so per-shard
+        // traces concatenate into distinct process rows.
+        EXPECT_EQ(ev.at("pid").asUInt(), 3u);
+        if (ev.at("name").asString() == "process_name") {
+            sawName = true;
+            EXPECT_NE(ev.at("args").at("name").asString().find(
+                          "[shard 2/4]"),
+                      std::string::npos);
+        }
+        if (ev.at("name").asString() == "process_sort_index") {
+            sawSort = true;
+            EXPECT_EQ(ev.at("args").at("sort_index").asUInt(), 2u);
+        }
+        if (ev.at("ph").asString() == "X")
+            sawSpan = true;
+    }
+    EXPECT_TRUE(sawName);
+    EXPECT_TRUE(sawSort);
+    EXPECT_TRUE(sawSpan);
 }
 
 TEST(SweepMonitor, AttributesSpansToPoolWorkers)

@@ -30,6 +30,7 @@
 #include "obs/json.hh"
 #include "obs/trace_analyze.hh"
 #include "util/logging.hh"
+#include "util/sim_error.hh"
 
 using namespace tps;
 
@@ -101,8 +102,9 @@ parseArgs(int argc, char **argv)
         }
     }
     if (positional.size() != 2) {
-        usage();
-        std::exit(2);
+        tps_fatal("expected <summary|report|dump> <trace-file>, got %zu "
+                  "positional argument(s) (try --help)",
+                  positional.size());
     }
     args.command = positional[0];
     args.tracePath = positional[1];
@@ -137,8 +139,10 @@ selectCell(const obs::TraceFile &file, const Args &args)
 }
 
 void
-cmdSummary(const obs::TraceFile &file)
+cmdSummary(const obs::TraceFile &file, const Args &args)
 {
+    if (file.cells.empty())
+        tps_fatal("%s contains no cells", args.tracePath.c_str());
     std::printf("%-40s %20s %12s %12s %12s\n", "cell", "seed", "events",
                 "misses", "walks");
     for (const obs::TraceCell &cell : file.cells) {
@@ -187,7 +191,11 @@ cmdReport(const obs::TraceCell &cell, const Args &args)
     const obs::Json *mcell = nullptr;
     obs::Json manifest;
     if (!args.manifestPath.empty()) {
-        manifest = obs::readJsonFile(args.manifestPath);
+        try {
+            manifest = obs::readJsonFile(args.manifestPath);
+        } catch (const SimError &e) {
+            tps_fatal("%s", e.what());
+        }
         mcell = obs::findManifestCell(manifest, a.label, a.seed);
         if (!mcell)
             tps_fatal("manifest %s has no cell %s seed %" PRIu64,
@@ -281,17 +289,24 @@ int
 main(int argc, char **argv)
 {
     Args args = parseArgs(argc, argv);
-    obs::TraceFile file = obs::readTraceFile(args.tracePath);
+    // Library code throws SimError on unreadable or malformed inputs;
+    // a CLI surfaces that as the standard one-line fatal, never as an
+    // uncaught-exception abort.
+    try {
+        obs::TraceFile file = obs::readTraceFile(args.tracePath);
 
-    if (args.command == "summary") {
-        cmdSummary(file);
-    } else if (args.command == "dump") {
-        cmdDump(selectCell(file, args));
-    } else if (args.command == "report") {
-        cmdReport(selectCell(file, args), args);
-    } else {
-        tps_fatal("unknown command '%s' (try --help)",
-                  args.command.c_str());
+        if (args.command == "summary") {
+            cmdSummary(file, args);
+        } else if (args.command == "dump") {
+            cmdDump(selectCell(file, args));
+        } else if (args.command == "report") {
+            cmdReport(selectCell(file, args), args);
+        } else {
+            tps_fatal("unknown command '%s' (try --help)",
+                      args.command.c_str());
+        }
+    } catch (const SimError &e) {
+        tps_fatal("%s", e.what());
     }
     return 0;
 }

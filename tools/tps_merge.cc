@@ -1,0 +1,327 @@
+/**
+ * @file
+ * tps-merge: join sharded partial run manifests into the canonical
+ * byte-stable manifest, and watch live shard heartbeats.
+ *
+ *   tps-merge <partial.json>... [--out=<path>] [--json]
+ *             [--require-complete]
+ *   tps-merge --watch=<dir> [--interval=<sec>] [--once] [--json]
+ *
+ * Merge mode verifies that the partials come from the same sweep
+ * (bench, shard count, grid fingerprint and planned grid must agree),
+ * rejects overlapping or foreign partials, resolves retried cells
+ * first-ok-wins, and reports holes -- missing, failed or timed-out
+ * cells -- with shard attribution.  The merged manifest is
+ * byte-identical to the pure (host-free) manifest of the equivalent
+ * unsharded run; with a single unsharded input it acts as a pure-form
+ * canonicalizer.  --require-complete turns any hole or missing shard
+ * into a non-zero exit for CI gating.
+ *
+ * Watch mode aggregates the tps-heartbeat files sharded sweeps write
+ * (--heartbeat=<path>) from a shared directory into one cross-shard
+ * progress/health view, flagging stalled or dead shards.  With --once
+ * it prints a single snapshot (JSON with --json) and exits; otherwise
+ * it refreshes until every expected shard reports finished.
+ */
+
+#include <dirent.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hh"
+#include "obs/shard.hh"
+#include "util/logging.hh"
+#include "util/sim_error.hh"
+
+using namespace tps;
+
+namespace {
+
+struct Cli
+{
+    std::vector<std::string> inputs;
+    std::string outPath;
+    std::string watchDir;
+    double intervalSeconds = 2.0;
+    bool json = false;
+    bool once = false;
+    bool requireComplete = false;
+};
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: tps-merge <partial.json>... [--out=<path>] [--json] "
+        "[--require-complete]\n"
+        "       tps-merge --watch=<dir> [--interval=<sec>] [--once] "
+        "[--json]\n");
+}
+
+/** Read and parse one manifest/heartbeat; tps_fatal on any problem. */
+obs::Json
+readJsonOrDie(const std::string &path)
+{
+    try {
+        return obs::readJsonFile(path);
+    } catch (const SimError &e) {
+        tps_fatal("%s", e.what());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Merge mode.
+// ---------------------------------------------------------------------
+
+void
+printHoles(const obs::MergeResult &res)
+{
+    for (const obs::MergeHole &hole : res.holes) {
+        std::fprintf(stderr, "  hole: %s", hole.label.c_str());
+        if (hole.seed != 0) {
+            std::fprintf(stderr, " (seed %llu)",
+                         static_cast<unsigned long long>(hole.seed));
+        }
+        std::fprintf(stderr, " %s", hole.status.c_str());
+        if (hole.shard >= 0)
+            std::fprintf(stderr, ", owned by shard %d", hole.shard);
+        if (!hole.source.empty())
+            std::fprintf(stderr, ", recorded in %s", hole.source.c_str());
+        std::fprintf(stderr, "\n");
+    }
+}
+
+obs::Json
+mergeReportJson(const obs::MergeResult &res)
+{
+    obs::Json j = obs::Json::object();
+    j["format"] = std::string("tps-merge-report");
+    j["bench"] = res.bench;
+    j["shardCount"] = res.shardCount;
+    j["gridFingerprint"] = res.gridFingerprint;
+    obs::Json present = obs::Json::array();
+    for (unsigned s : res.shardsPresent)
+        present.push(uint64_t(s));
+    j["shardsPresent"] = std::move(present);
+    obs::Json missing = obs::Json::array();
+    for (unsigned s : res.shardsMissing)
+        missing.push(uint64_t(s));
+    j["shardsMissing"] = std::move(missing);
+    j["cells"] = uint64_t(res.cells);
+    j["okCells"] = uint64_t(res.okCells);
+    j["duplicates"] = uint64_t(res.duplicates);
+    obs::Json holes = obs::Json::array();
+    for (const obs::MergeHole &hole : res.holes) {
+        obs::Json h = obs::Json::object();
+        h["label"] = hole.label;
+        h["seed"] = hole.seed;
+        h["status"] = hole.status;
+        h["shard"] = int64_t(hole.shard);
+        h["source"] = hole.source;
+        holes.push(std::move(h));
+    }
+    j["holes"] = std::move(holes);
+    j["complete"] = res.holes.empty() && res.shardsMissing.empty();
+    return j;
+}
+
+int
+runMerge(const Cli &cli)
+{
+    std::vector<obs::Json> manifests;
+    manifests.reserve(cli.inputs.size());
+    for (const std::string &path : cli.inputs)
+        manifests.push_back(readJsonOrDie(path));
+
+    obs::MergeResult res;
+    try {
+        res = obs::mergeManifests(manifests, cli.inputs);
+    } catch (const SimError &e) {
+        tps_fatal("%s", e.what());
+    }
+
+    if (!cli.outPath.empty()) {
+        obs::writeJsonFile(cli.outPath, res.manifest);
+    } else if (!cli.json) {
+        // Canonical manifest to stdout, report to stderr.
+        std::string bytes = res.manifest.dump(2);
+        std::fwrite(bytes.data(), 1, bytes.size(), stdout);
+        std::fputc('\n', stdout);
+    }
+
+    if (cli.json) {
+        std::string bytes = mergeReportJson(res).dump(2);
+        std::fwrite(bytes.data(), 1, bytes.size(), stdout);
+        std::fputc('\n', stdout);
+    } else {
+        std::fprintf(stderr,
+                     "merged %zu input(s): bench %s, %zu cells "
+                     "(%zu ok), %zu duplicate cop%s resolved\n",
+                     cli.inputs.size(), res.bench.c_str(), res.cells,
+                     res.okCells, res.duplicates,
+                     res.duplicates == 1 ? "y" : "ies");
+        if (res.shardCount > 1) {
+            std::fprintf(stderr, "shards present: %zu of %u\n",
+                         res.shardsPresent.size(), res.shardCount);
+        }
+        for (unsigned s : res.shardsMissing) {
+            std::fprintf(stderr, "  shard %u contributed no manifest\n",
+                         s);
+        }
+        if (!res.holes.empty()) {
+            std::fprintf(stderr, "%zu hole(s):\n", res.holes.size());
+            printHoles(res);
+        }
+        if (!cli.outPath.empty()) {
+            std::fprintf(stderr, "wrote merged manifest to %s\n",
+                         cli.outPath.c_str());
+        }
+    }
+
+    bool incomplete = !res.holes.empty() || !res.shardsMissing.empty();
+    if (cli.requireComplete && incomplete) {
+        std::fprintf(stderr,
+                     "merge incomplete (--require-complete): %zu "
+                     "hole(s), %zu missing shard(s)\n",
+                     res.holes.size(), res.shardsMissing.size());
+        return 1;
+    }
+    return 0;
+}
+
+// ---------------------------------------------------------------------
+// Watch mode.
+// ---------------------------------------------------------------------
+
+/** All parseable JSON files in @p dir (heartbeat filter comes later). */
+void
+scanHeartbeats(const std::string &dir, std::vector<obs::Json> *beats,
+               std::vector<std::string> *sources)
+{
+    beats->clear();
+    sources->clear();
+    DIR *d = opendir(dir.c_str());
+    if (!d)
+        tps_fatal("cannot open watch directory %s", dir.c_str());
+    std::vector<std::string> names;
+    while (struct dirent *ent = readdir(d)) {
+        std::string name = ent->d_name;
+        if (name.size() > 5 &&
+            name.compare(name.size() - 5, 5, ".json") == 0) {
+            names.push_back(name);
+        }
+    }
+    closedir(d);
+    std::sort(names.begin(), names.end());
+    for (const std::string &name : names) {
+        std::string path = dir + "/" + name;
+        try {
+            beats->push_back(obs::readJsonFile(path));
+            sources->push_back(path);
+        } catch (const SimError &) {
+            // A file mid-write or foreign JSON is not an error; the
+            // next scan will pick it up.
+        }
+    }
+}
+
+int
+runWatch(const Cli &cli)
+{
+    bool tty = isatty(fileno(stdout));
+    while (true) {
+        std::vector<obs::Json> beats;
+        std::vector<std::string> sources;
+        scanHeartbeats(cli.watchDir, &beats, &sources);
+        uint64_t now =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::system_clock::now().time_since_epoch())
+                .count();
+        obs::HealthView view =
+            obs::buildHealthView(beats, sources, now);
+
+        if (cli.json) {
+            std::string bytes = view.toJson().dump(2);
+            std::fwrite(bytes.data(), 1, bytes.size(), stdout);
+            std::fputc('\n', stdout);
+        } else {
+            if (tty && !cli.once)
+                std::fputs("\033[H\033[2J", stdout);
+            if (view.shards.empty()) {
+                std::fprintf(stdout, "no heartbeats in %s yet\n",
+                             cli.watchDir.c_str());
+            } else {
+                std::fputs(view.render().c_str(), stdout);
+            }
+        }
+        std::fflush(stdout);
+
+        if (cli.once)
+            return view.shards.empty() ? 1 : 0;
+        if (view.allFinished) {
+            std::fprintf(stderr, "all %u shard(s) finished\n",
+                         view.shardCount);
+            return 0;
+        }
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(cli.intervalSeconds));
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Cli cli;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strncmp(arg, "--out=", 6) == 0) {
+            cli.outPath = arg + 6;
+            if (cli.outPath.empty())
+                tps_fatal("--out needs a path");
+        } else if (std::strncmp(arg, "--watch=", 8) == 0) {
+            cli.watchDir = arg + 8;
+            if (cli.watchDir.empty())
+                tps_fatal("--watch needs a directory");
+        } else if (std::strncmp(arg, "--interval=", 11) == 0) {
+            char *end = nullptr;
+            cli.intervalSeconds = std::strtod(arg + 11, &end);
+            if (end == arg + 11 || *end != '\0' ||
+                cli.intervalSeconds <= 0) {
+                tps_fatal("bad --interval value '%s'", arg + 11);
+            }
+        } else if (std::strcmp(arg, "--json") == 0) {
+            cli.json = true;
+        } else if (std::strcmp(arg, "--once") == 0) {
+            cli.once = true;
+        } else if (std::strcmp(arg, "--require-complete") == 0) {
+            cli.requireComplete = true;
+        } else if (std::strcmp(arg, "--help") == 0) {
+            usage();
+            return 0;
+        } else if (arg[0] == '-' && arg[1] == '-') {
+            tps_fatal("unknown option '%s' (try --help)", arg);
+        } else {
+            cli.inputs.push_back(arg);
+        }
+    }
+
+    if (!cli.watchDir.empty()) {
+        if (!cli.inputs.empty())
+            tps_fatal("--watch takes no manifest arguments");
+        return runWatch(cli);
+    }
+    if (cli.inputs.empty())
+        tps_fatal("no input manifests (usage: tps-merge "
+                  "<partial.json>... [--out=<path>])");
+    return runMerge(cli);
+}
